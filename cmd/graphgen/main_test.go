@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rbq/internal/dataset"
+)
+
+func TestRunGeneratesTextGraph(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "g.graph")
+	var errb bytes.Buffer
+	code := run([]string{"-kind", "random", "-nodes", "50", "-edges", "100", "-out", out}, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := dataset.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 50 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+}
+
+func TestRunGeneratesBinaryWithStats(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "g.bin")
+	var errb bytes.Buffer
+	code := run([]string{"-kind", "youtube", "-nodes", "500", "-binary", "-stats", "-out", out}, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "degree:") {
+		t.Fatalf("stats missing from stderr:\n%s", errb.String())
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := dataset.ReadBinary(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 500 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+}
+
+func TestRunAllKinds(t *testing.T) {
+	for _, kind := range []string{"random", "powerlaw", "youtube", "yahoo"} {
+		dir := t.TempDir()
+		var errb bytes.Buffer
+		code := run([]string{"-kind", kind, "-nodes", "100", "-out", filepath.Join(dir, "g")}, &errb)
+		if code != 0 {
+			t.Fatalf("kind %s: exit %d: %s", kind, code, errb.String())
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-kind", "bogus"},
+		{"-nodes", "notanumber"},
+		{"-out", "/no/such/dir/file"},
+	}
+	for i, args := range cases {
+		var errb bytes.Buffer
+		if code := run(args, &errb); code == 0 {
+			t.Errorf("case %d (%v): expected non-zero exit", i, args)
+		}
+	}
+}

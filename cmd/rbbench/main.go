@@ -1,0 +1,70 @@
+// Command rbbench regenerates the tables and figures of Section 6 of Fan,
+// Wang & Wu (SIGMOD 2014) on power-law stand-ins of the paper's datasets,
+// plus the ablation studies of DESIGN.md §5.
+//
+// Usage:
+//
+//	rbbench                         # run everything at the default scale
+//	rbbench -exp table2,fig8c       # selected experiments
+//	rbbench -list                   # list experiment ids
+//	rbbench -youtube 200000 -yahoo 300000 -patterns 10   # bigger workload
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"rbq/internal/bench"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rbbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		exps     = fs.String("exp", "", "comma-separated experiment ids (empty = all)")
+		list     = fs.Bool("list", false, "list experiments and exit")
+		youtube  = fs.Int("youtube", 0, "nodes in the Youtube-like stand-in (0 = default)")
+		yahoo    = fs.Int("yahoo", 0, "nodes in the Yahoo-like stand-in (0 = default)")
+		div      = fs.Int("div", 0, "divisor for the paper's 2M-10M synthetic sweep (0 = default)")
+		patterns = fs.Int("patterns", 0, "pattern queries per measurement (0 = default)")
+		queries  = fs.Int("queries", 0, "reachability queries per measurement (0 = default)")
+		seed     = fs.Int64("seed", 0, "workload seed (0 = default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Fprintf(stdout, "%-12s %s\n", e.ID, e.Title)
+		}
+		return 0
+	}
+
+	s := bench.Scale{
+		YoutubeNodes:     *youtube,
+		YahooNodes:       *yahoo,
+		SyntheticDivisor: *div,
+		Patterns:         *patterns,
+		ReachQueries:     *queries,
+		Seed:             *seed,
+	}
+	var ids []string
+	if *exps != "" {
+		for _, id := range strings.Split(*exps, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				ids = append(ids, id)
+			}
+		}
+	}
+	if err := bench.Run(stdout, s, ids); err != nil {
+		fmt.Fprintln(stderr, "rbbench:", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	for _, want := range []string{"table2", "fig8a", "fig8p", "abl-guard", "ext-calibrate"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("list output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{"-exp", "abl-condense", "-youtube", "1500", "-yahoo", "1500",
+		"-patterns", "2", "-queries", "10", "-div", "2000"}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "condensed DAG") {
+		t.Fatalf("experiment output missing:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-exp", "nope"}, &out, &errb); code == 0 {
+		t.Fatal("expected non-zero exit for unknown experiment")
+	}
+	if !strings.Contains(errb.String(), "unknown experiment") {
+		t.Fatalf("stderr missing explanation:\n%s", errb.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-youtube", "x"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}

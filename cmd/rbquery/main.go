@@ -1,0 +1,260 @@
+// Command rbquery evaluates resource-bounded queries over a data graph in
+// the textual or binary edge-list format (see cmd/graphgen).
+//
+// Pattern queries (strong simulation or subgraph isomorphism):
+//
+//	rbquery -graph g.graph -pattern q.pat -mode sim -alpha 0.001
+//	rbquery -graph g.graph -pattern q.pat -mode sub -alpha 0.001 -exact
+//
+// Reachability queries:
+//
+//	rbquery -graph g.graph -mode reach -alpha 0.0005 -from 17 -to 93482
+//
+// Whole workload files (see internal/workload for the format):
+//
+//	rbquery -graph g.graph -mode workload -workload w.txt -alpha 0.001
+//
+// Pattern files use the format of rbq.ParsePattern:
+//
+//	node 0 Michael*      # * marks the personalized node
+//	node 1 CL!           # ! marks the output node
+//	edge 0 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"rbq"
+	"rbq/internal/accuracy"
+	"rbq/internal/workload"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rbquery", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		graphPath    = fs.String("graph", "", "data graph file (required)")
+		patternPath  = fs.String("pattern", "", "pattern file (sim/sub modes)")
+		workloadPath = fs.String("workload", "", "workload file (workload mode)")
+		mode         = fs.String("mode", "sim", "sim | sub | reach | workload")
+		alpha        = fs.Float64("alpha", 0.001, "resource ratio α ∈ (0,1)")
+		exact        = fs.Bool("exact", false, "also run the exact baseline and report accuracy")
+		from         = fs.Int("from", -1, "source node (reach mode)")
+		to           = fs.Int("to", -1, "target node (reach mode)")
+		indexPath    = fs.String("index", "", "reach mode: load the oracle from this file if it exists, else build and save it there")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *graphPath == "" {
+		fmt.Fprintln(stderr, "rbquery: -graph is required")
+		return 2
+	}
+	f, err := os.Open(*graphPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "rbquery:", err)
+		return 1
+	}
+	start := time.Now()
+	db, err := rbq.Load(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(stderr, "rbquery:", err)
+		return 1
+	}
+	g := db.Graph()
+	fmt.Fprintf(stdout, "loaded |V|=%d |E|=%d (|G|=%d) in %v; budget α|G| = %d\n",
+		g.NumNodes(), g.NumEdges(), g.Size(), time.Since(start).Round(time.Millisecond),
+		int(*alpha*float64(g.Size())))
+
+	switch *mode {
+	case "sim", "sub":
+		return runPattern(db, *mode, *patternPath, *alpha, *exact, stdout, stderr)
+	case "reach":
+		return runReach(db, *alpha, *from, *to, *exact, *indexPath, stdout, stderr)
+	case "workload":
+		return runWorkload(db, *workloadPath, *alpha, stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "rbquery: unknown mode %q\n", *mode)
+		return 2
+	}
+}
+
+func runPattern(db *rbq.DB, mode, path string, alpha float64, exact bool, stdout, stderr io.Writer) int {
+	if path == "" {
+		fmt.Fprintln(stderr, "rbquery: -pattern is required for pattern modes")
+		return 2
+	}
+	text, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "rbquery:", err)
+		return 1
+	}
+	q, err := rbq.ParsePattern(string(text))
+	if err != nil {
+		fmt.Fprintln(stderr, "rbquery:", err)
+		return 1
+	}
+	var res rbq.PatternResult
+	start := time.Now()
+	if mode == "sim" {
+		res, err = db.Simulation(q, alpha)
+	} else {
+		res, err = db.Subgraph(q, alpha)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "rbquery:", err)
+		return 1
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(stdout, "%d match(es) in %v; |G_Q| = %d of budget %d; visited %d items\n",
+		len(res.Matches), elapsed.Round(time.Microsecond), res.FragmentSize, res.Budget, res.Visited)
+	for _, m := range res.Matches {
+		fmt.Fprintf(stdout, "  node %d (%s)\n", m, db.Graph().Label(m))
+	}
+	if exact {
+		var truth []rbq.NodeID
+		start = time.Now()
+		if mode == "sim" {
+			truth, err = db.SimulationExact(q)
+		} else {
+			truth, _, err = db.SubgraphExact(q, 0)
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "rbquery:", err)
+			return 1
+		}
+		acc := rbq.MatchAccuracy(truth, res.Matches)
+		fmt.Fprintf(stdout, "exact baseline: %d match(es) in %v; accuracy P=%.3f R=%.3f F=%.3f\n",
+			len(truth), time.Since(start).Round(time.Microsecond), acc.Precision, acc.Recall, acc.F)
+	}
+	return 0
+}
+
+func runReach(db *rbq.DB, alpha float64, from, to int, exact bool, indexPath string, stdout, stderr io.Writer) int {
+	g := db.Graph()
+	if from < 0 || to < 0 || from >= g.NumNodes() || to >= g.NumNodes() {
+		fmt.Fprintln(stderr, "rbquery: reach mode needs valid -from and -to node ids")
+		return 2
+	}
+	start := time.Now()
+	oracle, how, err := obtainOracle(db, alpha, indexPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "rbquery:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "index %s in %v (size %d)\n", how, time.Since(start).Round(time.Millisecond), oracle.IndexSize())
+	start = time.Now()
+	res := oracle.Reach(rbq.NodeID(from), rbq.NodeID(to))
+	fmt.Fprintf(stdout, "reachable(%d, %d) = %v in %v (visited %d index items)\n",
+		from, to, res.Answer, time.Since(start).Round(time.Microsecond), res.Visited)
+	if exact {
+		start = time.Now()
+		truth := db.ReachExact(rbq.NodeID(from), rbq.NodeID(to))
+		fmt.Fprintf(stdout, "exact BFS: %v in %v\n", truth, time.Since(start).Round(time.Microsecond))
+		if res.Answer && !truth {
+			fmt.Fprintln(stderr, "ERROR: false positive — this must never happen (Theorem 4c)")
+			return 1
+		}
+	}
+	return 0
+}
+
+// obtainOracle loads a persisted oracle when indexPath exists, otherwise
+// builds one (and persists it when indexPath is set). The returned string
+// describes what happened, for the status line.
+func obtainOracle(db *rbq.DB, alpha float64, indexPath string) (*rbq.ReachOracle, string, error) {
+	if indexPath != "" {
+		if f, err := os.Open(indexPath); err == nil {
+			defer f.Close()
+			oracle, err := rbq.LoadReachOracle(f)
+			if err != nil {
+				return nil, "", fmt.Errorf("loading %s: %w", indexPath, err)
+			}
+			return oracle, "loaded from " + indexPath, nil
+		}
+	}
+	oracle := db.BuildReachOracle(alpha)
+	if indexPath == "" {
+		return oracle, "built", nil
+	}
+	f, err := os.Create(indexPath)
+	if err != nil {
+		return nil, "", fmt.Errorf("saving %s: %w", indexPath, err)
+	}
+	defer f.Close()
+	if err := oracle.Save(f); err != nil {
+		return nil, "", fmt.Errorf("saving %s: %w", indexPath, err)
+	}
+	return oracle, "built and saved to " + indexPath, nil
+}
+
+func runWorkload(db *rbq.DB, path string, alpha float64, stdout, stderr io.Writer) int {
+	if path == "" {
+		fmt.Fprintln(stderr, "rbquery: -workload is required for workload mode")
+		return 2
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "rbquery:", err)
+		return 1
+	}
+	wl, err := workload.Read(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(stderr, "rbquery:", err)
+		return 1
+	}
+	if err := wl.Validate(db.Graph()); err != nil {
+		fmt.Fprintln(stderr, "rbquery:", err)
+		return 1
+	}
+
+	if len(wl.Patterns) > 0 {
+		var qs []rbq.AnchoredQuery
+		for _, q := range wl.Patterns {
+			qs = append(qs, rbq.AnchoredQuery{Q: q.P, At: q.VP})
+		}
+		start := time.Now()
+		results := db.SimulationBatch(qs, alpha, 0)
+		elapsed := time.Since(start)
+		accSum := 0.0
+		for i, r := range results {
+			exact, err := db.SimulationExactAt(qs[i].Q, qs[i].At)
+			if err != nil {
+				fmt.Fprintln(stderr, "rbquery:", err)
+				return 1
+			}
+			accSum += rbq.MatchAccuracy(exact, r.Matches).F
+		}
+		fmt.Fprintf(stdout, "patterns: %d queries in %v, mean accuracy %.3f\n",
+			len(qs), elapsed.Round(time.Millisecond), accSum/float64(len(qs)))
+	}
+	if len(wl.Reach) > 0 {
+		oracle := db.BuildReachOracle(alpha)
+		truth := make([]bool, len(wl.Reach))
+		got := make([]bool, len(wl.Reach))
+		start := time.Now()
+		for i, q := range wl.Reach {
+			truth[i] = q.Truth
+			got[i] = oracle.Reach(q.From, q.To).Answer
+		}
+		elapsed := time.Since(start)
+		acc := accuracy.Booleans(truth, got, nil)
+		fp := accuracy.FalsePositives(truth, got)
+		fmt.Fprintf(stdout, "reachability: %d queries in %v, accuracy %.3f, false positives %d\n",
+			len(wl.Reach), elapsed.Round(time.Millisecond), acc.F, fp)
+		if fp > 0 {
+			fmt.Fprintln(stderr, "ERROR: false positives — this must never happen (Theorem 4c)")
+			return 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rbq"
+	"rbq/internal/gen"
+	"rbq/internal/workload"
+)
+
+// writeFixtures creates a small graph, a matching pattern, and a workload
+// file in a temp dir, returning their paths.
+func writeFixtures(t *testing.T) (graphPath, patternPath, workloadPath string) {
+	t.Helper()
+	dir := t.TempDir()
+
+	gb := rbq.NewGraphBuilder(8, 6)
+	m := gb.AddNode("Michael")
+	cc := gb.AddNode("CC")
+	hg := gb.AddNode("HG")
+	cl := gb.AddNode("CL")
+	gb.AddEdge(m, cc)
+	gb.AddEdge(m, hg)
+	gb.AddEdge(cc, cl)
+	gb.AddEdge(hg, cl)
+	// Padding so that a 0.9 budget still covers the whole motif.
+	gb.AddNode("X")
+	gb.AddNode("X")
+	gb.AddNode("X")
+	db := rbq.NewDB(gb.Build())
+
+	graphPath = filepath.Join(dir, "g.graph")
+	f, err := os.Create(graphPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	patternPath = filepath.Join(dir, "q.pat")
+	pat := "node 0 Michael*\nnode 1 CC\nnode 2 HG\nnode 3 CL!\nedge 0 1\nedge 0 2\nedge 1 3\nedge 2 3\n"
+	if err := os.WriteFile(patternPath, []byte(pat), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	workloadPath = filepath.Join(dir, "w.txt")
+	wl := &workload.Workload{}
+	wf, err := os.Create(workloadPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl.Reach = append(wl.Reach,
+		gen.ReachQuery{From: 0, To: 3, Truth: true},
+		gen.ReachQuery{From: 3, To: 0, Truth: false})
+	if err := workload.Write(wf, wl); err != nil {
+		t.Fatal(err)
+	}
+	wf.Close()
+	return graphPath, patternPath, workloadPath
+}
+
+func TestRunSimulationMode(t *testing.T) {
+	g, p, _ := writeFixtures(t)
+	var out, errb bytes.Buffer
+	code := run([]string{"-graph", g, "-pattern", p, "-mode", "sim", "-alpha", "0.9", "-exact"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "1 match(es)") || !strings.Contains(s, "F=1.000") {
+		t.Fatalf("unexpected output:\n%s", s)
+	}
+}
+
+func TestRunSubgraphMode(t *testing.T) {
+	g, p, _ := writeFixtures(t)
+	var out, errb bytes.Buffer
+	code := run([]string{"-graph", g, "-pattern", p, "-mode", "sub", "-alpha", "0.9"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "match(es)") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+}
+
+func TestRunReachMode(t *testing.T) {
+	g, _, _ := writeFixtures(t)
+	var out, errb bytes.Buffer
+	code := run([]string{"-graph", g, "-mode", "reach", "-alpha", "0.9", "-from", "0", "-to", "3", "-exact"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "reachable(0, 3)") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+}
+
+func TestRunWorkloadMode(t *testing.T) {
+	g, _, w := writeFixtures(t)
+	var out, errb bytes.Buffer
+	code := run([]string{"-graph", g, "-mode", "workload", "-workload", w, "-alpha", "0.9"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "reachability: 2 queries") || !strings.Contains(s, "false positives 0") {
+		t.Fatalf("unexpected output:\n%s", s)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	g, p, _ := writeFixtures(t)
+	cases := [][]string{
+		{},                              // missing -graph
+		{"-graph", "/no/such/file"},     // unreadable graph
+		{"-graph", g, "-mode", "bogus"}, /* unknown mode */
+		{"-graph", g, "-mode", "sim"},   // missing pattern
+		{"-graph", g, "-mode", "reach"}, // missing endpoints
+		{"-graph", g, "-mode", "reach", "-from", "0", "-to", "999"}, // out of range
+		{"-graph", g, "-mode", "workload"},                          // missing workload
+		{"-graph", g, "-pattern", "/no/such.pat", "-mode", "sim"},
+		{"-graph", g, "-pattern", p, "-mode", "sim", "-alpha", "x"}, // bad flag
+	}
+	for i, args := range cases {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code == 0 {
+			t.Errorf("case %d (%v): expected non-zero exit", i, args)
+		}
+	}
+}
+
+func TestRunLoadsBinaryGraphs(t *testing.T) {
+	dir := t.TempDir()
+	gb := rbq.NewGraphBuilder(2, 1)
+	gb.AddNode("A")
+	gb.AddNode("B")
+	gb.AddEdge(0, 1)
+	db := rbq.NewDB(gb.Build())
+	path := filepath.Join(dir, "g.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SaveBinary(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var out, errb bytes.Buffer
+	code := run([]string{"-graph", path, "-mode", "reach", "-alpha", "0.9", "-from", "0", "-to", "1"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "reachable(0, 1) = true") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+}
+
+func TestRunReachModeWithPersistedIndex(t *testing.T) {
+	g, _, _ := writeFixtures(t)
+	idx := filepath.Join(t.TempDir(), "oracle.idx")
+	// First run builds and saves the index.
+	var out1, err1 bytes.Buffer
+	code := run([]string{"-graph", g, "-mode", "reach", "-alpha", "0.9",
+		"-from", "0", "-to", "3", "-index", idx}, &out1, &err1)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, err1.String())
+	}
+	if !strings.Contains(out1.String(), "built and saved") {
+		t.Fatalf("first run did not save:\n%s", out1.String())
+	}
+	// Second run loads it.
+	var out2, err2 bytes.Buffer
+	code = run([]string{"-graph", g, "-mode", "reach", "-alpha", "0.9",
+		"-from", "0", "-to", "3", "-index", idx}, &out2, &err2)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, err2.String())
+	}
+	if !strings.Contains(out2.String(), "loaded from") {
+		t.Fatalf("second run did not load:\n%s", out2.String())
+	}
+	if !strings.Contains(out2.String(), "reachable(0, 3) = true") {
+		t.Fatalf("wrong answer from persisted index:\n%s", out2.String())
+	}
+}

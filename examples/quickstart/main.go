@@ -1,0 +1,78 @@
+// Quickstart: answer a personalized graph-pattern query within bounded
+// resources, end to end, on a graph small enough to read.
+//
+// We model the paper's running example (Fig. 1): Michael asks for cycling
+// lovers (CL) known both to his LA cycling club (CC) friends and to his
+// hiking group (HG) friends. The resource-bounded engine answers by
+// extracting a fragment G_Q with |G_Q| ≤ α|G| instead of scanning G.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rbq"
+)
+
+func main() {
+	// 1. Build the data graph.
+	gb := rbq.NewGraphBuilder(16, 24)
+	michael := gb.AddNode("Michael")
+	var hgs, ccs, cls []rbq.NodeID
+	for i := 0; i < 4; i++ {
+		hgs = append(hgs, gb.AddNode("HG"))
+		gb.AddEdge(michael, hgs[i])
+	}
+	for i := 0; i < 3; i++ {
+		ccs = append(ccs, gb.AddNode("CC"))
+		gb.AddEdge(michael, ccs[i])
+	}
+	for i := 0; i < 6; i++ {
+		cls = append(cls, gb.AddNode("CL"))
+	}
+	// cc0 recommends three cycling lovers nobody in the hiking group knows.
+	gb.AddEdge(ccs[0], cls[0])
+	gb.AddEdge(ccs[0], cls[1])
+	gb.AddEdge(ccs[0], cls[2])
+	// cc2 and the hiker hgs[3] both know the two answers.
+	gb.AddEdge(ccs[2], cls[4])
+	gb.AddEdge(ccs[2], cls[5])
+	gb.AddEdge(hgs[3], cls[4])
+	gb.AddEdge(hgs[3], cls[5])
+	g := gb.Build()
+
+	// 2. Build the pattern: Michael* -> CC -> CL!, Michael -> HG -> CL.
+	q, err := rbq.ParsePattern(`
+		node 0 Michael*
+		node 1 CC
+		node 2 HG
+		node 3 CL!
+		edge 0 1
+		edge 0 2
+		edge 1 3
+		edge 2 3
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Query with a resource budget: α = 60% of this tiny graph.
+	db := rbq.NewDB(g)
+	res, err := db.Simulation(q, 0.6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph |G| = %d items; budget = %d; fragment |G_Q| = %d; visited %d\n",
+		g.Size(), res.Budget, res.FragmentSize, res.Visited)
+	fmt.Printf("cycling lovers matching the pattern: %v\n", res.Matches)
+
+	// 4. Compare against the exact answer.
+	exact, err := db.SimulationExact(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	acc := rbq.MatchAccuracy(exact, res.Matches)
+	fmt.Printf("exact answer: %v — accuracy F = %.2f\n", exact, acc.F)
+}

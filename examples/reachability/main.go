@@ -1,0 +1,68 @@
+// Reachability: non-localized queries within bounded resources.
+//
+// Michael wants to know whether he can reach the sports star Eric through
+// social links (Example 1 of the paper). Reachability has no data
+// locality — BFS may touch the whole graph — so the engine builds a
+// hierarchical landmark index of size α|G| once, then answers every query
+// by visiting at most α|G| index items, with a hard guarantee of zero
+// false positives (Theorem 4(c)).
+//
+// Run with: go run ./examples/reachability
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"rbq"
+)
+
+func main() {
+	const n = 80_000
+	fmt.Printf("generating a %d-node web-like graph...\n", n)
+	g := rbq.YahooLike(n, 9)
+	db := rbq.NewDB(g)
+	fmt.Printf("|G| = %d items\n\n", g.Size())
+
+	const alpha = 0.002
+	start := time.Now()
+	oracle := db.BuildReachOracle(alpha)
+	fmt.Printf("landmark index: α = %.3f, size %d (≤ α|G| = %d), built in %v\n\n",
+		alpha, oracle.IndexSize(), int(alpha*float64(g.Size())),
+		time.Since(start).Round(time.Millisecond))
+
+	rng := rand.New(rand.NewSource(3))
+	const queries = 500
+	var (
+		agree, falseNeg, falsePos int
+		rbTime, bfsTime           time.Duration
+	)
+	for i := 0; i < queries; i++ {
+		u := rbq.NodeID(rng.Intn(n))
+		v := rbq.NodeID(rng.Intn(n))
+		start = time.Now()
+		got := oracle.Reach(u, v)
+		rbTime += time.Since(start)
+		start = time.Now()
+		truth := db.ReachExact(u, v)
+		bfsTime += time.Since(start)
+		switch {
+		case got.Answer == truth:
+			agree++
+		case got.Answer && !truth:
+			falsePos++
+		default:
+			falseNeg++
+		}
+	}
+	fmt.Printf("%d random queries:\n", queries)
+	fmt.Printf("  agreement with BFS ground truth: %d (%.1f%%)\n", agree, 100*float64(agree)/queries)
+	fmt.Printf("  false positives: %d (guaranteed 0)\n", falsePos)
+	fmt.Printf("  false negatives: %d (the price of the resource bound)\n", falseNeg)
+	fmt.Printf("  avg time: RBReach %v vs BFS %v\n",
+		(rbTime / queries).Round(time.Microsecond), (bfsTime / queries).Round(time.Microsecond))
+	if falsePos > 0 {
+		panic("false positive: violates Theorem 4(c)")
+	}
+}

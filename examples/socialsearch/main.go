@@ -1,0 +1,60 @@
+// Socialsearch: personalized social search on a 100k-node social network,
+// the workload class motivating the paper (Facebook Graph Search style).
+//
+// A pattern query of shape (4, 8) is extracted around a random member, so
+// it is guaranteed to have answers. We then sweep the resource ratio α and
+// watch the resource-bounded engine (RBSim) converge to the exact answer
+// while touching a tiny, bounded part of the graph — the paper's headline
+// result (Fig. 8(c): 100% accuracy at α = 0.0015%).
+//
+// Run with: go run ./examples/socialsearch
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rbq"
+)
+
+func main() {
+	const members = 100_000
+	fmt.Printf("generating a %d-member social network...\n", members)
+	g := rbq.YoutubeLike(members, 42)
+	fmt.Printf("|V| = %d, |E| = %d, |G| = %d items\n", g.NumNodes(), g.NumEdges(), g.Size())
+
+	// Extract a (4,8) pattern that is guaranteed to match; the seed member
+	// gets a unique label, mirroring the paper's personalized setting.
+	q, g2, vp, err := rbq.ExtractPattern(g, 4, 8, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := rbq.NewDB(g2)
+	fmt.Printf("pattern anchored at member %d; |Q| = (%d, %d), diameter %d\n\n",
+		vp, q.NumNodes(), q.NumEdges(), q.Diameter())
+
+	start := time.Now()
+	exact, err := db.SimulationExact(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exactTime := time.Since(start)
+	fmt.Printf("exact baseline (MatchOpt): %d matches in %v\n\n", len(exact), exactTime.Round(time.Microsecond))
+
+	fmt.Println("alpha      budget   |G_Q|   visited   time       accuracy")
+	for _, alpha := range []float64{0.0001, 0.0005, 0.002, 0.01} {
+		start = time.Now()
+		res, err := db.Simulation(q, alpha)
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		acc := rbq.MatchAccuracy(exact, res.Matches)
+		fmt.Printf("%-10.4f %-8d %-7d %-9d %-10v %.2f\n",
+			alpha, res.Budget, res.FragmentSize, res.Visited,
+			elapsed.Round(time.Microsecond), acc.F)
+	}
+	fmt.Println("\nNote how accuracy reaches 1.00 while |G_Q| stays a vanishing")
+	fmt.Println("fraction of |G| — the resource-bounded querying thesis.")
+}

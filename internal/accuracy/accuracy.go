@@ -1,0 +1,118 @@
+// Package accuracy implements the query-answer quality measures of
+// Section 3 of Fan, Wang & Wu (SIGMOD 2014): precision, recall and the
+// F-measure ("accuracy") of an approximate answer set Y against the exact
+// answer Q(G), including the paper's conventions for empty sets; and the
+// batch variant for sets of boolean reachability answers.
+package accuracy
+
+import "rbq/internal/graph"
+
+// Result bundles the three measures for one evaluation.
+type Result struct {
+	Precision float64
+	Recall    float64
+	F         float64 // the paper's accuracy(Q,G,Y): harmonic mean of P and R
+}
+
+// nodeSet builds a set from a slice of node ids.
+func nodeSet(nodes []graph.NodeID) map[graph.NodeID]struct{} {
+	s := make(map[graph.NodeID]struct{}, len(nodes))
+	for _, v := range nodes {
+		s[v] = struct{}{}
+	}
+	return s
+}
+
+// Matches evaluates an approximate match set approx against the exact set
+// exact, following Section 3 exactly:
+//
+//   - both empty: accuracy is 1 (no match exists and none was claimed);
+//   - exact empty, approx not: precision 0 governs (accuracy 0);
+//   - approx empty, exact not: recall 0 governs (accuracy 0);
+//   - otherwise the standard F-measure.
+//
+// Duplicate ids in either slice are collapsed.
+func Matches(exact, approx []graph.NodeID) Result {
+	e, a := nodeSet(exact), nodeSet(approx)
+	if len(e) == 0 && len(a) == 0 {
+		return Result{Precision: 1, Recall: 1, F: 1}
+	}
+	inter := 0
+	for v := range a {
+		if _, ok := e[v]; ok {
+			inter++
+		}
+	}
+	var r Result
+	if len(a) > 0 {
+		r.Precision = float64(inter) / float64(len(a))
+	} else {
+		r.Precision = 1 // vacuously precise; recall governs per the paper
+	}
+	if len(e) > 0 {
+		r.Recall = float64(inter) / float64(len(e))
+	} else {
+		r.Recall = 1 // vacuously complete; precision governs per the paper
+	}
+	if r.Precision+r.Recall > 0 {
+		r.F = 2 * r.Precision * r.Recall / (r.Precision + r.Recall)
+	}
+	return r
+}
+
+// Booleans evaluates a batch of boolean answers (reachability queries)
+// following Section 3: precision is the ratio of answers that agree with
+// the ground truth to the total number of answers returned. For total
+// boolean answers — every query gets an answer — precision, recall and F
+// coincide with simple agreement; the three are reported separately so
+// harnesses can also evaluate algorithms that abstain (answered[i]=false).
+//
+// truth[i] is the exact answer of query i, got[i] the algorithm's answer,
+// and answered[i] whether the algorithm produced an answer at all (pass nil
+// to mean "answered everything").
+func Booleans(truth, got []bool, answered []bool) Result {
+	if len(truth) != len(got) {
+		panic("accuracy: mismatched slice lengths")
+	}
+	total := len(truth)
+	if total == 0 {
+		return Result{Precision: 1, Recall: 1, F: 1}
+	}
+	returned, correct := 0, 0
+	for i := range truth {
+		if answered != nil && !answered[i] {
+			continue
+		}
+		returned++
+		if truth[i] == got[i] {
+			correct++
+		}
+	}
+	var r Result
+	if returned > 0 {
+		r.Precision = float64(correct) / float64(returned)
+	} else {
+		r.Precision = 1
+	}
+	r.Recall = float64(correct) / float64(total)
+	if r.Precision+r.Recall > 0 {
+		r.F = 2 * r.Precision * r.Recall / (r.Precision + r.Recall)
+	}
+	return r
+}
+
+// FalsePositives counts queries where the algorithm answered true but the
+// truth is false — the quantity Theorem 4(c) guarantees to be zero for
+// RBReach.
+func FalsePositives(truth, got []bool) int {
+	if len(truth) != len(got) {
+		panic("accuracy: mismatched slice lengths")
+	}
+	n := 0
+	for i := range truth {
+		if got[i] && !truth[i] {
+			n++
+		}
+	}
+	return n
+}

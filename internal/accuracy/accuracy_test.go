@@ -1,0 +1,165 @@
+package accuracy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rbq/internal/graph"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func ids(xs ...int) []graph.NodeID {
+	out := make([]graph.NodeID, len(xs))
+	for i, x := range xs {
+		out[i] = graph.NodeID(x)
+	}
+	return out
+}
+
+func TestMatchesExact(t *testing.T) {
+	r := Matches(ids(1, 2, 3), ids(3, 1, 2))
+	if !almost(r.F, 1) || !almost(r.Precision, 1) || !almost(r.Recall, 1) {
+		t.Fatalf("exact answer scored %+v", r)
+	}
+}
+
+func TestMatchesBothEmpty(t *testing.T) {
+	r := Matches(nil, nil)
+	if !almost(r.F, 1) {
+		t.Fatalf("both-empty convention violated: %+v", r)
+	}
+}
+
+func TestMatchesExactEmptyApproxNot(t *testing.T) {
+	r := Matches(nil, ids(1))
+	if !almost(r.Precision, 0) || !almost(r.F, 0) {
+		t.Fatalf("spurious answers scored %+v", r)
+	}
+}
+
+func TestMatchesApproxEmptyExactNot(t *testing.T) {
+	r := Matches(ids(1), nil)
+	if !almost(r.Recall, 0) || !almost(r.F, 0) {
+		t.Fatalf("missing answers scored %+v", r)
+	}
+}
+
+func TestMatchesPartial(t *testing.T) {
+	// Y = {1,2}, Q(G) = {2,3,4}: P = 1/2, R = 1/3, F = 2*(1/2)(1/3)/(5/6) = 0.4.
+	r := Matches(ids(2, 3, 4), ids(1, 2))
+	if !almost(r.Precision, 0.5) || !almost(r.Recall, 1.0/3) || !almost(r.F, 0.4) {
+		t.Fatalf("partial answer scored %+v", r)
+	}
+}
+
+func TestMatchesCollapsesDuplicates(t *testing.T) {
+	r := Matches(ids(1, 1, 1), ids(1, 1))
+	if !almost(r.F, 1) {
+		t.Fatalf("duplicates mis-scored: %+v", r)
+	}
+}
+
+func TestBooleansAllCorrect(t *testing.T) {
+	r := Booleans([]bool{true, false, true}, []bool{true, false, true}, nil)
+	if !almost(r.F, 1) {
+		t.Fatalf("%+v", r)
+	}
+}
+
+func TestBooleansEmpty(t *testing.T) {
+	r := Booleans(nil, nil, nil)
+	if !almost(r.F, 1) {
+		t.Fatalf("%+v", r)
+	}
+}
+
+func TestBooleansPartial(t *testing.T) {
+	// 3 of 4 agree.
+	r := Booleans([]bool{true, true, false, false}, []bool{true, false, false, false}, nil)
+	if !almost(r.Precision, 0.75) || !almost(r.Recall, 0.75) {
+		t.Fatalf("%+v", r)
+	}
+}
+
+func TestBooleansWithAbstention(t *testing.T) {
+	truth := []bool{true, true, false}
+	got := []bool{true, false, false}
+	answered := []bool{true, false, true}
+	r := Booleans(truth, got, answered)
+	// Answered 2, both correct -> precision 1; recall 2/3.
+	if !almost(r.Precision, 1) || !almost(r.Recall, 2.0/3) {
+		t.Fatalf("%+v", r)
+	}
+}
+
+func TestBooleansMismatchedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Booleans([]bool{true}, nil, nil)
+}
+
+func TestFalsePositives(t *testing.T) {
+	truth := []bool{true, false, false, true}
+	got := []bool{true, true, false, false}
+	if n := FalsePositives(truth, got); n != 1 {
+		t.Fatalf("false positives = %d, want 1", n)
+	}
+}
+
+// Property: F is always within [0,1] and F=1 iff the sets are equal.
+func TestMatchesBoundsQuick(t *testing.T) {
+	f := func(exactRaw, approxRaw []uint8) bool {
+		var exact, approx []graph.NodeID
+		for _, x := range exactRaw {
+			exact = append(exact, graph.NodeID(x%16))
+		}
+		for _, x := range approxRaw {
+			approx = append(approx, graph.NodeID(x%16))
+		}
+		r := Matches(exact, approx)
+		if r.F < -1e-12 || r.F > 1+1e-12 || r.Precision > 1+1e-12 || r.Recall > 1+1e-12 {
+			return false
+		}
+		e, a := nodeSet(exact), nodeSet(approx)
+		equal := len(e) == len(a)
+		if equal {
+			for v := range e {
+				if _, ok := a[v]; !ok {
+					equal = false
+					break
+				}
+			}
+		}
+		return equal == almost(r.F, 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: F is symmetric under swapping exact and approx (the F-measure of
+// a set pair does not depend on which side is "truth" when both are
+// non-empty).
+func TestMatchesSymmetricF(t *testing.T) {
+	f := func(aRaw, bRaw []uint8) bool {
+		if len(aRaw) == 0 || len(bRaw) == 0 {
+			return true
+		}
+		var a, b []graph.NodeID
+		for _, x := range aRaw {
+			a = append(a, graph.NodeID(x%8))
+		}
+		for _, x := range bRaw {
+			b = append(b, graph.NodeID(x%8))
+		}
+		return almost(Matches(a, b).F, Matches(b, a).F)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,305 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"rbq/internal/accuracy"
+	"rbq/internal/graph"
+	"rbq/internal/rbsim"
+	"rbq/internal/rbsub"
+	"rbq/internal/reduce"
+	"rbq/internal/simulation"
+	"rbq/internal/subiso"
+)
+
+// Paper sweeps (Section 6, Exp-1).
+var (
+	patternAlphas = []float64{1.1e-5, 1.2e-5, 1.3e-5, 1.4e-5, 1.5e-5,
+		1.6e-5, 1.7e-5, 1.8e-5, 1.9e-5, 2.0e-5}
+	table2Alphas  = []float64{1.1e-5, 1.6e-5, 2.0e-5}
+	querySizes    = [][2]int{{4, 8}, {5, 10}, {6, 12}, {7, 14}, {8, 16}}
+	defaultQSize  = [2]int{4, 8}
+	fixedQAlpha   = 1e-4 // the paper's "fixing α as 0.01%" for the |Q| sweep
+	syntheticQAlp = 3e-5 // the paper's α for the synthetic |V| sweep
+)
+
+// vf2Budget caps the exact VF2 baseline so a pathological pattern cannot
+// stall a whole experiment; the paper's baseline has no such need because
+// its queries are hand-tuned to terminate.
+const vf2Budget = 20_000_000
+
+func init() {
+	register(Experiment{"table2", "Table 2: ratio of |G_Q| to |G_dQ(vp)| (RBSim/RBSub, both datasets)", runTable2})
+	register(Experiment{"fig8a", "Fig 8(a): pattern query time vs alpha (Youtube-like)", figTimeVsAlpha(0)})
+	register(Experiment{"fig8b", "Fig 8(b): pattern query time vs alpha (Yahoo-like)", figTimeVsAlpha(1)})
+	register(Experiment{"fig8c", "Fig 8(c): pattern accuracy vs alpha (Youtube-like)", figAccVsAlpha(0)})
+	register(Experiment{"fig8d", "Fig 8(d): pattern accuracy vs alpha (Yahoo-like)", figAccVsAlpha(1)})
+	register(Experiment{"fig8e", "Fig 8(e): pattern query time vs |Q| (Youtube-like)", figTimeVsQ(0)})
+	register(Experiment{"fig8f", "Fig 8(f): pattern query time vs |Q| (Yahoo-like)", figTimeVsQ(1)})
+	register(Experiment{"fig8g", "Fig 8(g): pattern accuracy vs |Q| (Youtube-like)", figAccVsQ(0)})
+	register(Experiment{"fig8h", "Fig 8(h): pattern accuracy vs |Q| (Yahoo-like)", figAccVsQ(1)})
+	register(Experiment{"fig8i", "Fig 8(i): pattern query time vs |V| (synthetic)", runFig8i})
+	register(Experiment{"fig8j", "Fig 8(j): pattern accuracy vs |V| (synthetic)", runFig8j})
+}
+
+// patternEval holds per-query baseline results shared across the α sweep.
+type patternEval struct {
+	q        patternQuery
+	ballSize int
+	exactSim []graph.NodeID
+	simTime  time.Duration
+	exactIso []graph.NodeID
+	isoOK    bool
+	isoTime  time.Duration
+}
+
+// evalBaselines runs MatchOpt and VF2Opt once per query.
+func evalBaselines(d *ds, queries []patternQuery, withBall bool) []patternEval {
+	out := make([]patternEval, 0, len(queries))
+	for _, q := range queries {
+		e := patternEval{q: q}
+		if withBall {
+			e.ballSize = d.g.Ball(q.vp, q.p.Diameter()).G.Size()
+		}
+		e.simTime = timeIt(func() { e.exactSim = simulation.MatchOpt(d.g, q.p, q.vp) })
+		e.isoTime = timeIt(func() {
+			e.exactIso, e.isoOK = subiso.MatchOpt(d.g, q.p, q.vp, &subiso.Options{MaxSteps: vf2Budget})
+		})
+		out = append(out, e)
+	}
+	return out
+}
+
+func runTable2(w io.Writer, s Scale) error {
+	tw := newTable(w)
+	fmt.Fprintf(tw, "dataset\talgorithm\t")
+	for _, a := range table2Alphas {
+		fmt.Fprintf(tw, "α=%.1fe-5\t", a*1e5)
+	}
+	fmt.Fprintln(tw)
+	for _, d := range realDatasets(s) {
+		queries := patternWorkload(d.g, s.Patterns, defaultQSize[0], defaultQSize[1], s.Seed)
+		evals := evalBaselines(d, queries, true)
+		for _, algo := range []string{"RBSim", "RBSub"} {
+			fmt.Fprintf(tw, "%s\t%s\t", d.name, algo)
+			for _, a := range table2Alphas {
+				opts := reduce.Options{Alpha: effAlpha(a, d.paperSize, d.g)}
+				sum, n := 0.0, 0
+				for _, e := range evals {
+					if e.ballSize == 0 {
+						continue
+					}
+					var frag int
+					if algo == "RBSim" {
+						frag = rbsim.Run(d.aux, e.q.p, e.q.vp, opts).Stats.FragmentSize
+					} else {
+						frag = rbsub.Run(d.aux, e.q.p, e.q.vp, opts, &subiso.Options{MaxSteps: vf2Budget}).Stats.FragmentSize
+					}
+					sum += float64(frag) / float64(e.ballSize)
+					n++
+				}
+				if n == 0 {
+					fmt.Fprintf(tw, "-\t")
+				} else {
+					fmt.Fprintf(tw, "%s\t", pct(sum/float64(n)))
+				}
+			}
+			fmt.Fprintln(tw)
+		}
+	}
+	return tw.Flush()
+}
+
+func figTimeVsAlpha(idx int) func(io.Writer, Scale) error {
+	return func(w io.Writer, s Scale) error {
+		d := realDatasets(s)[idx]
+		queries := patternWorkload(d.g, s.Patterns, defaultQSize[0], defaultQSize[1], s.Seed)
+		evals := evalBaselines(d, queries, false)
+		var baseSim, baseIso time.Duration
+		for _, e := range evals {
+			baseSim += e.simTime
+			baseIso += e.isoTime
+		}
+		n := time.Duration(maxInt(len(evals), 1))
+		tw := newTable(w)
+		fmt.Fprintln(tw, "α(paper)\tα(effective)\tRBSim\tMatchOpt\tRBSub\tVF2Opt")
+		for _, a := range patternAlphas {
+			eff := effAlpha(a, d.paperSize, d.g)
+			opts := reduce.Options{Alpha: eff}
+			var tSim, tSub time.Duration
+			for _, e := range evals {
+				tSim += timeIt(func() { rbsim.Run(d.aux, e.q.p, e.q.vp, opts) })
+				tSub += timeIt(func() {
+					rbsub.Run(d.aux, e.q.p, e.q.vp, opts, &subiso.Options{MaxSteps: vf2Budget})
+				})
+			}
+			fmt.Fprintf(tw, "%.1fe-5\t%s\t%s\t%s\t%s\t%s\n",
+				a*1e5, pct(eff), ms(tSim/n), ms(baseSim/n), ms(tSub/n), ms(baseIso/n))
+		}
+		return tw.Flush()
+	}
+}
+
+func figAccVsAlpha(idx int) func(io.Writer, Scale) error {
+	return func(w io.Writer, s Scale) error {
+		d := realDatasets(s)[idx]
+		queries := patternWorkload(d.g, s.Patterns, defaultQSize[0], defaultQSize[1], s.Seed)
+		evals := evalBaselines(d, queries, false)
+		tw := newTable(w)
+		fmt.Fprintln(tw, "α(paper)\tα(effective)\tRBSim acc\tRBSub acc")
+		for _, a := range patternAlphas {
+			eff := effAlpha(a, d.paperSize, d.g)
+			opts := reduce.Options{Alpha: eff}
+			accSim, accSub := patternAccuracy(d, evals, opts)
+			fmt.Fprintf(tw, "%.1fe-5\t%s\t%s\t%s\n", a*1e5, pct(eff), pct(accSim), pct(accSub))
+		}
+		return tw.Flush()
+	}
+}
+
+// patternAccuracy averages the F-measure of RBSim and RBSub against their
+// exact baselines over the workload.
+func patternAccuracy(d *ds, evals []patternEval, opts reduce.Options) (accSim, accSub float64) {
+	nSim, nSub := 0, 0
+	for _, e := range evals {
+		r := rbsim.Run(d.aux, e.q.p, e.q.vp, opts)
+		accSim += accuracy.Matches(e.exactSim, r.Matches).F
+		nSim++
+		if e.isoOK {
+			r2 := rbsub.Run(d.aux, e.q.p, e.q.vp, opts, &subiso.Options{MaxSteps: vf2Budget})
+			accSub += accuracy.Matches(e.exactIso, r2.Matches).F
+			nSub++
+		}
+	}
+	if nSim > 0 {
+		accSim /= float64(nSim)
+	}
+	if nSub > 0 {
+		accSub /= float64(nSub)
+	}
+	return accSim, accSub
+}
+
+func figTimeVsQ(idx int) func(io.Writer, Scale) error {
+	return func(w io.Writer, s Scale) error {
+		d := realDatasets(s)[idx]
+		tw := newTable(w)
+		fmt.Fprintln(tw, "|Q|\tRBSim\tMatchOpt\tRBSub\tVF2Opt")
+		for _, shape := range querySizes {
+			queries := patternWorkload(d.g, s.Patterns, shape[0], shape[1], s.Seed+int64(shape[0]))
+			if len(queries) == 0 {
+				fmt.Fprintf(tw, "(%d,%d)\t(no queries extracted)\n", shape[0], shape[1])
+				continue
+			}
+			evals := evalBaselines(d, queries, false)
+			opts := reduce.Options{Alpha: effAlpha(fixedQAlpha, d.paperSize, d.g)}
+			var tSim, tSub, bSim, bIso time.Duration
+			for _, e := range evals {
+				tSim += timeIt(func() { rbsim.Run(d.aux, e.q.p, e.q.vp, opts) })
+				tSub += timeIt(func() {
+					rbsub.Run(d.aux, e.q.p, e.q.vp, opts, &subiso.Options{MaxSteps: vf2Budget})
+				})
+				bSim += e.simTime
+				bIso += e.isoTime
+			}
+			n := time.Duration(len(evals))
+			fmt.Fprintf(tw, "(%d,%d)\t%s\t%s\t%s\t%s\n",
+				shape[0], shape[1], ms(tSim/n), ms(bSim/n), ms(tSub/n), ms(bIso/n))
+		}
+		return tw.Flush()
+	}
+}
+
+func figAccVsQ(idx int) func(io.Writer, Scale) error {
+	return func(w io.Writer, s Scale) error {
+		d := realDatasets(s)[idx]
+		tw := newTable(w)
+		fmt.Fprintln(tw, "|Q|\tRBSim acc\tRBSub acc")
+		for _, shape := range querySizes {
+			queries := patternWorkload(d.g, s.Patterns, shape[0], shape[1], s.Seed+int64(shape[0]))
+			if len(queries) == 0 {
+				fmt.Fprintf(tw, "(%d,%d)\t(no queries extracted)\n", shape[0], shape[1])
+				continue
+			}
+			evals := evalBaselines(d, queries, false)
+			opts := reduce.Options{Alpha: effAlpha(fixedQAlpha, d.paperSize, d.g)}
+			accSim, accSub := patternAccuracy(d, evals, opts)
+			fmt.Fprintf(tw, "(%d,%d)\t%s\t%s\n", shape[0], shape[1], pct(accSim), pct(accSub))
+		}
+		return tw.Flush()
+	}
+}
+
+// syntheticSizes returns the paper's 2M–10M node counts divided by the
+// scale divisor.
+func syntheticSizes(s Scale) []int {
+	var out []int
+	for _, mill := range []int{2, 4, 6, 8, 10} {
+		out = append(out, mill*1_000_000/s.SyntheticDivisor)
+	}
+	return out
+}
+
+func syntheticDS(nodes int, seed int64) *ds {
+	g := syntheticGraph(nodes, seed)
+	// Paper-equivalent size: |V| + 2|V| at full scale.
+	return newDS(fmt.Sprintf("synthetic-%dk", nodes/1000), g, 0)
+}
+
+func runFig8i(w io.Writer, s Scale) error {
+	tw := newTable(w)
+	fmt.Fprintln(tw, "|V|(paper)\t|V|(run)\tRBSim\tMatchOpt\tRBSub\tVF2Opt")
+	for i, nodes := range syntheticSizes(s) {
+		d := syntheticDS(nodes, s.Seed+int64(i))
+		paperNodes := nodes * s.SyntheticDivisor
+		eff := effAlpha(syntheticQAlp, 3*paperNodes, d.g)
+		queries := patternWorkload(d.g, s.Patterns, defaultQSize[0], defaultQSize[1], s.Seed)
+		if len(queries) == 0 {
+			fmt.Fprintf(tw, "%dM\t%d\t(no queries extracted)\n", paperNodes/1_000_000, nodes)
+			continue
+		}
+		evals := evalBaselines(d, queries, false)
+		opts := reduce.Options{Alpha: eff}
+		var tSim, tSub, bSim, bIso time.Duration
+		for _, e := range evals {
+			tSim += timeIt(func() { rbsim.Run(d.aux, e.q.p, e.q.vp, opts) })
+			tSub += timeIt(func() {
+				rbsub.Run(d.aux, e.q.p, e.q.vp, opts, &subiso.Options{MaxSteps: vf2Budget})
+			})
+			bSim += e.simTime
+			bIso += e.isoTime
+		}
+		n := time.Duration(len(evals))
+		fmt.Fprintf(tw, "%dM\t%d\t%s\t%s\t%s\t%s\n",
+			paperNodes/1_000_000, nodes, ms(tSim/n), ms(bSim/n), ms(tSub/n), ms(bIso/n))
+	}
+	return tw.Flush()
+}
+
+func runFig8j(w io.Writer, s Scale) error {
+	tw := newTable(w)
+	fmt.Fprintln(tw, "|V|(paper)\t|V|(run)\tRBSim acc\tRBSub acc")
+	for i, nodes := range syntheticSizes(s) {
+		d := syntheticDS(nodes, s.Seed+int64(i))
+		paperNodes := nodes * s.SyntheticDivisor
+		eff := effAlpha(syntheticQAlp, 3*paperNodes, d.g)
+		queries := patternWorkload(d.g, s.Patterns, defaultQSize[0], defaultQSize[1], s.Seed)
+		if len(queries) == 0 {
+			fmt.Fprintf(tw, "%dM\t%d\t(no queries extracted)\n", paperNodes/1_000_000, nodes)
+			continue
+		}
+		evals := evalBaselines(d, queries, false)
+		accSim, accSub := patternAccuracy(d, evals, reduce.Options{Alpha: eff})
+		fmt.Fprintf(tw, "%dM\t%d\t%s\t%s\n", paperNodes/1_000_000, nodes, pct(accSim), pct(accSub))
+	}
+	return tw.Flush()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

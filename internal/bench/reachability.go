@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"rbq/internal/accuracy"
+	"rbq/internal/compress"
+	"rbq/internal/gen"
+	"rbq/internal/landmark"
+	"rbq/internal/rbreach"
+	"rbq/internal/reach"
+)
+
+// Paper sweep (Section 6, Exp-2): α from 0.01% to 0.1%.
+var reachAlphas = []float64{1e-4, 2e-4, 3e-4, 4e-4, 5e-4, 6e-4, 7e-4, 8e-4, 9e-4, 1e-3}
+
+func init() {
+	register(Experiment{"fig8k", "Fig 8(k): reachability time vs alpha (Youtube-like)", figReachTimeVsAlpha(0)})
+	register(Experiment{"fig8l", "Fig 8(l): reachability time vs alpha (Yahoo-like)", figReachTimeVsAlpha(1)})
+	register(Experiment{"fig8m", "Fig 8(m): reachability accuracy vs alpha (Youtube-like)", figReachAccVsAlpha(0)})
+	register(Experiment{"fig8n", "Fig 8(n): reachability accuracy vs alpha (Yahoo-like)", figReachAccVsAlpha(1)})
+	register(Experiment{"fig8o", "Fig 8(o): reachability time vs |V| (synthetic)", runFig8o})
+	register(Experiment{"fig8p", "Fig 8(p): reachability accuracy vs |V| (synthetic)", runFig8p})
+}
+
+// reachEnv bundles a data graph with the shared offline artifacts of the
+// reachability experiments: the condensation (shared across all α), the
+// query workload with ground truth, and the LM baseline sized 4·log|V| per
+// the paper.
+type reachEnv struct {
+	d       *ds
+	cond    *compress.Condensation
+	queries []gen.ReachQuery
+	lm      *landmark.LM
+}
+
+func newReachEnv(d *ds, s Scale) *reachEnv {
+	cond := compress.Condense(d.g)
+	k := int(4 * math.Log(float64(d.g.NumNodes())))
+	lm := landmark.BuildLM(cond.DAG, k, s.Seed)
+	return &reachEnv{
+		d:       d,
+		cond:    cond,
+		queries: gen.ReachQueries(d.g, s.ReachQueries, s.Seed+7),
+		lm:      lm,
+	}
+}
+
+// evalBaselines times the three baselines once and returns per-algorithm
+// average query times and answer vectors.
+func (e *reachEnv) evalBaselines() (bfsT, bfsOptT, lmT time.Duration, lmAns []bool) {
+	opt := reach.FromCondensation(e.cond)
+	lmAns = make([]bool, len(e.queries))
+	for i, q := range e.queries {
+		bfsT += timeIt(func() { reach.BFS(e.d.g, q.From, q.To) })
+		bfsOptT += timeIt(func() { opt.Query(q.From, q.To) })
+		cu, cv := e.cond.ComponentOf[q.From], e.cond.ComponentOf[q.To]
+		lmT += timeIt(func() { lmAns[i] = e.lm.Query(cu, cv) })
+	}
+	n := time.Duration(maxInt(len(e.queries), 1))
+	return bfsT / n, bfsOptT / n, lmT / n, lmAns
+}
+
+func (e *reachEnv) truths() []bool {
+	out := make([]bool, len(e.queries))
+	for i, q := range e.queries {
+		out[i] = q.Truth
+	}
+	return out
+}
+
+// runRBReach evaluates RBReach at one α, returning the average query time
+// and the answers.
+func (e *reachEnv) runRBReach(paperAlpha float64) (time.Duration, []bool) {
+	eff := effAlpha(paperAlpha, e.d.paperSize, e.d.g)
+	oracle := rbreach.FromCondensation(e.cond, landmark.BuildOptions{Alpha: eff}, e.d.g.Size())
+	ans := make([]bool, len(e.queries))
+	var total time.Duration
+	for i, q := range e.queries {
+		total += timeIt(func() { ans[i] = oracle.Query(q.From, q.To).Answer })
+	}
+	return total / time.Duration(maxInt(len(e.queries), 1)), ans
+}
+
+func figReachTimeVsAlpha(idx int) func(io.Writer, Scale) error {
+	return func(w io.Writer, s Scale) error {
+		env := newReachEnv(realDatasets(s)[idx], s)
+		bfsT, bfsOptT, lmT, _ := env.evalBaselines()
+		tw := newTable(w)
+		fmt.Fprintln(tw, "α(paper)\tα(effective)\tRBReach\tBFSOpt\tBFS\tLM")
+		for _, a := range reachAlphas {
+			t, _ := env.runRBReach(a)
+			fmt.Fprintf(tw, "%.2fe-4\t%s\t%s\t%s\t%s\t%s\n",
+				a*1e4, pct(effAlpha(a, env.d.paperSize, env.d.g)),
+				ms(t), ms(bfsOptT), ms(bfsT), ms(lmT))
+		}
+		return tw.Flush()
+	}
+}
+
+func figReachAccVsAlpha(idx int) func(io.Writer, Scale) error {
+	return func(w io.Writer, s Scale) error {
+		env := newReachEnv(realDatasets(s)[idx], s)
+		_, _, _, lmAns := env.evalBaselines()
+		truth := env.truths()
+		lmAcc := accuracy.Booleans(truth, lmAns, nil).F
+		tw := newTable(w)
+		fmt.Fprintln(tw, "α(paper)\tα(effective)\tRBReach acc\tfalse pos\tBFS acc\tLM acc")
+		for _, a := range reachAlphas {
+			_, ans := env.runRBReach(a)
+			acc := accuracy.Booleans(truth, ans, nil).F
+			fp := accuracy.FalsePositives(truth, ans)
+			fmt.Fprintf(tw, "%.2fe-4\t%s\t%s\t%d\t100.0%%\t%s\n",
+				a*1e4, pct(effAlpha(a, env.d.paperSize, env.d.g)), pct(acc), fp, pct(lmAcc))
+		}
+		return tw.Flush()
+	}
+}
+
+// Synthetic reachability sweep: the paper fixes α at 0.02% and 0.01%.
+var reachSyntheticAlphas = []float64{2e-4, 1e-4}
+
+func runFig8o(w io.Writer, s Scale) error {
+	tw := newTable(w)
+	fmt.Fprintln(tw, "|V|(paper)\t|V|(run)\tRBReach[0.02%]\tRBReach[0.01%]\tBFSOpt\tBFS\tLM")
+	for i, nodes := range syntheticSizes(s) {
+		d := newDS(fmt.Sprintf("syn-%d", nodes), syntheticGraph(nodes, s.Seed+int64(i)), 3*nodes*s.SyntheticDivisor)
+		env := newReachEnv(d, s)
+		bfsT, bfsOptT, lmT, _ := env.evalBaselines()
+		var rb [2]time.Duration
+		for j, a := range reachSyntheticAlphas {
+			rb[j], _ = env.runRBReach(a)
+		}
+		fmt.Fprintf(tw, "%dM\t%d\t%s\t%s\t%s\t%s\t%s\n",
+			nodes*s.SyntheticDivisor/1_000_000, nodes,
+			ms(rb[0]), ms(rb[1]), ms(bfsOptT), ms(bfsT), ms(lmT))
+	}
+	return tw.Flush()
+}
+
+func runFig8p(w io.Writer, s Scale) error {
+	tw := newTable(w)
+	fmt.Fprintln(tw, "|V|(paper)\t|V|(run)\tRBReach[0.02%]\tRBReach[0.01%]\tBFS\tLM")
+	for i, nodes := range syntheticSizes(s) {
+		d := newDS(fmt.Sprintf("syn-%d", nodes), syntheticGraph(nodes, s.Seed+int64(i)), 3*nodes*s.SyntheticDivisor)
+		env := newReachEnv(d, s)
+		_, _, _, lmAns := env.evalBaselines()
+		truth := env.truths()
+		var accs [2]float64
+		for j, a := range reachSyntheticAlphas {
+			_, ans := env.runRBReach(a)
+			accs[j] = accuracy.Booleans(truth, ans, nil).F
+		}
+		lmAcc := accuracy.Booleans(truth, lmAns, nil).F
+		fmt.Fprintf(tw, "%dM\t%d\t%s\t%s\t100.0%%\t%s\n",
+			nodes*s.SyntheticDivisor/1_000_000, nodes,
+			pct(accs[0]), pct(accs[1]), pct(lmAcc))
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,137 @@
+// Package calibrate addresses the second open problem of Section 7 of
+// Fan, Wang & Wu (SIGMOD 2014): given a resource ratio α, what accuracy
+// ratio η can resource-bounded algorithms achieve — and, dually, what is
+// the smallest α that achieves a target η?
+//
+// Theorem 3(b) gives a sufficient (but very loose) bound; the paper
+// observes that in practice 100% accuracy arrives at ~3% of that bound.
+// This package estimates the empirical curve η(α) for a query workload by
+// direct evaluation against the exact baseline, and searches it for the
+// smallest adequate α. Accuracy is not guaranteed monotone in α (the
+// greedy frontier may shift), so the search is a conservative geometric
+// sweep refined by bisection between the last failing and first
+// succeeding sample, rather than a blind bisection.
+package calibrate
+
+import (
+	"fmt"
+
+	"rbq/internal/accuracy"
+	"rbq/internal/graph"
+	"rbq/internal/pattern"
+	"rbq/internal/rbsim"
+	"rbq/internal/reduce"
+	"rbq/internal/simulation"
+)
+
+// Query is one workload item: a pattern pinned at its personalized match.
+type Query struct {
+	P  *pattern.Pattern
+	VP graph.NodeID
+}
+
+// Point is one sample of the empirical accuracy curve.
+type Point struct {
+	// Alpha is the resource ratio sampled.
+	Alpha float64
+	// Accuracy is the mean F-measure over the workload at this α.
+	Accuracy float64
+	// MeanFragment is the mean |G_Q| over the workload.
+	MeanFragment float64
+}
+
+// Curve evaluates RBSim at each α and returns the empirical accuracy
+// curve. Exact answers (MatchOpt) are computed once per query.
+func Curve(aux *graph.Aux, queries []Query, alphas []float64) []Point {
+	g := aux.Graph()
+	exact := make([][]graph.NodeID, len(queries))
+	for i, q := range queries {
+		exact[i] = simulation.MatchOpt(g, q.P, q.VP)
+	}
+	out := make([]Point, 0, len(alphas))
+	for _, a := range alphas {
+		out = append(out, sample(aux, queries, exact, a))
+	}
+	return out
+}
+
+func sample(aux *graph.Aux, queries []Query, exact [][]graph.NodeID, alpha float64) Point {
+	pt := Point{Alpha: alpha}
+	if len(queries) == 0 {
+		pt.Accuracy = 1
+		return pt
+	}
+	for i, q := range queries {
+		res := rbsim.Run(aux, q.P, q.VP, reduce.Options{Alpha: alpha})
+		pt.Accuracy += accuracy.Matches(exact[i], res.Matches).F
+		pt.MeanFragment += float64(res.Stats.FragmentSize)
+	}
+	pt.Accuracy /= float64(len(queries))
+	pt.MeanFragment /= float64(len(queries))
+	return pt
+}
+
+// MinAlpha finds the smallest α in (0, hi] whose workload accuracy is at
+// least target. It sweeps geometrically from hi downward (factor 2) to
+// bracket the transition, then bisects the bracket refine times. It
+// returns the best point found; ok is false when even α = hi misses the
+// target (the returned point is then the hi sample).
+func MinAlpha(aux *graph.Aux, queries []Query, target, hi float64, refine int) (Point, bool) {
+	if target <= 0 || target > 1 {
+		panic(fmt.Sprintf("calibrate: target %v outside (0,1]", target))
+	}
+	if hi <= 0 {
+		panic("calibrate: hi must be positive")
+	}
+	g := aux.Graph()
+	exact := make([][]graph.NodeID, len(queries))
+	for i, q := range queries {
+		exact[i] = simulation.MatchOpt(g, q.P, q.VP)
+	}
+
+	best := sample(aux, queries, exact, hi)
+	if best.Accuracy < target {
+		return best, false
+	}
+	// Geometric descent: find the largest tested α that fails.
+	lo := 0.0
+	a := hi / 2
+	minUseful := 1.0 / float64(g.Size()) // below one item the budget is empty
+	for a >= minUseful {
+		pt := sample(aux, queries, exact, a)
+		if pt.Accuracy >= target {
+			best = pt
+			a /= 2
+			continue
+		}
+		lo = a
+		break
+	}
+	// Bisect between the failing lo and the succeeding best.Alpha.
+	hiA := best.Alpha
+	for i := 0; i < refine; i++ {
+		mid := (lo + hiA) / 2
+		if mid <= minUseful {
+			break
+		}
+		pt := sample(aux, queries, exact, mid)
+		if pt.Accuracy >= target {
+			best = pt
+			hiA = mid
+		} else {
+			lo = mid
+		}
+	}
+	return best, true
+}
+
+// MaxAccuracy estimates the η of the paper's open problem directly: the
+// accuracy achievable at a given α on the workload.
+func MaxAccuracy(aux *graph.Aux, queries []Query, alpha float64) Point {
+	g := aux.Graph()
+	exact := make([][]graph.NodeID, len(queries))
+	for i, q := range queries {
+		exact[i] = simulation.MatchOpt(g, q.P, q.VP)
+	}
+	return sample(aux, queries, exact, alpha)
+}

@@ -1,0 +1,131 @@
+package calibrate
+
+import (
+	"math/rand"
+	"testing"
+
+	"rbq/internal/gen"
+	"rbq/internal/graph"
+)
+
+func workload(t *testing.T, g *graph.Graph, n int, seed int64) []Query {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var out []Query
+	for attempt := 0; len(out) < n && attempt < 60*n; attempt++ {
+		vp := graph.NodeID(rng.Intn(g.NumNodes()))
+		if g.Degree(vp) < 2 {
+			continue
+		}
+		p := gen.PatternAt(g, vp, gen.PatternConfig{Nodes: 4, Edges: 8, Seed: rng.Int63()})
+		if p == nil {
+			continue
+		}
+		out = append(out, Query{P: p, VP: vp})
+	}
+	if len(out) == 0 {
+		t.Fatal("could not build workload")
+	}
+	return out
+}
+
+func testGraph(seed int64) *graph.Graph {
+	return gen.Random(gen.GraphConfig{Nodes: 3000, Edges: 9000, Seed: seed, PowerLaw: true})
+}
+
+func TestCurveShape(t *testing.T) {
+	g := testGraph(1)
+	aux := graph.BuildAux(g)
+	qs := workload(t, g, 3, 2)
+	pts := Curve(aux, qs, []float64{0.0005, 0.01, 0.3})
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i, pt := range pts {
+		if pt.Accuracy < 0 || pt.Accuracy > 1 {
+			t.Fatalf("point %d accuracy %v outside [0,1]", i, pt.Accuracy)
+		}
+		if i > 0 && pt.MeanFragment < pts[i-1].MeanFragment-1e-9 {
+			t.Fatalf("fragment size not monotone in alpha: %v then %v",
+				pts[i-1].MeanFragment, pt.MeanFragment)
+		}
+	}
+	// The generous end of the sweep must be exact on this workload.
+	if pts[2].Accuracy != 1 {
+		t.Fatalf("accuracy at alpha=0.3 is %v, want 1", pts[2].Accuracy)
+	}
+}
+
+func TestCurveEmptyWorkload(t *testing.T) {
+	g := testGraph(1)
+	pts := Curve(graph.BuildAux(g), nil, []float64{0.1})
+	if pts[0].Accuracy != 1 {
+		t.Fatalf("empty workload accuracy = %v", pts[0].Accuracy)
+	}
+}
+
+func TestMinAlphaFindsSmallBudget(t *testing.T) {
+	g := testGraph(3)
+	aux := graph.BuildAux(g)
+	qs := workload(t, g, 3, 4)
+	pt, ok := MinAlpha(aux, qs, 1.0, 0.5, 6)
+	if !ok {
+		t.Fatal("target unreachable even at alpha=0.5")
+	}
+	if pt.Accuracy < 1 {
+		t.Fatalf("returned point accuracy %v < target", pt.Accuracy)
+	}
+	if pt.Alpha >= 0.5 {
+		t.Fatalf("search did not descend below hi: alpha=%v", pt.Alpha)
+	}
+	// Re-evaluating at the returned alpha must reproduce the accuracy.
+	check := MaxAccuracy(aux, qs, pt.Alpha)
+	if check.Accuracy != pt.Accuracy {
+		t.Fatalf("non-reproducible point: %v vs %v", check.Accuracy, pt.Accuracy)
+	}
+}
+
+func TestMinAlphaUnreachableTarget(t *testing.T) {
+	g := testGraph(5)
+	aux := graph.BuildAux(g)
+	qs := workload(t, g, 2, 6)
+	// hi so small the budget is a couple of items: target 1.0 should fail.
+	pt, ok := MinAlpha(aux, qs, 1.0, 2.5/float64(g.Size()), 4)
+	if ok && pt.Accuracy < 1 {
+		t.Fatalf("ok=true with accuracy %v", pt.Accuracy)
+	}
+	if !ok && pt.Alpha != 2.5/float64(g.Size()) {
+		t.Fatalf("failed search must report the hi sample, got alpha=%v", pt.Alpha)
+	}
+}
+
+func TestMinAlphaPanicsOnBadArgs(t *testing.T) {
+	g := testGraph(1)
+	aux := graph.BuildAux(g)
+	for _, f := range []func(){
+		func() { MinAlpha(aux, nil, 0, 0.5, 1) },
+		func() { MinAlpha(aux, nil, 1.5, 0.5, 1) },
+		func() { MinAlpha(aux, nil, 0.9, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMaxAccuracyMatchesCurve(t *testing.T) {
+	g := testGraph(7)
+	aux := graph.BuildAux(g)
+	qs := workload(t, g, 2, 8)
+	a := 0.02
+	direct := MaxAccuracy(aux, qs, a)
+	viaCurve := Curve(aux, qs, []float64{a})[0]
+	if direct.Accuracy != viaCurve.Accuracy || direct.MeanFragment != viaCurve.MeanFragment {
+		t.Fatalf("MaxAccuracy %+v != Curve %+v", direct, viaCurve)
+	}
+}

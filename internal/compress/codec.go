@@ -1,0 +1,105 @@
+package compress
+
+// Binary codec for condensations, so the offline preprocessing of
+// Section 5 can be computed once and persisted (see rbreach.SaveOracle).
+//
+// Layout (little endian): magic "RBQC", u32 numOrigNodes, numOrigNodes ×
+// u32 component ids, u32 numComponents, numComponents × u32 sizes, then
+// the component DAG in the dataset binary graph format.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"rbq/internal/dataset"
+	"rbq/internal/graph"
+)
+
+var condMagic = [4]byte{'R', 'B', 'Q', 'C'}
+
+// Marshal writes the condensation.
+func (c *Condensation) Marshal(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(condMagic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(c.ComponentOf))); err != nil {
+		return err
+	}
+	for _, comp := range c.ComponentOf {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(comp)); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(c.Size))); err != nil {
+		return err
+	}
+	for _, s := range c.Size {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(s)); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return dataset.WriteBinary(w, c.DAG)
+}
+
+// UnmarshalCondensation reads a condensation written by Marshal.
+func UnmarshalCondensation(r io.Reader) (*Condensation, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("compress: reading magic: %w", err)
+	}
+	if magic != condMagic {
+		return nil, fmt.Errorf("compress: bad magic %q", magic)
+	}
+	var n uint32
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, fmt.Errorf("compress: reading node count: %w", err)
+	}
+	if n > 1<<31 {
+		return nil, fmt.Errorf("compress: absurd node count %d", n)
+	}
+	c := &Condensation{ComponentOf: make([]graph.NodeID, n)}
+	for i := range c.ComponentOf {
+		var comp uint32
+		if err := binary.Read(br, binary.LittleEndian, &comp); err != nil {
+			return nil, fmt.Errorf("compress: reading components: %w", err)
+		}
+		c.ComponentOf[i] = graph.NodeID(comp)
+	}
+	var k uint32
+	if err := binary.Read(br, binary.LittleEndian, &k); err != nil {
+		return nil, fmt.Errorf("compress: reading component count: %w", err)
+	}
+	if k > 1<<31 {
+		return nil, fmt.Errorf("compress: absurd component count %d", k)
+	}
+	c.Size = make([]int32, k)
+	for i := range c.Size {
+		var s uint32
+		if err := binary.Read(br, binary.LittleEndian, &s); err != nil {
+			return nil, fmt.Errorf("compress: reading sizes: %w", err)
+		}
+		c.Size[i] = int32(s)
+	}
+	dag, err := dataset.ReadBinary(br)
+	if err != nil {
+		return nil, fmt.Errorf("compress: reading DAG: %w", err)
+	}
+	c.DAG = dag
+	// Consistency checks tie the three sections together.
+	if dag.NumNodes() != int(k) {
+		return nil, fmt.Errorf("compress: DAG has %d nodes, sizes list %d", dag.NumNodes(), k)
+	}
+	for i, comp := range c.ComponentOf {
+		if int(comp) >= int(k) || comp < 0 {
+			return nil, fmt.Errorf("compress: node %d maps to out-of-range component %d", i, comp)
+		}
+	}
+	return c, nil
+}

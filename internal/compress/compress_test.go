@@ -1,0 +1,186 @@
+package compress
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rbq/internal/graph"
+)
+
+func TestSingleCycle(t *testing.T) {
+	g := graph.FromEdges([]string{"a", "b", "c"}, [][2]int{{0, 1}, {1, 2}, {2, 0}})
+	c := Condense(g)
+	if c.NumComponents() != 1 {
+		t.Fatalf("components = %d, want 1", c.NumComponents())
+	}
+	if !c.SameComponent(0, 2) {
+		t.Fatal("cycle members must share a component")
+	}
+	if c.Size[0] != 3 {
+		t.Fatalf("component size = %d", c.Size[0])
+	}
+	if c.DAG.NumEdges() != 0 {
+		t.Fatalf("DAG of a single cycle has %d edges", c.DAG.NumEdges())
+	}
+}
+
+func TestDAGUnchanged(t *testing.T) {
+	g := graph.FromEdges([]string{"a", "b", "c", "d"}, [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	c := Condense(g)
+	if c.NumComponents() != 4 {
+		t.Fatalf("components = %d, want 4", c.NumComponents())
+	}
+	if c.DAG.NumEdges() != 4 {
+		t.Fatalf("DAG edges = %d, want 4", c.DAG.NumEdges())
+	}
+}
+
+func TestTwoCyclesBridge(t *testing.T) {
+	// cycle {0,1} -> bridge -> cycle {2,3}
+	g := graph.FromEdges([]string{"a", "a", "b", "b"},
+		[][2]int{{0, 1}, {1, 0}, {1, 2}, {2, 3}, {3, 2}})
+	c := Condense(g)
+	if c.NumComponents() != 2 {
+		t.Fatalf("components = %d, want 2", c.NumComponents())
+	}
+	if !c.SameComponent(0, 1) || !c.SameComponent(2, 3) || c.SameComponent(0, 2) {
+		t.Fatal("component assignment wrong")
+	}
+	if c.DAG.NumEdges() != 1 {
+		t.Fatalf("bridge edges = %d, want 1 (deduplicated)", c.DAG.NumEdges())
+	}
+	if !c.Reachable(0, 3) || c.Reachable(3, 0) {
+		t.Fatal("condensation broke reachability")
+	}
+}
+
+func TestSelfLoop(t *testing.T) {
+	g := graph.FromEdges([]string{"a", "b"}, [][2]int{{0, 0}, {0, 1}})
+	c := Condense(g)
+	if c.NumComponents() != 2 {
+		t.Fatalf("components = %d", c.NumComponents())
+	}
+	if c.DAG.HasEdge(c.ComponentOf[0], c.ComponentOf[0]) {
+		t.Fatal("self-loop must disappear in the DAG")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	c := Condense(graph.NewBuilder(0, 0).Build())
+	if c.NumComponents() != 0 {
+		t.Fatalf("components = %d", c.NumComponents())
+	}
+}
+
+func TestDeepChainNoStackOverflow(t *testing.T) {
+	// 200k-node chain: a recursive Tarjan would overflow the goroutine
+	// stack long before this.
+	n := 200_000
+	b := graph.NewBuilder(n, n-1)
+	for i := 0; i < n; i++ {
+		b.AddNode("x")
+	}
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID(i+1))
+	}
+	c := Condense(b.Build())
+	if c.NumComponents() != n {
+		t.Fatalf("components = %d, want %d", c.NumComponents(), n)
+	}
+}
+
+func isAcyclic(g *graph.Graph) bool {
+	n := g.NumNodes()
+	indeg := make([]int, n)
+	for v := 0; v < n; v++ {
+		indeg[v] = g.InDegree(graph.NodeID(v))
+	}
+	var queue []graph.NodeID
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, graph.NodeID(v))
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		seen++
+		for _, w := range g.Out(v) {
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	return seen == n
+}
+
+// Property: the condensation is always acyclic and preserves reachability
+// for random node pairs.
+func TestCondensationPreservesReachabilityQuick(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(nRaw)%30
+		m := int(mRaw) % 120
+		b := graph.NewBuilder(n, m)
+		for i := 0; i < n; i++ {
+			b.AddNode("x")
+		}
+		for i := 0; i < m; i++ {
+			b.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+		}
+		g := b.Build()
+		c := Condense(g)
+		if !isAcyclic(c.DAG) {
+			return false
+		}
+		for i := 0; i < 20; i++ {
+			u := graph.NodeID(rng.Intn(n))
+			v := graph.NodeID(rng.Intn(n))
+			if g.Reachable(u, v) != c.Reachable(u, v) {
+				return false
+			}
+		}
+		// Component sizes add up to n.
+		var total int32
+		for _, s := range c.Size {
+			total += s
+		}
+		return int(total) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mutual reachability if and only if same component.
+func TestSameComponentIffMutualQuick(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(nRaw)%20
+		m := int(mRaw) % 80
+		b := graph.NewBuilder(n, m)
+		for i := 0; i < n; i++ {
+			b.AddNode("x")
+		}
+		for i := 0; i < m; i++ {
+			b.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+		}
+		g := b.Build()
+		c := Condense(g)
+		for i := 0; i < 15; i++ {
+			u := graph.NodeID(rng.Intn(n))
+			v := graph.NodeID(rng.Intn(n))
+			mutual := g.Reachable(u, v) && g.Reachable(v, u)
+			if mutual != c.SameComponent(u, v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

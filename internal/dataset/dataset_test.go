@@ -1,0 +1,162 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rbq/internal/graph"
+)
+
+func TestRoundTrip(t *testing.T) {
+	g := graph.FromEdges([]string{"A", "B", "C"}, [][2]int{{0, 1}, {1, 2}, {2, 0}})
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip lost structure")
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		if g.Label(graph.NodeID(v)) != g2.Label(graph.NodeID(v)) {
+			t.Fatalf("label mismatch at %d", v)
+		}
+	}
+	if !g2.HasEdge(2, 0) {
+		t.Fatal("edge lost")
+	}
+}
+
+func TestReadIgnoresComments(t *testing.T) {
+	g, err := Read(strings.NewReader("# hello\n\nnode 0 A\nnode 1 B\nedge 0 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 1 {
+		t.Fatalf("nodes=%d edges=%d", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"node 5 A",           // non-dense id
+		"node 0 A\nedge 0",   // short edge
+		"bogus",              // unknown directive
+		"node 0 A\nedge 0 7", // out of range
+		"node x A",           // bad id
+		"node 0 A\nedge a b", // bad endpoints
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("Read(%q) succeeded, want error", c)
+		}
+	}
+}
+
+func TestYoutubeLikeShape(t *testing.T) {
+	g := YoutubeLike(10_000, 1)
+	if g.NumNodes() != 10_000 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	avg := float64(g.NumEdges()) / float64(g.NumNodes())
+	if avg < 2.2 || avg > 2.9 {
+		t.Fatalf("Youtube-like average degree %.2f outside [2.2, 2.9]", avg)
+	}
+	if g.MaxDegree() < 50 {
+		t.Fatalf("Youtube-like max degree %d not heavy-tailed", g.MaxDegree())
+	}
+}
+
+func TestYahooLikeShape(t *testing.T) {
+	g := YahooLike(10_000, 1)
+	avg := float64(g.NumEdges()) / float64(g.NumNodes())
+	if avg < 4.0 || avg > 5.1 {
+		t.Fatalf("Yahoo-like average degree %.2f outside [4.0, 5.1]", avg)
+	}
+}
+
+func TestStandInsDeterministic(t *testing.T) {
+	a := YoutubeLike(2000, 7)
+	b := YoutubeLike(2000, 7)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("stand-in generation not deterministic")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := YoutubeLike(3000, 5)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("binary round trip lost structure: %d/%d vs %d/%d",
+			g2.NumNodes(), g2.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		id := graph.NodeID(v)
+		if g.Label(id) != g2.Label(id) {
+			t.Fatalf("label mismatch at %d", v)
+		}
+		out1, out2 := g.Out(id), g2.Out(id)
+		if len(out1) != len(out2) {
+			t.Fatalf("adjacency mismatch at %d", v)
+		}
+		for i := range out1 {
+			if out1[i] != out2[i] {
+				t.Fatalf("edge mismatch at %d", v)
+			}
+		}
+	}
+}
+
+func TestBinaryRejectsBadMagic(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("NOPE....")); err == nil {
+		t.Fatal("expected magic error")
+	}
+}
+
+func TestBinaryRejectsTruncation(t *testing.T) {
+	g := YoutubeLike(100, 1)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{3, 5, 20, len(full) / 2, len(full) - 1} {
+		if _, err := ReadBinary(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestBinaryRejectsCorruptCounts(t *testing.T) {
+	// Magic + absurd label count.
+	data := append([]byte("RBQ1"), 0xff, 0xff, 0xff, 0xff)
+	if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+		t.Fatal("expected count error")
+	}
+}
+
+func TestBinaryEmptyGraph(t *testing.T) {
+	g := graph.NewBuilder(0, 0).Build()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != 0 {
+		t.Fatal("empty graph round trip failed")
+	}
+}

@@ -1,0 +1,204 @@
+package gen
+
+import (
+	"sort"
+	"testing"
+
+	"rbq/internal/graph"
+	"rbq/internal/simulation"
+	"rbq/internal/subiso"
+)
+
+func TestRandomShape(t *testing.T) {
+	g := Random(GraphConfig{Nodes: 500, Edges: 1000, Seed: 1})
+	if g.NumNodes() != 500 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	if g.NumEdges() < 900 || g.NumEdges() > 1000 { // dedup can shave a little
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	if g.NumLabels() != 15 {
+		t.Fatalf("labels = %d, want |Σ| = 15", g.NumLabels())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(GraphConfig{Nodes: 100, Edges: 300, Seed: 7})
+	b := Random(GraphConfig{Nodes: 100, Edges: 300, Seed: 7})
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed produced different graphs")
+	}
+	for v := 0; v < a.NumNodes(); v++ {
+		if a.Label(graph.NodeID(v)) != b.Label(graph.NodeID(v)) {
+			t.Fatal("labels differ across runs")
+		}
+	}
+	c := Random(GraphConfig{Nodes: 100, Edges: 300, Seed: 8})
+	if c.NumEdges() == a.NumEdges() {
+		same := true
+		for v := 0; v < a.NumNodes() && same; v++ {
+			if a.Label(graph.NodeID(v)) != c.Label(graph.NodeID(v)) {
+				same = false
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestPowerLawIsHeavyTailed(t *testing.T) {
+	uni := Random(GraphConfig{Nodes: 3000, Edges: 9000, Seed: 3})
+	pl := Random(GraphConfig{Nodes: 3000, Edges: 9000, Seed: 3, PowerLaw: true})
+	if pl.MaxDegree() < 3*uni.MaxDegree() {
+		t.Fatalf("power-law max degree %d not much larger than uniform %d",
+			pl.MaxDegree(), uni.MaxDegree())
+	}
+}
+
+func TestPatternFromGraphMatches(t *testing.T) {
+	g := Random(GraphConfig{Nodes: 800, Edges: 2400, Seed: 5})
+	for _, shape := range [][2]int{{4, 8}, {5, 10}, {3, 4}} {
+		p, g2, vp, err := PatternFromGraph(g, PatternConfig{Nodes: shape[0], Edges: shape[1], Seed: 11})
+		if err != nil {
+			t.Fatalf("shape %v: %v", shape, err)
+		}
+		if p.NumNodes() != shape[0] {
+			t.Fatalf("shape %v: |V_p| = %d", shape, p.NumNodes())
+		}
+		if p.NumEdges() > shape[1] {
+			t.Fatalf("shape %v: |E_p| = %d", shape, p.NumEdges())
+		}
+		// The personalized node must be the unique match of u_p.
+		got, ok := simulation.PersonalizedMatch(g2, p)
+		if !ok || got != vp {
+			t.Fatalf("shape %v: personalized match = %d/%v, want %d", shape, got, ok, vp)
+		}
+		// The extracted pattern must match at vp under both semantics:
+		// the pattern is a copy of real structure around vp.
+		if sim := simulation.MatchInGraph(g2, p, vp); len(sim) == 0 {
+			t.Fatalf("shape %v: simulation found no match for an extracted pattern", shape)
+		}
+		iso, complete := subiso.Match(g2, p, vp, &subiso.Options{MaxSteps: 5_000_000})
+		if complete && len(iso) == 0 {
+			t.Fatalf("shape %v: isomorphism found no match for an extracted pattern", shape)
+		}
+	}
+}
+
+func TestPatternUniquePersonalizedLabel(t *testing.T) {
+	g := Random(GraphConfig{Nodes: 300, Edges: 900, Seed: 9})
+	p, g2, _, err := PatternFromGraph(g, PatternConfig{Nodes: 4, Edges: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := g2.LabelIDOf(p.Label(p.Personalized()))
+	if n := len(g2.NodesWithLabel(l)); n != 1 {
+		t.Fatalf("personalized label occurs %d times", n)
+	}
+}
+
+func TestReachQueriesGroundTruth(t *testing.T) {
+	g := Random(GraphConfig{Nodes: 200, Edges: 500, Seed: 4})
+	qs := ReachQueries(g, 60, 13)
+	if len(qs) != 60 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	pos := 0
+	for _, q := range qs {
+		if q.Truth != g.Reachable(q.From, q.To) {
+			t.Fatalf("ground truth wrong for (%d,%d)", q.From, q.To)
+		}
+		if q.Truth {
+			pos++
+		}
+	}
+	// The walk-based half should give a healthy positive rate.
+	if pos < 15 {
+		t.Fatalf("only %d/60 positive queries", pos)
+	}
+}
+
+func TestReachQueriesDeterministic(t *testing.T) {
+	g := Random(GraphConfig{Nodes: 100, Edges: 250, Seed: 4})
+	a := ReachQueries(g, 20, 99)
+	b := ReachQueries(g, 20, 99)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("queries differ across runs with the same seed")
+		}
+	}
+}
+
+func TestDefaultAlphabetSize(t *testing.T) {
+	if len(DefaultAlphabet) != 15 {
+		t.Fatalf("|Σ| = %d", len(DefaultAlphabet))
+	}
+	sorted := append([]string(nil), DefaultAlphabet...)
+	sort.Strings(sorted)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			t.Fatal("duplicate labels in alphabet")
+		}
+	}
+}
+
+func TestPatternAtPinned(t *testing.T) {
+	g := Random(GraphConfig{Nodes: 400, Edges: 1200, Seed: 6})
+	found := 0
+	for seed := int64(0); seed < 40 && found < 5; seed++ {
+		vp := graph.NodeID(int(seed*37) % g.NumNodes())
+		if g.Degree(vp) < 2 {
+			continue
+		}
+		p := PatternAt(g, vp, PatternConfig{Nodes: 4, Edges: 8, Seed: seed})
+		if p == nil {
+			continue
+		}
+		found++
+		if p.Label(p.Personalized()) != g.Label(vp) {
+			t.Fatalf("anchor label mismatch: %q vs %q", p.Label(p.Personalized()), g.Label(vp))
+		}
+		// Pinned extraction must match at its own anchor.
+		if got := simulation.MatchInGraph(g, p, vp); len(got) == 0 {
+			t.Fatalf("seed %d: extracted pinned pattern has no match", seed)
+		}
+	}
+	if found == 0 {
+		t.Fatal("no pinned patterns extracted")
+	}
+}
+
+func TestPatternAtIsolatedNodeFails(t *testing.T) {
+	// A node with no neighbors cannot host a 4-node pattern.
+	b := graph.NewBuilder(3, 1)
+	iso := b.AddNode("L00")
+	x := b.AddNode("L01")
+	y := b.AddNode("L02")
+	b.AddEdge(x, y)
+	g := b.Build()
+	if p := PatternAt(g, iso, PatternConfig{Nodes: 4, Edges: 8, Seed: 1}); p != nil {
+		t.Fatalf("expected nil pattern, got %v", p)
+	}
+}
+
+func TestPatternFromGraphRejectsZeroNodes(t *testing.T) {
+	g := Random(GraphConfig{Nodes: 10, Edges: 20, Seed: 1})
+	if _, _, _, err := PatternFromGraph(g, PatternConfig{Nodes: 0, Edges: 0, Seed: 1}); err == nil {
+		t.Fatal("expected error for empty pattern request")
+	}
+}
+
+func TestPatternFromGraphImpossibleShape(t *testing.T) {
+	// 2 isolated nodes: a 5-node connected pattern cannot exist.
+	b := graph.NewBuilder(2, 0)
+	b.AddNode("L00")
+	b.AddNode("L01")
+	g := b.Build()
+	if _, _, _, err := PatternFromGraph(g, PatternConfig{Nodes: 5, Edges: 8, Seed: 1}); err == nil {
+		t.Fatal("expected extraction failure")
+	}
+}

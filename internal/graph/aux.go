@@ -1,0 +1,103 @@
+package graph
+
+import "sort"
+
+// This file implements the once-for-all offline preprocessing of Section 4.1:
+// for each node v, its degree d(v) and the set Sl of (label, count) pairs
+// summarizing the labels occurring in its 1-neighborhood N(v). RBSim's
+// guarded condition C(v,u) is evaluated against this structure without
+// touching the graph again, which is what keeps the number of visited data
+// items within the paper's d_G·α|G| bound.
+
+// LabelCount is one entry of a node's neighborhood label summary Sl: label
+// occurs Count times among the node's parents and children (with
+// multiplicity, for the combined view).
+type LabelCount struct {
+	Label LabelID
+	Count int32
+}
+
+// Aux is the offline auxiliary structure. It stores, for every node, the
+// (label, count) histogram of its out-neighbors and of its in-neighbors,
+// each sorted by label for binary search. Build time and space are O(|G|).
+type Aux struct {
+	g        *Graph
+	outStart []int32
+	outHist  []LabelCount
+	inStart  []int32
+	inHist   []LabelCount
+}
+
+// BuildAux computes the auxiliary structure for g by a single linear
+// traversal, mirroring the paper's once-for-all preprocessing step.
+func BuildAux(g *Graph) *Aux {
+	n := g.NumNodes()
+	a := &Aux{
+		g:        g,
+		outStart: make([]int32, n+1),
+		inStart:  make([]int32, n+1),
+	}
+	scratch := make(map[LabelID]int32)
+	histFor := func(neigh []NodeID) []LabelCount {
+		for k := range scratch {
+			delete(scratch, k)
+		}
+		for _, w := range neigh {
+			scratch[g.LabelOf(w)]++
+		}
+		hist := make([]LabelCount, 0, len(scratch))
+		for l, c := range scratch {
+			hist = append(hist, LabelCount{l, c})
+		}
+		sort.Slice(hist, func(i, j int) bool { return hist[i].Label < hist[j].Label })
+		return hist
+	}
+	for v := 0; v < n; v++ {
+		oh := histFor(g.Out(NodeID(v)))
+		a.outHist = append(a.outHist, oh...)
+		a.outStart[v+1] = a.outStart[v] + int32(len(oh))
+		ih := histFor(g.In(NodeID(v)))
+		a.inHist = append(a.inHist, ih...)
+		a.inStart[v+1] = a.inStart[v] + int32(len(ih))
+	}
+	return a
+}
+
+// Graph returns the graph this structure was built for.
+func (a *Aux) Graph() *Graph { return a.g }
+
+// OutLabelHist returns the (label,count) histogram of v's children, sorted
+// by label. The slice is shared and must not be modified.
+func (a *Aux) OutLabelHist(v NodeID) []LabelCount {
+	return a.outHist[a.outStart[v]:a.outStart[v+1]]
+}
+
+// InLabelHist returns the (label,count) histogram of v's parents, sorted by
+// label. The slice is shared and must not be modified.
+func (a *Aux) InLabelHist(v NodeID) []LabelCount {
+	return a.inHist[a.inStart[v]:a.inStart[v+1]]
+}
+
+func lookup(hist []LabelCount, l LabelID) int32 {
+	i := sort.Search(len(hist), func(i int) bool { return hist[i].Label >= l })
+	if i < len(hist) && hist[i].Label == l {
+		return hist[i].Count
+	}
+	return 0
+}
+
+// OutLabelCount returns how many children of v carry label l.
+func (a *Aux) OutLabelCount(v NodeID, l LabelID) int32 { return lookup(a.OutLabelHist(v), l) }
+
+// InLabelCount returns how many parents of v carry label l.
+func (a *Aux) InLabelCount(v NodeID, l LabelID) int32 { return lookup(a.InLabelHist(v), l) }
+
+// LabelCountBoth returns how many neighbors of v (parents plus children,
+// with multiplicity) carry label l — the paper's Sl lookup.
+func (a *Aux) LabelCountBoth(v NodeID, l LabelID) int32 {
+	return a.OutLabelCount(v, l) + a.InLabelCount(v, l)
+}
+
+// Degree returns d(v) = |N(v)| with multiplicity (the paper stores it next
+// to Sl; here it is delegated to the graph, which already has it in O(1)).
+func (a *Aux) Degree(v NodeID) int { return a.g.Degree(v) }

@@ -1,0 +1,85 @@
+package graph
+
+// Fragment is a mutable subgraph G_Q of a parent graph, grown one node at a
+// time by the dynamic reduction of Section 4. It tracks its size
+// |G_Q| = nodes + edges so callers can enforce the resource bound α|G|
+// before every insertion, and it can materialize itself as an immutable
+// Graph for the downstream exact matcher (strong simulation or VF2).
+//
+// Fragments hold *induced* subgraphs: adding a node also adds every edge of
+// the parent between the new node and nodes already present, matching the
+// paper's "subgraph induced by the nodes" (Example 2). InducedEdgeCost lets
+// the caller price an insertion before committing to it.
+type Fragment struct {
+	parent *Graph
+	nodes  map[NodeID]struct{}
+	order  []NodeID // insertion order, for deterministic materialization
+	edges  int
+}
+
+// NewFragment returns an empty fragment over parent.
+func NewFragment(parent *Graph) *Fragment {
+	return &Fragment{parent: parent, nodes: make(map[NodeID]struct{}, 64)}
+}
+
+// Parent returns the graph this fragment is a subgraph of.
+func (f *Fragment) Parent() *Graph { return f.parent }
+
+// Contains reports whether parent node v is in the fragment.
+func (f *Fragment) Contains(v NodeID) bool {
+	_, ok := f.nodes[v]
+	return ok
+}
+
+// NumNodes returns the number of nodes currently in the fragment.
+func (f *Fragment) NumNodes() int { return len(f.nodes) }
+
+// NumEdges returns the number of induced edges currently in the fragment.
+func (f *Fragment) NumEdges() int { return f.edges }
+
+// Size returns |G_Q| = nodes + edges.
+func (f *Fragment) Size() int { return len(f.nodes) + f.edges }
+
+// InducedEdgeCost returns the number of parent edges between v and the
+// fragment's current nodes, i.e. how many edges adding v would contribute.
+// Self-loops on v count once. Returns 0 if v is already present.
+func (f *Fragment) InducedEdgeCost(v NodeID) int {
+	if f.Contains(v) {
+		return 0
+	}
+	cost := 0
+	for _, w := range f.parent.Out(v) {
+		if w == v || f.Contains(w) {
+			cost++
+		}
+	}
+	for _, w := range f.parent.In(v) {
+		if w != v && f.Contains(w) {
+			cost++
+		}
+	}
+	return cost
+}
+
+// Add inserts v and its induced edges, returning the size increase
+// (1 + InducedEdgeCost). Adding a present node is a no-op returning 0.
+func (f *Fragment) Add(v NodeID) int {
+	if f.Contains(v) {
+		return 0
+	}
+	cost := f.InducedEdgeCost(v)
+	f.nodes[v] = struct{}{}
+	f.order = append(f.order, v)
+	f.edges += cost
+	return 1 + cost
+}
+
+// Nodes returns the fragment's nodes in insertion order. The slice is
+// shared and must not be modified.
+func (f *Fragment) Nodes() []NodeID { return f.order }
+
+// Build materializes the fragment as an immutable Graph plus the id
+// correspondence to the parent.
+func (f *Fragment) Build() *Sub {
+	return f.parent.InducedSubgraph(f.order)
+}

@@ -1,0 +1,316 @@
+// Package graph provides the node-labeled directed graph substrate used by
+// every component of the resource-bounded query answering system of
+// Fan, Wang and Wu, "Querying Big Graphs within Bounded Resources"
+// (SIGMOD 2014).
+//
+// A data graph G = (V, E, L) has a finite node set V, directed edges
+// E ⊆ V×V and a label L(v) for every node. Graphs are immutable once built
+// (see Builder); adjacency is stored in CSR form with both out- and
+// in-neighbor lists so that the r-hop neighborhoods N_r(v) of the paper —
+// which follow edges in either direction — can be enumerated cheaply.
+//
+// The paper measures |G| as the total number of nodes plus edges; Size
+// implements exactly that convention, and every resource budget α|G| in the
+// sibling packages is expressed in those units.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node of a Graph. IDs are dense: a graph with n nodes
+// uses IDs 0..n-1.
+type NodeID int32
+
+// LabelID is an interned node label. Labels are interned per graph; use
+// Graph.Label to recover the string form.
+type LabelID int32
+
+// NoNode is returned by lookups that fail to find a node.
+const NoNode NodeID = -1
+
+// NoLabel is returned by label lookups that fail.
+const NoLabel LabelID = -1
+
+// Graph is an immutable node-labeled directed graph in CSR layout.
+//
+// The zero value is an empty graph; use a Builder to construct non-empty
+// graphs.
+type Graph struct {
+	labels []LabelID // labels[v] is the label of node v
+
+	labelNames []string
+	labelIndex map[string]LabelID
+
+	outStart []int64  // len = n+1; out-neighbors of v are outAdj[outStart[v]:outStart[v+1]]
+	outAdj   []NodeID // sorted ascending within each node's segment
+	inStart  []int64
+	inAdj    []NodeID
+
+	byLabel map[LabelID][]NodeID // nodes carrying each label, ascending
+
+	maxDegree int // cached at build time; see MaxDegree
+}
+
+// NumNodes returns |V|.
+func (g *Graph) NumNodes() int { return len(g.labels) }
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int { return len(g.outAdj) }
+
+// Size returns |G| = |V| + |E|, the unit in which the paper's resource
+// ratio α is expressed.
+func (g *Graph) Size() int { return g.NumNodes() + g.NumEdges() }
+
+// LabelOf returns the interned label of v.
+func (g *Graph) LabelOf(v NodeID) LabelID { return g.labels[v] }
+
+// Label returns the string form of v's label.
+func (g *Graph) Label(v NodeID) string { return g.labelNames[g.labels[v]] }
+
+// LabelName returns the string form of an interned label.
+func (g *Graph) LabelName(l LabelID) string { return g.labelNames[l] }
+
+// LabelIDOf returns the interned id for a label string, or NoLabel if the
+// label does not occur in the graph.
+func (g *Graph) LabelIDOf(name string) LabelID {
+	if id, ok := g.labelIndex[name]; ok {
+		return id
+	}
+	return NoLabel
+}
+
+// NumLabels returns the number of distinct labels in the graph.
+func (g *Graph) NumLabels() int { return len(g.labelNames) }
+
+// NodesWithLabel returns all nodes labeled l, in ascending order. The
+// returned slice is shared with the graph and must not be modified.
+func (g *Graph) NodesWithLabel(l LabelID) []NodeID { return g.byLabel[l] }
+
+// Out returns the out-neighbors (children) of v in ascending order. The
+// slice is shared with the graph and must not be modified.
+func (g *Graph) Out(v NodeID) []NodeID {
+	return g.outAdj[g.outStart[v]:g.outStart[v+1]]
+}
+
+// In returns the in-neighbors (parents) of v in ascending order. The slice
+// is shared with the graph and must not be modified.
+func (g *Graph) In(v NodeID) []NodeID {
+	return g.inAdj[g.inStart[v]:g.inStart[v+1]]
+}
+
+// OutDegree returns the number of children of v.
+func (g *Graph) OutDegree(v NodeID) int {
+	return int(g.outStart[v+1] - g.outStart[v])
+}
+
+// InDegree returns the number of parents of v.
+func (g *Graph) InDegree(v NodeID) int {
+	return int(g.inStart[v+1] - g.inStart[v])
+}
+
+// Degree returns d(v) = |N(v)| counted with multiplicity, i.e. the number of
+// incident edges (in plus out). A node with a reciprocal edge to the same
+// neighbor counts it twice, matching the 1-neighborhood cardinality used by
+// the paper's dynamic reduction.
+func (g *Graph) Degree(v NodeID) int { return g.OutDegree(v) + g.InDegree(v) }
+
+// HasEdge reports whether the edge (u, v) exists, by binary search over u's
+// sorted out-neighbor list.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	adj := g.Out(u)
+	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= v })
+	return i < len(adj) && adj[i] == v
+}
+
+// MaxDegree returns the maximum Degree over all nodes (the paper's d_G when
+// taken over the whole graph), or 0 for an empty graph. It is computed once
+// at build time and returned in O(1).
+func (g *Graph) MaxDegree() int { return g.maxDegree }
+
+// Validate checks internal consistency (CSR monotonicity, in/out symmetry,
+// sorted adjacency, label tables). It is O(|G|) and intended for tests and
+// data loaders.
+func (g *Graph) Validate() error {
+	n := g.NumNodes()
+	if len(g.outStart) != n+1 || len(g.inStart) != n+1 {
+		return fmt.Errorf("graph: CSR offset arrays have wrong length")
+	}
+	if len(g.outAdj) != len(g.inAdj) {
+		return fmt.Errorf("graph: out edge count %d != in edge count %d", len(g.outAdj), len(g.inAdj))
+	}
+	var inCount int64
+	for v := 0; v < n; v++ {
+		if g.outStart[v] > g.outStart[v+1] || g.inStart[v] > g.inStart[v+1] {
+			return fmt.Errorf("graph: non-monotone CSR offsets at node %d", v)
+		}
+		out := g.Out(NodeID(v))
+		for i, w := range out {
+			if w < 0 || int(w) >= n {
+				return fmt.Errorf("graph: edge (%d,%d) out of range", v, w)
+			}
+			if i > 0 && out[i-1] >= w {
+				return fmt.Errorf("graph: out-adjacency of %d not strictly sorted", v)
+			}
+		}
+		in := g.In(NodeID(v))
+		inCount += int64(len(in))
+		for i, w := range in {
+			if w < 0 || int(w) >= n {
+				return fmt.Errorf("graph: in-edge (%d,%d) out of range", w, v)
+			}
+			if i > 0 && in[i-1] >= w {
+				return fmt.Errorf("graph: in-adjacency of %d not strictly sorted", v)
+			}
+			if !g.HasEdge(w, NodeID(v)) {
+				return fmt.Errorf("graph: in-edge (%d,%d) missing from out lists", w, v)
+			}
+		}
+		if int(g.labels[v]) < 0 || int(g.labels[v]) >= len(g.labelNames) {
+			return fmt.Errorf("graph: node %d has out-of-range label %d", v, g.labels[v])
+		}
+	}
+	if inCount != int64(len(g.outAdj)) {
+		return fmt.Errorf("graph: in lists carry %d edges, out lists %d", inCount, len(g.outAdj))
+	}
+	for l, nodes := range g.byLabel {
+		for _, v := range nodes {
+			if g.labels[v] != l {
+				return fmt.Errorf("graph: label index lists node %d under %d, actual %d", v, l, g.labels[v])
+			}
+		}
+	}
+	return nil
+}
+
+// Builder accumulates nodes and edges and produces an immutable Graph.
+// Duplicate edges are coalesced; self-loops are kept (the paper's data
+// graphs permit them). Builders are not safe for concurrent use.
+type Builder struct {
+	labels     []LabelID
+	labelNames []string
+	labelIndex map[string]LabelID
+	edges      []edge
+}
+
+type edge struct{ from, to NodeID }
+
+// NewBuilder returns a Builder with capacity hints for n nodes and m edges.
+func NewBuilder(n, m int) *Builder {
+	return &Builder{
+		labels:     make([]LabelID, 0, n),
+		labelIndex: make(map[string]LabelID),
+		edges:      make([]edge, 0, m),
+	}
+}
+
+// AddNode appends a node with the given label and returns its id.
+func (b *Builder) AddNode(label string) NodeID {
+	id, ok := b.labelIndex[label]
+	if !ok {
+		id = LabelID(len(b.labelNames))
+		b.labelNames = append(b.labelNames, label)
+		b.labelIndex[label] = id
+	}
+	v := NodeID(len(b.labels))
+	b.labels = append(b.labels, id)
+	return v
+}
+
+// NumNodes returns the number of nodes added so far.
+func (b *Builder) NumNodes() int { return len(b.labels) }
+
+// AddEdge records the directed edge (from, to). Both endpoints must already
+// exist; AddEdge panics otherwise, since silent truncation would corrupt
+// experiment workloads.
+func (b *Builder) AddEdge(from, to NodeID) {
+	if int(from) >= len(b.labels) || int(to) >= len(b.labels) || from < 0 || to < 0 {
+		panic(fmt.Sprintf("graph: AddEdge(%d,%d) with %d nodes", from, to, len(b.labels)))
+	}
+	b.edges = append(b.edges, edge{from, to})
+}
+
+// Build produces the immutable Graph. The Builder may be reused afterwards,
+// but further mutation does not affect the built graph.
+func (b *Builder) Build() *Graph {
+	n := len(b.labels)
+	// Sort and deduplicate edges.
+	sort.Slice(b.edges, func(i, j int) bool {
+		if b.edges[i].from != b.edges[j].from {
+			return b.edges[i].from < b.edges[j].from
+		}
+		return b.edges[i].to < b.edges[j].to
+	})
+	dedup := b.edges[:0]
+	for i, e := range b.edges {
+		if i == 0 || e != b.edges[i-1] {
+			dedup = append(dedup, e)
+		}
+	}
+	b.edges = dedup
+	m := len(b.edges)
+
+	g := &Graph{
+		labels:     append([]LabelID(nil), b.labels...),
+		labelNames: append([]string(nil), b.labelNames...),
+		labelIndex: make(map[string]LabelID, len(b.labelIndex)),
+		outStart:   make([]int64, n+1),
+		outAdj:     make([]NodeID, m),
+		inStart:    make([]int64, n+1),
+		inAdj:      make([]NodeID, m),
+		byLabel:    make(map[LabelID][]NodeID),
+	}
+	for k, v := range b.labelIndex {
+		g.labelIndex[k] = v
+	}
+
+	// Out CSR: edges are already sorted by (from, to).
+	for _, e := range b.edges {
+		g.outStart[e.from+1]++
+	}
+	for v := 0; v < n; v++ {
+		g.outStart[v+1] += g.outStart[v]
+	}
+	for i, e := range b.edges {
+		g.outAdj[i] = e.to
+		_ = i
+	}
+	// In CSR via counting sort on 'to'.
+	for _, e := range b.edges {
+		g.inStart[e.to+1]++
+	}
+	for v := 0; v < n; v++ {
+		g.inStart[v+1] += g.inStart[v]
+	}
+	next := make([]int64, n)
+	copy(next, g.inStart[:n])
+	for _, e := range b.edges {
+		g.inAdj[next[e.to]] = e.from
+		next[e.to]++
+	}
+	// In-adjacency segments: sources arrive in ascending order because edges
+	// are sorted by (from, to), so each segment is already sorted.
+
+	for v := 0; v < n; v++ {
+		l := g.labels[v]
+		g.byLabel[l] = append(g.byLabel[l], NodeID(v))
+		if d := g.Degree(NodeID(v)); d > g.maxDegree {
+			g.maxDegree = d
+		}
+	}
+	return g
+}
+
+// FromEdges is a convenience constructor: labels[i] names node i, and each
+// pair in edges is a directed edge. It panics on out-of-range endpoints.
+func FromEdges(labels []string, edges [][2]int) *Graph {
+	b := NewBuilder(len(labels), len(edges))
+	for _, l := range labels {
+		b.AddNode(l)
+	}
+	for _, e := range edges {
+		b.AddEdge(NodeID(e[0]), NodeID(e[1]))
+	}
+	return b.Build()
+}

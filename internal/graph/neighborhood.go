@@ -1,0 +1,174 @@
+package graph
+
+// This file implements the locality machinery of Section 2 of the paper:
+// N_r(v), the set of nodes within r hops of v following edges in either
+// direction; G_r(v), the subgraph induced by N_r(v); directed BFS utilities;
+// and the graph diameter used for pattern queries.
+
+// Direction selects which edges a traversal follows.
+type Direction int
+
+const (
+	// Forward follows edges from source to target (children).
+	Forward Direction = iota
+	// Backward follows edges from target to source (parents).
+	Backward
+	// Both follows edges in either direction, as in the paper's
+	// r-hop neighborhoods.
+	Both
+)
+
+// neighbors appends v's neighbors in the given direction to buf.
+func (g *Graph) neighbors(v NodeID, dir Direction, buf []NodeID) []NodeID {
+	switch dir {
+	case Forward:
+		buf = append(buf, g.Out(v)...)
+	case Backward:
+		buf = append(buf, g.In(v)...)
+	default:
+		buf = append(buf, g.Out(v)...)
+		buf = append(buf, g.In(v)...)
+	}
+	return buf
+}
+
+// NodesWithin returns N_r(v): every node reachable from v by a path of at
+// most r edges, following edges in either direction (Section 2 of the
+// paper). The result includes v itself and is in BFS order.
+func (g *Graph) NodesWithin(v NodeID, r int) []NodeID {
+	return g.BFS(v, Both, r, nil)
+}
+
+// BFS runs a breadth-first traversal from start, following dir edges, up to
+// maxDepth hops (maxDepth < 0 means unbounded). If visit is non-nil it is
+// called as visit(node, depth) for every discovered node, and a false return
+// stops the traversal early. BFS returns the visited nodes in discovery
+// order.
+func (g *Graph) BFS(start NodeID, dir Direction, maxDepth int, visit func(v NodeID, depth int) bool) []NodeID {
+	seen := make(map[NodeID]bool, 64)
+	order := make([]NodeID, 0, 64)
+	type item struct {
+		v NodeID
+		d int
+	}
+	queue := []item{{start, 0}}
+	seen[start] = true
+	var buf []NodeID
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		order = append(order, it.v)
+		if visit != nil && !visit(it.v, it.d) {
+			return order
+		}
+		if maxDepth >= 0 && it.d == maxDepth {
+			continue
+		}
+		buf = g.neighbors(it.v, dir, buf[:0])
+		for _, w := range buf {
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, item{w, it.d + 1})
+			}
+		}
+	}
+	return order
+}
+
+// Reachable reports whether to is reachable from from by a directed path
+// (including the trivial empty path when from == to).
+func (g *Graph) Reachable(from, to NodeID) bool {
+	if from == to {
+		return true
+	}
+	found := false
+	g.BFS(from, Forward, -1, func(v NodeID, _ int) bool {
+		if v == to {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// Eccentricity returns the longest shortest-path distance from v to any
+// node reachable from it under dir, in hops.
+func (g *Graph) Eccentricity(v NodeID, dir Direction) int {
+	max := 0
+	g.BFS(v, dir, -1, func(_ NodeID, d int) bool {
+		if d > max {
+			max = d
+		}
+		return true
+	})
+	return max
+}
+
+// Diameter returns the length of the longest shortest path between any two
+// nodes, treating edges per dir and considering only connected pairs. It is
+// O(|V|·|E|) and intended for patterns and small test graphs, matching its
+// use in the paper (d_Q is always computed on a query, never on G).
+func (g *Graph) Diameter(dir Direction) int {
+	max := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		if e := g.Eccentricity(NodeID(v), dir); e > max {
+			max = e
+		}
+	}
+	return max
+}
+
+// Sub is a subgraph materialized as its own Graph together with the node-id
+// correspondence back to the parent graph.
+type Sub struct {
+	// G is the materialized subgraph with dense ids 0..n-1.
+	G *Graph
+	// ToOrig maps a subgraph NodeID to the parent graph NodeID.
+	ToOrig []NodeID
+	// FromOrig maps a parent NodeID to its subgraph NodeID.
+	FromOrig map[NodeID]NodeID
+}
+
+// OrigOf returns the parent-graph id of subgraph node v.
+func (s *Sub) OrigOf(v NodeID) NodeID { return s.ToOrig[v] }
+
+// SubOf returns the subgraph id of parent node v, or NoNode if v is not in
+// the subgraph.
+func (s *Sub) SubOf(v NodeID) NodeID {
+	if w, ok := s.FromOrig[v]; ok {
+		return w
+	}
+	return NoNode
+}
+
+// InducedSubgraph materializes the subgraph of g induced by nodes: it keeps
+// every edge of g whose endpoints are both in nodes. Duplicate entries in
+// nodes are ignored.
+func (g *Graph) InducedSubgraph(nodes []NodeID) *Sub {
+	s := &Sub{FromOrig: make(map[NodeID]NodeID, len(nodes))}
+	b := NewBuilder(len(nodes), 0)
+	for _, v := range nodes {
+		if _, dup := s.FromOrig[v]; dup {
+			continue
+		}
+		s.FromOrig[v] = b.AddNode(g.Label(v))
+		s.ToOrig = append(s.ToOrig, v)
+	}
+	for _, v := range s.ToOrig {
+		sv := s.FromOrig[v]
+		for _, w := range g.Out(v) {
+			if sw, ok := s.FromOrig[w]; ok {
+				b.AddEdge(sv, sw)
+			}
+		}
+	}
+	s.G = b.Build()
+	return s
+}
+
+// Ball returns G_r(v), the subgraph induced by N_r(v) (the paper's
+// r-neighborhood graph of v).
+func (g *Graph) Ball(v NodeID, r int) *Sub {
+	return g.InducedSubgraph(g.NodesWithin(v, r))
+}

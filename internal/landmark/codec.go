@@ -1,0 +1,261 @@
+package landmark
+
+// Binary codec for the hierarchical landmark index, so the once-for-all
+// offline preprocessing can be persisted next to its graph (see
+// rbreach.SaveOracle). The codec captures the queried state of the index
+// (ranks, landmarks, levels, edges, covers, subtree sizes, ranges,
+// frontier labels); BuildOptions are stored for provenance.
+//
+// Layout (little endian): magic "RBQL", options, ranks, landmarks with
+// per-landmark metadata and parent edges, then per-node frontier labels.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"rbq/internal/graph"
+)
+
+var indexMagic = [4]byte{'R', 'B', 'Q', 'L'}
+
+// Marshal writes the index (excluding the DAG itself, which the caller
+// persists separately — see rbreach.SaveOracle).
+func (x *Index) Marshal(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	wU32 := func(v uint32) error { return binary.Write(bw, binary.LittleEndian, v) }
+	wI64 := func(v int64) error { return binary.Write(bw, binary.LittleEndian, v) }
+	if _, err := bw.Write(indexMagic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, x.opts.Alpha); err != nil {
+		return err
+	}
+	for _, v := range []uint32{uint32(x.opts.FrontierCap), uint32(x.opts.MaxLevels), uint32(x.opts.AttachCap)} {
+		if err := wU32(v); err != nil {
+			return err
+		}
+	}
+	// Ranks for every DAG node.
+	if err := wU32(uint32(len(x.rank))); err != nil {
+		return err
+	}
+	for _, r := range x.rank {
+		if err := wU32(uint32(r)); err != nil {
+			return err
+		}
+	}
+	// Landmarks with metadata and parent links.
+	if err := wU32(uint32(len(x.landmarks))); err != nil {
+		return err
+	}
+	for _, m := range x.landmarks {
+		if err := wU32(uint32(m)); err != nil {
+			return err
+		}
+		if err := wU32(uint32(x.level[m])); err != nil {
+			return err
+		}
+		if err := wI64(x.cover[m]); err != nil {
+			return err
+		}
+		if err := wU32(uint32(x.subtreeSize[m])); err != nil {
+			return err
+		}
+		if err := wU32(uint32(x.rangeLo[m])); err != nil {
+			return err
+		}
+		if err := wU32(uint32(x.rangeHi[m])); err != nil {
+			return err
+		}
+		parents := x.parents[m]
+		if err := wU32(uint32(len(parents))); err != nil {
+			return err
+		}
+		for _, e := range parents {
+			if err := wU32(uint32(e.Other)); err != nil {
+				return err
+			}
+			down := byte(0)
+			if e.Down {
+				down = 1
+			}
+			if err := bw.WriteByte(down); err != nil {
+				return err
+			}
+		}
+	}
+	// Frontier labels.
+	writeLabels := func(labels [][]graph.NodeID) error {
+		for _, ls := range labels {
+			if err := wU32(uint32(len(ls))); err != nil {
+				return err
+			}
+			for _, m := range ls {
+				if err := wU32(uint32(m)); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := writeLabels(x.fwdE); err != nil {
+		return err
+	}
+	if err := writeLabels(x.bwdE); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// UnmarshalIndex reads an index written by Marshal and reattaches it to
+// its DAG. It rebuilds children lists from parent links and validates the
+// node counts.
+func UnmarshalIndex(r io.Reader, dag *graph.Graph) (*Index, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("landmark: reading magic: %w", err)
+	}
+	if magic != indexMagic {
+		return nil, fmt.Errorf("landmark: bad magic %q", magic)
+	}
+	rU32 := func(what string) (uint32, error) {
+		var v uint32
+		if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
+			return 0, fmt.Errorf("landmark: reading %s: %w", what, err)
+		}
+		return v, nil
+	}
+	x := &Index{
+		dag:         dag,
+		level:       make(map[graph.NodeID]int),
+		parents:     make(map[graph.NodeID][]TreeEdge),
+		children:    make(map[graph.NodeID][]TreeEdge),
+		cover:       make(map[graph.NodeID]int64),
+		subtreeSize: make(map[graph.NodeID]int),
+		rangeLo:     make(map[graph.NodeID]int32),
+		rangeHi:     make(map[graph.NodeID]int32),
+		isLandmark:  make([]bool, dag.NumNodes()),
+	}
+	if err := binary.Read(br, binary.LittleEndian, &x.opts.Alpha); err != nil {
+		return nil, fmt.Errorf("landmark: reading alpha: %w", err)
+	}
+	for _, dst := range []*int{&x.opts.FrontierCap, &x.opts.MaxLevels, &x.opts.AttachCap} {
+		v, err := rU32("options")
+		if err != nil {
+			return nil, err
+		}
+		*dst = int(v)
+	}
+	nRanks, err := rU32("rank count")
+	if err != nil {
+		return nil, err
+	}
+	if int(nRanks) != dag.NumNodes() {
+		return nil, fmt.Errorf("landmark: index has %d ranks, DAG has %d nodes", nRanks, dag.NumNodes())
+	}
+	x.rank = make([]int32, nRanks)
+	for i := range x.rank {
+		v, err := rU32("rank")
+		if err != nil {
+			return nil, err
+		}
+		x.rank[i] = int32(v)
+	}
+	nMarks, err := rU32("landmark count")
+	if err != nil {
+		return nil, err
+	}
+	if int(nMarks) > dag.NumNodes() {
+		return nil, fmt.Errorf("landmark: %d landmarks exceed %d nodes", nMarks, dag.NumNodes())
+	}
+	for i := uint32(0); i < nMarks; i++ {
+		id, err := rU32("landmark id")
+		if err != nil {
+			return nil, err
+		}
+		if int(id) >= dag.NumNodes() {
+			return nil, fmt.Errorf("landmark: id %d out of range", id)
+		}
+		m := graph.NodeID(id)
+		x.landmarks = append(x.landmarks, m)
+		x.isLandmark[m] = true
+		lvl, err := rU32("level")
+		if err != nil {
+			return nil, err
+		}
+		x.level[m] = int(lvl)
+		var cover int64
+		if err := binary.Read(br, binary.LittleEndian, &cover); err != nil {
+			return nil, fmt.Errorf("landmark: reading cover: %w", err)
+		}
+		x.cover[m] = cover
+		sub, err := rU32("subtree size")
+		if err != nil {
+			return nil, err
+		}
+		x.subtreeSize[m] = int(sub)
+		lo, err := rU32("range lo")
+		if err != nil {
+			return nil, err
+		}
+		hi, err := rU32("range hi")
+		if err != nil {
+			return nil, err
+		}
+		x.rangeLo[m], x.rangeHi[m] = int32(lo), int32(hi)
+		nPar, err := rU32("parent count")
+		if err != nil {
+			return nil, err
+		}
+		if int(nPar) > dag.NumNodes() {
+			return nil, fmt.Errorf("landmark: absurd parent count %d", nPar)
+		}
+		for j := uint32(0); j < nPar; j++ {
+			other, err := rU32("parent id")
+			if err != nil {
+				return nil, err
+			}
+			if int(other) >= dag.NumNodes() {
+				return nil, fmt.Errorf("landmark: parent %d out of range", other)
+			}
+			down, err := br.ReadByte()
+			if err != nil {
+				return nil, fmt.Errorf("landmark: reading direction: %w", err)
+			}
+			x.attach(graph.NodeID(other), m, down == 1)
+		}
+	}
+	readLabels := func() ([][]graph.NodeID, error) {
+		out := make([][]graph.NodeID, dag.NumNodes())
+		for i := range out {
+			n, err := rU32("label count")
+			if err != nil {
+				return nil, err
+			}
+			if int(n) > dag.NumNodes() {
+				return nil, fmt.Errorf("landmark: absurd label count %d", n)
+			}
+			for j := uint32(0); j < n; j++ {
+				id, err := rU32("label id")
+				if err != nil {
+					return nil, err
+				}
+				if int(id) >= dag.NumNodes() {
+					return nil, fmt.Errorf("landmark: label %d out of range", id)
+				}
+				out[i] = append(out[i], graph.NodeID(id))
+			}
+		}
+		return out, nil
+	}
+	if x.fwdE, err = readLabels(); err != nil {
+		return nil, err
+	}
+	if x.bwdE, err = readLabels(); err != nil {
+		return nil, err
+	}
+	return x, nil
+}

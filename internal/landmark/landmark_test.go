@@ -1,0 +1,271 @@
+package landmark
+
+import (
+	"math/rand"
+	"testing"
+
+	"rbq/internal/compress"
+	"rbq/internal/graph"
+)
+
+func randomDAG(rng *rand.Rand, n, m int) *graph.Graph {
+	b := graph.NewBuilder(n, m)
+	for i := 0; i < n; i++ {
+		b.AddNode("x")
+	}
+	for i := 0; i < m; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u // edges ascend: acyclic by construction
+		}
+		b.AddEdge(graph.NodeID(u), graph.NodeID(v))
+	}
+	return b.Build()
+}
+
+func TestTopoOrderOnDAG(t *testing.T) {
+	g := graph.FromEdges([]string{"a", "b", "c", "d"}, [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	order, ok := TopoOrder(g)
+	if !ok {
+		t.Fatal("DAG reported cyclic")
+	}
+	pos := make(map[graph.NodeID]int)
+	for i, v := range order {
+		pos[v] = i
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, w := range g.Out(graph.NodeID(v)) {
+			if pos[graph.NodeID(v)] >= pos[w] {
+				t.Fatalf("edge (%d,%d) violates topological order", v, w)
+			}
+		}
+	}
+}
+
+func TestTopoOrderDetectsCycle(t *testing.T) {
+	g := graph.FromEdges([]string{"a", "b"}, [][2]int{{0, 1}, {1, 0}})
+	if _, ok := TopoOrder(g); ok {
+		t.Fatal("cycle not detected")
+	}
+}
+
+func TestRanksMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20; i++ {
+		g := randomDAG(rng, 30, 70)
+		rank := Ranks(g)
+		for v := 0; v < g.NumNodes(); v++ {
+			for _, w := range g.Out(graph.NodeID(v)) {
+				if rank[v] <= rank[w] {
+					t.Fatalf("rank not strictly decreasing along edge (%d,%d): %d vs %d",
+						v, w, rank[v], rank[w])
+				}
+			}
+		}
+	}
+}
+
+func TestRanksSinksZero(t *testing.T) {
+	g := graph.FromEdges([]string{"a", "b", "c"}, [][2]int{{0, 1}, {1, 2}})
+	rank := Ranks(g)
+	if rank[2] != 0 || rank[1] != 1 || rank[0] != 2 {
+		t.Fatalf("chain ranks = %v", rank)
+	}
+}
+
+func TestRanksPanicsOnCycle(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Ranks(graph.FromEdges([]string{"a", "b"}, [][2]int{{0, 1}, {1, 0}}))
+}
+
+func TestIndexSizeBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomDAG(rng, 300, 700)
+	for _, alpha := range []float64{0.05, 0.1, 0.3} {
+		x := Build(g, BuildOptions{Alpha: alpha})
+		budget := int(alpha * float64(g.Size()))
+		if x.Size() > budget {
+			t.Fatalf("alpha=%v: index size %d exceeds α|G|=%d", alpha, x.Size(), budget)
+		}
+		if len(x.Landmarks()) > budget/2+1 {
+			t.Fatalf("alpha=%v: %d landmarks exceeds α|G|/2", alpha, len(x.Landmarks()))
+		}
+	}
+}
+
+func TestIndexValidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10; i++ {
+		g := randomDAG(rng, 80, 200)
+		x := Build(g, BuildOptions{Alpha: 0.2})
+		if err := x.Validate(); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+	}
+}
+
+func TestFrontierLabelsSound(t *testing.T) {
+	// Every landmark in fwdE[v] must actually be reachable from v; every
+	// landmark in bwdE[v] must reach v.
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 8; i++ {
+		g := randomDAG(rng, 50, 120)
+		x := Build(g, BuildOptions{Alpha: 0.3})
+		for v := 0; v < g.NumNodes(); v++ {
+			id := graph.NodeID(v)
+			for _, m := range x.FwdLabels(id) {
+				if !g.Reachable(id, m) {
+					t.Fatalf("fwd label %d not reachable from %d", m, v)
+				}
+			}
+			for _, m := range x.BwdLabels(id) {
+				if !g.Reachable(m, id) {
+					t.Fatalf("bwd label %d does not reach %d", m, v)
+				}
+			}
+		}
+	}
+}
+
+func TestFrontierLandmarkSelf(t *testing.T) {
+	g := graph.FromEdges([]string{"a", "b"}, [][2]int{{0, 1}})
+	x := Build(g, BuildOptions{Alpha: 1.0})
+	for _, m := range x.Landmarks() {
+		labels := x.FwdLabels(m)
+		if len(labels) != 1 || labels[0] != m {
+			t.Fatalf("landmark %d fwd labels = %v", m, labels)
+		}
+	}
+}
+
+func TestFrontierCapRespected(t *testing.T) {
+	// A source with many landmark children: frontier must be capped.
+	b := graph.NewBuilder(40, 39)
+	src := b.AddNode("s")
+	for i := 0; i < 39; i++ {
+		b.AddEdge(src, b.AddNode("x"))
+	}
+	g := b.Build()
+	x := Build(g, BuildOptions{Alpha: 1.0, FrontierCap: 5})
+	if len(x.FwdLabels(src)) > 5 && !x.IsLandmark(src) {
+		t.Fatalf("frontier cap ignored: %d labels", len(x.FwdLabels(src)))
+	}
+}
+
+func TestHierarchyLevels(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := randomDAG(rng, 200, 500)
+	x := Build(g, BuildOptions{Alpha: 0.5})
+	maxLevel := 0
+	for _, m := range x.Landmarks() {
+		if x.Level(m) > maxLevel {
+			maxLevel = x.Level(m)
+		}
+		// Parents must be at a strictly higher level.
+		for _, e := range x.Parents(m) {
+			if x.Level(e.Other) <= x.Level(m) {
+				t.Fatalf("parent %d level %d not above child %d level %d",
+					e.Other, x.Level(e.Other), m, x.Level(m))
+			}
+		}
+	}
+	if maxLevel < 2 {
+		t.Fatalf("expected a hierarchy with alpha=0.5, got max level %d", maxLevel)
+	}
+}
+
+func TestFlatIndexAblation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomDAG(rng, 100, 250)
+	x := Build(g, BuildOptions{Alpha: 0.5, MaxLevels: 1})
+	if x.NumTreeEdges() != 0 {
+		t.Fatalf("flat index has %d tree edges", x.NumTreeEdges())
+	}
+	for _, m := range x.Landmarks() {
+		if x.Level(m) != 1 {
+			t.Fatalf("flat index has level-%d landmark", x.Level(m))
+		}
+	}
+}
+
+func TestCoverPositive(t *testing.T) {
+	g := graph.FromEdges([]string{"a", "b", "c"}, [][2]int{{0, 1}, {1, 2}})
+	x := Build(g, BuildOptions{Alpha: 1.0})
+	for _, m := range x.Landmarks() {
+		if x.Cover(m) < 0 {
+			t.Fatalf("negative cover for %d", m)
+		}
+	}
+	// The middle node covers the pair (a, c) plus its own incidences.
+	if !x.IsLandmark(1) {
+		t.Skip("middle node not selected under this alpha")
+	}
+	if x.Cover(1) != 3 { // (1+1)*(1+1)-1
+		t.Fatalf("cover(middle) = %d, want 3", x.Cover(1))
+	}
+}
+
+func TestEmptyDAG(t *testing.T) {
+	x := Build(graph.NewBuilder(0, 0).Build(), BuildOptions{Alpha: 0.5})
+	if x.Size() != 0 {
+		t.Fatalf("empty index size = %d", x.Size())
+	}
+}
+
+func TestBuildOnCondensedCyclicGraph(t *testing.T) {
+	// End-to-end with the compress package: cyclic input works after
+	// condensation.
+	g := graph.FromEdges([]string{"a", "b", "c", "d"},
+		[][2]int{{0, 1}, {1, 0}, {1, 2}, {2, 3}, {3, 2}})
+	cond := compress.Condense(g)
+	x := Build(cond.DAG, BuildOptions{Alpha: 1.0})
+	if err := x.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLMNoFalsePositives(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 10; i++ {
+		g := randomDAG(rng, 40, 100)
+		lm := BuildLM(g, 8, 42)
+		for q := 0; q < 50; q++ {
+			u := graph.NodeID(rng.Intn(g.NumNodes()))
+			v := graph.NodeID(rng.Intn(g.NumNodes()))
+			if lm.Query(u, v) && !g.Reachable(u, v) {
+				t.Fatalf("LM false positive on (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func TestLMCompleteWhenAllLandmarks(t *testing.T) {
+	// With every node a landmark, LM is exact.
+	rng := rand.New(rand.NewSource(9))
+	g := randomDAG(rng, 25, 60)
+	lm := BuildLM(g, g.NumNodes(), 1)
+	for q := 0; q < 100; q++ {
+		u := graph.NodeID(rng.Intn(g.NumNodes()))
+		v := graph.NodeID(rng.Intn(g.NumNodes()))
+		if lm.Query(u, v) != g.Reachable(u, v) {
+			t.Fatalf("exact LM wrong on (%d,%d)", u, v)
+		}
+	}
+}
+
+func TestLMSelfQuery(t *testing.T) {
+	g := randomDAG(rand.New(rand.NewSource(10)), 10, 20)
+	lm := BuildLM(g, 2, 3)
+	for v := 0; v < g.NumNodes(); v++ {
+		if !lm.Query(graph.NodeID(v), graph.NodeID(v)) {
+			t.Fatalf("self query false for %d", v)
+		}
+	}
+}

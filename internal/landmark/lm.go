@@ -1,0 +1,103 @@
+package landmark
+
+import (
+	"math/rand"
+
+	"rbq/internal/graph"
+)
+
+// LM is the landmark-vector baseline of Gubichev et al. (CIKM 2010) as
+// used in Section 6 of the paper: sample k landmarks (the paper samples
+// 4·log|V|), give every node a bit vector of the landmarks it reaches and
+// one of the landmarks that reach it, and answer a query (u, v) true iff
+// some landmark m has u → m and m → v. Answers are one-sided
+// approximations on a DAG: a true is always correct, a false may be a
+// false negative when the only witnesses are non-landmark paths — which is
+// exactly why the paper measures LM at 69–74% accuracy.
+type LM struct {
+	dag   *graph.Graph
+	marks []graph.NodeID
+	words int
+	fwd   []uint64 // fwd[v*words : (v+1)*words]: landmarks reachable from v
+	bwd   []uint64 // landmarks reaching v
+}
+
+// BuildLM samples k landmarks uniformly (deterministically from seed) over
+// the DAG and propagates reachability bit vectors in topological order,
+// O(|G|·k/64).
+func BuildLM(dag *graph.Graph, k int, seed int64) *LM {
+	n := dag.NumNodes()
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	lm := &LM{dag: dag, words: (k + 63) / 64}
+	if n == 0 {
+		return lm
+	}
+	bitOf := make(map[graph.NodeID]int, k)
+	for i := 0; i < k; i++ {
+		v := graph.NodeID(perm[i])
+		bitOf[v] = i
+		lm.marks = append(lm.marks, v)
+	}
+	lm.fwd = make([]uint64, n*lm.words)
+	lm.bwd = make([]uint64, n*lm.words)
+	setBit := func(vec []uint64, v graph.NodeID, bit int) {
+		vec[int(v)*lm.words+bit/64] |= 1 << (bit % 64)
+	}
+	orInto := func(vec []uint64, dst, src graph.NodeID) {
+		d := vec[int(dst)*lm.words : int(dst+1)*lm.words]
+		s := vec[int(src)*lm.words : int(src+1)*lm.words]
+		for i := range d {
+			d[i] |= s[i]
+		}
+	}
+	order, ok := TopoOrder(dag)
+	if !ok {
+		panic("landmark: BuildLM requires a DAG")
+	}
+	// Landmarks reach themselves.
+	for v, bit := range bitOf {
+		setBit(lm.fwd, v, bit)
+		setBit(lm.bwd, v, bit)
+	}
+	// fwd: sinks first, pull from children.
+	for i := n - 1; i >= 0; i-- {
+		v := order[i]
+		for _, c := range dag.Out(v) {
+			orInto(lm.fwd, v, c)
+		}
+	}
+	// bwd: sources first, pull from parents.
+	for i := 0; i < n; i++ {
+		v := order[i]
+		for _, p := range dag.In(v) {
+			orInto(lm.bwd, v, p)
+		}
+	}
+	return lm
+}
+
+// Landmarks returns the sampled landmarks. Shared slice; do not modify.
+func (lm *LM) Landmarks() []graph.NodeID { return lm.marks }
+
+// Query answers whether u reaches v on the DAG: true iff u and v are the
+// same node or some landmark is reachable from u and reaches v. O(k/64).
+func (lm *LM) Query(u, v graph.NodeID) bool {
+	if u == v {
+		return true
+	}
+	fu := lm.fwd[int(u)*lm.words : int(u+1)*lm.words]
+	bv := lm.bwd[int(v)*lm.words : int(v+1)*lm.words]
+	for i := range fu {
+		if fu[i]&bv[i] != 0 {
+			return true
+		}
+	}
+	return false
+}

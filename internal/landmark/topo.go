@@ -1,0 +1,66 @@
+// Package landmark implements the hierarchical landmark index of
+// Section 5.1 of Fan, Wang & Wu (SIGMOD 2014) — the structure RBIndex
+// builds once-for-all over the condensed DAG so that RBReach can answer
+// reachability queries by visiting at most α|G| items with 100% true
+// positives — plus the LM baseline of Gubichev et al. (CIKM 2010) the
+// paper compares against.
+package landmark
+
+import "rbq/internal/graph"
+
+// TopoOrder returns a topological order of the DAG g (every edge goes from
+// an earlier to a later position) and true, or nil and false if g has a
+// cycle. Kahn's algorithm, O(|V|+|E|).
+func TopoOrder(g *graph.Graph) ([]graph.NodeID, bool) {
+	n := g.NumNodes()
+	indeg := make([]int32, n)
+	for v := 0; v < n; v++ {
+		indeg[v] = int32(g.InDegree(graph.NodeID(v)))
+	}
+	order := make([]graph.NodeID, 0, n)
+	var queue []graph.NodeID
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, graph.NodeID(v))
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		order = append(order, v)
+		for _, w := range g.Out(v) {
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, false
+	}
+	return order, true
+}
+
+// Ranks computes the topological rank v.r of Section 5.1 for every node of
+// the DAG: 0 for sinks, otherwise 1 + the largest child rank. If u reaches
+// v and u != v then Ranks[u] > Ranks[v] — the monotonicity RBReach's
+// guarded condition relies on. Panics if g is cyclic.
+func Ranks(g *graph.Graph) []int32 {
+	order, ok := TopoOrder(g)
+	if !ok {
+		panic("landmark: Ranks called on a cyclic graph")
+	}
+	rank := make([]int32, g.NumNodes())
+	// Process sinks-first: reverse topological order.
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		var r int32
+		for _, w := range g.Out(v) {
+			if rank[w]+1 > r {
+				r = rank[w] + 1
+			}
+		}
+		rank[v] = r
+	}
+	return rank
+}

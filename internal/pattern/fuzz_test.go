@@ -1,0 +1,59 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the pattern parser never panics, and that any accepted
+// pattern is valid and survives a String/Parse round trip.
+func FuzzParse(f *testing.F) {
+	f.Add("node 0 A*!\n")
+	f.Add("node 0 A*\nnode 1 B!\nedge 0 1\n")
+	f.Add("node 0 A*\nnode 1 B!\nedge 1 0\n")
+	f.Add("edge 0 1")
+	f.Add("node 0 *!")
+	f.Add("# only a comment")
+	f.Add("node 0 A*!\nedge 0 0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		p, err := Parse(input)
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("accepted pattern fails validation: %v", err)
+		}
+		q, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("re-parse of String output failed: %v\n%s", err, p.String())
+		}
+		if q.NumNodes() != p.NumNodes() || q.NumEdges() != p.NumEdges() ||
+			q.Personalized() != p.Personalized() || q.Output() != p.Output() {
+			t.Fatal("round trip changed the pattern")
+		}
+	})
+}
+
+// FuzzWithPersonalized re-roots accepted patterns at every node; the
+// result must stay valid or be rejected cleanly (never panic).
+func FuzzWithPersonalized(f *testing.F) {
+	f.Add("node 0 A*\nnode 1 B!\nedge 0 1\n", int32(1))
+	f.Add("node 0 A*!\n", int32(0))
+	f.Add("node 0 A*!\n", int32(-3))
+	f.Fuzz(func(t *testing.T, input string, root int32) {
+		p, err := Parse(input)
+		if err != nil {
+			return
+		}
+		q, err := p.WithPersonalized(NodeID(root))
+		if err != nil {
+			return
+		}
+		if q.Personalized() != NodeID(root) || q.Output() != p.Output() {
+			t.Fatal("re-rooting changed the wrong fields")
+		}
+		if !strings.Contains(q.String(), "*") {
+			t.Fatal("re-rooted pattern lost its personalized marker")
+		}
+	})
+}

@@ -1,0 +1,377 @@
+// Package pattern implements the graph pattern queries of Section 2 of
+// Fan, Wang & Wu (SIGMOD 2014): Q = (V_p, E_p, f_v, u_p, u_o), a small
+// node-labeled directed graph with a designated personalized node u_p
+// (whose match v_p in the data graph is unique and fixed) and an output
+// node u_o that carries the search intent.
+//
+// A Pattern knows the quantities the paper's complexity analysis depends
+// on: its diameter d_Q (used to scope the neighborhood G_{d_Q}(v_p)), its
+// diameter d when treated as an undirected graph, and the number l of
+// distinct labels (both appear in the 100%-accuracy bound of Theorem 3(b)).
+package pattern
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeID identifies a query node; ids are dense 0..|V_p|-1.
+type NodeID int32
+
+// Pattern is a graph pattern query. Construct with a Builder or Parse, then
+// treat as immutable.
+type Pattern struct {
+	labels       []string
+	out          [][]NodeID
+	in           [][]NodeID
+	numEdges     int
+	personalized NodeID
+	output       NodeID
+}
+
+// NumNodes returns |V_p|.
+func (p *Pattern) NumNodes() int { return len(p.labels) }
+
+// NumEdges returns |E_p|.
+func (p *Pattern) NumEdges() int { return p.numEdges }
+
+// Size returns |Q| = |V_p| + |E_p|.
+func (p *Pattern) Size() int { return p.NumNodes() + p.NumEdges() }
+
+// Label returns f_v(u), the label constraint of query node u.
+func (p *Pattern) Label(u NodeID) string { return p.labels[u] }
+
+// Out returns u's children. The slice is shared and must not be modified.
+func (p *Pattern) Out(u NodeID) []NodeID { return p.out[u] }
+
+// In returns u's parents. The slice is shared and must not be modified.
+func (p *Pattern) In(u NodeID) []NodeID { return p.in[u] }
+
+// Degree returns the number of edges incident to u (in plus out).
+func (p *Pattern) Degree(u NodeID) int { return len(p.out[u]) + len(p.in[u]) }
+
+// Personalized returns u_p.
+func (p *Pattern) Personalized() NodeID { return p.personalized }
+
+// Output returns u_o.
+func (p *Pattern) Output() NodeID { return p.output }
+
+// HasEdge reports whether (u, u') is a pattern edge.
+func (p *Pattern) HasEdge(u, w NodeID) bool {
+	for _, x := range p.out[u] {
+		if x == w {
+			return true
+		}
+	}
+	return false
+}
+
+// DistinctLabels returns l, the number of distinct labels in Q.
+func (p *Pattern) DistinctLabels() int {
+	seen := make(map[string]bool, len(p.labels))
+	for _, l := range p.labels {
+		seen[l] = true
+	}
+	return len(seen)
+}
+
+// Diameter returns d_Q: the length of the longest shortest path between any
+// connected pair of query nodes, following edges in either direction. The
+// paper uses d_Q to scope the data neighborhood G_{d_Q}(v_p); taking hops in
+// either direction matches the neighborhood definition N_r(v) of Section 2.
+func (p *Pattern) Diameter() int { return p.diameter(true) }
+
+// UndirectedDiameter returns d, the diameter of Q treated as an undirected
+// graph — the exponent in Theorem 3(b)'s accuracy bound. For patterns this
+// coincides with Diameter; it is kept as a distinct method to mirror the
+// paper's notation (Table 1 lists d_Q and d separately).
+func (p *Pattern) UndirectedDiameter() int { return p.diameter(true) }
+
+func (p *Pattern) diameter(undirected bool) int {
+	n := p.NumNodes()
+	max := 0
+	dist := make([]int, n)
+	queue := make([]NodeID, 0, n)
+	for s := 0; s < n; s++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[s] = 0
+		queue = append(queue[:0], NodeID(s))
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			step := func(w NodeID) {
+				if dist[w] < 0 {
+					dist[w] = dist[u] + 1
+					if dist[w] > max {
+						max = dist[w]
+					}
+					queue = append(queue, w)
+				}
+			}
+			for _, w := range p.out[u] {
+				step(w)
+			}
+			if undirected {
+				for _, w := range p.in[u] {
+					step(w)
+				}
+			}
+		}
+	}
+	return max
+}
+
+// Radius returns the eccentricity of the personalized node u_p under
+// undirected hops: every query node lies within Radius hops of u_p. Because
+// matches preserve pattern paths, every match of any query node lies within
+// Radius (<= d_Q) hops of v_p; algorithms may use it as a tighter traversal
+// bound than the full diameter.
+func (p *Pattern) Radius() int {
+	n := p.NumNodes()
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[p.personalized] = 0
+	queue := []NodeID{p.personalized}
+	max := 0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		step := func(w NodeID) {
+			if dist[w] < 0 {
+				dist[w] = dist[u] + 1
+				if dist[w] > max {
+					max = dist[w]
+				}
+				queue = append(queue, w)
+			}
+		}
+		for _, w := range p.out[u] {
+			step(w)
+		}
+		for _, w := range p.in[u] {
+			step(w)
+		}
+	}
+	return max
+}
+
+// Connected reports whether every query node is reachable from u_p by
+// undirected hops. Disconnected patterns cannot be answered by a
+// personalized traversal; Validate rejects them.
+func (p *Pattern) Connected() bool {
+	seen := make([]bool, p.NumNodes())
+	seen[p.personalized] = true
+	queue := []NodeID{p.personalized}
+	count := 1
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, w := range append(append([]NodeID{}, p.out[u]...), p.in[u]...) {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				queue = append(queue, w)
+			}
+		}
+	}
+	return count == p.NumNodes()
+}
+
+// Validate checks the structural requirements of Section 2: non-empty,
+// personalized and output nodes in range, and connectivity from u_p.
+func (p *Pattern) Validate() error {
+	if p.NumNodes() == 0 {
+		return fmt.Errorf("pattern: empty pattern")
+	}
+	if int(p.personalized) < 0 || int(p.personalized) >= p.NumNodes() {
+		return fmt.Errorf("pattern: personalized node %d out of range", p.personalized)
+	}
+	if int(p.output) < 0 || int(p.output) >= p.NumNodes() {
+		return fmt.Errorf("pattern: output node %d out of range", p.output)
+	}
+	if !p.Connected() {
+		return fmt.Errorf("pattern: not connected from the personalized node")
+	}
+	return nil
+}
+
+// String renders the pattern in the textual form accepted by Parse.
+func (p *Pattern) String() string {
+	var sb strings.Builder
+	for u := 0; u < p.NumNodes(); u++ {
+		marks := ""
+		if NodeID(u) == p.personalized {
+			marks += "*"
+		}
+		if NodeID(u) == p.output {
+			marks += "!"
+		}
+		fmt.Fprintf(&sb, "node %d %s%s\n", u, p.labels[u], marks)
+	}
+	for u := 0; u < p.NumNodes(); u++ {
+		for _, w := range p.out[u] {
+			fmt.Fprintf(&sb, "edge %d %d\n", u, w)
+		}
+	}
+	return sb.String()
+}
+
+// Builder assembles a Pattern.
+type Builder struct {
+	labels       []string
+	edges        [][2]NodeID
+	personalized NodeID
+	output       NodeID
+	hasP, hasO   bool
+}
+
+// NewBuilder returns an empty pattern builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// AddNode appends a query node with label constraint f_v(u) and returns its
+// id.
+func (b *Builder) AddNode(label string) NodeID {
+	b.labels = append(b.labels, label)
+	return NodeID(len(b.labels) - 1)
+}
+
+// AddEdge records the pattern edge (u, w).
+func (b *Builder) AddEdge(u, w NodeID) *Builder {
+	b.edges = append(b.edges, [2]NodeID{u, w})
+	return b
+}
+
+// SetPersonalized designates u_p.
+func (b *Builder) SetPersonalized(u NodeID) *Builder { b.personalized, b.hasP = u, true; return b }
+
+// SetOutput designates u_o.
+func (b *Builder) SetOutput(u NodeID) *Builder { b.output, b.hasO = u, true; return b }
+
+// Build validates and returns the pattern.
+func (b *Builder) Build() (*Pattern, error) {
+	p := &Pattern{
+		labels:       append([]string(nil), b.labels...),
+		out:          make([][]NodeID, len(b.labels)),
+		in:           make([][]NodeID, len(b.labels)),
+		personalized: b.personalized,
+		output:       b.output,
+	}
+	if !b.hasP || !b.hasO {
+		return nil, fmt.Errorf("pattern: personalized and output nodes are required")
+	}
+	seen := make(map[[2]NodeID]bool, len(b.edges))
+	for _, e := range b.edges {
+		if int(e[0]) >= len(b.labels) || int(e[1]) >= len(b.labels) || e[0] < 0 || e[1] < 0 {
+			return nil, fmt.Errorf("pattern: edge (%d,%d) out of range", e[0], e[1])
+		}
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		p.out[e[0]] = append(p.out[e[0]], e[1])
+		p.in[e[1]] = append(p.in[e[1]], e[0])
+		p.numEdges++
+	}
+	for u := range p.out {
+		sort.Slice(p.out[u], func(i, j int) bool { return p.out[u][i] < p.out[u][j] })
+		sort.Slice(p.in[u], func(i, j int) bool { return p.in[u][i] < p.in[u][j] })
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build that panics on error, for tests and examples.
+func (b *Builder) MustBuild() *Pattern {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Parse reads the textual pattern format produced by String:
+//
+//	node <id> <label>[*][!]
+//	edge <from> <to>
+//
+// where * marks the personalized node and ! the output node. Node ids must
+// be dense and ascending from 0. Blank lines and lines starting with # are
+// ignored.
+func Parse(text string) (*Pattern, error) {
+	b := NewBuilder()
+	for lineNo, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "node":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("pattern: line %d: want 'node <id> <label>'", lineNo+1)
+			}
+			var id int
+			if _, err := fmt.Sscanf(fields[1], "%d", &id); err != nil {
+				return nil, fmt.Errorf("pattern: line %d: bad id %q", lineNo+1, fields[1])
+			}
+			label := fields[2]
+			isP := strings.Contains(label, "*")
+			isO := strings.Contains(label, "!")
+			label = strings.TrimRight(label, "*!")
+			u := b.AddNode(label)
+			if int(u) != id {
+				return nil, fmt.Errorf("pattern: line %d: node ids must be dense and ascending (got %d, want %d)", lineNo+1, id, u)
+			}
+			if isP {
+				b.SetPersonalized(u)
+			}
+			if isO {
+				b.SetOutput(u)
+			}
+		case "edge":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("pattern: line %d: want 'edge <from> <to>'", lineNo+1)
+			}
+			var u, w int
+			if _, err := fmt.Sscanf(fields[1], "%d", &u); err != nil {
+				return nil, fmt.Errorf("pattern: line %d: bad id %q", lineNo+1, fields[1])
+			}
+			if _, err := fmt.Sscanf(fields[2], "%d", &w); err != nil {
+				return nil, fmt.Errorf("pattern: line %d: bad id %q", lineNo+1, fields[2])
+			}
+			b.AddEdge(NodeID(u), NodeID(w))
+		default:
+			return nil, fmt.Errorf("pattern: line %d: unknown directive %q", lineNo+1, fields[0])
+		}
+	}
+	return b.Build()
+}
+
+// WithPersonalized returns a copy of p whose personalized node is u (the
+// output node is unchanged). It enables evaluating a pattern "without a
+// personalized node" (the paper's Section 7 extension) by anchoring it at
+// each candidate of a chosen query node in turn.
+func (p *Pattern) WithPersonalized(u NodeID) (*Pattern, error) {
+	if int(u) < 0 || int(u) >= p.NumNodes() {
+		return nil, fmt.Errorf("pattern: node %d out of range", u)
+	}
+	q := &Pattern{
+		labels:       p.labels,
+		out:          p.out,
+		in:           p.in,
+		numEdges:     p.numEdges,
+		personalized: u,
+		output:       p.output,
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}

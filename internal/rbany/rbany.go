@@ -1,0 +1,230 @@
+// Package rbany implements resource-bounded pattern matching for patterns
+// WITHOUT a personalized node — the first open problem of Section 7 of
+// Fan, Wang & Wu (SIGMOD 2014).
+//
+// Without a designated unique match v_p, the dynamic reduction has no
+// single start node. rbany recovers one: it picks the most selective
+// query node (the one whose label has the fewest candidates in G) as the
+// anchor, re-roots the pattern there (pattern.WithPersonalized), and runs
+// the personalized reduction from each anchor candidate in turn with the
+// overall resource budget α|G| divided adaptively among candidates. The
+// answer is the union of the per-anchor answers.
+//
+// The total data accessed stays bounded: per-candidate budgets sum to
+// α|G|, and each per-candidate run obeys its own visit bound. Candidates
+// are ranked by the same guarded condition and degree heuristics as the
+// in-reduction frontier, so unpromising anchors are skipped cheaply.
+package rbany
+
+import (
+	"sort"
+
+	"rbq/internal/graph"
+	"rbq/internal/pattern"
+	"rbq/internal/rbsim"
+	"rbq/internal/rbsub"
+	"rbq/internal/reduce"
+	"rbq/internal/simulation"
+	"rbq/internal/subiso"
+)
+
+// Options configures an unanchored evaluation.
+type Options struct {
+	// Alpha is the overall resource ratio α; the per-candidate budget is
+	// α|G| divided among the anchor candidates (adaptively: unspent budget
+	// rolls over to later candidates).
+	Alpha float64
+	// MaxAnchors caps how many anchor candidates are tried; zero means
+	// all guard-passing candidates.
+	MaxAnchors int
+	// Reduce carries through engine options (weights, bounds, guard).
+	Reduce reduce.Options
+}
+
+// Result reports an unanchored evaluation.
+type Result struct {
+	// Matches is the union of the per-anchor answers, sorted.
+	Matches []graph.NodeID
+	// Anchor is the query node chosen as the traversal root.
+	Anchor pattern.NodeID
+	// Candidates is how many anchor candidates passed the guard;
+	// Evaluated how many were actually run before the budget drained.
+	Candidates, Evaluated int
+	// Visited totals data items examined across all runs.
+	Visited int
+	// FragmentSize totals |G_Q| across all runs (bounded by α|G|).
+	FragmentSize int
+}
+
+// pickAnchor returns the query node whose label is rarest in g — the most
+// selective traversal root — and its candidate list. An empty candidate
+// list means some query label is absent and the answer is empty.
+func pickAnchor(g *graph.Graph, p *pattern.Pattern) (pattern.NodeID, []graph.NodeID) {
+	best := pattern.NodeID(-1)
+	var bestCands []graph.NodeID
+	for u := 0; u < p.NumNodes(); u++ {
+		l := g.LabelIDOf(p.Label(pattern.NodeID(u)))
+		if l == graph.NoLabel {
+			return pattern.NodeID(u), nil
+		}
+		cands := g.NodesWithLabel(l)
+		if best < 0 || len(cands) < len(bestCands) {
+			best = pattern.NodeID(u)
+			bestCands = cands
+		}
+	}
+	return best, bestCands
+}
+
+// guardType selects which semantics filters and matches.
+type guardType int
+
+const (
+	simSemantics guardType = iota
+	subSemantics
+)
+
+func run(aux *graph.Aux, p *pattern.Pattern, opts Options, kind guardType, mopts *subiso.Options) Result {
+	g := aux.Graph()
+	anchor, cands := pickAnchor(g, p)
+	res := Result{Anchor: anchor}
+	if len(cands) == 0 {
+		return res
+	}
+	rooted, err := p.WithPersonalized(anchor)
+	if err != nil {
+		return res
+	}
+
+	// Guard-filter and rank candidates (higher degree first: hubs reach
+	// more of the pattern's structure per budget unit).
+	var guard func(graph.NodeID, pattern.NodeID) bool
+	switch kind {
+	case subSemantics:
+		guard = rbsub.Semantics{Aux: aux, P: rooted}.Guard
+	default:
+		guard = rbsim.Semantics{Aux: aux, P: rooted}.Guard
+	}
+	var pass []graph.NodeID
+	for _, v := range cands {
+		if guard(v, anchor) {
+			pass = append(pass, v)
+		}
+	}
+	res.Candidates = len(pass)
+	if len(pass) == 0 {
+		return res
+	}
+	sort.Slice(pass, func(i, j int) bool {
+		di, dj := g.Degree(pass[i]), g.Degree(pass[j])
+		if di != dj {
+			return di > dj
+		}
+		return pass[i] < pass[j]
+	})
+	if opts.MaxAnchors > 0 && len(pass) > opts.MaxAnchors {
+		pass = pass[:opts.MaxAnchors]
+	}
+
+	totalBudget := int(opts.Alpha * float64(g.Size()))
+	matches := make(map[graph.NodeID]bool)
+	remaining := totalBudget
+	for i, vp := range pass {
+		if remaining <= 0 {
+			break
+		}
+		// Adaptive split: unspent budget rolls over.
+		share := remaining / (len(pass) - i)
+		if share < 1 {
+			share = 1
+		}
+		ropts := opts.Reduce
+		ropts.Alpha = float64(share) / float64(g.Size())
+		var got []graph.NodeID
+		var stats reduce.Stats
+		switch kind {
+		case subSemantics:
+			r := rbsub.Run(aux, rooted, vp, ropts, mopts)
+			got, stats = r.Matches, r.Stats
+		default:
+			r := rbsim.Run(aux, rooted, vp, ropts)
+			got, stats = r.Matches, r.Stats
+		}
+		res.Evaluated++
+		res.Visited += stats.Visited
+		res.FragmentSize += stats.FragmentSize
+		remaining -= stats.FragmentSize
+		for _, m := range got {
+			matches[m] = true
+		}
+	}
+	res.Matches = sortedKeys(matches)
+	return res
+}
+
+// Simulation evaluates the pattern under strong simulation with no
+// designated personalized match.
+func Simulation(aux *graph.Aux, p *pattern.Pattern, opts Options) Result {
+	return run(aux, p, opts, simSemantics, nil)
+}
+
+// Subgraph evaluates the pattern under subgraph isomorphism with no
+// designated personalized match.
+func Subgraph(aux *graph.Aux, p *pattern.Pattern, opts Options, mopts *subiso.Options) Result {
+	return run(aux, p, opts, subSemantics, mopts)
+}
+
+// SimulationExact is the resource-unbounded reference: the union over all
+// anchor candidates v of the exact personalized answer anchored at v.
+// Intended for tests and calibration on graphs where it is affordable.
+func SimulationExact(g *graph.Graph, p *pattern.Pattern) []graph.NodeID {
+	anchor, cands := pickAnchor(g, p)
+	if len(cands) == 0 {
+		return nil
+	}
+	rooted, err := p.WithPersonalized(anchor)
+	if err != nil {
+		return nil
+	}
+	out := make(map[graph.NodeID]bool)
+	for _, vp := range cands {
+		for _, m := range simulation.MatchOpt(g, rooted, vp) {
+			out[m] = true
+		}
+	}
+	return sortedKeys(out)
+}
+
+// SubgraphExact is the isomorphism counterpart of SimulationExact.
+func SubgraphExact(g *graph.Graph, p *pattern.Pattern, mopts *subiso.Options) ([]graph.NodeID, bool) {
+	anchor, cands := pickAnchor(g, p)
+	if len(cands) == 0 {
+		return nil, true
+	}
+	rooted, err := p.WithPersonalized(anchor)
+	if err != nil {
+		return nil, true
+	}
+	out := make(map[graph.NodeID]bool)
+	complete := true
+	for _, vp := range cands {
+		m, ok := subiso.MatchOpt(g, rooted, vp, mopts)
+		complete = complete && ok
+		for _, v := range m {
+			out[v] = true
+		}
+	}
+	return sortedKeys(out), complete
+}
+
+func sortedKeys(set map[graph.NodeID]bool) []graph.NodeID {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]graph.NodeID, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

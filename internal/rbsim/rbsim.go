@@ -1,0 +1,104 @@
+// Package rbsim implements RBSim, the resource-bounded algorithm for
+// simulation queries of Section 4.1 of Fan, Wang & Wu (SIGMOD 2014).
+//
+// Given a pattern Q, a graph G (with its offline auxiliary structure) and
+// a resource ratio α, RBSim extracts a fragment G_Q of G with
+// |G_Q| ≤ α|G| by the dynamic reduction of package reduce, then computes
+// Q(G_Q) exactly with the strong-simulation matcher and returns it as the
+// approximate answer to Q(G). Theorem 3 bounds its data access by
+// d_G·α|G| and its time by O(d_G·|Q|·|G_Q|), and guarantees 100% accuracy
+// once α ≥ 2((l·f)^d − 1)/((l·f−1)|G|).
+package rbsim
+
+import (
+	"rbq/internal/graph"
+	"rbq/internal/pattern"
+	"rbq/internal/reduce"
+	"rbq/internal/simulation"
+)
+
+// Semantics is the strong-simulation instantiation of the dynamic
+// reduction: the guarded condition and potential of Section 4.1, both
+// evaluated against the offline Sl histograms only.
+type Semantics struct {
+	Aux *graph.Aux
+	P   *pattern.Pattern
+}
+
+// Guard implements C(v,u): labels agree, and every pattern parent (resp.
+// child) label of u occurs among v's parents (resp. children).
+func (s Semantics) Guard(v graph.NodeID, u pattern.NodeID) bool {
+	g := s.Aux.Graph()
+	if g.Label(v) != s.P.Label(u) {
+		return false
+	}
+	for _, uc := range s.P.Out(u) {
+		l := g.LabelIDOf(s.P.Label(uc))
+		if l == graph.NoLabel || s.Aux.OutLabelCount(v, l) == 0 {
+			return false
+		}
+	}
+	for _, ua := range s.P.In(u) {
+		l := g.LabelIDOf(s.P.Label(ua))
+		if l == graph.NoLabel || s.Aux.InLabelCount(v, l) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Potential implements p(v,u): the number of neighbors of v that are
+// label-candidates for some pattern neighbor of u, counted per direction
+// from the Sl histograms.
+func (s Semantics) Potential(v graph.NodeID, u pattern.NodeID) float64 {
+	g := s.Aux.Graph()
+	total := 0
+	for _, uc := range s.P.Out(u) {
+		if l := g.LabelIDOf(s.P.Label(uc)); l != graph.NoLabel {
+			total += int(s.Aux.OutLabelCount(v, l))
+		}
+	}
+	for _, ua := range s.P.In(u) {
+		if l := g.LabelIDOf(s.P.Label(ua)); l != graph.NoLabel {
+			total += int(s.Aux.InLabelCount(v, l))
+		}
+	}
+	return float64(total)
+}
+
+// Result carries RBSim's answer and the reduction telemetry.
+type Result struct {
+	// Matches is Q(G_Q): the approximate answer, in g's node ids, sorted.
+	Matches []graph.NodeID
+	// Fragment is the materialized G_Q.
+	Fragment *graph.Sub
+	// Stats reports the reduction run.
+	Stats reduce.Stats
+}
+
+// Run executes RBSim: dynamic reduction followed by exact strong
+// simulation on the fragment. opts.Alpha must be set; other options
+// default per the paper (b=2, visit budget d_G·α|G|).
+func Run(aux *graph.Aux, p *pattern.Pattern, vp graph.NodeID, opts reduce.Options) Result {
+	frag, stats := reduce.Search(aux, p, vp, Semantics{Aux: aux, P: p}, opts)
+	res := Result{Stats: stats}
+	res.Fragment = frag.Build()
+	svp := res.Fragment.SubOf(vp)
+	if svp == graph.NoNode {
+		return res
+	}
+	sub := simulation.MatchInGraph(res.Fragment.G, p, svp)
+	for _, m := range sub {
+		res.Matches = append(res.Matches, res.Fragment.OrigOf(m))
+	}
+	sortNodeIDs(res.Matches)
+	return res
+}
+
+func sortNodeIDs(v []graph.NodeID) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Package rbsub implements RBSub, the resource-bounded algorithm for
+// subgraph (isomorphism) queries of Section 4.2 of Fan, Wang & Wu
+// (SIGMOD 2014).
+//
+// RBSub reuses the dynamic reduction engine of RBSim with two changes
+// (Section 4.2): the guarded condition is strengthened for isomorphism —
+// for every pattern neighbor u' of u there must be enough *distinct*
+// label-compatible neighbors of v, each with sufficient degree — and the
+// candidate ranking favors higher-degree, lower-cost nodes (the engine's
+// degree tie-break). The extracted fragment is then searched exactly with
+// the VF2-style matcher.
+package rbsub
+
+import (
+	"rbq/internal/graph"
+	"rbq/internal/pattern"
+	"rbq/internal/reduce"
+	"rbq/internal/subiso"
+)
+
+// Semantics is the subgraph-isomorphism instantiation of the dynamic
+// reduction.
+type Semantics struct {
+	Aux *graph.Aux
+	P   *pattern.Pattern
+}
+
+// Guard implements the revised C(v,u) of Section 4.2. Beyond label
+// equality it requires, per direction, that for each label l carried by k
+// pattern neighbors of u there are at least k data neighbors of v with
+// label l (distinctness), and that v's own degree can accommodate u's
+// (every pattern edge needs its own data edge under isomorphism).
+func (s Semantics) Guard(v graph.NodeID, u pattern.NodeID) bool {
+	g := s.Aux.Graph()
+	if g.Label(v) != s.P.Label(u) {
+		return false
+	}
+	if g.OutDegree(v) < len(s.P.Out(u)) || g.InDegree(v) < len(s.P.In(u)) {
+		return false
+	}
+	if !s.enoughDistinct(v, s.P.Out(u), true) {
+		return false
+	}
+	return s.enoughDistinct(v, s.P.In(u), false)
+}
+
+// enoughDistinct checks the per-label multiplicity requirement in one
+// direction.
+func (s Semantics) enoughDistinct(v graph.NodeID, patNeigh []pattern.NodeID, out bool) bool {
+	if len(patNeigh) == 0 {
+		return true
+	}
+	g := s.Aux.Graph()
+	need := make(map[graph.LabelID]int32, len(patNeigh))
+	for _, u := range patNeigh {
+		l := g.LabelIDOf(s.P.Label(u))
+		if l == graph.NoLabel {
+			return false
+		}
+		need[l]++
+	}
+	for l, k := range need {
+		var have int32
+		if out {
+			have = s.Aux.OutLabelCount(v, l)
+		} else {
+			have = s.Aux.InLabelCount(v, l)
+		}
+		if have < k {
+			return false
+		}
+	}
+	return true
+}
+
+// Potential mirrors RBSim's p(v,u) under the revised guard: neighbors of v
+// that are label-candidates for u's pattern neighbors.
+func (s Semantics) Potential(v graph.NodeID, u pattern.NodeID) float64 {
+	g := s.Aux.Graph()
+	total := 0
+	for _, uc := range s.P.Out(u) {
+		if l := g.LabelIDOf(s.P.Label(uc)); l != graph.NoLabel {
+			total += int(s.Aux.OutLabelCount(v, l))
+		}
+	}
+	for _, ua := range s.P.In(u) {
+		if l := g.LabelIDOf(s.P.Label(ua)); l != graph.NoLabel {
+			total += int(s.Aux.InLabelCount(v, l))
+		}
+	}
+	return float64(total)
+}
+
+// Result carries RBSub's answer and the reduction telemetry.
+type Result struct {
+	// Matches is Q(G_Q) under subgraph isomorphism, in g's node ids.
+	Matches []graph.NodeID
+	// Fragment is the materialized G_Q.
+	Fragment *graph.Sub
+	// Stats reports the reduction run.
+	Stats reduce.Stats
+	// Complete is false if the exact matcher hit MatchOpts.MaxSteps.
+	Complete bool
+}
+
+// MatchOpts tunes the exact matching phase on the fragment.
+type MatchOpts = subiso.Options
+
+// Run executes RBSub: dynamic reduction with the isomorphism semantics,
+// then exact VF2 search on the fragment.
+func Run(aux *graph.Aux, p *pattern.Pattern, vp graph.NodeID, opts reduce.Options, mopts *MatchOpts) Result {
+	frag, stats := reduce.Search(aux, p, vp, Semantics{Aux: aux, P: p}, opts)
+	res := Result{Stats: stats, Complete: true}
+	res.Fragment = frag.Build()
+	svp := res.Fragment.SubOf(vp)
+	if svp == graph.NoNode {
+		return res
+	}
+	sub, complete := subiso.Match(res.Fragment.G, p, svp, mopts)
+	res.Complete = complete
+	for _, m := range sub {
+		res.Matches = append(res.Matches, res.Fragment.OrigOf(m))
+	}
+	sortNodeIDs(res.Matches)
+	return res
+}
+
+func sortNodeIDs(v []graph.NodeID) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// Package reach provides the plain reachability baselines of Section 6 of
+// Fan, Wang & Wu (SIGMOD 2014): BFS over the original graph, bidirectional
+// BFS, and BFSOpt — BFS over the reachability-preserving condensation of
+// the graph (the paper's "compress first, then BFS" baseline).
+package reach
+
+import (
+	"rbq/internal/compress"
+	"rbq/internal/graph"
+)
+
+// BFS answers whether from reaches to by breadth-first search over g.
+// Exact, O(|V|+|E|).
+func BFS(g *graph.Graph, from, to graph.NodeID) bool {
+	return g.Reachable(from, to)
+}
+
+// Bidirectional answers reachability by alternating forward search from
+// `from` and backward search from `to`, expanding the smaller frontier
+// first. Exact, and typically visits far fewer nodes than BFS on graphs
+// with bounded degree.
+func Bidirectional(g *graph.Graph, from, to graph.NodeID) bool {
+	if from == to {
+		return true
+	}
+	fSeen := map[graph.NodeID]bool{from: true}
+	bSeen := map[graph.NodeID]bool{to: true}
+	fFrontier := []graph.NodeID{from}
+	bFrontier := []graph.NodeID{to}
+	for len(fFrontier) > 0 && len(bFrontier) > 0 {
+		if len(fFrontier) <= len(bFrontier) {
+			var next []graph.NodeID
+			for _, v := range fFrontier {
+				for _, w := range g.Out(v) {
+					if bSeen[w] {
+						return true
+					}
+					if !fSeen[w] {
+						fSeen[w] = true
+						next = append(next, w)
+					}
+				}
+			}
+			fFrontier = next
+		} else {
+			var next []graph.NodeID
+			for _, v := range bFrontier {
+				for _, w := range g.In(v) {
+					if fSeen[w] {
+						return true
+					}
+					if !bSeen[w] {
+						bSeen[w] = true
+						next = append(next, w)
+					}
+				}
+			}
+			bFrontier = next
+		}
+	}
+	return false
+}
+
+// Opt is BFSOpt: the graph is condensed once (offline), queries then run
+// BFS on the smaller DAG. Exact for all queries.
+type Opt struct {
+	cond *compress.Condensation
+}
+
+// NewOpt condenses g (the offline step of BFSOpt).
+func NewOpt(g *graph.Graph) *Opt {
+	return &Opt{cond: compress.Condense(g)}
+}
+
+// FromCondensation wraps an existing condensation (so harnesses can share
+// one with RBReach).
+func FromCondensation(c *compress.Condensation) *Opt { return &Opt{cond: c} }
+
+// Condensation exposes the underlying condensation.
+func (o *Opt) Condensation() *compress.Condensation { return o.cond }
+
+// Query answers whether from reaches to in the original graph.
+func (o *Opt) Query(from, to graph.NodeID) bool {
+	cf, ct := o.cond.ComponentOf[from], o.cond.ComponentOf[to]
+	if cf == ct {
+		return true
+	}
+	return o.cond.DAG.Reachable(cf, ct)
+}

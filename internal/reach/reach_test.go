@@ -1,0 +1,89 @@
+package reach
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rbq/internal/graph"
+)
+
+func randomGraph(rng *rand.Rand, n, m int) *graph.Graph {
+	b := graph.NewBuilder(n, m)
+	for i := 0; i < n; i++ {
+		b.AddNode("x")
+	}
+	for i := 0; i < m; i++ {
+		b.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+	}
+	return b.Build()
+}
+
+func TestBFSBasics(t *testing.T) {
+	g := graph.FromEdges([]string{"a", "b", "c"}, [][2]int{{0, 1}, {1, 2}})
+	if !BFS(g, 0, 2) || BFS(g, 2, 0) || !BFS(g, 1, 1) {
+		t.Fatal("BFS wrong on chain")
+	}
+}
+
+func TestBidirectionalAgreesWithBFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 25; i++ {
+		g := randomGraph(rng, 50, 120)
+		for q := 0; q < 40; q++ {
+			u := graph.NodeID(rng.Intn(g.NumNodes()))
+			v := graph.NodeID(rng.Intn(g.NumNodes()))
+			if BFS(g, u, v) != Bidirectional(g, u, v) {
+				t.Fatalf("disagreement on (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func TestOptExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 20; i++ {
+		g := randomGraph(rng, 40, 110)
+		o := NewOpt(g)
+		for q := 0; q < 40; q++ {
+			u := graph.NodeID(rng.Intn(g.NumNodes()))
+			v := graph.NodeID(rng.Intn(g.NumNodes()))
+			if o.Query(u, v) != BFS(g, u, v) {
+				t.Fatalf("BFSOpt wrong on (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func TestOptSharesCondensation(t *testing.T) {
+	g := graph.FromEdges([]string{"a", "b"}, [][2]int{{0, 1}, {1, 0}})
+	o := NewOpt(g)
+	if o.Condensation().NumComponents() != 1 {
+		t.Fatal("condensation not exposed correctly")
+	}
+	o2 := FromCondensation(o.Condensation())
+	if !o2.Query(0, 1) {
+		t.Fatal("wrapped condensation broken")
+	}
+}
+
+// Property: bidirectional search is exact on arbitrary small digraphs.
+func TestBidirectionalQuick(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(nRaw)%25
+		m := int(mRaw) % 100
+		g := randomGraph(rng, n, m)
+		for q := 0; q < 10; q++ {
+			u := graph.NodeID(rng.Intn(n))
+			v := graph.NodeID(rng.Intn(n))
+			if BFS(g, u, v) != Bidirectional(g, u, v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,399 @@
+// Package reduce implements the dynamic reduction scheme of Section 4 of
+// Fan, Wang & Wu (SIGMOD 2014): a query-guided, weight-ranked, budgeted
+// traversal that extracts a fragment G_Q of a data graph G with
+// |G_Q| ≤ α·|G|, visiting a bounded amount of data.
+//
+// The engine is the Search/Pick machinery of Fig. 3, parameterized by the
+// matching semantics (strong simulation for RBSim, subgraph isomorphism
+// for RBSub) through a Semantics value that supplies the guarded condition
+// C(v,u) and the potential p(v,u). The engine itself owns the parts both
+// algorithms share: the stack-driven traversal guided by the pattern, the
+// dynamically maintained cost c(v,u), the weight p/(c+1), the fairness
+// bound b (initially 2, escalated when a round stalls), the size budget
+// α|G| and the visit budget c·α|G|.
+package reduce
+
+import (
+	"math/rand"
+	"sort"
+
+	"rbq/internal/graph"
+	"rbq/internal/pattern"
+)
+
+// Semantics supplies the query-class-specific ingredients of the dynamic
+// reduction. Implementations must be cheap: both methods are evaluated
+// against the offline auxiliary structure, not by traversing G.
+type Semantics interface {
+	// Guard is the guarded condition C(v,u): false means v provably
+	// cannot match u and is pruned from the search.
+	Guard(v graph.NodeID, u pattern.NodeID) bool
+	// Potential is p(v,u), an optimistic estimate of how many matches of
+	// u's pattern neighbors live in N(v).
+	Potential(v graph.NodeID, u pattern.NodeID) float64
+}
+
+// WeightStrategy selects how frontier candidates are ranked; alternatives
+// to the paper's formula exist for the ablation study of DESIGN.md §5.
+type WeightStrategy int
+
+const (
+	// WeightPotentialCost ranks by p(v,u)/(c(v,u)+1), the paper's weight.
+	WeightPotentialCost WeightStrategy = iota
+	// WeightDegree ranks by node degree (a degree-greedy frontier).
+	WeightDegree
+	// WeightRandom ranks randomly (an uninformed frontier), seeded for
+	// reproducibility.
+	WeightRandom
+)
+
+// Options configures a reduction run.
+type Options struct {
+	// Alpha is the resource ratio α ∈ (0,1): the fragment size budget is
+	// ⌊α·|G|⌋ (in nodes+edges).
+	Alpha float64
+	// VisitBudget caps the number of data items (neighbor slots) examined
+	// during reduction — the paper's α·c·|G| with c = d_G. Zero applies
+	// the default ⌈α·|G|⌉·maxDegree(G).
+	VisitBudget int
+	// InitialBound is the fairness bound b of Fig. 3; zero means the
+	// paper's initial value 2.
+	InitialBound int
+	// MaxBound caps bound escalation; zero means unlimited (escalation
+	// already stops when a round adds no new node).
+	MaxBound int
+	// Strategy selects the candidate ranking; the zero value is the
+	// paper's p/(c+1).
+	Strategy WeightStrategy
+	// Seed feeds WeightRandom.
+	Seed int64
+	// DisableGuard drops the guarded condition to a label-only test
+	// (ablation).
+	DisableGuard bool
+	// Trace, when non-nil, receives every reduction step (see Event).
+	Trace Tracer
+}
+
+// Stats reports what a reduction run did.
+type Stats struct {
+	// Budget is ⌊α·|G|⌋, the fragment size cap.
+	Budget int
+	// FragmentSize is |G_Q| = nodes + edges actually extracted.
+	FragmentSize int
+	// FragmentNodes and FragmentEdges break FragmentSize down.
+	FragmentNodes, FragmentEdges int
+	// Visited counts data items examined (neighbor slots scanned by Pick
+	// plus nodes popped), the quantity Theorem 3(a) bounds by d_G·α|G|.
+	Visited int
+	// Rounds is the number of bound-escalation rounds executed.
+	Rounds int
+	// FinalBound is the fairness bound b when the search stopped.
+	FinalBound int
+	// BudgetExhausted reports whether the size budget stopped the search
+	// (as opposed to the frontier draining).
+	BudgetExhausted bool
+	// VisitsExhausted reports whether the visit budget stopped the search.
+	VisitsExhausted bool
+}
+
+type pairKey struct {
+	u pattern.NodeID
+	v graph.NodeID
+}
+
+type engine struct {
+	g    *graph.Graph
+	aux  *graph.Aux
+	p    *pattern.Pattern
+	sem  Semantics
+	opts Options
+	rng  *rand.Rand
+
+	frag        *graph.Fragment
+	budget      int
+	visitBudget int
+	visited     int
+	stats       Stats
+
+	vp         graph.NodeID // the pinned match of the personalized node
+	stack      []pairKey
+	onStack    map[pairKey]bool // pushed this round (Pick excludes these)
+	expanded   map[pairKey]bool // expanded this round
+	changed    bool
+	exhausted  bool // size budget hit
+	visitsDone bool // visit budget hit
+	bound      int
+}
+
+// Search runs the dynamic reduction of Fig. 3 from the personalized match
+// vp and returns the extracted fragment and run statistics. The fragment
+// is an induced subgraph of aux's graph containing vp (budget permitting).
+func Search(aux *graph.Aux, p *pattern.Pattern, vp graph.NodeID, sem Semantics, opts Options) (*graph.Fragment, Stats) {
+	g := aux.Graph()
+	e := &engine{
+		g:    g,
+		aux:  aux,
+		p:    p,
+		sem:  sem,
+		opts: opts,
+		frag: graph.NewFragment(g),
+		vp:   vp,
+	}
+	e.budget = int(opts.Alpha * float64(g.Size()))
+	e.visitBudget = opts.VisitBudget
+	if e.visitBudget <= 0 {
+		// Default to the paper's d_G·α|G| with d_G approximated by the
+		// graph-wide maximum degree (an upper bound of the ball-local one).
+		e.visitBudget = (e.budget + 1) * maxInt(1, g.MaxDegree())
+	}
+	e.bound = opts.InitialBound
+	if e.bound <= 0 {
+		e.bound = 2
+	}
+	if opts.Strategy == WeightRandom {
+		e.rng = rand.New(rand.NewSource(opts.Seed))
+	}
+	e.run(vp)
+	e.stats.Budget = e.budget
+	e.stats.FragmentSize = e.frag.Size()
+	e.stats.FragmentNodes = e.frag.NumNodes()
+	e.stats.FragmentEdges = e.frag.NumEdges()
+	e.stats.Visited = e.visited
+	e.stats.FinalBound = e.bound
+	e.stats.BudgetExhausted = e.exhausted
+	e.stats.VisitsExhausted = e.visitsDone
+	return e.frag, e.stats
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (e *engine) run(vp graph.NodeID) {
+	if e.budget < 1 {
+		return
+	}
+	for {
+		e.stats.Rounds++
+		e.emit(EventRound, 0, 0, 0)
+		e.onStack = make(map[pairKey]bool)
+		e.expanded = make(map[pairKey]bool)
+		e.stack = e.stack[:0]
+		e.changed = false
+		e.push(pairKey{e.p.Personalized(), vp})
+		e.round()
+		if e.exhausted || e.visitsDone || !e.changed {
+			return
+		}
+		if e.opts.MaxBound > 0 && e.bound >= e.opts.MaxBound {
+			return
+		}
+		e.bound++ // line 12 of Fig. 3: escalate b and restart from (u_p, v_p)
+	}
+}
+
+func (e *engine) push(k pairKey) {
+	if !e.onStack[k] {
+		e.onStack[k] = true
+		e.stack = append(e.stack, k)
+	}
+}
+
+// round drains the stack once: the body of the while loop of Fig. 3 for a
+// fixed bound b.
+func (e *engine) round() {
+	for len(e.stack) > 0 {
+		k := e.stack[len(e.stack)-1]
+		e.stack = e.stack[:len(e.stack)-1]
+		e.visited++ // the pop itself touches one data item
+		if e.visitsDone = e.visited > e.visitBudget; e.visitsDone {
+			e.emit(EventVisitStop, k.u, k.v, 0)
+			return
+		}
+		e.emit(EventPop, k.u, k.v, 0)
+		// Line 5: add v to G_Q if absent and affordable.
+		if !e.frag.Contains(k.v) {
+			inc := 1 + e.frag.InducedEdgeCost(k.v)
+			if e.frag.Size()+inc > e.budget {
+				// Cannot afford this node; the budget is effectively
+				// consumed for anything of this or larger footprint.
+				e.exhausted = true
+				e.emit(EventBudgetStop, k.u, k.v, 0)
+				continue
+			}
+			e.frag.Add(k.v)
+			e.changed = true
+			e.emit(EventAdd, k.u, k.v, float64(inc))
+			if e.frag.Size() >= e.budget {
+				e.exhausted = true
+				e.emit(EventBudgetStop, k.u, k.v, 0)
+				return // line 7: |G_Q| reached α|G|
+			}
+		}
+		if e.expanded[k] {
+			continue
+		}
+		e.expanded[k] = true
+		// Line 8: expand every pattern edge incident to u, forward and
+		// backward.
+		for _, uc := range e.p.Out(k.u) {
+			e.pick(k.v, uc, graph.Forward)
+			if e.visitsDone {
+				return
+			}
+		}
+		for _, ua := range e.p.In(k.u) {
+			e.pick(k.v, ua, graph.Backward)
+			if e.visitsDone {
+				return
+			}
+		}
+	}
+}
+
+type scored struct {
+	v graph.NodeID
+	w float64
+}
+
+// pick is procedure Pick of Fig. 3: rank the dir-neighbors of v that pass
+// the guarded condition for query node target, and push the top-b onto the
+// stack, best last (so the best is popped first).
+func (e *engine) pick(v graph.NodeID, target pattern.NodeID, dir graph.Direction) {
+	// The personalized node is pinned: its only admissible candidate is
+	// v_p (Section 2 fixes (u_p, v_p) in every match relation). A single
+	// edge-existence probe replaces the neighborhood scan.
+	if target == e.p.Personalized() {
+		e.visited++
+		if e.visitsDone = e.visited > e.visitBudget; e.visitsDone {
+			return
+		}
+		var has bool
+		if dir == graph.Forward {
+			has = e.g.HasEdge(v, e.vp)
+		} else {
+			has = e.g.HasEdge(e.vp, v)
+		}
+		if has && !e.onStack[pairKey{target, e.vp}] {
+			e.push(pairKey{target, e.vp})
+		}
+		return
+	}
+	var neigh []graph.NodeID
+	if dir == graph.Forward {
+		neigh = e.g.Out(v)
+	} else {
+		neigh = e.g.In(v)
+	}
+	var cands []scored
+	for _, w := range neigh {
+		e.visited++
+		if e.visitsDone = e.visited > e.visitBudget; e.visitsDone {
+			e.emit(EventVisitStop, target, w, 0)
+			return
+		}
+		if e.onStack[pairKey{target, w}] {
+			continue
+		}
+		if !e.guard(w, target) {
+			e.emit(EventGuardReject, target, w, 0)
+			continue
+		}
+		cands = append(cands, scored{w, e.weight(w, target)})
+	}
+	// Rank best-first; ties broken by degree (descending) then id for
+	// determinism.
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].w != cands[j].w {
+			return cands[i].w > cands[j].w
+		}
+		di, dj := e.g.Degree(cands[i].v), e.g.Degree(cands[j].v)
+		if di != dj {
+			return di > dj
+		}
+		return cands[i].v < cands[j].v
+	})
+	if len(cands) > e.bound {
+		cands = cands[:e.bound]
+	}
+	// Push in reverse so the best-ranked candidate ends on top.
+	for i := len(cands) - 1; i >= 0; i-- {
+		e.emit(EventPush, target, cands[i].v, cands[i].w)
+		e.push(pairKey{target, cands[i].v})
+	}
+}
+
+func (e *engine) guard(v graph.NodeID, u pattern.NodeID) bool {
+	if e.opts.DisableGuard {
+		return e.g.Label(v) == e.p.Label(u)
+	}
+	return e.sem.Guard(v, u)
+}
+
+func (e *engine) weight(v graph.NodeID, u pattern.NodeID) float64 {
+	switch e.opts.Strategy {
+	case WeightDegree:
+		return float64(e.g.Degree(v))
+	case WeightRandom:
+		return e.rng.Float64()
+	default:
+		return e.sem.Potential(v, u) / (e.cost(v, u) + 1)
+	}
+}
+
+// cost is c(v,u) of Section 4.1: the number of pattern neighbors u' of u
+// that do not yet have a guarded candidate among v's neighbors inside the
+// current fragment — i.e. how many more nodes the fragment would need to
+// absorb for v to stand a chance of matching u.
+func (e *engine) cost(v graph.NodeID, u pattern.NodeID) float64 {
+	misses := 0
+	for _, uc := range e.p.Out(u) {
+		if !e.hasFragCandidate(v, uc, graph.Forward) {
+			misses++
+		}
+	}
+	for _, ua := range e.p.In(u) {
+		if !e.hasFragCandidate(v, ua, graph.Backward) {
+			misses++
+		}
+	}
+	return float64(misses)
+}
+
+// hasFragCandidate reports whether some dir-neighbor of v inside the
+// current fragment carries u's label. It scans whichever side is smaller:
+// v's adjacency list, or the fragment (checking adjacency by binary
+// search) — the fragment is capped at α|G|, so hub nodes do not force a
+// full neighborhood scan.
+func (e *engine) hasFragCandidate(v graph.NodeID, u pattern.NodeID, dir graph.Direction) bool {
+	want := e.p.Label(u)
+	var neigh []graph.NodeID
+	if dir == graph.Forward {
+		neigh = e.g.Out(v)
+	} else {
+		neigh = e.g.In(v)
+	}
+	if len(neigh) <= e.frag.NumNodes()*4 {
+		for _, w := range neigh {
+			if e.frag.Contains(w) && e.g.Label(w) == want {
+				return true
+			}
+		}
+		return false
+	}
+	for _, w := range e.frag.Nodes() {
+		if e.g.Label(w) != want {
+			continue
+		}
+		if dir == graph.Forward && e.g.HasEdge(v, w) {
+			return true
+		}
+		if dir == graph.Backward && e.g.HasEdge(w, v) {
+			return true
+		}
+	}
+	return false
+}

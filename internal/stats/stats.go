@@ -1,0 +1,186 @@
+// Package stats computes descriptive statistics of data graphs — the
+// numbers the paper's Section 6 tables cite when characterizing Youtube
+// and Yahoo (node/edge counts, degrees, density) plus connectivity and
+// diameter estimates used to sanity-check the synthetic stand-ins.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rbq/internal/graph"
+)
+
+// LabelCount pairs a label with its node count.
+type LabelCount struct {
+	Label string
+	Count int
+}
+
+// Summary describes one graph.
+type Summary struct {
+	Nodes, Edges, Size int
+	Labels             int
+	SelfLoops          int
+
+	AvgDegree                       float64
+	MaxDegree                       int
+	DegreeP50, DegreeP90, DegreeP99 int
+
+	// WeakComponents is the number of weakly connected components;
+	// LargestComponent its biggest member count.
+	WeakComponents   int
+	LargestComponent int
+
+	// DiameterLowerBound is a double-sweep BFS estimate of the undirected
+	// diameter (a guaranteed lower bound).
+	DiameterLowerBound int
+
+	// TopLabels lists the most frequent labels (at most 5), descending.
+	TopLabels []LabelCount
+}
+
+// Summarize computes a Summary in O(|V| + |E|) plus two BFS sweeps.
+func Summarize(g *graph.Graph) Summary {
+	s := Summary{
+		Nodes:  g.NumNodes(),
+		Edges:  g.NumEdges(),
+		Size:   g.Size(),
+		Labels: g.NumLabels(),
+	}
+	if g.NumNodes() == 0 {
+		return s
+	}
+
+	degrees := make([]int, g.NumNodes())
+	for v := 0; v < g.NumNodes(); v++ {
+		id := graph.NodeID(v)
+		degrees[v] = g.Degree(id)
+		if g.HasEdge(id, id) {
+			s.SelfLoops++
+		}
+	}
+	sort.Ints(degrees)
+	s.MaxDegree = degrees[len(degrees)-1]
+	s.AvgDegree = 2 * float64(g.NumEdges()) / float64(g.NumNodes())
+	s.DegreeP50 = percentile(degrees, 50)
+	s.DegreeP90 = percentile(degrees, 90)
+	s.DegreeP99 = percentile(degrees, 99)
+
+	s.WeakComponents, s.LargestComponent = weakComponents(g)
+	s.DiameterLowerBound = doubleSweep(g)
+
+	type lc struct {
+		l graph.LabelID
+		n int
+	}
+	var counts []lc
+	for l := 0; l < g.NumLabels(); l++ {
+		counts = append(counts, lc{graph.LabelID(l), len(g.NodesWithLabel(graph.LabelID(l)))})
+	}
+	sort.Slice(counts, func(i, j int) bool {
+		if counts[i].n != counts[j].n {
+			return counts[i].n > counts[j].n
+		}
+		return counts[i].l < counts[j].l
+	})
+	for i := 0; i < len(counts) && i < 5; i++ {
+		s.TopLabels = append(s.TopLabels, LabelCount{g.LabelName(counts[i].l), counts[i].n})
+	}
+	return s
+}
+
+// percentile returns the p-th percentile of sorted values (nearest rank).
+func percentile(sorted []int, p int) int {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (p*len(sorted) + 99) / 100
+	if idx < 1 {
+		idx = 1
+	}
+	if idx > len(sorted) {
+		idx = len(sorted)
+	}
+	return sorted[idx-1]
+}
+
+// weakComponents counts weakly connected components with an iterative
+// union-find over edges.
+func weakComponents(g *graph.Graph) (count, largest int) {
+	n := g.NumNodes()
+	parent := make([]int32, n)
+	size := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+		size[i] = 1
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int32) {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return
+		}
+		if size[ra] < size[rb] {
+			ra, rb = rb, ra
+		}
+		parent[rb] = ra
+		size[ra] += size[rb]
+	}
+	for v := 0; v < n; v++ {
+		for _, w := range g.Out(graph.NodeID(v)) {
+			union(int32(v), int32(w))
+		}
+	}
+	for v := 0; v < n; v++ {
+		if find(int32(v)) == int32(v) {
+			count++
+			if int(size[v]) > largest {
+				largest = int(size[v])
+			}
+		}
+	}
+	return count, largest
+}
+
+// doubleSweep lower-bounds the undirected diameter: BFS from node 0 to the
+// farthest node, then BFS again from there.
+func doubleSweep(g *graph.Graph) int {
+	far, _ := farthest(g, 0)
+	_, d := farthest(g, far)
+	return d
+}
+
+func farthest(g *graph.Graph, from graph.NodeID) (graph.NodeID, int) {
+	best, bestD := from, 0
+	g.BFS(from, graph.Both, -1, func(v graph.NodeID, d int) bool {
+		if d > bestD {
+			best, bestD = v, d
+		}
+		return true
+	})
+	return best, bestD
+}
+
+// String renders the summary as an aligned block.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "nodes=%d edges=%d |G|=%d labels=%d self-loops=%d\n",
+		s.Nodes, s.Edges, s.Size, s.Labels, s.SelfLoops)
+	fmt.Fprintf(&b, "degree: avg=%.2f p50=%d p90=%d p99=%d max=%d\n",
+		s.AvgDegree, s.DegreeP50, s.DegreeP90, s.DegreeP99, s.MaxDegree)
+	fmt.Fprintf(&b, "weak components=%d largest=%d diameter≥%d\n",
+		s.WeakComponents, s.LargestComponent, s.DiameterLowerBound)
+	for _, lc := range s.TopLabels {
+		fmt.Fprintf(&b, "label %-12s %d nodes\n", lc.Label, lc.Count)
+	}
+	return b.String()
+}

@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"rbq/internal/gen"
+	"rbq/internal/graph"
+)
+
+func TestSummarizeChain(t *testing.T) {
+	g := graph.FromEdges([]string{"a", "a", "b", "b"}, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	s := Summarize(g)
+	if s.Nodes != 4 || s.Edges != 3 || s.Size != 7 {
+		t.Fatalf("%+v", s)
+	}
+	if s.WeakComponents != 1 || s.LargestComponent != 4 {
+		t.Fatalf("components: %+v", s)
+	}
+	if s.DiameterLowerBound != 3 {
+		t.Fatalf("diameter bound = %d, want 3", s.DiameterLowerBound)
+	}
+	if s.MaxDegree != 2 || s.AvgDegree != 1.5 {
+		t.Fatalf("degrees: %+v", s)
+	}
+	if s.SelfLoops != 0 {
+		t.Fatalf("self loops: %+v", s)
+	}
+	if len(s.TopLabels) != 2 || s.TopLabels[0].Count != 2 {
+		t.Fatalf("labels: %+v", s.TopLabels)
+	}
+}
+
+func TestSummarizeSelfLoop(t *testing.T) {
+	g := graph.FromEdges([]string{"a"}, [][2]int{{0, 0}})
+	s := Summarize(g)
+	if s.SelfLoops != 1 {
+		t.Fatalf("%+v", s)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(graph.NewBuilder(0, 0).Build())
+	if s.Nodes != 0 || s.WeakComponents != 0 {
+		t.Fatalf("%+v", s)
+	}
+}
+
+func TestSummarizeDisconnected(t *testing.T) {
+	g := graph.FromEdges([]string{"a", "a", "b", "b", "c"},
+		[][2]int{{0, 1}, {2, 3}})
+	s := Summarize(g)
+	if s.WeakComponents != 3 || s.LargestComponent != 2 {
+		t.Fatalf("%+v", s)
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	sorted := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := percentile(sorted, 50); p != 5 {
+		t.Fatalf("p50 = %d", p)
+	}
+	if p := percentile(sorted, 90); p != 9 {
+		t.Fatalf("p90 = %d", p)
+	}
+	if p := percentile(sorted, 99); p != 10 {
+		t.Fatalf("p99 = %d", p)
+	}
+	if p := percentile(nil, 50); p != 0 {
+		t.Fatalf("empty percentile = %d", p)
+	}
+}
+
+func TestSummarizePowerLawHasHeavyTail(t *testing.T) {
+	g := gen.Random(gen.GraphConfig{Nodes: 5000, Edges: 15000, Seed: 1, PowerLaw: true})
+	s := Summarize(g)
+	if s.MaxDegree < 4*s.DegreeP99 {
+		t.Fatalf("power-law tail too light: max=%d p99=%d", s.MaxDegree, s.DegreeP99)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	g := graph.FromEdges([]string{"a", "b"}, [][2]int{{0, 1}})
+	out := Summarize(g).String()
+	for _, want := range []string{"nodes=2", "degree:", "weak components=1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in %q", want, out)
+		}
+	}
+}

@@ -1,0 +1,226 @@
+// Package subiso implements graph pattern matching by subgraph isomorphism,
+// the second localized query class of Fan, Wang & Wu (SIGMOD 2014), with a
+// VF2-style backtracking matcher (after Cordella et al., TPAMI 2004).
+//
+// Per Section 2 of the paper, a match of Q in G is a subgraph G' of G
+// isomorphic to Q under a bijection h with h(u_p) = v_p (the personalized
+// node is pinned), and the answer Q(G) is the set of h(u_o) over all
+// matches. Because only the set of output-node images is needed, the search
+// prunes entire subtrees once a candidate image of u_o is already known to
+// be an answer, which keeps enumeration polynomially bounded in the common
+// case while remaining exact.
+package subiso
+
+import (
+	"sort"
+
+	"rbq/internal/graph"
+	"rbq/internal/pattern"
+)
+
+// Options tunes the matcher.
+type Options struct {
+	// MaxSteps caps the number of candidate-pair extensions the
+	// backtracking search may attempt; 0 means unlimited. When the cap is
+	// hit the matcher returns the answers found so far and complete=false.
+	MaxSteps int64
+}
+
+// Match computes Q(g) under subgraph isomorphism with u_p pinned to vp.
+// It returns the sorted set of images of the output node and whether the
+// search ran to completion (false only if Options.MaxSteps was exhausted).
+func Match(g *graph.Graph, p *pattern.Pattern, vp graph.NodeID, opts *Options) ([]graph.NodeID, bool) {
+	if g.Label(vp) != p.Label(p.Personalized()) {
+		return nil, true
+	}
+	m := &matcher{g: g, p: p, opts: opts}
+	m.run(vp)
+	out := make([]graph.NodeID, 0, len(m.answers))
+	for v := range m.answers {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	if len(out) == 0 {
+		return nil, !m.truncated
+	}
+	return out, !m.truncated
+}
+
+// MatchOpt is the optimized baseline of Section 6 (the paper's VF2OPT): it
+// searches only the ball G_{d_Q}(v_p), sound because isomorphic images of a
+// connected pattern pinned at v_p lie within d_Q hops of v_p. Results are
+// in g's node ids.
+func MatchOpt(g *graph.Graph, p *pattern.Pattern, vp graph.NodeID, opts *Options) ([]graph.NodeID, bool) {
+	ball := g.Ball(vp, p.Diameter())
+	bvp := ball.SubOf(vp)
+	if bvp == graph.NoNode {
+		return nil, true
+	}
+	sub, complete := Match(ball.G, p, bvp, opts)
+	if len(sub) == 0 {
+		return nil, complete
+	}
+	out := make([]graph.NodeID, len(sub))
+	for i, v := range sub {
+		out[i] = ball.OrigOf(v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, complete
+}
+
+type matcher struct {
+	g    *graph.Graph
+	p    *pattern.Pattern
+	opts *Options
+
+	order     []pattern.NodeID // assignment order: BFS from u_p
+	core      []graph.NodeID   // core[u] = current image of u, NoNode if unset
+	used      map[graph.NodeID]pattern.NodeID
+	answers   map[graph.NodeID]bool
+	steps     int64
+	truncated bool
+}
+
+func (m *matcher) budgetOK() bool {
+	m.steps++
+	if m.opts != nil && m.opts.MaxSteps > 0 && m.steps > m.opts.MaxSteps {
+		m.truncated = true
+		return false
+	}
+	return true
+}
+
+// buildOrder produces a BFS ordering of query nodes starting at u_p so that
+// every node after the first has at least one previously-assigned pattern
+// neighbor (patterns are connected from u_p by construction).
+func (m *matcher) buildOrder() {
+	n := m.p.NumNodes()
+	seen := make([]bool, n)
+	m.order = append(m.order, m.p.Personalized())
+	seen[m.p.Personalized()] = true
+	for i := 0; i < len(m.order); i++ {
+		u := m.order[i]
+		for _, w := range m.p.Out(u) {
+			if !seen[w] {
+				seen[w] = true
+				m.order = append(m.order, w)
+			}
+		}
+		for _, w := range m.p.In(u) {
+			if !seen[w] {
+				seen[w] = true
+				m.order = append(m.order, w)
+			}
+		}
+	}
+}
+
+func (m *matcher) run(vp graph.NodeID) {
+	m.buildOrder()
+	m.core = make([]graph.NodeID, m.p.NumNodes())
+	for i := range m.core {
+		m.core[i] = graph.NoNode
+	}
+	m.used = make(map[graph.NodeID]pattern.NodeID)
+	m.answers = make(map[graph.NodeID]bool)
+	if !m.feasible(m.p.Personalized(), vp) {
+		return
+	}
+	m.assign(m.p.Personalized(), vp)
+	m.search(1)
+	m.unassign(m.p.Personalized(), vp)
+}
+
+func (m *matcher) assign(u pattern.NodeID, v graph.NodeID) {
+	m.core[u] = v
+	m.used[v] = u
+}
+
+func (m *matcher) unassign(u pattern.NodeID, v graph.NodeID) {
+	m.core[u] = graph.NoNode
+	delete(m.used, v)
+}
+
+// feasible checks label equality, injectivity and edge consistency of
+// mapping u -> v against all already-assigned query nodes.
+func (m *matcher) feasible(u pattern.NodeID, v graph.NodeID) bool {
+	if m.g.Label(v) != m.p.Label(u) {
+		return false
+	}
+	if _, taken := m.used[v]; taken {
+		return false
+	}
+	// Cheap degree pruning: v must offer at least as many in/out edges.
+	if m.g.OutDegree(v) < len(m.p.Out(u)) || m.g.InDegree(v) < len(m.p.In(u)) {
+		return false
+	}
+	for _, w := range m.p.Out(u) {
+		if img := m.core[w]; img != graph.NoNode && !m.g.HasEdge(v, img) {
+			return false
+		}
+	}
+	for _, w := range m.p.In(u) {
+		if img := m.core[w]; img != graph.NoNode && !m.g.HasEdge(img, v) {
+			return false
+		}
+	}
+	return true
+}
+
+// candidates enumerates data nodes for query node u by picking the mapped
+// pattern neighbor with the smallest relevant adjacency list.
+func (m *matcher) candidates(u pattern.NodeID) []graph.NodeID {
+	var best []graph.NodeID
+	found := false
+	consider := func(c []graph.NodeID) {
+		if !found || len(c) < len(best) {
+			best, found = c, true
+		}
+	}
+	for _, w := range m.p.In(u) { // pattern edge w -> u: image must be child of core[w]
+		if img := m.core[w]; img != graph.NoNode {
+			consider(m.g.Out(img))
+		}
+	}
+	for _, w := range m.p.Out(u) { // pattern edge u -> w: image must be parent of core[w]
+		if img := m.core[w]; img != graph.NoNode {
+			consider(m.g.In(img))
+		}
+	}
+	if found {
+		return best
+	}
+	// No mapped neighbor (only possible for the root): all label peers.
+	l := m.g.LabelIDOf(m.p.Label(u))
+	if l == graph.NoLabel {
+		return nil
+	}
+	return m.g.NodesWithLabel(l)
+}
+
+func (m *matcher) search(depth int) {
+	if depth == len(m.order) {
+		m.answers[m.core[m.p.Output()]] = true
+		return
+	}
+	u := m.order[depth]
+	for _, v := range m.candidates(u) {
+		if !m.budgetOK() {
+			return
+		}
+		// Output-set pruning: mapping u_o to an already-confirmed answer
+		// cannot contribute a new output image.
+		if u == m.p.Output() && m.answers[v] {
+			continue
+		}
+		if !m.feasible(u, v) {
+			continue
+		}
+		m.assign(u, v)
+		m.search(depth + 1)
+		m.unassign(u, v)
+		if m.truncated {
+			return
+		}
+	}
+}

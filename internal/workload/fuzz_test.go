@@ -1,0 +1,35 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead asserts the workload parser never panics and accepted
+// workloads round-trip.
+func FuzzRead(f *testing.F) {
+	f.Add("reach 0 1 true\n")
+	f.Add("pattern 3\n  node 0 A*!\nend\n")
+	f.Add("pattern 0\n  node 0 A*\n  node 1 B!\n  edge 0 1\nend\nreach 5 6 false\n")
+	f.Add("pattern\n")
+	f.Add("reach 1 2 maybe\n")
+	f.Add("# nothing\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		wl, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, wl); err != nil {
+			t.Fatalf("write of accepted workload failed: %v", err)
+		}
+		wl2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-read failed: %v", err)
+		}
+		if len(wl2.Patterns) != len(wl.Patterns) || len(wl2.Reach) != len(wl.Reach) {
+			t.Fatal("round trip changed the workload")
+		}
+	})
+}

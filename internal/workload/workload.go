@@ -1,0 +1,184 @@
+// Package workload persists query workloads — pattern queries pinned at
+// their personalized matches, and reachability query sets with ground
+// truth — in a line-oriented text format, so experiments can be re-run on
+// the exact same queries across processes and machines (the paper reports
+// averages over fixed query sets; this is how we fix ours).
+//
+// Format (one workload per file; sections in any order):
+//
+//	# comment
+//	pattern <vp>        # followed by an indented pattern block
+//	  node 0 L03*
+//	  node 1 L07!
+//	  edge 0 1
+//	end
+//	reach <from> <to> <truth>
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"rbq/internal/gen"
+	"rbq/internal/graph"
+	"rbq/internal/pattern"
+)
+
+// PatternQuery is one pinned pattern query.
+type PatternQuery struct {
+	P  *pattern.Pattern
+	VP graph.NodeID
+}
+
+// Workload is a persisted query set.
+type Workload struct {
+	Patterns []PatternQuery
+	Reach    []gen.ReachQuery
+}
+
+// Write emits the workload in the text format.
+func Write(w io.Writer, wl *Workload) error {
+	bw := bufio.NewWriter(w)
+	for _, q := range wl.Patterns {
+		if _, err := fmt.Fprintf(bw, "pattern %d\n", q.VP); err != nil {
+			return err
+		}
+		for _, line := range strings.Split(strings.TrimRight(q.P.String(), "\n"), "\n") {
+			if _, err := fmt.Fprintf(bw, "  %s\n", line); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw, "end"); err != nil {
+			return err
+		}
+	}
+	for _, q := range wl.Reach {
+		if _, err := fmt.Fprintf(bw, "reach %d %d %t\n", q.From, q.To, q.Truth); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses the text format. Patterns are validated; node ids are not
+// checked against any graph (do that against the graph you load).
+func Read(r io.Reader) (*Workload, error) {
+	wl := &Workload{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	var patVP graph.NodeID
+	var patLines []string
+	inPattern := false
+	flush := func() error {
+		p, err := pattern.Parse(strings.Join(patLines, "\n"))
+		if err != nil {
+			return err
+		}
+		wl.Patterns = append(wl.Patterns, PatternQuery{P: p, VP: patVP})
+		patLines = patLines[:0]
+		inPattern = false
+		return nil
+	}
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Text()
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if inPattern {
+			if line == "end" {
+				if err := flush(); err != nil {
+					return nil, fmt.Errorf("workload: line %d: %w", lineNo, err)
+				}
+				continue
+			}
+			patLines = append(patLines, line)
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "pattern":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("workload: line %d: want 'pattern <vp>'", lineNo)
+			}
+			vp, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("workload: line %d: bad vp: %v", lineNo, err)
+			}
+			patVP = graph.NodeID(vp)
+			inPattern = true
+		case "reach":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("workload: line %d: want 'reach <from> <to> <truth>'", lineNo)
+			}
+			from, err1 := strconv.Atoi(fields[1])
+			to, err2 := strconv.Atoi(fields[2])
+			truth, err3 := strconv.ParseBool(fields[3])
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("workload: line %d: malformed reach query", lineNo)
+			}
+			wl.Reach = append(wl.Reach, gen.ReachQuery{
+				From: graph.NodeID(from), To: graph.NodeID(to), Truth: truth})
+		default:
+			return nil, fmt.Errorf("workload: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if inPattern {
+		return nil, fmt.Errorf("workload: unterminated pattern block")
+	}
+	return wl, nil
+}
+
+// Validate checks that every node id in the workload exists in g and that
+// every pattern's pin is label-compatible.
+func (wl *Workload) Validate(g *graph.Graph) error {
+	n := graph.NodeID(g.NumNodes())
+	for i, q := range wl.Patterns {
+		if q.VP < 0 || q.VP >= n {
+			return fmt.Errorf("workload: pattern %d pinned at out-of-range node %d", i, q.VP)
+		}
+		if g.Label(q.VP) != q.P.Label(q.P.Personalized()) {
+			return fmt.Errorf("workload: pattern %d pin label mismatch: node %d is %q, pattern wants %q",
+				i, q.VP, g.Label(q.VP), q.P.Label(q.P.Personalized()))
+		}
+	}
+	for i, q := range wl.Reach {
+		if q.From < 0 || q.From >= n || q.To < 0 || q.To >= n {
+			return fmt.Errorf("workload: reach query %d out of range", i)
+		}
+	}
+	return nil
+}
+
+// Generate builds a reproducible workload over g: nPatterns pattern
+// queries of the given shape and nReach reachability queries with ground
+// truth.
+func Generate(g *graph.Graph, nPatterns, qNodes, qEdges, nReach int, seed int64) *Workload {
+	wl := &Workload{}
+	for s := seed; len(wl.Patterns) < nPatterns && s < seed+int64(60*nPatterns)+60; s++ {
+		vp := graph.NodeID(int(s) * 7919 % g.NumNodes())
+		if vp < 0 {
+			vp = -vp
+		}
+		if g.Degree(vp) < 2 {
+			continue
+		}
+		p := gen.PatternAt(g, vp, gen.PatternConfig{Nodes: qNodes, Edges: qEdges, Seed: s})
+		if p == nil {
+			continue
+		}
+		wl.Patterns = append(wl.Patterns, PatternQuery{P: p, VP: vp})
+	}
+	if nReach > 0 {
+		wl.Reach = gen.ReachQueries(g, nReach, seed)
+	}
+	return wl
+}

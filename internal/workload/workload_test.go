@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rbq/internal/gen"
+	"rbq/internal/graph"
+)
+
+func testGraph() *graph.Graph {
+	return gen.Random(gen.GraphConfig{Nodes: 500, Edges: 1500, Seed: 3})
+}
+
+func TestGenerateShapes(t *testing.T) {
+	g := testGraph()
+	wl := Generate(g, 4, 4, 8, 10, 1)
+	if len(wl.Patterns) != 4 {
+		t.Fatalf("patterns = %d", len(wl.Patterns))
+	}
+	if len(wl.Reach) != 10 {
+		t.Fatalf("reach = %d", len(wl.Reach))
+	}
+	if err := wl.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range wl.Patterns {
+		if q.P.NumNodes() != 4 {
+			t.Fatalf("|V_p| = %d", q.P.NumNodes())
+		}
+	}
+	for _, q := range wl.Reach {
+		if q.Truth != g.Reachable(q.From, q.To) {
+			t.Fatal("ground truth wrong")
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	g := testGraph()
+	wl := Generate(g, 3, 4, 8, 5, 2)
+	var buf bytes.Buffer
+	if err := Write(&buf, wl); err != nil {
+		t.Fatal(err)
+	}
+	wl2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wl2.Patterns) != len(wl.Patterns) || len(wl2.Reach) != len(wl.Reach) {
+		t.Fatalf("round trip lost queries: %d/%d vs %d/%d",
+			len(wl2.Patterns), len(wl2.Reach), len(wl.Patterns), len(wl.Reach))
+	}
+	for i := range wl.Patterns {
+		a, b := wl.Patterns[i], wl2.Patterns[i]
+		if a.VP != b.VP || a.P.String() != b.P.String() {
+			t.Fatalf("pattern %d differs after round trip", i)
+		}
+	}
+	for i := range wl.Reach {
+		if wl.Reach[i] != wl2.Reach[i] {
+			t.Fatalf("reach query %d differs", i)
+		}
+	}
+	if err := wl2.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"pattern",                 // missing vp
+		"pattern x",               // bad vp
+		"pattern 0\n  node 0 A*!", // unterminated block
+		"reach 1 2",               // short reach
+		"reach a b true",          // bad endpoints
+		"bogus",                   // unknown directive
+		"pattern 0\n  frob\nend",  // bad pattern body
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("Read(%q) succeeded, want error", c)
+		}
+	}
+}
+
+func TestReadIgnoresComments(t *testing.T) {
+	wl, err := Read(strings.NewReader("# workload\n\nreach 0 1 true\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wl.Reach) != 1 {
+		t.Fatalf("reach = %d", len(wl.Reach))
+	}
+}
+
+func TestValidateCatchesBadPin(t *testing.T) {
+	g := graph.FromEdges([]string{"A", "B"}, [][2]int{{0, 1}})
+	text := "pattern 1\n  node 0 A*!\nend\n" // node 1 is labeled B
+	wl, err := Read(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wl.Validate(g); err == nil {
+		t.Fatal("expected pin label mismatch")
+	}
+}
+
+func TestValidateCatchesOutOfRange(t *testing.T) {
+	g := graph.FromEdges([]string{"A"}, nil)
+	wl := &Workload{Reach: []gen.ReachQuery{{From: 0, To: 7}}}
+	if err := wl.Validate(g); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	g := testGraph()
+	a := Generate(g, 3, 4, 8, 5, 9)
+	b := Generate(g, 3, 4, 8, 5, 9)
+	var bufA, bufB bytes.Buffer
+	if err := Write(&bufA, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&bufB, b); err != nil {
+		t.Fatal(err)
+	}
+	if bufA.String() != bufB.String() {
+		t.Fatal("generation not deterministic")
+	}
+}

@@ -1,0 +1,491 @@
+// Package rbq is a Go implementation of resource-bounded graph query
+// answering after Fan, Wang & Wu, "Querying Big Graphs within Bounded
+// Resources" (SIGMOD 2014).
+//
+// Given a query Q, a graph G and a resource ratio α ∈ (0,1), rbq answers Q
+// by materializing a query-specific fragment G_Q with |G_Q| ≤ α·|G| and
+// evaluating Q exactly on the fragment — trading a controlled amount of
+// recall for a hard bound on the data accessed. Three query classes are
+// supported:
+//
+//   - simulation queries (graph patterns under strong simulation), via the
+//     paper's RBSim;
+//   - subgraph queries (graph patterns under subgraph isomorphism), via
+//     RBSub;
+//   - reachability queries, via RBReach over a hierarchical landmark index
+//     (never returning false positives).
+//
+// The exact baselines the paper compares against (MatchOpt, VF2Opt, BFS,
+// BFSOpt, LM) are available too, so applications can calibrate α.
+//
+// Entry point: wrap a Graph in a DB, then query.
+//
+//	g := rbq.YoutubeLike(100_000, 1)
+//	db := rbq.NewDB(g)
+//	res, err := db.Simulation(q, 0.001)
+package rbq
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"rbq/internal/accuracy"
+	"rbq/internal/calibrate"
+	"rbq/internal/dataset"
+	"rbq/internal/gen"
+	"rbq/internal/graph"
+	"rbq/internal/landmark"
+	"rbq/internal/pattern"
+	"rbq/internal/rbany"
+	"rbq/internal/rbreach"
+	"rbq/internal/rbsim"
+	"rbq/internal/rbsub"
+	"rbq/internal/reach"
+	"rbq/internal/reduce"
+	"rbq/internal/simulation"
+	"rbq/internal/subiso"
+)
+
+// NodeID identifies a node of a Graph.
+type NodeID = graph.NodeID
+
+// NoNode is returned by failed node lookups.
+const NoNode = graph.NoNode
+
+// Graph is an immutable node-labeled directed graph.
+type Graph = graph.Graph
+
+// GraphBuilder constructs Graphs.
+type GraphBuilder = graph.Builder
+
+// NewGraphBuilder returns a builder with capacity hints.
+func NewGraphBuilder(nodes, edges int) *GraphBuilder { return graph.NewBuilder(nodes, edges) }
+
+// Pattern is a graph pattern query Q = (V_p, E_p, f_v, u_p, u_o) with a
+// personalized node and an output node.
+type Pattern = pattern.Pattern
+
+// PatternBuilder constructs Patterns.
+type PatternBuilder = pattern.Builder
+
+// NewPatternBuilder returns an empty pattern builder.
+func NewPatternBuilder() *PatternBuilder { return pattern.NewBuilder() }
+
+// ParsePattern reads the textual pattern format (see Pattern.String).
+func ParsePattern(text string) (*Pattern, error) { return pattern.Parse(text) }
+
+// Accuracy holds precision, recall and F-measure of an approximate answer
+// set against the exact one (Section 3 of the paper).
+type Accuracy = accuracy.Result
+
+// MatchAccuracy scores an approximate match set against the exact answer.
+func MatchAccuracy(exact, approx []NodeID) Accuracy { return accuracy.Matches(exact, approx) }
+
+// DB wraps a data graph with the offline auxiliary structures the
+// resource-bounded algorithms need. Constructing a DB performs the paper's
+// once-for-all preprocessing for pattern queries (per-node degree and
+// neighborhood label histograms); reachability indexing is separate (see
+// BuildReachOracle) because it depends on α.
+type DB struct {
+	g   *graph.Graph
+	aux *graph.Aux
+}
+
+// NewDB builds the offline auxiliary structure for g and returns a handle.
+func NewDB(g *Graph) *DB {
+	return &DB{g: g, aux: graph.BuildAux(g)}
+}
+
+// Load reads a graph — in either the textual edge-list format (see Save)
+// or the compact binary format (see SaveBinary), auto-detected — and wraps
+// it in a DB.
+func Load(r io.Reader) (*DB, error) {
+	br := bufio.NewReader(r)
+	if magic, err := br.Peek(4); err == nil && string(magic) == "RBQ1" {
+		g, err := dataset.ReadBinary(br)
+		if err != nil {
+			return nil, err
+		}
+		return NewDB(g), nil
+	}
+	g, err := dataset.Read(br)
+	if err != nil {
+		return nil, err
+	}
+	return NewDB(g), nil
+}
+
+// Save writes the graph in a plain-text edge-list format readable by Load.
+func (db *DB) Save(w io.Writer) error { return dataset.Write(w, db.g) }
+
+// SaveBinary writes the graph in a compact binary format readable by Load,
+// an order of magnitude faster to parse than the text format.
+func (db *DB) SaveBinary(w io.Writer) error { return dataset.WriteBinary(w, db.g) }
+
+// Graph returns the underlying graph.
+func (db *DB) Graph() *Graph { return db.g }
+
+// PatternResult reports a resource-bounded pattern query evaluation.
+type PatternResult struct {
+	// Matches are the data nodes matching the pattern's output node,
+	// sorted ascending.
+	Matches []NodeID
+	// Personalized is v_p, the unique match of the personalized node.
+	Personalized NodeID
+	// FragmentSize is |G_Q| (nodes+edges) actually extracted; Budget is
+	// the cap α|G|; Visited counts data items examined during reduction.
+	FragmentSize, Budget, Visited int
+}
+
+func (db *DB) personalized(q *Pattern) (NodeID, error) {
+	vp, ok := simulation.PersonalizedMatch(db.g, q)
+	if !ok {
+		return NoNode, fmt.Errorf("rbq: the personalized node's label %q does not have a unique match",
+			q.Label(q.Personalized()))
+	}
+	return vp, nil
+}
+
+// Simulation answers the pattern under strong simulation with resource
+// ratio alpha (the paper's RBSim).
+func (db *DB) Simulation(q *Pattern, alpha float64) (PatternResult, error) {
+	vp, err := db.personalized(q)
+	if err != nil {
+		return PatternResult{}, err
+	}
+	res := rbsim.Run(db.aux, q, vp, reduce.Options{Alpha: alpha})
+	return PatternResult{
+		Matches:      res.Matches,
+		Personalized: vp,
+		FragmentSize: res.Stats.FragmentSize,
+		Budget:       res.Stats.Budget,
+		Visited:      res.Stats.Visited,
+	}, nil
+}
+
+// SimulationExact answers the pattern under strong simulation exactly (the
+// optimized baseline MatchOpt, which searches the d_Q-ball of v_p).
+func (db *DB) SimulationExact(q *Pattern) ([]NodeID, error) {
+	vp, err := db.personalized(q)
+	if err != nil {
+		return nil, err
+	}
+	return simulation.MatchOpt(db.g, q, vp), nil
+}
+
+// Subgraph answers the pattern under subgraph isomorphism with resource
+// ratio alpha (the paper's RBSub).
+func (db *DB) Subgraph(q *Pattern, alpha float64) (PatternResult, error) {
+	vp, err := db.personalized(q)
+	if err != nil {
+		return PatternResult{}, err
+	}
+	res := rbsub.Run(db.aux, q, vp, reduce.Options{Alpha: alpha}, nil)
+	return PatternResult{
+		Matches:      res.Matches,
+		Personalized: vp,
+		FragmentSize: res.Stats.FragmentSize,
+		Budget:       res.Stats.Budget,
+		Visited:      res.Stats.Visited,
+	}, nil
+}
+
+// SubgraphExact answers the pattern under subgraph isomorphism exactly
+// (the optimized baseline VF2Opt). maxSteps caps the backtracking search
+// (0 = unlimited); the second result reports whether it completed.
+func (db *DB) SubgraphExact(q *Pattern, maxSteps int64) ([]NodeID, bool, error) {
+	vp, err := db.personalized(q)
+	if err != nil {
+		return nil, false, err
+	}
+	m, complete := subiso.MatchOpt(db.g, q, vp, &subiso.Options{MaxSteps: maxSteps})
+	return m, complete, nil
+}
+
+// SimulationAt is Simulation with the personalized node pinned to an
+// explicit data node, bypassing the unique-label lookup. The paper's
+// setting guarantees a unique match for u_p; pinning covers batch
+// workloads where many anchor nodes share a label.
+func (db *DB) SimulationAt(q *Pattern, vp NodeID, alpha float64) (PatternResult, error) {
+	if err := db.checkPin(q, vp); err != nil {
+		return PatternResult{}, err
+	}
+	res := rbsim.Run(db.aux, q, vp, reduce.Options{Alpha: alpha})
+	return PatternResult{
+		Matches:      res.Matches,
+		Personalized: vp,
+		FragmentSize: res.Stats.FragmentSize,
+		Budget:       res.Stats.Budget,
+		Visited:      res.Stats.Visited,
+	}, nil
+}
+
+// SubgraphAt is Subgraph with the personalized node pinned explicitly.
+func (db *DB) SubgraphAt(q *Pattern, vp NodeID, alpha float64) (PatternResult, error) {
+	if err := db.checkPin(q, vp); err != nil {
+		return PatternResult{}, err
+	}
+	res := rbsub.Run(db.aux, q, vp, reduce.Options{Alpha: alpha}, nil)
+	return PatternResult{
+		Matches:      res.Matches,
+		Personalized: vp,
+		FragmentSize: res.Stats.FragmentSize,
+		Budget:       res.Stats.Budget,
+		Visited:      res.Stats.Visited,
+	}, nil
+}
+
+// SimulationExactAt is SimulationExact with the personalized node pinned
+// explicitly.
+func (db *DB) SimulationExactAt(q *Pattern, vp NodeID) ([]NodeID, error) {
+	if err := db.checkPin(q, vp); err != nil {
+		return nil, err
+	}
+	return simulation.MatchOpt(db.g, q, vp), nil
+}
+
+// SubgraphExactAt is SubgraphExact with the personalized node pinned
+// explicitly.
+func (db *DB) SubgraphExactAt(q *Pattern, vp NodeID, maxSteps int64) ([]NodeID, bool, error) {
+	if err := db.checkPin(q, vp); err != nil {
+		return nil, false, err
+	}
+	m, complete := subiso.MatchOpt(db.g, q, vp, &subiso.Options{MaxSteps: maxSteps})
+	return m, complete, nil
+}
+
+func (db *DB) checkPin(q *Pattern, vp NodeID) error {
+	if int(vp) < 0 || int(vp) >= db.g.NumNodes() {
+		return fmt.Errorf("rbq: pinned node %d out of range", vp)
+	}
+	if db.g.Label(vp) != q.Label(q.Personalized()) {
+		return fmt.Errorf("rbq: pinned node %d has label %q, pattern expects %q",
+			vp, db.g.Label(vp), q.Label(q.Personalized()))
+	}
+	return nil
+}
+
+// ReachExact answers a reachability query exactly by BFS.
+func (db *DB) ReachExact(from, to NodeID) bool { return reach.BFS(db.g, from, to) }
+
+// ReachResult reports one resource-bounded reachability evaluation.
+type ReachResult struct {
+	// Answer is the verdict. True is always correct (Theorem 4(c): no
+	// false positives); false may be a false negative.
+	Answer bool
+	// Visited counts index items touched, at most the oracle's budget.
+	Visited int
+}
+
+// ReachOracle answers reachability queries within bounded resources (the
+// paper's RBReach over a hierarchical landmark index).
+type ReachOracle struct {
+	inner *rbreach.Oracle
+}
+
+// BuildReachOracle runs the offline pipeline of Section 5 — condensation
+// plus hierarchical landmark indexing with resource ratio alpha — and
+// returns a query oracle. Each query then visits at most α|G| items.
+func (db *DB) BuildReachOracle(alpha float64) *ReachOracle {
+	return &ReachOracle{inner: rbreach.New(db.g, landmark.BuildOptions{Alpha: alpha})}
+}
+
+// Reach answers whether from reaches to.
+func (o *ReachOracle) Reach(from, to NodeID) ReachResult {
+	r := o.inner.Query(from, to)
+	return ReachResult{Answer: r.Answer, Visited: r.Visited}
+}
+
+// IndexSize returns the landmark index footprint (landmarks + index edges),
+// bounded by α|G|.
+func (o *ReachOracle) IndexSize() int { return o.inner.Index.Size() }
+
+// Save persists the oracle's offline state (condensation + landmark
+// index + budget) so it can be reloaded without re-running the
+// preprocessing (see LoadReachOracle).
+func (o *ReachOracle) Save(w io.Writer) error { return rbreach.SaveOracle(w, o.inner) }
+
+// LoadReachOracle reads an oracle written by ReachOracle.Save. The oracle
+// is self-contained: it answers queries in the node ids of the graph it
+// was built from, without needing that graph loaded.
+func LoadReachOracle(r io.Reader) (*ReachOracle, error) {
+	inner, err := rbreach.LoadOracle(r)
+	if err != nil {
+		return nil, err
+	}
+	return &ReachOracle{inner: inner}, nil
+}
+
+// YoutubeLike generates a power-law stand-in for the paper's Youtube graph
+// with n nodes (average degree ≈ 2.8; see DESIGN.md §4 on the
+// substitution).
+func YoutubeLike(n int, seed int64) *Graph { return dataset.YoutubeLike(n, seed) }
+
+// YahooLike generates a power-law stand-in for the paper's Yahoo web graph
+// with n nodes (average degree ≈ 5.0).
+func YahooLike(n int, seed int64) *Graph { return dataset.YahooLike(n, seed) }
+
+// RandomGraph generates a uniformly random labeled graph over the paper's
+// 15-label alphabet (|E| edges, deterministic in seed). Set powerLaw for
+// heavy-tailed degrees.
+func RandomGraph(nodes, edges int, seed int64, powerLaw bool) *Graph {
+	return gen.Random(gen.GraphConfig{Nodes: nodes, Edges: edges, Seed: seed, PowerLaw: powerLaw})
+}
+
+// ExtractPattern samples a (nodes, edges)-shaped pattern that is
+// guaranteed to match: it copies real structure around a random seed node
+// and gives that node a unique label. It returns the pattern, a copy of
+// the graph with the unique label installed (query that DB!), and v_p.
+func ExtractPattern(g *Graph, nodes, edges int, seed int64) (*Pattern, *Graph, NodeID, error) {
+	return gen.PatternFromGraph(g, gen.PatternConfig{Nodes: nodes, Edges: edges, Seed: seed})
+}
+
+// AnchoredQuery is a pattern pinned at an explicit personalized match,
+// used by batch and calibration APIs.
+type AnchoredQuery struct {
+	Q  *Pattern
+	At NodeID
+}
+
+// SimulationBatch evaluates many pinned simulation queries concurrently
+// with the same resource ratio. workers ≤ 0 means one goroutine per
+// available CPU. The DB's structures are immutable, so evaluation is
+// embarrassingly parallel; results are positionally aligned with qs, with
+// a nil-Matches zero result for queries whose pin fails label validation.
+func (db *DB) SimulationBatch(qs []AnchoredQuery, alpha float64, workers int) []PatternResult {
+	return db.batch(qs, workers, func(q AnchoredQuery) PatternResult {
+		res, err := db.SimulationAt(q.Q, q.At, alpha)
+		if err != nil {
+			return PatternResult{Personalized: q.At}
+		}
+		return res
+	})
+}
+
+// SubgraphBatch is SimulationBatch under subgraph isomorphism.
+func (db *DB) SubgraphBatch(qs []AnchoredQuery, alpha float64, workers int) []PatternResult {
+	return db.batch(qs, workers, func(q AnchoredQuery) PatternResult {
+		res, err := db.SubgraphAt(q.Q, q.At, alpha)
+		if err != nil {
+			return PatternResult{Personalized: q.At}
+		}
+		return res
+	})
+}
+
+func (db *DB) batch(qs []AnchoredQuery, workers int, eval func(AnchoredQuery) PatternResult) []PatternResult {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(qs) {
+		workers = len(qs)
+	}
+	out := make([]PatternResult, len(qs))
+	if workers <= 1 {
+		for i, q := range qs {
+			out[i] = eval(q)
+		}
+		return out
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(qs) {
+					return
+				}
+				out[i] = eval(qs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// UnanchoredResult reports a pattern evaluation without a personalized
+// node (the Section 7 extension): the budget α|G| is divided among the
+// candidates of the most selective query node.
+type UnanchoredResult struct {
+	// Matches is the union of per-anchor answers, sorted.
+	Matches []NodeID
+	// Candidates is how many anchor candidates passed the guard;
+	// Evaluated how many were run before the budget drained.
+	Candidates, Evaluated int
+	// FragmentSize totals |G_Q| across anchors (≤ α|G| + one share).
+	FragmentSize int
+	// Visited totals data items examined.
+	Visited int
+}
+
+// SimulationUnanchored answers a pattern with NO unique personalized
+// match under strong simulation: every data node carrying the most
+// selective query label is tried as the anchor, sharing one α|G| budget.
+func (db *DB) SimulationUnanchored(q *Pattern, alpha float64) UnanchoredResult {
+	r := rbany.Simulation(db.aux, q, rbany.Options{Alpha: alpha})
+	return UnanchoredResult{
+		Matches:      r.Matches,
+		Candidates:   r.Candidates,
+		Evaluated:    r.Evaluated,
+		FragmentSize: r.FragmentSize,
+		Visited:      r.Visited,
+	}
+}
+
+// SubgraphUnanchored is SimulationUnanchored under subgraph isomorphism.
+func (db *DB) SubgraphUnanchored(q *Pattern, alpha float64) UnanchoredResult {
+	r := rbany.Subgraph(db.aux, q, rbany.Options{Alpha: alpha}, nil)
+	return UnanchoredResult{
+		Matches:      r.Matches,
+		Candidates:   r.Candidates,
+		Evaluated:    r.Evaluated,
+		FragmentSize: r.FragmentSize,
+		Visited:      r.Visited,
+	}
+}
+
+// CalibrationPoint is one sample of the empirical accuracy-vs-α curve.
+type CalibrationPoint struct {
+	Alpha        float64
+	Accuracy     float64
+	MeanFragment float64
+}
+
+// SimulationCurve evaluates the workload at each α against the exact
+// baseline and returns the empirical accuracy curve — the data behind the
+// paper's Fig. 8(c) and its Section 7 question of how η relates to α.
+func (db *DB) SimulationCurve(qs []AnchoredQuery, alphas []float64) []CalibrationPoint {
+	pts := calibrate.Curve(db.aux, toCalibrate(qs), alphas)
+	return fromCalibrate(pts)
+}
+
+// MinAlphaForAccuracy searches (0, hi] for the smallest resource ratio
+// whose workload accuracy reaches target (refined by `refine` bisection
+// steps). ok is false when even hi misses the target.
+func (db *DB) MinAlphaForAccuracy(qs []AnchoredQuery, target, hi float64, refine int) (CalibrationPoint, bool) {
+	pt, ok := calibrate.MinAlpha(db.aux, toCalibrate(qs), target, hi, refine)
+	return CalibrationPoint{Alpha: pt.Alpha, Accuracy: pt.Accuracy, MeanFragment: pt.MeanFragment}, ok
+}
+
+func toCalibrate(qs []AnchoredQuery) []calibrate.Query {
+	out := make([]calibrate.Query, len(qs))
+	for i, q := range qs {
+		out[i] = calibrate.Query{P: q.Q, VP: q.At}
+	}
+	return out
+}
+
+func fromCalibrate(pts []calibrate.Point) []CalibrationPoint {
+	out := make([]CalibrationPoint, len(pts))
+	for i, p := range pts {
+		out[i] = CalibrationPoint{Alpha: p.Alpha, Accuracy: p.Accuracy, MeanFragment: p.MeanFragment}
+	}
+	return out
+}
