@@ -1,0 +1,76 @@
+//go:build !race
+// +build !race
+
+package rbq
+
+import (
+	"testing"
+
+	"rbq/internal/gen"
+	"rbq/internal/graph"
+)
+
+// TestSimulationAtAllocBudget: a pooled resource-bounded query on a warm
+// DB stays within a small fixed allocation budget — the result slice plus
+// bookkeeping — regardless of graph size. This is the steady state the
+// batch APIs run in under heavy traffic.
+func TestSimulationAtAllocBudget(t *testing.T) {
+	g := YoutubeLike(10_000, 1)
+	db := NewDB(g)
+	var q *Pattern
+	var vp NodeID
+	for seed := int64(0); seed < 50 && q == nil; seed++ {
+		cand := NodeID(int(seed*131+17) % g.NumNodes())
+		if g.Degree(cand) < 2 {
+			continue
+		}
+		q = gen.PatternAt(g, graph.NodeID(cand), gen.PatternConfig{Nodes: 4, Edges: 8, Seed: seed})
+		vp = cand
+	}
+	if q == nil {
+		t.Fatal("could not extract a test pattern")
+	}
+	run := func() {
+		if _, err := db.SimulationAt(q, vp, 0.001); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		run() // warm the aux scratch pool
+	}
+	// The budget tolerates the result slice and the occasional pool refill
+	// after a GC; the seed implementation allocated >100 times per query.
+	if avg := testing.AllocsPerRun(200, run); avg > 8 {
+		t.Fatalf("pooled SimulationAt allocates %.1f times per run, want ≤ 8", avg)
+	}
+}
+
+// TestSubgraphAtAllocBudget is the RBSub counterpart.
+func TestSubgraphAtAllocBudget(t *testing.T) {
+	g := YoutubeLike(10_000, 1)
+	db := NewDB(g)
+	var q *Pattern
+	var vp NodeID
+	for seed := int64(0); seed < 50 && q == nil; seed++ {
+		cand := NodeID(int(seed*131+17) % g.NumNodes())
+		if g.Degree(cand) < 2 {
+			continue
+		}
+		q = gen.PatternAt(g, graph.NodeID(cand), gen.PatternConfig{Nodes: 4, Edges: 8, Seed: seed})
+		vp = cand
+	}
+	if q == nil {
+		t.Fatal("could not extract a test pattern")
+	}
+	run := func() {
+		if _, err := db.SubgraphAt(q, vp, 0.001); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		run()
+	}
+	if avg := testing.AllocsPerRun(200, run); avg > 8 {
+		t.Fatalf("pooled SubgraphAt allocates %.1f times per run, want ≤ 8", avg)
+	}
+}

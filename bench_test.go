@@ -20,6 +20,7 @@ import (
 	"rbq/internal/gen"
 	"rbq/internal/graph"
 	"rbq/internal/landmark"
+	"rbq/internal/pattern"
 	"rbq/internal/rbreach"
 	"rbq/internal/rbsim"
 	"rbq/internal/rbsub"
@@ -127,6 +128,29 @@ func BenchmarkRBSubQuery(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rbsub.Run(f.aux, f.q, f.vp, f.opts, nil)
+	}
+}
+
+func BenchmarkReduceSearch(b *testing.B) {
+	f := newPatternFixture(b)
+	sem := rbsim.Semantics{Aux: f.aux, P: f.q}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reduce.Search(f.aux, f.q, f.vp, sem, f.opts)
+	}
+}
+
+func BenchmarkDualSimulation(b *testing.B) {
+	f := newPatternFixture(b)
+	ball := f.g.Ball(f.vp, f.q.Diameter())
+	bvp := ball.SubOf(f.vp)
+	if bvp == graph.NoNode {
+		b.Fatal("v_p missing from its own ball")
+	}
+	pin := map[pattern.NodeID]graph.NodeID{f.q.Personalized(): bvp}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		simulation.DualSimulation(ball.G, f.q, pin)
 	}
 }
 

@@ -8,6 +8,7 @@
 //	rbbench -exp table2,fig8c       # selected experiments
 //	rbbench -list                   # list experiment ids
 //	rbbench -youtube 200000 -yahoo 300000 -patterns 10   # bigger workload
+//	rbbench -json                   # micro-benchmark suite -> BENCH_hotpaths.json
 package main
 
 import (
@@ -28,6 +29,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		exps     = fs.String("exp", "", "comma-separated experiment ids (empty = all)")
 		list     = fs.Bool("list", false, "list experiments and exit")
+		jsonOut  = fs.Bool("json", false, "run the engine micro-benchmark suite and write a JSON report")
+		jsonPath = fs.String("out", "BENCH_hotpaths.json", "report path for -json ('-' = stdout)")
 		youtube  = fs.Int("youtube", 0, "nodes in the Youtube-like stand-in (0 = default)")
 		yahoo    = fs.Int("yahoo", 0, "nodes in the Yahoo-like stand-in (0 = default)")
 		div      = fs.Int("div", 0, "divisor for the paper's 2M-10M synthetic sweep (0 = default)")
@@ -42,6 +45,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *list {
 		for _, e := range bench.Experiments() {
 			fmt.Fprintf(stdout, "%-12s %s\n", e.ID, e.Title)
+		}
+		return 0
+	}
+
+	if *jsonOut {
+		if err := runMicro(*jsonPath, stderr); err != nil {
+			fmt.Fprintln(stderr, "rbbench:", err)
+			return 1
 		}
 		return 0
 	}

@@ -1,0 +1,129 @@
+package main
+
+// The -json micro-benchmark mode: a fixed suite over the individual hot
+// engines (RBSim, RBSub, RBReach, DualSimulation, BuildAux), emitted as
+// machine-readable JSON so successive PRs can track the performance
+// trajectory of the query path. The fixtures mirror the root package's
+// micro-benchmarks (bench_test.go) so numbers are comparable with
+// `go test -bench`.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"testing"
+
+	"rbq/internal/dataset"
+	"rbq/internal/gen"
+	"rbq/internal/graph"
+	"rbq/internal/landmark"
+	"rbq/internal/pattern"
+	"rbq/internal/rbreach"
+	"rbq/internal/rbsim"
+	"rbq/internal/rbsub"
+	"rbq/internal/reduce"
+	"rbq/internal/simulation"
+)
+
+// microResult is one benchmark measurement in the JSON report.
+type microResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// runMicro executes the micro-benchmark suite and writes the JSON report
+// to path ("-" means stdout).
+func runMicro(path string, stderr io.Writer) error {
+	g := dataset.YoutubeLike(30_000, 1)
+	aux := graph.BuildAux(g)
+	rng := rand.New(rand.NewSource(2))
+	var q *pattern.Pattern
+	var vp graph.NodeID
+	for i := 0; i < 1000 && q == nil; i++ {
+		cand := graph.NodeID(rng.Intn(g.NumNodes()))
+		if g.Degree(cand) < 2 {
+			continue
+		}
+		q = gen.PatternAt(g, cand, gen.PatternConfig{Nodes: 4, Edges: 8, Seed: 3})
+		vp = cand
+	}
+	if q == nil {
+		return fmt.Errorf("could not extract a benchmark pattern")
+	}
+	opts := reduce.Options{Alpha: 0.001}
+
+	ball := g.Ball(vp, q.Diameter())
+	bvp := ball.SubOf(vp)
+	if bvp == graph.NoNode {
+		return fmt.Errorf("v_p missing from its own ball")
+	}
+	pin := map[pattern.NodeID]graph.NodeID{q.Personalized(): bvp}
+
+	gr := dataset.YahooLike(20_000, 1)
+	oracle := rbreach.New(gr, landmark.BuildOptions{Alpha: 0.005})
+	reachQs := gen.ReachQueries(gr, 64, 9)
+
+	suite := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"RBSim", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rbsim.Run(aux, q, vp, opts)
+			}
+		}},
+		{"RBSub", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rbsub.Run(aux, q, vp, opts, nil)
+			}
+		}},
+		{"RBReach", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rq := reachQs[i%len(reachQs)]
+				oracle.Query(rq.From, rq.To)
+			}
+		}},
+		{"DualSimulation", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				simulation.DualSimulation(ball.G, q, pin)
+			}
+		}},
+		{"BuildAux", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				graph.BuildAux(g)
+			}
+		}},
+	}
+
+	results := make([]microResult, 0, len(suite))
+	for _, bench := range suite {
+		fmt.Fprintf(stderr, "bench %-16s", bench.name)
+		r := testing.Benchmark(bench.fn)
+		res := microResult{
+			Name:        bench.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		fmt.Fprintf(stderr, " %12.0f ns/op %8d B/op %6d allocs/op\n",
+			res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+		results = append(results, res)
+	}
+
+	out, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
+}

@@ -1,0 +1,3 @@
+module rbq
+
+go 1.24

@@ -105,11 +105,21 @@ func TestExperimentsSmoke(t *testing.T) {
 		"abl-condense":   "condensed DAG",
 		"ext-unanchored": "anchors evaluated", "ext-calibrate": "mean |G_Q|",
 	}
+	// The reachability experiments build landmark indexes and dominate the
+	// suite's runtime; skip them under -short so CI stays fast while the
+	// full `go test ./...` keeps exercising every experiment.
+	slow := map[string]bool{
+		"fig8k": true, "fig8l": true, "fig8m": true, "fig8n": true,
+		"fig8o": true, "fig8p": true,
+	}
 	s := tinyScale()
 	for id, want := range headers {
 		id, want := id, want
 		t.Run(id, func(t *testing.T) {
 			t.Parallel()
+			if testing.Short() && slow[id] {
+				t.Skip("reachability harness; skipped in -short")
+			}
 			e, ok := ByID(id)
 			if !ok {
 				t.Fatalf("missing experiment %s", id)

@@ -1,0 +1,81 @@
+//go:build !race
+// +build !race
+
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Allocation regression tests for the dense scratch structures: the hot
+// query path must not touch the Go allocator once its buffers reach
+// steady-state size.
+
+func randomAllocGraph(t *testing.T) *Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	b := NewBuilder(400, 1600)
+	labels := []string{"a", "b", "c", "d"}
+	for i := 0; i < 400; i++ {
+		b.AddNode(labels[rng.Intn(len(labels))])
+	}
+	for i := 0; i < 1600; i++ {
+		b.AddEdge(NodeID(rng.Intn(400)), NodeID(rng.Intn(400)))
+	}
+	return b.Build()
+}
+
+// TestFragmentMembershipAllocFree: steady-state fragment use — Reset,
+// grow, Contains and InducedEdgeCost probes — performs zero allocations.
+func TestFragmentMembershipAllocFree(t *testing.T) {
+	g := randomAllocGraph(t)
+	f := NewFragment(g)
+	cycle := func() {
+		f.Reset()
+		for v := NodeID(0); v < 40; v++ {
+			f.Add(v * 7)
+		}
+		for v := NodeID(0); v < NodeID(g.NumNodes()); v++ {
+			if f.Contains(v) {
+				f.InducedEdgeCost(v + 1)
+			}
+		}
+	}
+	cycle() // warm up order capacity
+	if avg := testing.AllocsPerRun(100, cycle); avg != 0 {
+		t.Fatalf("fragment membership cycle allocates %.1f times per run, want 0", avg)
+	}
+}
+
+// TestCSRIntoAllocFree: re-materializing a fragment into a warm FragCSR
+// performs zero allocations.
+func TestCSRIntoAllocFree(t *testing.T) {
+	g := randomAllocGraph(t)
+	f := NewFragment(g)
+	for v := NodeID(0); v < 60; v++ {
+		f.Add(v * 5)
+	}
+	var csr FragCSR
+	f.CSRInto(&csr) // warm up
+	if avg := testing.AllocsPerRun(100, func() { f.CSRInto(&csr) }); avg != 0 {
+		t.Fatalf("CSRInto allocates %.1f times per run, want 0", avg)
+	}
+	// Sanity: the CSR must describe the same induced subgraph as Build.
+	sub := f.Build()
+	if got, want := csr.NumNodes(), sub.G.NumNodes(); got != want {
+		t.Fatalf("CSR has %d nodes, materialized Sub %d", got, want)
+	}
+	edges := 0
+	for i := int32(0); i < int32(csr.NumNodes()); i++ {
+		edges += csr.OutDegree(i)
+		for _, j := range csr.Out(i) {
+			if !sub.G.HasEdge(NodeID(i), NodeID(j)) {
+				t.Fatalf("CSR edge (%d,%d) missing from materialized Sub", i, j)
+			}
+		}
+	}
+	if edges != sub.G.NumEdges() {
+		t.Fatalf("CSR has %d edges, materialized Sub %d", edges, sub.G.NumEdges())
+	}
+}

@@ -1,6 +1,10 @@
 package graph
 
-import "sort"
+import (
+	"runtime"
+	"slices"
+	"sync"
+)
 
 // This file implements the once-for-all offline preprocessing of Section 4.1:
 // for each node v, its degree d(v) and the set Sl of (label, count) pairs
@@ -19,17 +23,50 @@ type LabelCount struct {
 
 // Aux is the offline auxiliary structure. It stores, for every node, the
 // (label, count) histogram of its out-neighbors and of its in-neighbors,
-// each sorted by label for binary search. Build time and space are O(|G|).
+// each sorted by label for binary search. Build time and space are O(|G|);
+// construction is parallelized across node ranges.
+//
+// Aux also owns the per-query scratch pools (see ScratchPool) that the
+// query engines draw on to stay allocation-free in steady state. The
+// histograms themselves are immutable after BuildAux, so an Aux may be
+// shared freely across goroutines.
 type Aux struct {
 	g        *Graph
 	outStart []int32
 	outHist  []LabelCount
 	inStart  []int32
 	inHist   []LabelCount
+
+	pools [scratchSlots]sync.Pool
 }
 
-// BuildAux computes the auxiliary structure for g by a single linear
-// traversal, mirroring the paper's once-for-all preprocessing step.
+// Scratch pool slots. Each engine package claims one slot and stores
+// exactly one concrete type in it, so a Get either yields a warm scratch
+// of that type or nil.
+const (
+	// ScratchReduce pools *reduce.Scratch for standalone reduce.Search.
+	ScratchReduce = iota
+	// ScratchSim pools the combined per-query state of rbsim.Run.
+	ScratchSim
+	// ScratchSub pools the combined per-query state of rbsub.Run.
+	ScratchSub
+	scratchSlots
+)
+
+// ScratchPool returns the per-query scratch pool for slot. Pools are safe
+// for concurrent use; a value obtained from a pool is owned by the calling
+// goroutine until it is Put back.
+func (a *Aux) ScratchPool(slot int) *sync.Pool { return &a.pools[slot] }
+
+// auxSerialCutoff is the node count below which BuildAux runs serially:
+// tiny graphs are built faster than goroutines can be scheduled.
+const auxSerialCutoff = 1 << 13
+
+// BuildAux computes the auxiliary structure for g, mirroring the paper's
+// once-for-all preprocessing step. Histograms are accumulated into a
+// label-indexed counting array (no map), and disjoint node ranges are
+// processed in parallel; the result is deterministic and identical to a
+// serial build.
 func BuildAux(g *Graph) *Aux {
 	n := g.NumNodes()
 	a := &Aux{
@@ -37,30 +74,89 @@ func BuildAux(g *Graph) *Aux {
 		outStart: make([]int32, n+1),
 		inStart:  make([]int32, n+1),
 	}
-	scratch := make(map[LabelID]int32)
-	histFor := func(neigh []NodeID) []LabelCount {
-		for k := range scratch {
-			delete(scratch, k)
-		}
-		for _, w := range neigh {
-			scratch[g.LabelOf(w)]++
-		}
-		hist := make([]LabelCount, 0, len(scratch))
-		for l, c := range scratch {
-			hist = append(hist, LabelCount{l, c})
-		}
-		sort.Slice(hist, func(i, j int) bool { return hist[i].Label < hist[j].Label })
-		return hist
+	workers := runtime.GOMAXPROCS(0)
+	if n < auxSerialCutoff || workers < 2 {
+		a.outHist, a.inHist = buildHistRange(g, 0, n, a.outStart, a.inStart)
+		return a
 	}
-	for v := 0; v < n; v++ {
-		oh := histFor(g.Out(NodeID(v)))
-		a.outHist = append(a.outHist, oh...)
-		a.outStart[v+1] = a.outStart[v] + int32(len(oh))
-		ih := histFor(g.In(NodeID(v)))
-		a.inHist = append(a.inHist, ih...)
-		a.inStart[v+1] = a.inStart[v] + int32(len(ih))
+	if workers > (n+auxSerialCutoff-1)/auxSerialCutoff {
+		workers = (n + auxSerialCutoff - 1) / auxSerialCutoff
+	}
+	type chunk struct {
+		lo, hi          int
+		outHist, inHist []LabelCount
+	}
+	chunks := make([]chunk, workers)
+	per := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		hi := min(lo+per, n)
+		chunks[w].lo, chunks[w].hi = lo, hi
+		wg.Add(1)
+		go func(c *chunk) {
+			defer wg.Done()
+			// Each worker fills disjoint index ranges of the start arrays
+			// (chunk-local lengths for now; prefix-summed below).
+			c.outHist, c.inHist = buildHistRange(g, c.lo, c.hi, a.outStart, a.inStart)
+		}(&chunks[w])
+	}
+	wg.Wait()
+	// The start arrays currently hold per-node histogram lengths at v+1
+	// relative to each chunk; turn them into global offsets and stitch the
+	// chunk buffers together.
+	var outTotal, inTotal int32
+	for _, c := range chunks {
+		outTotal += int32(len(c.outHist))
+		inTotal += int32(len(c.inHist))
+	}
+	a.outHist = make([]LabelCount, 0, outTotal)
+	a.inHist = make([]LabelCount, 0, inTotal)
+	for _, c := range chunks {
+		base := a.outStart[c.lo]
+		for v := c.lo; v < c.hi; v++ {
+			a.outStart[v+1] += base
+		}
+		a.outHist = append(a.outHist, c.outHist...)
+		base = a.inStart[c.lo]
+		for v := c.lo; v < c.hi; v++ {
+			a.inStart[v+1] += base
+		}
+		a.inHist = append(a.inHist, c.inHist...)
 	}
 	return a
+}
+
+// buildHistRange computes the histograms of nodes [lo, hi). It writes
+// range-relative cumulative offsets into outStart/inStart at indices
+// lo+1..hi (so entry lo+1 starts at 0) and returns the histogram entries
+// for the range; BuildAux rebases them to global offsets afterwards.
+func buildHistRange(g *Graph, lo, hi int, outStart, inStart []int32) (outHist, inHist []LabelCount) {
+	counts := make([]int32, g.NumLabels())
+	touched := make([]LabelID, 0, 64)
+	histInto := func(dst []LabelCount, neigh []NodeID) []LabelCount {
+		touched = touched[:0]
+		for _, w := range neigh {
+			l := g.LabelOf(w)
+			if counts[l] == 0 {
+				touched = append(touched, l)
+			}
+			counts[l]++
+		}
+		slices.Sort(touched)
+		for _, l := range touched {
+			dst = append(dst, LabelCount{l, counts[l]})
+			counts[l] = 0
+		}
+		return dst
+	}
+	for v := lo; v < hi; v++ {
+		outHist = histInto(outHist, g.Out(NodeID(v)))
+		outStart[v+1] = int32(len(outHist))
+		inHist = histInto(inHist, g.In(NodeID(v)))
+		inStart[v+1] = int32(len(inHist))
+	}
+	return outHist, inHist
 }
 
 // Graph returns the graph this structure was built for.
@@ -78,10 +174,20 @@ func (a *Aux) InLabelHist(v NodeID) []LabelCount {
 	return a.inHist[a.inStart[v]:a.inStart[v+1]]
 }
 
+// lookup is a closure-free binary search over a sorted histogram; it sits
+// on the guard hot path of every reduction step.
 func lookup(hist []LabelCount, l LabelID) int32 {
-	i := sort.Search(len(hist), func(i int) bool { return hist[i].Label >= l })
-	if i < len(hist) && hist[i].Label == l {
-		return hist[i].Count
+	lo, hi := 0, len(hist)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if hist[mid].Label < l {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(hist) && hist[lo].Label == l {
+		return hist[lo].Count
 	}
 	return 0
 }

@@ -1,0 +1,148 @@
+package graph
+
+import "slices"
+
+// FragCSR is a reusable, allocation-free materialization of a Fragment: the
+// induced subgraph in CSR form over dense positions 0..N-1, where position
+// i is the i-th node added to the fragment (the same numbering
+// Fragment.Build assigns). Unlike Sub it holds no maps and interns no
+// labels — Labels carries the parent graph's LabelIDs — so the downstream
+// matchers can run on it without touching the Go allocator once the
+// backing slices have grown to a steady-state size.
+//
+// A FragCSR is owned by exactly one query evaluation at a time (see the
+// scratch pools on Aux); it is not safe for concurrent use.
+type FragCSR struct {
+	// OutStart/OutAdj and InStart/InAdj are the induced adjacency in CSR
+	// form over positions, each segment sorted ascending.
+	OutStart, InStart []int32
+	OutAdj, InAdj     []int32
+	// Labels[i] is the parent-graph LabelID of position i.
+	Labels []LabelID
+	// Orig[i] is the parent-graph node at position i (aliases
+	// Fragment.Nodes; do not modify).
+	Orig []NodeID
+
+	// pos maps a parent node to its position, epoch-stamped so reuse across
+	// queries needs no O(|V|) clear: pos[v] = epoch<<32 | position.
+	pos   []uint64
+	epoch uint32
+	next  []int32 // counting-sort cursor scratch
+}
+
+// sized returns s resized to n, reallocating only on growth. Contents are
+// unspecified; callers overwrite or clear as needed.
+func sized[T int32 | LabelID](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// NumNodes returns the number of positions (fragment nodes).
+func (c *FragCSR) NumNodes() int { return len(c.Orig) }
+
+// PosOf returns the position of parent node v, or -1 if v is not in the
+// materialized fragment.
+func (c *FragCSR) PosOf(v NodeID) int32 {
+	if int(v) >= len(c.pos) {
+		return -1
+	}
+	if p := c.pos[v]; uint32(p>>32) == c.epoch {
+		return int32(uint32(p))
+	}
+	return -1
+}
+
+// Out returns the children of position i, ascending.
+func (c *FragCSR) Out(i int32) []int32 { return c.OutAdj[c.OutStart[i]:c.OutStart[i+1]] }
+
+// In returns the parents of position i, ascending.
+func (c *FragCSR) In(i int32) []int32 { return c.InAdj[c.InStart[i]:c.InStart[i+1]] }
+
+// OutDegree returns the number of children of position i.
+func (c *FragCSR) OutDegree(i int32) int { return int(c.OutStart[i+1] - c.OutStart[i]) }
+
+// InDegree returns the number of parents of position i.
+func (c *FragCSR) InDegree(i int32) int { return int(c.InStart[i+1] - c.InStart[i]) }
+
+// HasEdge reports whether the induced edge (i, j) exists, by binary search
+// over i's sorted out segment.
+func (c *FragCSR) HasEdge(i, j int32) bool {
+	return containsSorted(c.Out(i), j)
+}
+
+// CSRInto materializes the fragment into c, reusing c's backing slices.
+// Positions follow insertion order, and each adjacency segment is sorted
+// ascending, exactly matching the Graph that Fragment.Build constructs —
+// so a matcher that walks a FragCSR explores candidates in the identical
+// order, step for step, as one walking the materialized Sub.
+func (f *Fragment) CSRInto(c *FragCSR) {
+	g := f.parent
+	n := int32(len(f.order))
+	c.Orig = f.order
+	c.Labels = sized(c.Labels, int(n))
+
+	// Refresh the epoch-stamped position index.
+	if len(c.pos) < g.NumNodes() {
+		c.pos = make([]uint64, g.NumNodes())
+		c.epoch = 0
+	}
+	c.epoch++
+	if c.epoch == 0 { // wrapped: stale stamps could collide, clear once
+		clear(c.pos)
+		c.epoch = 1
+	}
+	for i, v := range f.order {
+		c.pos[v] = uint64(c.epoch)<<32 | uint64(uint32(i))
+		c.Labels[i] = g.LabelOf(v)
+	}
+
+	// Out CSR: count, offset, fill, then sort each segment by position.
+	c.OutStart = sized(c.OutStart, int(n)+1)
+	c.OutStart[0] = 0
+	for i, v := range f.order {
+		d := int32(0)
+		for _, w := range g.Out(v) {
+			if c.PosOf(w) >= 0 {
+				d++
+			}
+		}
+		c.OutStart[i+1] = c.OutStart[i] + d
+	}
+	m := c.OutStart[n]
+	c.OutAdj = sized(c.OutAdj, int(m))
+	for i, v := range f.order {
+		k := c.OutStart[i]
+		for _, w := range g.Out(v) {
+			if p := c.PosOf(w); p >= 0 {
+				c.OutAdj[k] = p
+				k++
+			}
+		}
+		seg := c.OutAdj[c.OutStart[i]:k]
+		if !slices.IsSorted(seg) {
+			slices.Sort(seg)
+		}
+	}
+
+	// In CSR by stable counting over the out edges: rows ascending because
+	// sources are visited in ascending position order.
+	c.InStart = sized(c.InStart, int(n)+1)
+	clear(c.InStart)
+	for _, w := range c.OutAdj {
+		c.InStart[w+1]++
+	}
+	for i := int32(0); i < n; i++ {
+		c.InStart[i+1] += c.InStart[i]
+	}
+	c.InAdj = sized(c.InAdj, int(m))
+	c.next = sized(c.next, int(n))
+	copy(c.next, c.InStart[:n])
+	for i := int32(0); i < n; i++ {
+		for _, w := range c.Out(i) {
+			c.InAdj[c.next[w]] = i
+			c.next[w]++
+		}
+	}
+}

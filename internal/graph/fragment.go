@@ -10,16 +10,36 @@ package graph
 // the parent between the new node and nodes already present, matching the
 // paper's "subgraph induced by the nodes" (Example 2). InducedEdgeCost lets
 // the caller price an insertion before committing to it.
+//
+// Membership is a dense bitset over |V|, so Contains is a single word
+// probe with no hashing and no allocation. A fragment can be reused across
+// queries on the same parent via Reset, which clears only the bits of the
+// nodes it actually holds (O(|G_Q|), not O(|V|)); the per-query engine
+// pools of Aux rely on this to keep steady-state query evaluation
+// allocation-free. A Fragment is not safe for concurrent use.
 type Fragment struct {
 	parent *Graph
-	nodes  map[NodeID]struct{}
+	member []uint64 // bitset over parent nodes
 	order  []NodeID // insertion order, for deterministic materialization
 	edges  int
 }
 
 // NewFragment returns an empty fragment over parent.
 func NewFragment(parent *Graph) *Fragment {
-	return &Fragment{parent: parent, nodes: make(map[NodeID]struct{}, 64)}
+	return &Fragment{
+		parent: parent,
+		member: make([]uint64, (parent.NumNodes()+63)/64),
+	}
+}
+
+// Reset empties the fragment for reuse on the same parent graph, clearing
+// only the bits of its current nodes.
+func (f *Fragment) Reset() {
+	for _, v := range f.order {
+		f.member[v>>6] &^= 1 << (uint(v) & 63)
+	}
+	f.order = f.order[:0]
+	f.edges = 0
 }
 
 // Parent returns the graph this fragment is a subgraph of.
@@ -27,18 +47,17 @@ func (f *Fragment) Parent() *Graph { return f.parent }
 
 // Contains reports whether parent node v is in the fragment.
 func (f *Fragment) Contains(v NodeID) bool {
-	_, ok := f.nodes[v]
-	return ok
+	return f.member[v>>6]&(1<<(uint(v)&63)) != 0
 }
 
 // NumNodes returns the number of nodes currently in the fragment.
-func (f *Fragment) NumNodes() int { return len(f.nodes) }
+func (f *Fragment) NumNodes() int { return len(f.order) }
 
 // NumEdges returns the number of induced edges currently in the fragment.
 func (f *Fragment) NumEdges() int { return f.edges }
 
 // Size returns |G_Q| = nodes + edges.
-func (f *Fragment) Size() int { return len(f.nodes) + f.edges }
+func (f *Fragment) Size() int { return len(f.order) + f.edges }
 
 // InducedEdgeCost returns the number of parent edges between v and the
 // fragment's current nodes, i.e. how many edges adding v would contribute.
@@ -68,7 +87,7 @@ func (f *Fragment) Add(v NodeID) int {
 		return 0
 	}
 	cost := f.InducedEdgeCost(v)
-	f.nodes[v] = struct{}{}
+	f.member[v>>6] |= 1 << (uint(v) & 63)
 	f.order = append(f.order, v)
 	f.edges += cost
 	return 1 + cost

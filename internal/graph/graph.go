@@ -12,12 +12,27 @@
 // The paper measures |G| as the total number of nodes plus edges; Size
 // implements exactly that convention, and every resource budget α|G| in the
 // sibling packages is expressed in those units.
+//
+// # Hot-path representation and scratch pooling
+//
+// The per-query engines built on this package avoid Go maps and
+// reflection-based sorts on their hot paths. The substrate provides the
+// dense building blocks: Fragment tracks membership in a bitset over |V|
+// and is reusable via Reset (clearing costs O(|G_Q|), not O(|V|));
+// FragCSR materializes a fragment as plain CSR arrays with an
+// epoch-stamped position index, so repeated materializations allocate
+// nothing once warm; and Aux carries one sync.Pool per engine
+// (Aux.ScratchPool) from which query evaluations borrow their scratch.
+//
+// Thread-safety contract: Graph and the histogram portion of Aux are
+// immutable after construction and safe for unsynchronized concurrent
+// reads. Fragment, FragCSR and every pooled scratch value are owned by a
+// single goroutine from pool Get to pool Put; the pools themselves are
+// safe for concurrent use, which is what lets batch workers run
+// allocation-free in steady state without sharing mutable state.
 package graph
 
-import (
-	"fmt"
-	"sort"
-)
+import "fmt"
 
 // NodeID identifies a node of a Graph. IDs are dense: a graph with n nodes
 // uses IDs 0..n-1.
@@ -48,7 +63,10 @@ type Graph struct {
 	inStart  []int64
 	inAdj    []NodeID
 
-	byLabel map[LabelID][]NodeID // nodes carrying each label, ascending
+	// Nodes carrying each label, ascending, in CSR form indexed by LabelID
+	// (labels are dense): labelStart has len NumLabels+1.
+	labelStart []int64
+	labelNodes []NodeID
 
 	maxDegree int // cached at build time; see MaxDegree
 }
@@ -86,7 +104,12 @@ func (g *Graph) NumLabels() int { return len(g.labelNames) }
 
 // NodesWithLabel returns all nodes labeled l, in ascending order. The
 // returned slice is shared with the graph and must not be modified.
-func (g *Graph) NodesWithLabel(l LabelID) []NodeID { return g.byLabel[l] }
+func (g *Graph) NodesWithLabel(l LabelID) []NodeID {
+	if l < 0 || int(l) >= g.NumLabels() {
+		return nil
+	}
+	return g.labelNodes[g.labelStart[l]:g.labelStart[l+1]]
+}
 
 // Out returns the out-neighbors (children) of v in ascending order. The
 // slice is shared with the graph and must not be modified.
@@ -116,12 +139,26 @@ func (g *Graph) InDegree(v NodeID) int {
 // the paper's dynamic reduction.
 func (g *Graph) Degree(v NodeID) int { return g.OutDegree(v) + g.InDegree(v) }
 
-// HasEdge reports whether the edge (u, v) exists, by binary search over u's
-// sorted out-neighbor list.
+// containsSorted reports whether v occurs in the ascending slice adj, by
+// closure-free binary search (shared by the Graph and FragCSR edge probes
+// on the reduction-cost and VF2 inner loops).
+func containsSorted[T ~int32](adj []T, v T) bool {
+	lo, hi := 0, len(adj)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if adj[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(adj) && adj[lo] == v
+}
+
+// HasEdge reports whether the edge (u, v) exists, by binary search over
+// u's sorted out-neighbor list.
 func (g *Graph) HasEdge(u, v NodeID) bool {
-	adj := g.Out(u)
-	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= v })
-	return i < len(adj) && adj[i] == v
+	return containsSorted(g.Out(u), v)
 }
 
 // MaxDegree returns the maximum Degree over all nodes (the paper's d_G when
@@ -174,9 +211,12 @@ func (g *Graph) Validate() error {
 	if inCount != int64(len(g.outAdj)) {
 		return fmt.Errorf("graph: in lists carry %d edges, out lists %d", inCount, len(g.outAdj))
 	}
-	for l, nodes := range g.byLabel {
-		for _, v := range nodes {
-			if g.labels[v] != l {
+	if len(g.labelStart) != g.NumLabels()+1 {
+		return fmt.Errorf("graph: label index has %d offsets for %d labels", len(g.labelStart), g.NumLabels())
+	}
+	for l := 0; l < g.NumLabels(); l++ {
+		for _, v := range g.NodesWithLabel(LabelID(l)) {
+			if g.labels[v] != LabelID(l) {
 				return fmt.Errorf("graph: label index lists node %d under %d, actual %d", v, l, g.labels[v])
 			}
 		}
@@ -231,17 +271,50 @@ func (b *Builder) AddEdge(from, to NodeID) {
 	b.edges = append(b.edges, edge{from, to})
 }
 
+// sortEdges sorts b.edges by (from, to) with a two-pass LSD counting sort
+// (radix on the node id): O(|V| + |E|), no comparator and no reflection,
+// which keeps Build linear on multi-million-edge graphs.
+func (b *Builder) sortEdges(n int) {
+	m := len(b.edges)
+	if m < 2 {
+		return
+	}
+	tmp := make([]edge, m)
+	// int64 counters, matching the CSR offset width: cumulative counts are
+	// edge counts and may exceed int32 on billion-edge graphs.
+	count := make([]int64, n+1)
+	// Pass 1: stable counting sort by to.
+	for _, e := range b.edges {
+		count[e.to+1]++
+	}
+	for v := 0; v < n; v++ {
+		count[v+1] += count[v]
+	}
+	for _, e := range b.edges {
+		tmp[count[e.to]] = e
+		count[e.to]++
+	}
+	// Pass 2: stable counting sort by from; stability preserves the to
+	// order within each from segment, yielding (from, to) order overall.
+	clear(count)
+	for _, e := range tmp {
+		count[e.from+1]++
+	}
+	for v := 0; v < n; v++ {
+		count[v+1] += count[v]
+	}
+	for _, e := range tmp {
+		b.edges[count[e.from]] = e
+		count[e.from]++
+	}
+}
+
 // Build produces the immutable Graph. The Builder may be reused afterwards,
 // but further mutation does not affect the built graph.
 func (b *Builder) Build() *Graph {
 	n := len(b.labels)
 	// Sort and deduplicate edges.
-	sort.Slice(b.edges, func(i, j int) bool {
-		if b.edges[i].from != b.edges[j].from {
-			return b.edges[i].from < b.edges[j].from
-		}
-		return b.edges[i].to < b.edges[j].to
-	})
+	b.sortEdges(n)
 	dedup := b.edges[:0]
 	for i, e := range b.edges {
 		if i == 0 || e != b.edges[i-1] {
@@ -259,7 +332,6 @@ func (b *Builder) Build() *Graph {
 		outAdj:     make([]NodeID, m),
 		inStart:    make([]int64, n+1),
 		inAdj:      make([]NodeID, m),
-		byLabel:    make(map[LabelID][]NodeID),
 	}
 	for k, v := range b.labelIndex {
 		g.labelIndex[k] = v
@@ -274,7 +346,6 @@ func (b *Builder) Build() *Graph {
 	}
 	for i, e := range b.edges {
 		g.outAdj[i] = e.to
-		_ = i
 	}
 	// In CSR via counting sort on 'to'.
 	for _, e := range b.edges {
@@ -292,9 +363,23 @@ func (b *Builder) Build() *Graph {
 	// In-adjacency segments: sources arrive in ascending order because edges
 	// are sorted by (from, to), so each segment is already sorted.
 
+	// Label index CSR via counting sort on the (dense) label ids; segments
+	// come out ascending because nodes are scanned in ascending order.
+	nl := len(g.labelNames)
+	g.labelStart = make([]int64, nl+1)
+	for _, l := range g.labels {
+		g.labelStart[l+1]++
+	}
+	for l := 0; l < nl; l++ {
+		g.labelStart[l+1] += g.labelStart[l]
+	}
+	g.labelNodes = make([]NodeID, n)
+	lnext := make([]int64, nl)
+	copy(lnext, g.labelStart[:nl])
 	for v := 0; v < n; v++ {
 		l := g.labels[v]
-		g.byLabel[l] = append(g.byLabel[l], NodeID(v))
+		g.labelNodes[lnext[l]] = NodeID(v)
+		lnext[l]++
 		if d := g.Degree(NodeID(v)); d > g.maxDegree {
 			g.maxDegree = d
 		}

@@ -45,23 +45,26 @@ func (g *Graph) NodesWithin(v NodeID, r int) []NodeID {
 // stops the traversal early. BFS returns the visited nodes in discovery
 // order.
 func (g *Graph) BFS(start NodeID, dir Direction, maxDepth int, visit func(v NodeID, depth int) bool) []NodeID {
-	seen := make(map[NodeID]bool, 64)
+	// Dense visited array: one byte per node beats a hash set as soon as a
+	// traversal touches more than a handful of nodes, and the zeroing cost
+	// of make is a fraction of a map's first insert.
+	seen := make([]bool, g.NumNodes())
 	order := make([]NodeID, 0, 64)
 	type item struct {
 		v NodeID
-		d int
+		d int32
 	}
-	queue := []item{{start, 0}}
+	queue := make([]item, 0, 64)
+	queue = append(queue, item{start, 0})
 	seen[start] = true
 	var buf []NodeID
-	for len(queue) > 0 {
-		it := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		it := queue[head]
 		order = append(order, it.v)
-		if visit != nil && !visit(it.v, it.d) {
+		if visit != nil && !visit(it.v, int(it.d)) {
 			return order
 		}
-		if maxDepth >= 0 && it.d == maxDepth {
+		if maxDepth >= 0 && int(it.d) == maxDepth {
 			continue
 		}
 		buf = g.neighbors(it.v, dir, buf[:0])

@@ -17,7 +17,7 @@
 package rbany
 
 import (
-	"sort"
+	"slices"
 
 	"rbq/internal/graph"
 	"rbq/internal/pattern"
@@ -115,19 +115,18 @@ func run(aux *graph.Aux, p *pattern.Pattern, opts Options, kind guardType, mopts
 	if len(pass) == 0 {
 		return res
 	}
-	sort.Slice(pass, func(i, j int) bool {
-		di, dj := g.Degree(pass[i]), g.Degree(pass[j])
-		if di != dj {
-			return di > dj
+	slices.SortFunc(pass, func(a, b graph.NodeID) int {
+		if da, db := g.Degree(a), g.Degree(b); da != db {
+			return db - da // higher degree first
 		}
-		return pass[i] < pass[j]
+		return int(a) - int(b)
 	})
 	if opts.MaxAnchors > 0 && len(pass) > opts.MaxAnchors {
 		pass = pass[:opts.MaxAnchors]
 	}
 
 	totalBudget := int(opts.Alpha * float64(g.Size()))
-	matches := make(map[graph.NodeID]bool)
+	var matches []graph.NodeID
 	remaining := totalBudget
 	for i, vp := range pass {
 		if remaining <= 0 {
@@ -154,11 +153,9 @@ func run(aux *graph.Aux, p *pattern.Pattern, opts Options, kind guardType, mopts
 		res.Visited += stats.Visited
 		res.FragmentSize += stats.FragmentSize
 		remaining -= stats.FragmentSize
-		for _, m := range got {
-			matches[m] = true
-		}
+		matches = append(matches, got...)
 	}
-	res.Matches = sortedKeys(matches)
+	res.Matches = sortedUnique(matches)
 	return res
 }
 
@@ -186,13 +183,11 @@ func SimulationExact(g *graph.Graph, p *pattern.Pattern) []graph.NodeID {
 	if err != nil {
 		return nil
 	}
-	out := make(map[graph.NodeID]bool)
+	var out []graph.NodeID
 	for _, vp := range cands {
-		for _, m := range simulation.MatchOpt(g, rooted, vp) {
-			out[m] = true
-		}
+		out = append(out, simulation.MatchOpt(g, rooted, vp)...)
 	}
-	return sortedKeys(out)
+	return sortedUnique(out)
 }
 
 // SubgraphExact is the isomorphism counterpart of SimulationExact.
@@ -205,26 +200,21 @@ func SubgraphExact(g *graph.Graph, p *pattern.Pattern, mopts *subiso.Options) ([
 	if err != nil {
 		return nil, true
 	}
-	out := make(map[graph.NodeID]bool)
+	var out []graph.NodeID
 	complete := true
 	for _, vp := range cands {
 		m, ok := subiso.MatchOpt(g, rooted, vp, mopts)
 		complete = complete && ok
-		for _, v := range m {
-			out[v] = true
-		}
+		out = append(out, m...)
 	}
-	return sortedKeys(out), complete
+	return sortedUnique(out), complete
 }
 
-func sortedKeys(set map[graph.NodeID]bool) []graph.NodeID {
-	if len(set) == 0 {
+// sortedUnique sorts ids ascending and drops duplicates in place.
+func sortedUnique(ids []graph.NodeID) []graph.NodeID {
+	if len(ids) == 0 {
 		return nil
 	}
-	out := make([]graph.NodeID, 0, len(set))
-	for v := range set {
-		out = append(out, v)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	slices.Sort(ids)
+	return slices.Compact(ids)
 }

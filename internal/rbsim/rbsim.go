@@ -8,6 +8,11 @@
 // approximate answer to Q(G). Theorem 3 bounds its data access by
 // d_G·α|G| and its time by O(d_G·|Q|·|G_Q|), and guarantees 100% accuracy
 // once α ≥ 2((l·f)^d − 1)/((l·f−1)|G|).
+//
+// Run borrows its entire working state — reduction scratch, reusable
+// fragment, CSR materialization and simulation bitsets — from the Aux's
+// scratch pool (graph.ScratchSim), so steady-state queries allocate only
+// their result slice.
 package rbsim
 
 import (
@@ -70,35 +75,36 @@ func (s Semantics) Potential(v graph.NodeID, u pattern.NodeID) float64 {
 type Result struct {
 	// Matches is Q(G_Q): the approximate answer, in g's node ids, sorted.
 	Matches []graph.NodeID
-	// Fragment is the materialized G_Q.
-	Fragment *graph.Sub
 	// Stats reports the reduction run.
 	Stats reduce.Stats
+}
+
+// scratch is the pooled per-query state of Run.
+type scratch struct {
+	red  reduce.Scratch
+	frag *graph.Fragment
+	csr  graph.FragCSR
+	sim  simulation.Scratch
 }
 
 // Run executes RBSim: dynamic reduction followed by exact strong
 // simulation on the fragment. opts.Alpha must be set; other options
 // default per the paper (b=2, visit budget d_G·α|G|).
 func Run(aux *graph.Aux, p *pattern.Pattern, vp graph.NodeID, opts reduce.Options) Result {
-	frag, stats := reduce.Search(aux, p, vp, Semantics{Aux: aux, P: p}, opts)
+	pool := aux.ScratchPool(graph.ScratchSim)
+	sc, _ := pool.Get().(*scratch)
+	if sc == nil {
+		sc = &scratch{frag: graph.NewFragment(aux.Graph())}
+	}
+	defer pool.Put(sc)
+
+	stats := reduce.SearchInto(aux, p, vp, Semantics{Aux: aux, P: p}, opts, sc.frag, &sc.red)
 	res := Result{Stats: stats}
-	res.Fragment = frag.Build()
-	svp := res.Fragment.SubOf(vp)
-	if svp == graph.NoNode {
+	sc.frag.CSRInto(&sc.csr)
+	pinPos := sc.csr.PosOf(vp)
+	if pinPos < 0 {
 		return res
 	}
-	sub := simulation.MatchInGraph(res.Fragment.G, p, svp)
-	for _, m := range sub {
-		res.Matches = append(res.Matches, res.Fragment.OrigOf(m))
-	}
-	sortNodeIDs(res.Matches)
+	res.Matches = simulation.MatchFragment(aux.Graph(), &sc.csr, p, pinPos, &sc.sim)
 	return res
-}
-
-func sortNodeIDs(v []graph.NodeID) {
-	for i := 1; i < len(v); i++ {
-		for j := i; j > 0 && v[j] < v[j-1]; j-- {
-			v[j], v[j-1] = v[j-1], v[j]
-		}
-	}
 }

@@ -9,6 +9,11 @@
 // candidate ranking favors higher-degree, lower-cost nodes (the engine's
 // degree tie-break). The extracted fragment is then searched exactly with
 // the VF2-style matcher.
+//
+// Run borrows its entire working state — reduction scratch, reusable
+// fragment, CSR materialization and matcher arrays — from the Aux's
+// scratch pool (graph.ScratchSub), so steady-state queries allocate only
+// their result slice.
 package rbsub
 
 import (
@@ -45,28 +50,40 @@ func (s Semantics) Guard(v graph.NodeID, u pattern.NodeID) bool {
 }
 
 // enoughDistinct checks the per-label multiplicity requirement in one
-// direction.
+// direction: for each label l carried by k pattern neighbors, v must have
+// at least k l-labeled data neighbors. Pattern neighbor lists are tiny, so
+// the k for each label is recounted in place rather than built in a map.
 func (s Semantics) enoughDistinct(v graph.NodeID, patNeigh []pattern.NodeID, out bool) bool {
-	if len(patNeigh) == 0 {
-		return true
-	}
 	g := s.Aux.Graph()
-	need := make(map[graph.LabelID]int32, len(patNeigh))
-	for _, u := range patNeigh {
+	for i, u := range patNeigh {
 		l := g.LabelIDOf(s.P.Label(u))
 		if l == graph.NoLabel {
 			return false
 		}
-		need[l]++
-	}
-	for l, k := range need {
+		// Count this label's multiplicity once, at its first occurrence.
+		first := true
+		for _, w := range patNeigh[:i] {
+			if g.LabelIDOf(s.P.Label(w)) == l {
+				first = false
+				break
+			}
+		}
+		if !first {
+			continue
+		}
+		var need int32
+		for _, w := range patNeigh[i:] {
+			if g.LabelIDOf(s.P.Label(w)) == l {
+				need++
+			}
+		}
 		var have int32
 		if out {
 			have = s.Aux.OutLabelCount(v, l)
 		} else {
 			have = s.Aux.InLabelCount(v, l)
 		}
-		if have < k {
+		if have < need {
 			return false
 		}
 	}
@@ -95,8 +112,6 @@ func (s Semantics) Potential(v graph.NodeID, u pattern.NodeID) float64 {
 type Result struct {
 	// Matches is Q(G_Q) under subgraph isomorphism, in g's node ids.
 	Matches []graph.NodeID
-	// Fragment is the materialized G_Q.
-	Fragment *graph.Sub
 	// Stats reports the reduction run.
 	Stats reduce.Stats
 	// Complete is false if the exact matcher hit MatchOpts.MaxSteps.
@@ -106,29 +121,31 @@ type Result struct {
 // MatchOpts tunes the exact matching phase on the fragment.
 type MatchOpts = subiso.Options
 
+// scratch is the pooled per-query state of Run.
+type scratch struct {
+	red  reduce.Scratch
+	frag *graph.Fragment
+	csr  graph.FragCSR
+	sub  subiso.Scratch
+}
+
 // Run executes RBSub: dynamic reduction with the isomorphism semantics,
 // then exact VF2 search on the fragment.
 func Run(aux *graph.Aux, p *pattern.Pattern, vp graph.NodeID, opts reduce.Options, mopts *MatchOpts) Result {
-	frag, stats := reduce.Search(aux, p, vp, Semantics{Aux: aux, P: p}, opts)
+	pool := aux.ScratchPool(graph.ScratchSub)
+	sc, _ := pool.Get().(*scratch)
+	if sc == nil {
+		sc = &scratch{frag: graph.NewFragment(aux.Graph())}
+	}
+	defer pool.Put(sc)
+
+	stats := reduce.SearchInto(aux, p, vp, Semantics{Aux: aux, P: p}, opts, sc.frag, &sc.red)
 	res := Result{Stats: stats, Complete: true}
-	res.Fragment = frag.Build()
-	svp := res.Fragment.SubOf(vp)
-	if svp == graph.NoNode {
+	sc.frag.CSRInto(&sc.csr)
+	pinPos := sc.csr.PosOf(vp)
+	if pinPos < 0 {
 		return res
 	}
-	sub, complete := subiso.Match(res.Fragment.G, p, svp, mopts)
-	res.Complete = complete
-	for _, m := range sub {
-		res.Matches = append(res.Matches, res.Fragment.OrigOf(m))
-	}
-	sortNodeIDs(res.Matches)
+	res.Matches, res.Complete = subiso.MatchFragment(aux.Graph(), &sc.csr, p, pinPos, mopts, &sc.sub)
 	return res
-}
-
-func sortNodeIDs(v []graph.NodeID) {
-	for i := 1; i < len(v); i++ {
-		for j := i; j > 0 && v[j] < v[j-1]; j-- {
-			v[j], v[j-1] = v[j-1], v[j]
-		}
-	}
 }

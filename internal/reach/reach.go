@@ -18,13 +18,19 @@ func BFS(g *graph.Graph, from, to graph.NodeID) bool {
 // Bidirectional answers reachability by alternating forward search from
 // `from` and backward search from `to`, expanding the smaller frontier
 // first. Exact, and typically visits far fewer nodes than BFS on graphs
-// with bounded degree.
+// with bounded degree. Visited state is one dense byte array (forward and
+// backward colors), not hash sets.
 func Bidirectional(g *graph.Graph, from, to graph.NodeID) bool {
 	if from == to {
 		return true
 	}
-	fSeen := map[graph.NodeID]bool{from: true}
-	bSeen := map[graph.NodeID]bool{to: true}
+	const (
+		fwd = 1
+		bwd = 2
+	)
+	seen := make([]uint8, g.NumNodes())
+	seen[from] = fwd
+	seen[to] = bwd
 	fFrontier := []graph.NodeID{from}
 	bFrontier := []graph.NodeID{to}
 	for len(fFrontier) > 0 && len(bFrontier) > 0 {
@@ -32,11 +38,11 @@ func Bidirectional(g *graph.Graph, from, to graph.NodeID) bool {
 			var next []graph.NodeID
 			for _, v := range fFrontier {
 				for _, w := range g.Out(v) {
-					if bSeen[w] {
+					if seen[w] == bwd {
 						return true
 					}
-					if !fSeen[w] {
-						fSeen[w] = true
+					if seen[w] == 0 {
+						seen[w] = fwd
 						next = append(next, w)
 					}
 				}
@@ -46,11 +52,11 @@ func Bidirectional(g *graph.Graph, from, to graph.NodeID) bool {
 			var next []graph.NodeID
 			for _, v := range bFrontier {
 				for _, w := range g.In(v) {
-					if fSeen[w] {
+					if seen[w] == fwd {
 						return true
 					}
-					if !bSeen[w] {
-						bSeen[w] = true
+					if seen[w] == 0 {
+						seen[w] = bwd
 						next = append(next, w)
 					}
 				}

@@ -11,11 +11,29 @@
 // dynamically maintained cost c(v,u), the weight p/(c+1), the fairness
 // bound b (initially 2, escalated when a round stalls), the size budget
 // α|G| and the visit budget c·α|G|.
+//
+// # Scratch state and pooling
+//
+// The engine keeps no per-round heap state: the per-round (u,v) sets of
+// Fig. 3 ("pushed this round", "expanded this round") are epoch-stamped
+// arrays indexed by pattern-node × data-node, reset in O(1) by bumping the
+// epoch, and the frontier ranking runs over a reusable candidate buffer
+// with a concrete-type selection of the top-b (no sort.Slice, no
+// reflection). All of it lives in a Scratch that Search borrows from the
+// Aux's scratch pool (graph.ScratchReduce) and returns on exit, so
+// steady-state reductions do not allocate; callers that manage their own
+// pooling (rbsim, rbsub) pass a Scratch and a reusable Fragment to
+// SearchInto directly.
+//
+// Thread-safety: a Scratch (and the Fragment given to SearchInto) is owned
+// by one goroutine for the duration of the call; the Aux pools hand each
+// borrower a distinct value, which is what makes concurrent batch
+// evaluation over one shared Aux safe.
 package reduce
 
 import (
+	"math"
 	"math/rand"
-	"sort"
 
 	"rbq/internal/graph"
 	"rbq/internal/pattern"
@@ -101,6 +119,81 @@ type pairKey struct {
 	v graph.NodeID
 }
 
+// maxStampEntries bounds the dense pair-stamp arrays to 4 B × 2^25 =
+// 128 MiB each; beyond that (enormous graph × wide pattern) the stamp
+// falls back to an epoch-valued map, which is still reset in O(1).
+const maxStampEntries = 1 << 25
+
+// maxFallbackEntries caps how large the map fallback may grow before a
+// reset replaces it, so a long-lived pooled Scratch stays bounded.
+const maxFallbackEntries = 1 << 20
+
+// pairStamp is an epoch-stamped set of (pattern node, data node) pairs.
+// Membership is stamp[u·n+v] == epoch; clearing is epoch++. The dense
+// array and the map fallback keep separate epoch counters: dense
+// reallocation resets only the dense epoch, so stale fallback entries from
+// earlier queries can never collide with a fresh epoch (and vice versa).
+type pairStamp struct {
+	n        int
+	stamp    []int32
+	epoch    int32
+	fallback map[pairKey]int32
+	fepoch   int32
+	useMap   bool
+}
+
+// reset prepares the stamp for a pattern of nq nodes over n data nodes and
+// empties it.
+func (s *pairStamp) reset(nq, n int) {
+	need := nq * n
+	if s.useMap = need > maxStampEntries || need < 0; s.useMap {
+		if s.fallback == nil || len(s.fallback) > maxFallbackEntries || s.fepoch == math.MaxInt32 {
+			s.fallback = make(map[pairKey]int32, 64)
+			s.fepoch = 0
+		}
+		s.fepoch++
+		return
+	}
+	s.n = n
+	if need > len(s.stamp) {
+		s.stamp = make([]int32, need)
+		s.epoch = 0
+	}
+	if s.epoch == math.MaxInt32 {
+		clear(s.stamp)
+		s.epoch = 0
+	}
+	s.epoch++
+}
+
+func (s *pairStamp) has(k pairKey) bool {
+	if s.useMap {
+		return s.fallback[k] == s.fepoch
+	}
+	return s.stamp[int(k.u)*s.n+int(k.v)] == s.epoch
+}
+
+func (s *pairStamp) set(k pairKey) {
+	if s.useMap {
+		s.fallback[k] = s.fepoch
+		return
+	}
+	s.stamp[int(k.u)*s.n+int(k.v)] = s.epoch
+}
+
+// Scratch carries every transient buffer a reduction run needs. A zero
+// Scratch is ready to use; reuse across runs (on the same graph) makes the
+// engine allocation-free in steady state. Not safe for concurrent use.
+type Scratch struct {
+	onStack  pairStamp
+	expanded pairStamp
+	stack    []pairKey
+	cands    []scored
+}
+
+// NewScratch returns an empty Scratch.
+func NewScratch() *Scratch { return &Scratch{} }
+
 type engine struct {
 	g    *graph.Graph
 	aux  *graph.Aux
@@ -110,6 +203,7 @@ type engine struct {
 	rng  *rand.Rand
 
 	frag        *graph.Fragment
+	sc          *Scratch
 	budget      int
 	visitBudget int
 	visited     int
@@ -117,8 +211,6 @@ type engine struct {
 
 	vp         graph.NodeID // the pinned match of the personalized node
 	stack      []pairKey
-	onStack    map[pairKey]bool // pushed this round (Pick excludes these)
-	expanded   map[pairKey]bool // expanded this round
 	changed    bool
 	exhausted  bool // size budget hit
 	visitsDone bool // visit budget hit
@@ -128,15 +220,35 @@ type engine struct {
 // Search runs the dynamic reduction of Fig. 3 from the personalized match
 // vp and returns the extracted fragment and run statistics. The fragment
 // is an induced subgraph of aux's graph containing vp (budget permitting).
+// Transient engine state is borrowed from aux's scratch pool; only the
+// returned fragment is freshly allocated (it escapes to the caller).
 func Search(aux *graph.Aux, p *pattern.Pattern, vp graph.NodeID, sem Semantics, opts Options) (*graph.Fragment, Stats) {
+	pool := aux.ScratchPool(graph.ScratchReduce)
+	sc, _ := pool.Get().(*Scratch)
+	if sc == nil {
+		sc = NewScratch()
+	}
+	frag := graph.NewFragment(aux.Graph())
+	stats := SearchInto(aux, p, vp, sem, opts, frag, sc)
+	pool.Put(sc)
+	return frag, stats
+}
+
+// SearchInto is Search with caller-managed reuse: the reduction runs into
+// frag (Reset first; it must belong to aux's graph) using sc for all
+// transient state. It allocates nothing once frag and sc have reached
+// steady-state capacity.
+func SearchInto(aux *graph.Aux, p *pattern.Pattern, vp graph.NodeID, sem Semantics, opts Options, frag *graph.Fragment, sc *Scratch) Stats {
 	g := aux.Graph()
+	frag.Reset()
 	e := &engine{
 		g:    g,
 		aux:  aux,
 		p:    p,
 		sem:  sem,
 		opts: opts,
-		frag: graph.NewFragment(g),
+		frag: frag,
+		sc:   sc,
 		vp:   vp,
 	}
 	e.budget = int(opts.Alpha * float64(g.Size()))
@@ -153,7 +265,9 @@ func Search(aux *graph.Aux, p *pattern.Pattern, vp graph.NodeID, sem Semantics, 
 	if opts.Strategy == WeightRandom {
 		e.rng = rand.New(rand.NewSource(opts.Seed))
 	}
+	e.stack = sc.stack[:0]
 	e.run(vp)
+	sc.stack = e.stack // keep grown capacity for the next run
 	e.stats.Budget = e.budget
 	e.stats.FragmentSize = e.frag.Size()
 	e.stats.FragmentNodes = e.frag.NumNodes()
@@ -162,7 +276,7 @@ func Search(aux *graph.Aux, p *pattern.Pattern, vp graph.NodeID, sem Semantics, 
 	e.stats.FinalBound = e.bound
 	e.stats.BudgetExhausted = e.exhausted
 	e.stats.VisitsExhausted = e.visitsDone
-	return e.frag, e.stats
+	return e.stats
 }
 
 func maxInt(a, b int) int {
@@ -176,11 +290,12 @@ func (e *engine) run(vp graph.NodeID) {
 	if e.budget < 1 {
 		return
 	}
+	nq, n := e.p.NumNodes(), e.g.NumNodes()
 	for {
 		e.stats.Rounds++
 		e.emit(EventRound, 0, 0, 0)
-		e.onStack = make(map[pairKey]bool)
-		e.expanded = make(map[pairKey]bool)
+		e.sc.onStack.reset(nq, n)
+		e.sc.expanded.reset(nq, n)
 		e.stack = e.stack[:0]
 		e.changed = false
 		e.push(pairKey{e.p.Personalized(), vp})
@@ -196,8 +311,8 @@ func (e *engine) run(vp graph.NodeID) {
 }
 
 func (e *engine) push(k pairKey) {
-	if !e.onStack[k] {
-		e.onStack[k] = true
+	if !e.sc.onStack.has(k) {
+		e.sc.onStack.set(k)
 		e.stack = append(e.stack, k)
 	}
 }
@@ -233,10 +348,10 @@ func (e *engine) round() {
 				return // line 7: |G_Q| reached α|G|
 			}
 		}
-		if e.expanded[k] {
+		if e.sc.expanded.has(k) {
 			continue
 		}
-		e.expanded[k] = true
+		e.sc.expanded.set(k)
 		// Line 8: expand every pattern edge incident to u, forward and
 		// backward.
 		for _, uc := range e.p.Out(k.u) {
@@ -255,8 +370,38 @@ func (e *engine) round() {
 }
 
 type scored struct {
-	v graph.NodeID
-	w float64
+	v   graph.NodeID
+	deg int32
+	w   float64
+}
+
+// scoredLess is the frontier ranking: weight descending, then degree
+// descending, then id ascending — a strict total order, so any correct
+// sort of the top-b is deterministic.
+func scoredLess(a, b scored) bool {
+	if a.w != b.w {
+		return a.w > b.w
+	}
+	if a.deg != b.deg {
+		return a.deg > b.deg
+	}
+	return a.v < b.v
+}
+
+// selectTop moves the lim best-ranked candidates (per scoredLess) to
+// cands[:lim] in ranked order. O(lim·len): the fairness bound keeps lim
+// small (it starts at 2), so this beats a full sort of the frontier and
+// involves no reflection.
+func selectTop(cands []scored, lim int) {
+	for i := 0; i < lim; i++ {
+		best := i
+		for j := i + 1; j < len(cands); j++ {
+			if scoredLess(cands[j], cands[best]) {
+				best = j
+			}
+		}
+		cands[i], cands[best] = cands[best], cands[i]
+	}
 }
 
 // pick is procedure Pick of Fig. 3: rank the dir-neighbors of v that pass
@@ -277,7 +422,7 @@ func (e *engine) pick(v graph.NodeID, target pattern.NodeID, dir graph.Direction
 		} else {
 			has = e.g.HasEdge(e.vp, v)
 		}
-		if has && !e.onStack[pairKey{target, e.vp}] {
+		if has {
 			e.push(pairKey{target, e.vp})
 		}
 		return
@@ -288,42 +433,34 @@ func (e *engine) pick(v graph.NodeID, target pattern.NodeID, dir graph.Direction
 	} else {
 		neigh = e.g.In(v)
 	}
-	var cands []scored
+	cands := e.sc.cands[:0]
 	for _, w := range neigh {
 		e.visited++
 		if e.visitsDone = e.visited > e.visitBudget; e.visitsDone {
+			e.sc.cands = cands[:0]
 			e.emit(EventVisitStop, target, w, 0)
 			return
 		}
-		if e.onStack[pairKey{target, w}] {
+		if e.sc.onStack.has(pairKey{target, w}) {
 			continue
 		}
 		if !e.guard(w, target) {
 			e.emit(EventGuardReject, target, w, 0)
 			continue
 		}
-		cands = append(cands, scored{w, e.weight(w, target)})
+		cands = append(cands, scored{w, int32(e.g.Degree(w)), e.weight(w, target)})
 	}
-	// Rank best-first; ties broken by degree (descending) then id for
-	// determinism.
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].w != cands[j].w {
-			return cands[i].w > cands[j].w
-		}
-		di, dj := e.g.Degree(cands[i].v), e.g.Degree(cands[j].v)
-		if di != dj {
-			return di > dj
-		}
-		return cands[i].v < cands[j].v
-	})
-	if len(cands) > e.bound {
-		cands = cands[:e.bound]
+	lim := len(cands)
+	if lim > e.bound {
+		lim = e.bound
 	}
+	selectTop(cands, lim)
 	// Push in reverse so the best-ranked candidate ends on top.
-	for i := len(cands) - 1; i >= 0; i-- {
+	for i := lim - 1; i >= 0; i-- {
 		e.emit(EventPush, target, cands[i].v, cands[i].w)
 		e.push(pairKey{target, cands[i].v})
 	}
+	e.sc.cands = cands[:0]
 }
 
 func (e *engine) guard(v graph.NodeID, u pattern.NodeID) bool {

@@ -1,0 +1,49 @@
+package reduce
+
+import (
+	"testing"
+
+	"rbq/internal/graph"
+	"rbq/internal/pattern"
+)
+
+// The dense array and the map fallback of pairStamp must not share epoch
+// state: a wide pattern (fallback) followed by a narrow one (dense,
+// possibly reallocating) followed by another wide one must never see
+// entries from the first query.
+func TestPairStampFallbackDenseTransitions(t *testing.T) {
+	var s pairStamp
+	k := pairKey{u: pattern.NodeID(3), v: graph.NodeID(12345)}
+
+	// Wide pattern: exceeds the dense cap, takes the fallback.
+	s.reset(2, maxStampEntries) // 2 * cap > cap
+	if !s.useMap {
+		t.Fatal("expected map fallback for an oversized stamp")
+	}
+	s.set(k)
+	if !s.has(k) {
+		t.Fatal("fallback lost an entry within one round")
+	}
+
+	// Narrow pattern: dense path, forces a (re)allocation with epoch reset.
+	s.reset(2, 1<<10)
+	if s.useMap {
+		t.Fatal("expected dense stamp for a small pattern")
+	}
+	if s.has(pairKey{u: 1, v: 5}) {
+		t.Fatal("fresh dense stamp reports a member")
+	}
+
+	// Wide again: the fallback's old entries must be invisible.
+	s.reset(2, maxStampEntries)
+	if s.has(k) {
+		t.Fatalf("stale fallback entry survived a dense interlude")
+	}
+
+	// And per-round clearing still works in fallback mode.
+	s.set(k)
+	s.reset(2, maxStampEntries)
+	if s.has(k) {
+		t.Fatal("fallback entry survived a round reset")
+	}
+}

@@ -1,0 +1,85 @@
+//go:build !race
+// +build !race
+
+package simulation
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"rbq/internal/graph"
+	"rbq/internal/pattern"
+)
+
+// TestMatchFragmentAllocBudget: a dual-simulation call on a pooled
+// fragment (warm FragCSR + warm Scratch) allocates at most its result
+// slice.
+func TestMatchFragmentAllocBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	b := graph.NewBuilder(300, 1200)
+	labels := []string{"p", "a", "b", "c"}
+	b.AddNode("p") // unique personalized label on node 0
+	b.AddNode("a") // node 1
+	b.AddNode("b") // node 2
+	for i := 3; i < 300; i++ {
+		b.AddNode(labels[1+rng.Intn(3)])
+	}
+	// A guaranteed embedding of the test pattern p -> a <-> b ...
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 1)
+	for i := 0; i < 1200; i++ {
+		b.AddEdge(graph.NodeID(rng.Intn(300)), graph.NodeID(rng.Intn(300)))
+	}
+	g := b.Build()
+
+	p := pattern.NewBuilder()
+	up := p.AddNode("p")
+	ua := p.AddNode("a")
+	ub := p.AddNode("b")
+	p.AddEdge(up, ua).AddEdge(ua, ub).AddEdge(ub, ua)
+	p.SetPersonalized(up).SetOutput(ub)
+	q := p.MustBuild()
+
+	frag := graph.NewFragment(g)
+	frag.Add(0)
+	for v := graph.NodeID(1); v < 150; v++ {
+		frag.Add(v)
+	}
+	var csr graph.FragCSR
+	frag.CSRInto(&csr)
+	pin := csr.PosOf(0)
+	if pin < 0 {
+		t.Fatal("personalized node missing from fragment")
+	}
+
+	var sc Scratch
+	want := MatchFragment(g, &csr, q, pin, &sc) // warm up scratch
+	if len(want) == 0 {
+		t.Fatal("fixture query has no matches; pick a denser fixture")
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		MatchFragment(g, &csr, q, pin, &sc)
+	})
+	if avg > 1 { // the returned match slice is the only permitted allocation
+		t.Fatalf("MatchFragment allocates %.1f times per run, want ≤ 1", avg)
+	}
+
+	// The pooled path must agree with materialize-then-DualSimulation.
+	sub := frag.Build()
+	ref := MatchInGraph(sub.G, q, sub.SubOf(0))
+	mapped := make([]graph.NodeID, len(ref))
+	for i, v := range ref {
+		mapped[i] = sub.OrigOf(v)
+	}
+	slices.Sort(mapped)
+	if len(mapped) != len(want) {
+		t.Fatalf("MatchFragment disagrees with MatchInGraph: %v vs %v", want, mapped)
+	}
+	for i := range mapped {
+		if mapped[i] != want[i] {
+			t.Fatalf("MatchFragment disagrees with MatchInGraph: %v vs %v", want, mapped)
+		}
+	}
+}

@@ -10,6 +10,11 @@
 // node, where d_Q is the pattern diameter; the personalized variant of the
 // paper fixes the match of u_p to the unique node v_p.
 //
+// Candidate sets are dense bitsets over the evaluated (sub)graph — which
+// is tiny by construction, at most α|G| for fragments and a d_Q-ball for
+// the baselines — so refinement probes are single word tests and the final
+// relation enumerates in ascending order without sorting.
+//
 // Three entry points mirror the paper's experimental setup:
 //
 //   - MatchInGraph: maximum pinned dual simulation on an entire (small)
@@ -18,10 +23,15 @@
 //     query on the ball G_{d_Q}(v_p) only;
 //   - StrongSim: the literal ball-per-center semantics of Section 2, used
 //     for cross-validation on small graphs.
+//
+// MatchFragment is the pooled, allocation-free variant of MatchInGraph
+// that rbsim uses: it runs on a graph.FragCSR with all state drawn from a
+// reusable Scratch.
 package simulation
 
 import (
-	"sort"
+	"math/bits"
+	"slices"
 
 	"rbq/internal/graph"
 	"rbq/internal/pattern"
@@ -39,6 +49,11 @@ func (r Relation) Matches(u pattern.NodeID) []graph.NodeID {
 	return r[u]
 }
 
+// setBit, hasBit: dense bitset primitives over node ids.
+func setBit(s []uint64, v int32)      { s[v>>6] |= 1 << (uint(v) & 63) }
+func clearBit(s []uint64, v int32)    { s[v>>6] &^= 1 << (uint(v) & 63) }
+func hasBit(s []uint64, v int32) bool { return s[v>>6]&(1<<(uint(v)&63)) != 0 }
+
 // DualSimulation computes the maximum dual simulation relation of p in g,
 // with optional pinned matches (pin[u] = v forces sim(u) = {v}). It returns
 // the relation and true when every query node retains at least one match;
@@ -46,32 +61,36 @@ func (r Relation) Matches(u pattern.NodeID) []graph.NodeID {
 // relation is empty as soon as any query node's candidate set drains).
 func DualSimulation(g *graph.Graph, p *pattern.Pattern, pin map[pattern.NodeID]graph.NodeID) (Relation, bool) {
 	nq := p.NumNodes()
-	sim := make([]map[graph.NodeID]bool, nq)
+	n := g.NumNodes()
+	words := (n + 63) / 64
+	backing := make([]uint64, nq*words)
+	sim := make([][]uint64, nq)
+	size := make([]int, nq)
 
 	// Initialize candidate sets by label (and pins).
 	for u := 0; u < nq; u++ {
 		uq := pattern.NodeID(u)
-		sim[u] = make(map[graph.NodeID]bool)
+		sim[u] = backing[u*words : (u+1)*words]
 		if v, ok := pin[uq]; ok {
 			if g.Label(v) == p.Label(uq) {
-				sim[u][v] = true
+				setBit(sim[u], int32(v))
+				size[u] = 1
 			}
 		} else {
 			l := g.LabelIDOf(p.Label(uq))
-			if l != graph.NoLabel {
-				for _, v := range g.NodesWithLabel(l) {
-					sim[u][v] = true
-				}
+			for _, v := range g.NodesWithLabel(l) {
+				setBit(sim[u], int32(v))
 			}
+			size[u] = len(g.NodesWithLabel(l))
 		}
-		if len(sim[u]) == 0 {
+		if size[u] == 0 {
 			return nil, false
 		}
 	}
 
 	// Fixpoint refinement with a dirty-set worklist.
 	dirty := make([]bool, nq)
-	queue := make([]pattern.NodeID, 0, nq)
+	queue := make([]pattern.NodeID, 0, 8*nq)
 	for u := 0; u < nq; u++ {
 		dirty[u] = true
 		queue = append(queue, pattern.NodeID(u))
@@ -82,47 +101,53 @@ func DualSimulation(g *graph.Graph, p *pattern.Pattern, pin map[pattern.NodeID]g
 			queue = append(queue, u)
 		}
 	}
-	anyIn := func(cands []graph.NodeID, set map[graph.NodeID]bool) bool {
+	anyIn := func(cands []graph.NodeID, set []uint64) bool {
 		for _, v := range cands {
-			if set[v] {
+			if hasBit(set, int32(v)) {
 				return true
 			}
 		}
 		return false
 	}
 
+	drop := make([]int32, 0, 64)
 	for len(queue) > 0 {
 		u := queue[0]
 		queue = queue[1:]
 		dirty[u] = false
-		var drop []graph.NodeID
-		for v := range sim[u] {
-			ok := true
-			for _, uc := range p.Out(u) {
-				if !anyIn(g.Out(v), sim[uc]) {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				for _, upar := range p.In(u) {
-					if !anyIn(g.In(v), sim[upar]) {
+		drop = drop[:0]
+		for wi, word := range sim[u] {
+			for word != 0 {
+				v := int32(wi<<6 + bits.TrailingZeros64(word))
+				word &= word - 1
+				ok := true
+				for _, uc := range p.Out(u) {
+					if !anyIn(g.Out(graph.NodeID(v)), sim[uc]) {
 						ok = false
 						break
 					}
 				}
-			}
-			if !ok {
-				drop = append(drop, v)
+				if ok {
+					for _, upar := range p.In(u) {
+						if !anyIn(g.In(graph.NodeID(v)), sim[upar]) {
+							ok = false
+							break
+						}
+					}
+				}
+				if !ok {
+					drop = append(drop, v)
+				}
 			}
 		}
 		if len(drop) == 0 {
 			continue
 		}
 		for _, v := range drop {
-			delete(sim[u], v)
+			clearBit(sim[u], v)
 		}
-		if len(sim[u]) == 0 {
+		size[u] -= len(drop)
+		if size[u] <= 0 {
 			return nil, false
 		}
 		// Removing matches of u can invalidate matches of u's pattern
@@ -136,14 +161,175 @@ func DualSimulation(g *graph.Graph, p *pattern.Pattern, pin map[pattern.NodeID]g
 	}
 
 	rel := make(Relation, nq)
+	total := 0
 	for u := 0; u < nq; u++ {
-		rel[u] = make([]graph.NodeID, 0, len(sim[u]))
-		for v := range sim[u] {
-			rel[u] = append(rel[u], v)
+		total += size[u]
+	}
+	arena := make([]graph.NodeID, 0, total) // one backing array for all rows
+	for u := 0; u < nq; u++ {
+		start := len(arena)
+		for wi, word := range sim[u] {
+			for word != 0 {
+				arena = append(arena, graph.NodeID(wi<<6+bits.TrailingZeros64(word)))
+				word &= word - 1
+			}
 		}
-		sort.Slice(rel[u], func(i, j int) bool { return rel[u][i] < rel[u][j] })
+		rel[u] = arena[start:len(arena):len(arena)] // bit order is ascending id order already
 	}
 	return rel, true
+}
+
+// Scratch holds the reusable state of MatchFragment. A zero Scratch is
+// ready to use; it grows to the largest fragment/pattern it has seen and
+// then stops allocating. Not safe for concurrent use.
+type Scratch struct {
+	backing []uint64
+	sim     [][]uint64
+	size    []int32
+	labels  []graph.LabelID
+	dirty   []bool
+	queue   []pattern.NodeID
+	drop    []int32
+}
+
+// MatchFragment computes the answer Q(G_Q) by maximum dual simulation with
+// u_p pinned to position pinPos of the materialized fragment csr, returning
+// the matches of the output node as parent-graph node ids, sorted. It is
+// semantically identical to materializing the fragment with Fragment.Build
+// and calling MatchInGraph, but runs on the pooled CSR with all transient
+// state drawn from sc; the returned slice is the only allocation.
+func MatchFragment(g *graph.Graph, csr *graph.FragCSR, p *pattern.Pattern, pinPos int32, sc *Scratch) []graph.NodeID {
+	nq := p.NumNodes()
+	n := csr.NumNodes()
+	words := (n + 63) / 64
+
+	if cap(sc.labels) < nq {
+		sc.labels = make([]graph.LabelID, nq)
+		sc.sim = make([][]uint64, nq)
+		sc.size = make([]int32, nq)
+		sc.dirty = make([]bool, nq)
+	}
+	sc.labels = sc.labels[:nq]
+	sc.sim = sc.sim[:nq]
+	sc.size = sc.size[:nq]
+	sc.dirty = sc.dirty[:nq]
+	if cap(sc.backing) < nq*words {
+		sc.backing = make([]uint64, nq*words)
+	}
+	sc.backing = sc.backing[:nq*words]
+	clear(sc.backing)
+
+	// Candidate sets by parent label id; the pinned node is fixed to
+	// pinPos (Section 2: (u_p, v_p) is in every match relation).
+	up := p.Personalized()
+	for u := 0; u < nq; u++ {
+		l := g.LabelIDOf(p.Label(pattern.NodeID(u)))
+		if l == graph.NoLabel {
+			return nil
+		}
+		sc.labels[u] = l
+	}
+	for u := 0; u < nq; u++ {
+		sc.sim[u] = sc.backing[u*words : (u+1)*words]
+		sc.size[u] = 0
+		if pattern.NodeID(u) == up {
+			if csr.Labels[pinPos] == sc.labels[u] {
+				setBit(sc.sim[u], pinPos)
+				sc.size[u] = 1
+			}
+		} else {
+			for i := int32(0); i < int32(n); i++ {
+				if csr.Labels[i] == sc.labels[u] {
+					setBit(sc.sim[u], i)
+					sc.size[u]++
+				}
+			}
+		}
+		if sc.size[u] == 0 {
+			return nil
+		}
+	}
+
+	// Fixpoint refinement, identical to DualSimulation but over positions.
+	sc.queue = sc.queue[:0]
+	for u := 0; u < nq; u++ {
+		sc.dirty[u] = true
+		sc.queue = append(sc.queue, pattern.NodeID(u))
+	}
+	anyIn := func(cands []int32, set []uint64) bool {
+		for _, v := range cands {
+			if hasBit(set, v) {
+				return true
+			}
+		}
+		return false
+	}
+	for head := 0; head < len(sc.queue); head++ {
+		u := sc.queue[head]
+		sc.dirty[u] = false
+		sc.drop = sc.drop[:0]
+		for wi, word := range sc.sim[u] {
+			for word != 0 {
+				v := int32(wi<<6 + bits.TrailingZeros64(word))
+				word &= word - 1
+				ok := true
+				for _, uc := range p.Out(u) {
+					if !anyIn(csr.Out(v), sc.sim[uc]) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					for _, upar := range p.In(u) {
+						if !anyIn(csr.In(v), sc.sim[upar]) {
+							ok = false
+							break
+						}
+					}
+				}
+				if !ok {
+					sc.drop = append(sc.drop, v)
+				}
+			}
+		}
+		if len(sc.drop) == 0 {
+			continue
+		}
+		for _, v := range sc.drop {
+			clearBit(sc.sim[u], v)
+		}
+		sc.size[u] -= int32(len(sc.drop))
+		if sc.size[u] <= 0 {
+			return nil
+		}
+		for _, w := range p.Out(u) {
+			if !sc.dirty[w] {
+				sc.dirty[w] = true
+				sc.queue = append(sc.queue, w)
+			}
+		}
+		for _, w := range p.In(u) {
+			if !sc.dirty[w] {
+				sc.dirty[w] = true
+				sc.queue = append(sc.queue, w)
+			}
+		}
+	}
+
+	uo := p.Output()
+	if sc.size[uo] == 0 {
+		return nil
+	}
+	out := make([]graph.NodeID, 0, sc.size[uo])
+	for wi, word := range sc.sim[uo] {
+		for word != 0 {
+			pos := int32(wi<<6 + bits.TrailingZeros64(word))
+			word &= word - 1
+			out = append(out, csr.Orig[pos])
+		}
+	}
+	slices.Sort(out)
+	return out
 }
 
 // PersonalizedMatch finds v_p, the unique data node whose label equals
@@ -195,7 +381,7 @@ func MatchOpt(g *graph.Graph, p *pattern.Pattern, vp graph.NodeID) []graph.NodeI
 // cross-validation; MatchOpt is the practical baseline.
 func StrongSim(g *graph.Graph, p *pattern.Pattern, vp graph.NodeID) []graph.NodeID {
 	dQ := p.Diameter()
-	out := make(map[graph.NodeID]bool)
+	out := []graph.NodeID{} // non-nil even when empty, as callers expect
 	for _, v0 := range g.NodesWithin(vp, dQ) {
 		ball := g.Ball(v0, dQ)
 		bvp := ball.SubOf(vp)
@@ -203,15 +389,11 @@ func StrongSim(g *graph.Graph, p *pattern.Pattern, vp graph.NodeID) []graph.Node
 			continue
 		}
 		for _, m := range MatchInGraph(ball.G, p, bvp) {
-			out[ball.OrigOf(m)] = true
+			out = append(out, ball.OrigOf(m))
 		}
 	}
-	res := make([]graph.NodeID, 0, len(out))
-	for v := range out {
-		res = append(res, v)
-	}
-	sort.Slice(res, func(i, j int) bool { return res[i] < res[j] })
-	return res
+	slices.Sort(out)
+	return slices.Compact(out)
 }
 
 func mapBack(sub *graph.Sub, nodes []graph.NodeID) []graph.NodeID {
@@ -222,6 +404,6 @@ func mapBack(sub *graph.Sub, nodes []graph.NodeID) []graph.NodeID {
 	for i, v := range nodes {
 		out[i] = sub.OrigOf(v)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }

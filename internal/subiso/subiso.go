@@ -9,10 +9,17 @@
 // prunes entire subtrees once a candidate image of u_o is already known to
 // be an answer, which keeps enumeration polynomially bounded in the common
 // case while remaining exact.
+//
+// Matcher state is dense: the injectivity check and the answer set are
+// flat arrays indexed by data node, and pattern labels are resolved to the
+// data graph's interned LabelIDs once per query, so the search loop does
+// no hashing and no string comparison. MatchFragment is the pooled variant
+// RBSub uses, running on a graph.FragCSR with scratch reused across
+// queries.
 package subiso
 
 import (
-	"sort"
+	"slices"
 
 	"rbq/internal/graph"
 	"rbq/internal/pattern"
@@ -26,20 +33,64 @@ type Options struct {
 	MaxSteps int64
 }
 
+// patternLabels resolves each pattern node's label to g's interned id
+// (NoLabel when absent from g — such a node can never match, since every
+// data node's label is interned).
+func patternLabels(g *graph.Graph, p *pattern.Pattern, buf []graph.LabelID) []graph.LabelID {
+	nq := p.NumNodes()
+	if cap(buf) < nq {
+		buf = make([]graph.LabelID, nq)
+	}
+	buf = buf[:nq]
+	for u := 0; u < nq; u++ {
+		buf[u] = g.LabelIDOf(p.Label(pattern.NodeID(u)))
+	}
+	return buf
+}
+
+// buildOrder produces a BFS ordering of query nodes starting at u_p so that
+// every node after the first has at least one previously-assigned pattern
+// neighbor (patterns are connected from u_p by construction).
+func buildOrder(p *pattern.Pattern, order []pattern.NodeID, seen []bool) []pattern.NodeID {
+	nq := p.NumNodes()
+	order = order[:0]
+	if cap(seen) < nq {
+		seen = make([]bool, nq)
+	}
+	seen = seen[:nq]
+	clear(seen)
+	order = append(order, p.Personalized())
+	seen[p.Personalized()] = true
+	for i := 0; i < len(order); i++ {
+		u := order[i]
+		for _, w := range p.Out(u) {
+			if !seen[w] {
+				seen[w] = true
+				order = append(order, w)
+			}
+		}
+		for _, w := range p.In(u) {
+			if !seen[w] {
+				seen[w] = true
+				order = append(order, w)
+			}
+		}
+	}
+	return order
+}
+
 // Match computes Q(g) under subgraph isomorphism with u_p pinned to vp.
 // It returns the sorted set of images of the output node and whether the
 // search ran to completion (false only if Options.MaxSteps was exhausted).
 func Match(g *graph.Graph, p *pattern.Pattern, vp graph.NodeID, opts *Options) ([]graph.NodeID, bool) {
-	if g.Label(vp) != p.Label(p.Personalized()) {
+	m := &matcher{g: g, p: p, opts: opts}
+	m.plabels = patternLabels(g, p, nil)
+	if g.LabelOf(vp) != m.plabels[p.Personalized()] {
 		return nil, true
 	}
-	m := &matcher{g: g, p: p, opts: opts}
 	m.run(vp)
-	out := make([]graph.NodeID, 0, len(m.answers))
-	for v := range m.answers {
-		out = append(out, v)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	out := m.ansList
+	slices.Sort(out)
 	if len(out) == 0 {
 		return nil, !m.truncated
 	}
@@ -64,7 +115,7 @@ func MatchOpt(g *graph.Graph, p *pattern.Pattern, vp graph.NodeID, opts *Options
 	for i, v := range sub {
 		out[i] = ball.OrigOf(v)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out, complete
 }
 
@@ -73,10 +124,12 @@ type matcher struct {
 	p    *pattern.Pattern
 	opts *Options
 
+	plabels   []graph.LabelID  // pattern label resolved to g's ids
 	order     []pattern.NodeID // assignment order: BFS from u_p
 	core      []graph.NodeID   // core[u] = current image of u, NoNode if unset
-	used      map[graph.NodeID]pattern.NodeID
-	answers   map[graph.NodeID]bool
+	used      []int32          // used[v] = assigned pattern node + 1, 0 if free
+	answers   []bool           // answers[v]: v confirmed as an output image
+	ansList   []graph.NodeID
 	steps     int64
 	truncated bool
 }
@@ -90,39 +143,14 @@ func (m *matcher) budgetOK() bool {
 	return true
 }
 
-// buildOrder produces a BFS ordering of query nodes starting at u_p so that
-// every node after the first has at least one previously-assigned pattern
-// neighbor (patterns are connected from u_p by construction).
-func (m *matcher) buildOrder() {
-	n := m.p.NumNodes()
-	seen := make([]bool, n)
-	m.order = append(m.order, m.p.Personalized())
-	seen[m.p.Personalized()] = true
-	for i := 0; i < len(m.order); i++ {
-		u := m.order[i]
-		for _, w := range m.p.Out(u) {
-			if !seen[w] {
-				seen[w] = true
-				m.order = append(m.order, w)
-			}
-		}
-		for _, w := range m.p.In(u) {
-			if !seen[w] {
-				seen[w] = true
-				m.order = append(m.order, w)
-			}
-		}
-	}
-}
-
 func (m *matcher) run(vp graph.NodeID) {
-	m.buildOrder()
+	m.order = buildOrder(m.p, nil, nil)
 	m.core = make([]graph.NodeID, m.p.NumNodes())
 	for i := range m.core {
 		m.core[i] = graph.NoNode
 	}
-	m.used = make(map[graph.NodeID]pattern.NodeID)
-	m.answers = make(map[graph.NodeID]bool)
+	m.used = make([]int32, m.g.NumNodes())
+	m.answers = make([]bool, m.g.NumNodes())
 	if !m.feasible(m.p.Personalized(), vp) {
 		return
 	}
@@ -133,21 +161,21 @@ func (m *matcher) run(vp graph.NodeID) {
 
 func (m *matcher) assign(u pattern.NodeID, v graph.NodeID) {
 	m.core[u] = v
-	m.used[v] = u
+	m.used[v] = int32(u) + 1
 }
 
 func (m *matcher) unassign(u pattern.NodeID, v graph.NodeID) {
 	m.core[u] = graph.NoNode
-	delete(m.used, v)
+	m.used[v] = 0
 }
 
 // feasible checks label equality, injectivity and edge consistency of
 // mapping u -> v against all already-assigned query nodes.
 func (m *matcher) feasible(u pattern.NodeID, v graph.NodeID) bool {
-	if m.g.Label(v) != m.p.Label(u) {
+	if m.g.LabelOf(v) != m.plabels[u] {
 		return false
 	}
-	if _, taken := m.used[v]; taken {
+	if m.used[v] != 0 {
 		return false
 	}
 	// Cheap degree pruning: v must offer at least as many in/out edges.
@@ -191,16 +219,16 @@ func (m *matcher) candidates(u pattern.NodeID) []graph.NodeID {
 		return best
 	}
 	// No mapped neighbor (only possible for the root): all label peers.
-	l := m.g.LabelIDOf(m.p.Label(u))
-	if l == graph.NoLabel {
-		return nil
-	}
-	return m.g.NodesWithLabel(l)
+	return m.g.NodesWithLabel(m.plabels[u])
 }
 
 func (m *matcher) search(depth int) {
 	if depth == len(m.order) {
-		m.answers[m.core[m.p.Output()]] = true
+		uo := m.core[m.p.Output()]
+		if !m.answers[uo] {
+			m.answers[uo] = true
+			m.ansList = append(m.ansList, uo)
+		}
 		return
 	}
 	u := m.order[depth]
@@ -211,6 +239,183 @@ func (m *matcher) search(depth int) {
 		// Output-set pruning: mapping u_o to an already-confirmed answer
 		// cannot contribute a new output image.
 		if u == m.p.Output() && m.answers[v] {
+			continue
+		}
+		if !m.feasible(u, v) {
+			continue
+		}
+		m.assign(u, v)
+		m.search(depth + 1)
+		m.unassign(u, v)
+		if m.truncated {
+			return
+		}
+	}
+}
+
+// Scratch holds the reusable state of MatchFragment. A zero Scratch is
+// ready to use; it grows to the largest fragment/pattern it has seen and
+// then stops allocating. Not safe for concurrent use.
+type Scratch struct {
+	plabels []graph.LabelID
+	order   []pattern.NodeID
+	seen    []bool
+	core    []int32
+	used    []int32
+	answers []bool
+	ansList []int32
+}
+
+// MatchFragment computes Q(G_Q) under subgraph isomorphism on the
+// materialized fragment csr with u_p pinned to position pinPos, returning
+// the images of the output node as parent-graph node ids (sorted) and
+// whether the search completed. It explores candidate pairs in exactly the
+// order Match does on the Graph that Fragment.Build would materialize, so
+// answers — including the partial answers of a MaxSteps-truncated run —
+// are identical; all transient state comes from sc, and the returned slice
+// is the only allocation.
+func MatchFragment(g *graph.Graph, csr *graph.FragCSR, p *pattern.Pattern, pinPos int32, opts *Options, sc *Scratch) ([]graph.NodeID, bool) {
+	sc.plabels = patternLabels(g, p, sc.plabels)
+	if csr.Labels[pinPos] != sc.plabels[p.Personalized()] {
+		return nil, true
+	}
+	m := &fragMatcher{csr: csr, p: p, opts: opts, sc: sc}
+	m.run(pinPos)
+	if len(sc.ansList) == 0 {
+		return nil, !m.truncated
+	}
+	out := make([]graph.NodeID, len(sc.ansList))
+	for i, pos := range sc.ansList {
+		out[i] = csr.Orig[pos]
+		sc.answers[pos] = false // leave the scratch clean for the next run
+	}
+	sc.ansList = sc.ansList[:0]
+	slices.Sort(out)
+	return out, !m.truncated
+}
+
+// fragMatcher is the matcher over FragCSR positions; it mirrors matcher
+// exactly (see MatchFragment for the equivalence argument).
+type fragMatcher struct {
+	csr  *graph.FragCSR
+	p    *pattern.Pattern
+	opts *Options
+	sc   *Scratch
+
+	steps     int64
+	truncated bool
+}
+
+func (m *fragMatcher) budgetOK() bool {
+	m.steps++
+	if m.opts != nil && m.opts.MaxSteps > 0 && m.steps > m.opts.MaxSteps {
+		m.truncated = true
+		return false
+	}
+	return true
+}
+
+func (m *fragMatcher) run(pinPos int32) {
+	sc := m.sc
+	nq := m.p.NumNodes()
+	n := m.csr.NumNodes()
+	sc.order = buildOrder(m.p, sc.order, sc.seen)
+	if cap(sc.core) < nq {
+		sc.core = make([]int32, nq)
+	}
+	sc.core = sc.core[:nq]
+	for i := range sc.core {
+		sc.core[i] = -1
+	}
+	// used and answers stay all-zero between runs: assign/unassign pair up
+	// on every search path (truncated ones included), and MatchFragment
+	// clears the answer bits it set.
+	if cap(sc.used) < n {
+		sc.used = make([]int32, n)
+		sc.answers = make([]bool, n)
+	}
+	sc.used = sc.used[:n]
+	sc.answers = sc.answers[:n]
+	if !m.feasible(m.p.Personalized(), pinPos) {
+		return
+	}
+	m.assign(m.p.Personalized(), pinPos)
+	m.search(1)
+	m.unassign(m.p.Personalized(), pinPos)
+}
+
+func (m *fragMatcher) assign(u pattern.NodeID, v int32) {
+	m.sc.core[u] = v
+	m.sc.used[v] = int32(u) + 1
+}
+
+func (m *fragMatcher) unassign(u pattern.NodeID, v int32) {
+	m.sc.core[u] = -1
+	m.sc.used[v] = 0
+}
+
+func (m *fragMatcher) feasible(u pattern.NodeID, v int32) bool {
+	if m.csr.Labels[v] != m.sc.plabels[u] {
+		return false
+	}
+	if m.sc.used[v] != 0 {
+		return false
+	}
+	if m.csr.OutDegree(v) < len(m.p.Out(u)) || m.csr.InDegree(v) < len(m.p.In(u)) {
+		return false
+	}
+	for _, w := range m.p.Out(u) {
+		if img := m.sc.core[w]; img >= 0 && !m.csr.HasEdge(v, img) {
+			return false
+		}
+	}
+	for _, w := range m.p.In(u) {
+		if img := m.sc.core[w]; img >= 0 && !m.csr.HasEdge(img, v) {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *fragMatcher) candidates(u pattern.NodeID) []int32 {
+	var best []int32
+	found := false
+	consider := func(c []int32) {
+		if !found || len(c) < len(best) {
+			best, found = c, true
+		}
+	}
+	for _, w := range m.p.In(u) {
+		if img := m.sc.core[w]; img >= 0 {
+			consider(m.csr.Out(img))
+		}
+	}
+	for _, w := range m.p.Out(u) {
+		if img := m.sc.core[w]; img >= 0 {
+			consider(m.csr.In(img))
+		}
+	}
+	// Every non-root query node has a previously-assigned pattern neighbor
+	// (BFS order from u_p), and the root is assigned directly in run.
+	return best
+}
+
+func (m *fragMatcher) search(depth int) {
+	sc := m.sc
+	if depth == len(sc.order) {
+		uo := sc.core[m.p.Output()]
+		if !sc.answers[uo] {
+			sc.answers[uo] = true
+			sc.ansList = append(sc.ansList, uo)
+		}
+		return
+	}
+	u := sc.order[depth]
+	for _, v := range m.candidates(u) {
+		if !m.budgetOK() {
+			return
+		}
+		if u == m.p.Output() && sc.answers[v] {
 			continue
 		}
 		if !m.feasible(u, v) {

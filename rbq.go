@@ -88,8 +88,16 @@ func MatchAccuracy(exact, approx []NodeID) Accuracy { return accuracy.Matches(ex
 // DB wraps a data graph with the offline auxiliary structures the
 // resource-bounded algorithms need. Constructing a DB performs the paper's
 // once-for-all preprocessing for pattern queries (per-node degree and
-// neighborhood label histograms); reachability indexing is separate (see
-// BuildReachOracle) because it depends on α.
+// neighborhood label histograms, built in parallel); reachability indexing
+// is separate (see BuildReachOracle) because it depends on α.
+//
+// The DB also owns (through its auxiliary structure) the per-query scratch
+// pools the engines draw on: each query borrows a dense, graph-sized
+// scratch — reduction stamp arrays, a reusable fragment, its CSR
+// materialization and the matcher's bitsets — and returns it when done, so
+// steady-state queries allocate only their result slice. The pools are
+// concurrency-safe and every borrower gets a private scratch, which is why
+// SimulationBatch/SubgraphBatch workers can share one DB without locking.
 type DB struct {
 	g   *graph.Graph
 	aux *graph.Aux
