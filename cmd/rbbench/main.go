@@ -9,6 +9,8 @@
 //	rbbench -list                   # list experiment ids
 //	rbbench -youtube 200000 -yahoo 300000 -patterns 10   # bigger workload
 //	rbbench -json                   # micro-benchmark suite -> BENCH_hotpaths.json
+//	rbbench -json -out /tmp/new.json -compare BENCH_hotpaths.json
+//	                                # ...and fail on >25% ns/op regression
 package main
 
 import (
@@ -27,16 +29,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("rbbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exps     = fs.String("exp", "", "comma-separated experiment ids (empty = all)")
-		list     = fs.Bool("list", false, "list experiments and exit")
-		jsonOut  = fs.Bool("json", false, "run the engine micro-benchmark suite and write a JSON report")
-		jsonPath = fs.String("out", "BENCH_hotpaths.json", "report path for -json ('-' = stdout)")
-		youtube  = fs.Int("youtube", 0, "nodes in the Youtube-like stand-in (0 = default)")
-		yahoo    = fs.Int("yahoo", 0, "nodes in the Yahoo-like stand-in (0 = default)")
-		div      = fs.Int("div", 0, "divisor for the paper's 2M-10M synthetic sweep (0 = default)")
-		patterns = fs.Int("patterns", 0, "pattern queries per measurement (0 = default)")
-		queries  = fs.Int("queries", 0, "reachability queries per measurement (0 = default)")
-		seed     = fs.Int64("seed", 0, "workload seed (0 = default)")
+		exps      = fs.String("exp", "", "comma-separated experiment ids (empty = all)")
+		list      = fs.Bool("list", false, "list experiments and exit")
+		jsonOut   = fs.Bool("json", false, "run the engine micro-benchmark suite and write a JSON report")
+		jsonPath  = fs.String("out", "BENCH_hotpaths.json", "report path for -json ('-' = stdout)")
+		compare   = fs.String("compare", "", "baseline JSON report to compare against (-json mode); exit 1 on regression")
+		tolerance = fs.Float64("tolerance", 0.25, "allowed ns/op regression ratio for -compare (0.25 = 25%)")
+		nsGate    = fs.Bool("nsgate", true, "gate -compare on ns/op too; false gates on allocs/op only (for hardware unrelated to the baseline's)")
+		count     = fs.Int("count", 3, "runs per micro-benchmark; the best (min ns/op) run is reported")
+		youtube   = fs.Int("youtube", 0, "nodes in the Youtube-like stand-in (0 = default)")
+		yahoo     = fs.Int("yahoo", 0, "nodes in the Yahoo-like stand-in (0 = default)")
+		div       = fs.Int("div", 0, "divisor for the paper's 2M-10M synthetic sweep (0 = default)")
+		patterns  = fs.Int("patterns", 0, "pattern queries per measurement (0 = default)")
+		queries   = fs.Int("queries", 0, "reachability queries per measurement (0 = default)")
+		seed      = fs.Int64("seed", 0, "workload seed (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -50,7 +56,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *jsonOut {
-		if err := runMicro(*jsonPath, stderr); err != nil {
+		if err := runMicro(*jsonPath, *compare, *tolerance, *count, *nsGate, stderr); err != nil {
 			fmt.Fprintln(stderr, "rbbench:", err)
 			return 1
 		}

@@ -2,10 +2,16 @@
 // Section 3 of Fan, Wang & Wu (SIGMOD 2014): precision, recall and the
 // F-measure ("accuracy") of an approximate answer set Y against the exact
 // answer Q(G), including the paper's conventions for empty sets; and the
-// batch variant for sets of boolean reachability answers.
+// batch variant for sets of boolean reachability answers. Set comparison
+// is a sort + linear merge over dense node ids — no hash sets — matching
+// the map-free discipline of the query path it evaluates.
 package accuracy
 
-import "rbq/internal/graph"
+import (
+	"slices"
+
+	"rbq/internal/graph"
+)
 
 // Result bundles the three measures for one evaluation.
 type Result struct {
@@ -14,13 +20,34 @@ type Result struct {
 	F         float64 // the paper's accuracy(Q,G,Y): harmonic mean of P and R
 }
 
-// nodeSet builds a set from a slice of node ids.
-func nodeSet(nodes []graph.NodeID) map[graph.NodeID]struct{} {
-	s := make(map[graph.NodeID]struct{}, len(nodes))
-	for _, v := range nodes {
-		s[v] = struct{}{}
+// sortedUnique returns a sorted, duplicate-free copy of nodes (the inputs
+// are answer slices owned by callers; they are not modified).
+func sortedUnique(nodes []graph.NodeID) []graph.NodeID {
+	if len(nodes) == 0 {
+		return nil
 	}
-	return s
+	s := slices.Clone(nodes)
+	slices.Sort(s)
+	return slices.Compact(s)
+}
+
+// intersectSorted counts the common elements of two sorted unique slices
+// by linear merge.
+func intersectSorted(e, a []graph.NodeID) int {
+	inter := 0
+	for i, j := 0, 0; i < len(e) && j < len(a); {
+		switch {
+		case e[i] < a[j]:
+			i++
+		case e[i] > a[j]:
+			j++
+		default:
+			inter++
+			i++
+			j++
+		}
+	}
+	return inter
 }
 
 // Matches evaluates an approximate match set approx against the exact set
@@ -33,16 +60,11 @@ func nodeSet(nodes []graph.NodeID) map[graph.NodeID]struct{} {
 //
 // Duplicate ids in either slice are collapsed.
 func Matches(exact, approx []graph.NodeID) Result {
-	e, a := nodeSet(exact), nodeSet(approx)
+	e, a := sortedUnique(exact), sortedUnique(approx)
 	if len(e) == 0 && len(a) == 0 {
 		return Result{Precision: 1, Recall: 1, F: 1}
 	}
-	inter := 0
-	for v := range a {
-		if _, ok := e[v]; ok {
-			inter++
-		}
-	}
+	inter := intersectSorted(e, a)
 	var r Result
 	if len(a) > 0 {
 		r.Precision = float64(inter) / float64(len(a))

@@ -111,6 +111,15 @@ func TestFalsePositives(t *testing.T) {
 	}
 }
 
+// nodeSet is the test-local map-based reference for set semantics.
+func nodeSet(nodes []graph.NodeID) map[graph.NodeID]struct{} {
+	s := make(map[graph.NodeID]struct{}, len(nodes))
+	for _, v := range nodes {
+		s[v] = struct{}{}
+	}
+	return s
+}
+
 // Property: F is always within [0,1] and F=1 iff the sets are equal.
 func TestMatchesBoundsQuick(t *testing.T) {
 	f := func(exactRaw, approxRaw []uint8) bool {

@@ -58,10 +58,12 @@ type patternEval struct {
 // evalBaselines runs MatchOpt and VF2Opt once per query.
 func evalBaselines(d *ds, queries []patternQuery, withBall bool) []patternEval {
 	out := make([]patternEval, 0, len(queries))
+	var ball graph.FragCSR
 	for _, q := range queries {
 		e := patternEval{q: q}
 		if withBall {
-			e.ballSize = d.g.Ball(q.vp, q.p.Diameter()).G.Size()
+			d.g.BallInto(q.vp, q.p.Diameter(), &ball)
+			e.ballSize = ball.Size()
 		}
 		e.simTime = timeIt(func() { e.exactSim = simulation.MatchOpt(d.g, q.p, q.vp) })
 		e.isoTime = timeIt(func() {

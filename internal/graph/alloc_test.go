@@ -61,21 +61,45 @@ func TestCSRIntoAllocFree(t *testing.T) {
 	if avg := testing.AllocsPerRun(100, func() { f.CSRInto(&csr) }); avg != 0 {
 		t.Fatalf("CSRInto allocates %.1f times per run, want 0", avg)
 	}
-	// Sanity: the CSR must describe the same induced subgraph as Build.
-	sub := f.Build()
-	if got, want := csr.NumNodes(), sub.G.NumNodes(); got != want {
-		t.Fatalf("CSR has %d nodes, materialized Sub %d", got, want)
+	// Sanity: the CSR must describe exactly the induced subgraph of the
+	// fragment's nodes.
+	if got, want := csr.NumNodes(), f.NumNodes(); got != want {
+		t.Fatalf("CSR has %d nodes, fragment %d", got, want)
 	}
 	edges := 0
 	for i := int32(0); i < int32(csr.NumNodes()); i++ {
 		edges += csr.OutDegree(i)
 		for _, j := range csr.Out(i) {
-			if !sub.G.HasEdge(NodeID(i), NodeID(j)) {
-				t.Fatalf("CSR edge (%d,%d) missing from materialized Sub", i, j)
+			if !g.HasEdge(csr.Orig[i], csr.Orig[j]) {
+				t.Fatalf("CSR edge (%d,%d) missing from the parent graph", i, j)
 			}
 		}
 	}
-	if edges != sub.G.NumEdges() {
-		t.Fatalf("CSR has %d edges, materialized Sub %d", edges, sub.G.NumEdges())
+	if edges != f.NumEdges() {
+		t.Fatalf("CSR has %d edges, fragment %d", edges, f.NumEdges())
+	}
+}
+
+// TestBallIntoAllocFree: repeated ball extraction into a warm FragCSR —
+// the hot path of MatchOpt/VF2Opt/StrongSim — performs zero allocations
+// once the traversal pools and the CSR are warm.
+func TestBallIntoAllocFree(t *testing.T) {
+	g := randomAllocGraph(t)
+	var ball FragCSR
+	g.BallInto(0, 2, &ball) // warm up pools and CSR capacity
+	if avg := testing.AllocsPerRun(100, func() { g.BallInto(0, 2, &ball) }); avg != 0 {
+		t.Fatalf("BallInto allocates %.1f times per run, want 0", avg)
+	}
+}
+
+// TestWalkAllocFree: Walk (and therefore Reachable) must not allocate in
+// steady state — visited marker and queue come from the graph's pools.
+func TestWalkAllocFree(t *testing.T) {
+	g := randomAllocGraph(t)
+	g.Reachable(0, NodeID(g.NumNodes()-1)) // warm up
+	if avg := testing.AllocsPerRun(100, func() {
+		g.Reachable(0, NodeID(g.NumNodes()-1))
+	}); avg != 0 {
+		t.Fatalf("Reachable allocates %.1f times per run, want 0", avg)
 	}
 }

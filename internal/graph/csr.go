@@ -2,16 +2,20 @@ package graph
 
 import "slices"
 
-// FragCSR is a reusable, allocation-free materialization of a Fragment: the
-// induced subgraph in CSR form over dense positions 0..N-1, where position
-// i is the i-th node added to the fragment (the same numbering
-// Fragment.Build assigns). Unlike Sub it holds no maps and interns no
+// FragCSR is a reusable, allocation-free materialization of an induced
+// subgraph: plain CSR arrays over dense positions 0..N-1, where position i
+// is the i-th node of the materializing node list (a Fragment's insertion
+// order, or a ball's BFS discovery order). It holds no maps and interns no
 // labels — Labels carries the parent graph's LabelIDs — so the downstream
 // matchers can run on it without touching the Go allocator once the
-// backing slices have grown to a steady-state size.
+// backing slices have grown to a steady-state size. It is the only
+// subgraph representation in the system: both the reduced fragments G_Q
+// and the d_Q-balls of the exact baselines are FragCSR views of the
+// parent graph.
 //
 // A FragCSR is owned by exactly one query evaluation at a time (see the
-// scratch pools on Aux); it is not safe for concurrent use.
+// scratch pools on Aux and the ball pools of the matcher packages); it is
+// not safe for concurrent use.
 type FragCSR struct {
 	// OutStart/OutAdj and InStart/InAdj are the induced adjacency in CSR
 	// form over positions, each segment sorted ascending.
@@ -19,8 +23,8 @@ type FragCSR struct {
 	OutAdj, InAdj     []int32
 	// Labels[i] is the parent-graph LabelID of position i.
 	Labels []LabelID
-	// Orig[i] is the parent-graph node at position i (aliases
-	// Fragment.Nodes; do not modify).
+	// Orig[i] is the parent-graph node at position i. The slice is owned
+	// by the FragCSR; do not modify.
 	Orig []NodeID
 
 	// pos maps a parent node to its position, epoch-stamped so reuse across
@@ -32,18 +36,24 @@ type FragCSR struct {
 
 // sized returns s resized to n, reallocating only on growth. Contents are
 // unspecified; callers overwrite or clear as needed.
-func sized[T int32 | LabelID](s []T, n int) []T {
+func sized[T ~int32](s []T, n int) []T {
 	if cap(s) < n {
 		return make([]T, n)
 	}
 	return s[:n]
 }
 
-// NumNodes returns the number of positions (fragment nodes).
+// NumNodes returns the number of positions (induced-subgraph nodes).
 func (c *FragCSR) NumNodes() int { return len(c.Orig) }
 
+// NumEdges returns the number of induced edges.
+func (c *FragCSR) NumEdges() int { return len(c.OutAdj) }
+
+// Size returns nodes + edges, the paper's |·| measure of the view.
+func (c *FragCSR) Size() int { return c.NumNodes() + c.NumEdges() }
+
 // PosOf returns the position of parent node v, or -1 if v is not in the
-// materialized fragment.
+// materialized subgraph.
 func (c *FragCSR) PosOf(v NodeID) int32 {
 	if int(v) >= len(c.pos) {
 		return -1
@@ -72,17 +82,13 @@ func (c *FragCSR) HasEdge(i, j int32) bool {
 	return containsSorted(c.Out(i), j)
 }
 
-// CSRInto materializes the fragment into c, reusing c's backing slices.
-// Positions follow insertion order, and each adjacency segment is sorted
-// ascending, exactly matching the Graph that Fragment.Build constructs —
-// so a matcher that walks a FragCSR explores candidates in the identical
-// order, step for step, as one walking the materialized Sub.
-func (f *Fragment) CSRInto(c *FragCSR) {
-	g := f.parent
-	n := int32(len(f.order))
-	c.Orig = f.order
-	c.Labels = sized(c.Labels, int(n))
-
+// CSRInto materializes the subgraph of g induced by nodes into c, reusing
+// c's backing slices: every edge of g with both endpoints in nodes is
+// kept. Duplicate entries in nodes are ignored; position order follows the
+// first occurrence of each node. Each adjacency segment comes out sorted
+// ascending, so matchers explore candidates in a deterministic order
+// independent of how the node list was produced.
+func (g *Graph) CSRInto(nodes []NodeID, c *FragCSR) {
 	// Refresh the epoch-stamped position index.
 	if len(c.pos) < g.NumNodes() {
 		c.pos = make([]uint64, g.NumNodes())
@@ -93,15 +99,30 @@ func (f *Fragment) CSRInto(c *FragCSR) {
 		clear(c.pos)
 		c.epoch = 1
 	}
-	for i, v := range f.order {
-		c.pos[v] = uint64(c.epoch)<<32 | uint64(uint32(i))
+
+	// Claim positions in first-occurrence order, deduplicating via the
+	// fresh epoch stamps.
+	if cap(c.Orig) < len(nodes) {
+		c.Orig = make([]NodeID, 0, len(nodes))
+	}
+	c.Orig = c.Orig[:0]
+	for _, v := range nodes {
+		if c.PosOf(v) >= 0 {
+			continue
+		}
+		c.pos[v] = uint64(c.epoch)<<32 | uint64(uint32(len(c.Orig)))
+		c.Orig = append(c.Orig, v)
+	}
+	n := int32(len(c.Orig))
+	c.Labels = sized(c.Labels, int(n))
+	for i, v := range c.Orig {
 		c.Labels[i] = g.LabelOf(v)
 	}
 
 	// Out CSR: count, offset, fill, then sort each segment by position.
 	c.OutStart = sized(c.OutStart, int(n)+1)
 	c.OutStart[0] = 0
-	for i, v := range f.order {
+	for i, v := range c.Orig {
 		d := int32(0)
 		for _, w := range g.Out(v) {
 			if c.PosOf(w) >= 0 {
@@ -112,7 +133,7 @@ func (f *Fragment) CSRInto(c *FragCSR) {
 	}
 	m := c.OutStart[n]
 	c.OutAdj = sized(c.OutAdj, int(m))
-	for i, v := range f.order {
+	for i, v := range c.Orig {
 		k := c.OutStart[i]
 		for _, w := range g.Out(v) {
 			if p := c.PosOf(w); p >= 0 {
@@ -145,4 +166,29 @@ func (f *Fragment) CSRInto(c *FragCSR) {
 			c.next[w]++
 		}
 	}
+}
+
+// CSRInto materializes the fragment into c, reusing c's backing slices.
+// Positions follow insertion order, so a matcher that walks the CSR
+// explores candidates deterministically in the order nodes entered the
+// fragment.
+func (f *Fragment) CSRInto(c *FragCSR) {
+	f.parent.CSRInto(f.order, c)
+}
+
+// ToGraph rebuilds the view as a standalone Graph whose node i is the
+// view's position i, re-interning label strings from parent. It is a
+// cold-path helper for benchmarks and reference comparisons — the query
+// engines always match on the FragCSR directly.
+func (c *FragCSR) ToGraph(parent *Graph) *Graph {
+	b := NewBuilder(c.NumNodes(), c.NumEdges())
+	for i := 0; i < c.NumNodes(); i++ {
+		b.AddNode(parent.LabelName(c.Labels[i]))
+	}
+	for i := int32(0); i < int32(c.NumNodes()); i++ {
+		for _, j := range c.Out(i) {
+			b.AddEdge(NodeID(i), NodeID(j))
+		}
+	}
+	return b.Build()
 }

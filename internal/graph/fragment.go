@@ -3,8 +3,8 @@ package graph
 // Fragment is a mutable subgraph G_Q of a parent graph, grown one node at a
 // time by the dynamic reduction of Section 4. It tracks its size
 // |G_Q| = nodes + edges so callers can enforce the resource bound α|G|
-// before every insertion, and it can materialize itself as an immutable
-// Graph for the downstream exact matcher (strong simulation or VF2).
+// before every insertion, and it materializes itself as a FragCSR view
+// (CSRInto) for the downstream exact matcher (strong simulation or VF2).
 //
 // Fragments hold *induced* subgraphs: adding a node also adds every edge of
 // the parent between the new node and nodes already present, matching the
@@ -96,9 +96,3 @@ func (f *Fragment) Add(v NodeID) int {
 // Nodes returns the fragment's nodes in insertion order. The slice is
 // shared and must not be modified.
 func (f *Fragment) Nodes() []NodeID { return f.order }
-
-// Build materializes the fragment as an immutable Graph plus the id
-// correspondence to the parent.
-func (f *Fragment) Build() *Sub {
-	return f.parent.InducedSubgraph(f.order)
-}

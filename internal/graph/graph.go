@@ -19,10 +19,14 @@
 // reflection-based sorts on their hot paths. The substrate provides the
 // dense building blocks: Fragment tracks membership in a bitset over |V|
 // and is reusable via Reset (clearing costs O(|G_Q|), not O(|V|));
-// FragCSR materializes a fragment as plain CSR arrays with an
-// epoch-stamped position index, so repeated materializations allocate
-// nothing once warm; and Aux carries one sync.Pool per engine
-// (Aux.ScratchPool) from which query evaluations borrow their scratch.
+// FragCSR — the system's only subgraph representation — materializes any
+// induced subgraph (a reduced fragment, or a d_Q-ball via BallInto) as
+// plain CSR arrays with an epoch-stamped position index, so repeated
+// materializations allocate nothing once warm; Aux carries one sync.Pool
+// per engine (Aux.ScratchPool) from which query evaluations borrow their
+// scratch; and the Graph itself pools traversal state (epoch-stamped
+// Visited markers and BFS queues), so Walk, Reachable and ball extraction
+// are allocation-free in steady state too.
 //
 // Thread-safety contract: Graph and the histogram portion of Aux are
 // immutable after construction and safe for unsynchronized concurrent
@@ -32,7 +36,10 @@
 // allocation-free in steady state without sharing mutable state.
 package graph
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // NodeID identifies a node of a Graph. IDs are dense: a graph with n nodes
 // uses IDs 0..n-1.
@@ -69,6 +76,11 @@ type Graph struct {
 	labelNodes []NodeID
 
 	maxDegree int // cached at build time; see MaxDegree
+
+	// Traversal scratch pools (see visit.go). Pools are safe for
+	// concurrent use and do not affect the graph's immutability contract.
+	visitPool sync.Pool // *Visited
+	travPool  sync.Pool // *trav
 }
 
 // NumNodes returns |V|.
@@ -101,6 +113,21 @@ func (g *Graph) LabelIDOf(name string) LabelID {
 
 // NumLabels returns the number of distinct labels in the graph.
 func (g *Graph) NumLabels() int { return len(g.labelNames) }
+
+// InternLabels resolves each name to the graph's interned id (NoLabel
+// when absent), reusing buf's capacity. The query engines resolve a
+// pattern's labels through this once per query, so their per-candidate
+// guard and matcher probes compare int32 ids instead of hashing strings.
+func (g *Graph) InternLabels(names []string, buf []LabelID) []LabelID {
+	if cap(buf) < len(names) {
+		buf = make([]LabelID, len(names))
+	}
+	buf = buf[:len(names)]
+	for i, name := range names {
+		buf[i] = g.LabelIDOf(name)
+	}
+	return buf
+}
 
 // NodesWithLabel returns all nodes labeled l, in ascending order. The
 // returned slice is shared with the graph and must not be modified.

@@ -196,50 +196,56 @@ func TestDiameter(t *testing.T) {
 	}
 }
 
-func TestInducedSubgraph(t *testing.T) {
+func TestCSRIntoInduced(t *testing.T) {
 	g := diamond()
-	s := g.InducedSubgraph([]NodeID{0, 1, 3})
-	if s.G.NumNodes() != 3 {
-		t.Fatalf("induced nodes = %d", s.G.NumNodes())
+	var c FragCSR
+	g.CSRInto([]NodeID{0, 1, 3}, &c)
+	if c.NumNodes() != 3 {
+		t.Fatalf("induced nodes = %d", c.NumNodes())
 	}
 	// Edges (0,1) and (1,3) survive; (0,2),(2,3) do not.
-	if s.G.NumEdges() != 2 {
-		t.Fatalf("induced edges = %d", s.G.NumEdges())
+	if c.NumEdges() != 2 {
+		t.Fatalf("induced edges = %d", c.NumEdges())
 	}
-	if s.SubOf(2) != NoNode {
+	if c.PosOf(2) != -1 {
 		t.Fatal("node 2 should not be in the subgraph")
 	}
-	sv := s.SubOf(3)
-	if sv == NoNode || s.OrigOf(sv) != 3 || s.G.Label(sv) != "D" {
-		t.Fatalf("mapping for node 3 broken: sub=%d", sv)
-	}
-	if err := s.G.Validate(); err != nil {
-		t.Fatal(err)
+	sv := c.PosOf(3)
+	if sv < 0 || c.Orig[sv] != 3 || g.LabelName(c.Labels[sv]) != "D" {
+		t.Fatalf("mapping for node 3 broken: pos=%d", sv)
 	}
 }
 
-func TestInducedSubgraphIgnoresDuplicates(t *testing.T) {
+func TestCSRIntoIgnoresDuplicates(t *testing.T) {
 	g := diamond()
-	s := g.InducedSubgraph([]NodeID{1, 1, 1, 0})
-	if s.G.NumNodes() != 2 || s.G.NumEdges() != 1 {
-		t.Fatalf("nodes=%d edges=%d", s.G.NumNodes(), s.G.NumEdges())
+	var c FragCSR
+	g.CSRInto([]NodeID{1, 1, 1, 0}, &c)
+	if c.NumNodes() != 2 || c.NumEdges() != 1 {
+		t.Fatalf("nodes=%d edges=%d", c.NumNodes(), c.NumEdges())
+	}
+	if c.Orig[0] != 1 || c.Orig[1] != 0 {
+		t.Fatalf("positions must follow first occurrence: %v", c.Orig)
 	}
 }
 
-func TestBall(t *testing.T) {
+func TestBallInto(t *testing.T) {
 	// star: center 0 with children 1..3; plus a far node 4 behind 3.
 	g := FromEdges([]string{"c", "x", "x", "x", "far"},
 		[][2]int{{0, 1}, {0, 2}, {0, 3}, {3, 4}})
-	b := g.Ball(0, 1)
-	if b.G.NumNodes() != 4 {
-		t.Fatalf("ball nodes = %d, want 4", b.G.NumNodes())
+	var b FragCSR
+	g.BallInto(0, 1, &b)
+	if b.NumNodes() != 4 {
+		t.Fatalf("ball nodes = %d, want 4", b.NumNodes())
 	}
-	if b.SubOf(4) != NoNode {
+	if b.PosOf(0) != 0 {
+		t.Fatalf("ball center must sit at position 0, got %d", b.PosOf(0))
+	}
+	if b.PosOf(4) != -1 {
 		t.Fatal("node 4 must be outside the 1-ball of 0")
 	}
-	b2 := g.Ball(0, 2)
-	if b2.G.NumNodes() != 5 || b2.G.NumEdges() != 4 {
-		t.Fatalf("2-ball nodes=%d edges=%d", b2.G.NumNodes(), b2.G.NumEdges())
+	g.BallInto(0, 2, &b)
+	if b.NumNodes() != 5 || b.NumEdges() != 4 {
+		t.Fatalf("2-ball nodes=%d edges=%d", b.NumNodes(), b.NumEdges())
 	}
 }
 
@@ -326,9 +332,10 @@ func TestFragmentGrowth(t *testing.T) {
 	if inc := f.Add(2); inc != 0 {
 		t.Fatalf("re-adding node: inc=%d", inc)
 	}
-	s := f.Build()
-	if s.G.NumNodes() != 4 || s.G.NumEdges() != 4 {
-		t.Fatalf("built fragment nodes=%d edges=%d", s.G.NumNodes(), s.G.NumEdges())
+	var c FragCSR
+	f.CSRInto(&c)
+	if c.NumNodes() != 4 || c.NumEdges() != 4 {
+		t.Fatalf("materialized fragment nodes=%d edges=%d", c.NumNodes(), c.NumEdges())
 	}
 }
 
@@ -370,20 +377,22 @@ func TestRandomGraphsValidate(t *testing.T) {
 // node of a weakly-connected graph contains the whole component of v.
 func TestBallCoversComponent(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
+	var ball FragCSR
 	for i := 0; i < 10; i++ {
 		g := randomGraph(rng, 30, 60, 3)
 		v := NodeID(rng.Intn(g.NumNodes()))
 		comp := g.BFS(v, Both, -1, nil)
-		ball := g.Ball(v, g.NumNodes()) // radius larger than any diameter
-		if ball.G.NumNodes() != len(comp) {
-			t.Fatalf("ball nodes=%d, component=%d", ball.G.NumNodes(), len(comp))
+		g.BallInto(v, g.NumNodes(), &ball) // radius larger than any diameter
+		if ball.NumNodes() != len(comp) {
+			t.Fatalf("ball nodes=%d, component=%d", ball.NumNodes(), len(comp))
 		}
 	}
 }
 
-// Property (testing/quick): induced subgraph never contains an edge absent
+// Property (testing/quick): an induced CSR never contains an edge absent
 // from the parent, and contains every parent edge among its nodes.
-func TestInducedSubgraphClosureQuick(t *testing.T) {
+func TestCSRIntoClosureQuick(t *testing.T) {
+	var c FragCSR
 	f := func(seed int64, nRaw, mRaw uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
 		n := 2 + int(nRaw)%40
@@ -394,19 +403,19 @@ func TestInducedSubgraphClosureQuick(t *testing.T) {
 		for i := 0; i < k; i++ {
 			nodes = append(nodes, NodeID(rng.Intn(n)))
 		}
-		s := g.InducedSubgraph(nodes)
+		g.CSRInto(nodes, &c)
 		// Every subgraph edge exists in the parent.
-		for v := 0; v < s.G.NumNodes(); v++ {
-			for _, w := range s.G.Out(NodeID(v)) {
-				if !g.HasEdge(s.OrigOf(NodeID(v)), s.OrigOf(w)) {
+		for i := int32(0); i < int32(c.NumNodes()); i++ {
+			for _, j := range c.Out(i) {
+				if !g.HasEdge(c.Orig[i], c.Orig[j]) {
 					return false
 				}
 			}
 		}
 		// Every parent edge between included nodes appears.
-		for _, u := range s.ToOrig {
+		for i, u := range c.Orig {
 			for _, w := range g.Out(u) {
-				if s.SubOf(w) != NoNode && !s.G.HasEdge(s.SubOf(u), s.SubOf(w)) {
+				if p := c.PosOf(w); p >= 0 && !c.HasEdge(int32(i), p) {
 					return false
 				}
 			}
@@ -418,9 +427,10 @@ func TestInducedSubgraphClosureQuick(t *testing.T) {
 	}
 }
 
-// Property (testing/quick): fragment size equals the materialized size, and
-// fragments are always induced subgraphs.
+// Property (testing/quick): fragment size equals the materialized CSR
+// size, and fragments are always induced subgraphs.
 func TestFragmentSizeConsistencyQuick(t *testing.T) {
+	var c FragCSR
 	f := func(seed int64, nRaw, mRaw, kRaw uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
 		n := 2 + int(nRaw)%30
@@ -431,10 +441,10 @@ func TestFragmentSizeConsistencyQuick(t *testing.T) {
 		for i := 0; i < k; i++ {
 			fr.Add(NodeID(rng.Intn(n)))
 		}
-		s := fr.Build()
-		return fr.Size() == s.G.Size() &&
-			fr.NumNodes() == s.G.NumNodes() &&
-			fr.NumEdges() == s.G.NumEdges()
+		fr.CSRInto(&c)
+		return fr.Size() == c.Size() &&
+			fr.NumNodes() == c.NumNodes() &&
+			fr.NumEdges() == c.NumEdges()
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)

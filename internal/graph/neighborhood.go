@@ -2,8 +2,9 @@ package graph
 
 // This file implements the locality machinery of Section 2 of the paper:
 // N_r(v), the set of nodes within r hops of v following edges in either
-// direction; G_r(v), the subgraph induced by N_r(v); directed BFS utilities;
-// and the graph diameter used for pattern queries.
+// direction; G_r(v), the subgraph induced by N_r(v), materialized as a
+// pooled FragCSR by BallInto; directed BFS utilities; and the graph
+// diameter used for pattern queries.
 
 // Direction selects which edges a traversal follows.
 type Direction int
@@ -18,74 +19,85 @@ const (
 	Both
 )
 
-// neighbors appends v's neighbors in the given direction to buf.
-func (g *Graph) neighbors(v NodeID, dir Direction, buf []NodeID) []NodeID {
-	switch dir {
-	case Forward:
-		buf = append(buf, g.Out(v)...)
-	case Backward:
-		buf = append(buf, g.In(v)...)
-	default:
-		buf = append(buf, g.Out(v)...)
-		buf = append(buf, g.In(v)...)
-	}
-	return buf
-}
-
 // NodesWithin returns N_r(v): every node reachable from v by a path of at
 // most r edges, following edges in either direction (Section 2 of the
-// paper). The result includes v itself and is in BFS order.
+// paper). The result includes v itself, is in BFS order, and is freshly
+// allocated (callers own it).
 func (g *Graph) NodesWithin(v NodeID, r int) []NodeID {
 	return g.BFS(v, Both, r, nil)
 }
 
-// BFS runs a breadth-first traversal from start, following dir edges, up to
-// maxDepth hops (maxDepth < 0 means unbounded). If visit is non-nil it is
-// called as visit(node, depth) for every discovered node, and a false return
-// stops the traversal early. BFS returns the visited nodes in discovery
-// order.
+// Walk runs a breadth-first traversal from start, following dir edges, up
+// to maxDepth hops (maxDepth < 0 means unbounded), calling visit(node,
+// depth) for every discovered node; a false return stops the traversal
+// early. Unlike BFS it records no discovery order, so steady-state calls
+// allocate nothing: the visited marker and the queue come from the
+// graph's traversal pools.
+func (g *Graph) Walk(start NodeID, dir Direction, maxDepth int, visit func(v NodeID, depth int) bool) {
+	g.walk(start, dir, maxDepth, visit, nil)
+}
+
+// BFS is Walk plus discovery order: it returns the visited nodes in the
+// order they were found, as a fresh slice the caller owns. visit may be
+// nil.
 func (g *Graph) BFS(start NodeID, dir Direction, maxDepth int, visit func(v NodeID, depth int) bool) []NodeID {
-	// Dense visited array: one byte per node beats a hash set as soon as a
-	// traversal touches more than a handful of nodes, and the zeroing cost
-	// of make is a fraction of a map's first insert.
-	seen := make([]bool, g.NumNodes())
 	order := make([]NodeID, 0, 64)
-	type item struct {
-		v NodeID
-		d int32
-	}
-	queue := make([]item, 0, 64)
-	queue = append(queue, item{start, 0})
-	seen[start] = true
-	var buf []NodeID
+	return g.walk(start, dir, maxDepth, visit, order)
+}
+
+// walk is the shared BFS core. When order is non-nil every discovered
+// node is appended to it; the (possibly grown) slice is returned.
+func (g *Graph) walk(start NodeID, dir Direction, maxDepth int, visit func(v NodeID, depth int) bool, order []NodeID) []NodeID {
+	seen := g.AcquireVisited()
+	tr := g.acquireTrav()
+	defer func() {
+		g.releaseTrav(tr)
+		g.ReleaseVisited(seen)
+	}()
+
+	queue := append(tr.queue[:0], travItem{start, 0})
+	seen.Mark(start, 0)
 	for head := 0; head < len(queue); head++ {
 		it := queue[head]
-		order = append(order, it.v)
+		if order != nil {
+			order = append(order, it.v)
+		}
 		if visit != nil && !visit(it.v, int(it.d)) {
-			return order
+			break
 		}
 		if maxDepth >= 0 && int(it.d) == maxDepth {
 			continue
 		}
-		buf = g.neighbors(it.v, dir, buf[:0])
-		for _, w := range buf {
-			if !seen[w] {
-				seen[w] = true
-				queue = append(queue, item{w, it.d + 1})
+		if dir != Backward {
+			for _, w := range g.Out(it.v) {
+				if !seen.Seen(w) {
+					seen.Mark(w, 0)
+					queue = append(queue, travItem{w, it.d + 1})
+				}
+			}
+		}
+		if dir != Forward {
+			for _, w := range g.In(it.v) {
+				if !seen.Seen(w) {
+					seen.Mark(w, 0)
+					queue = append(queue, travItem{w, it.d + 1})
+				}
 			}
 		}
 	}
+	tr.queue = queue // keep grown capacity pooled
 	return order
 }
 
 // Reachable reports whether to is reachable from from by a directed path
-// (including the trivial empty path when from == to).
+// (including the trivial empty path when from == to). Steady-state calls
+// allocate nothing.
 func (g *Graph) Reachable(from, to NodeID) bool {
 	if from == to {
 		return true
 	}
 	found := false
-	g.BFS(from, Forward, -1, func(v NodeID, _ int) bool {
+	g.Walk(from, Forward, -1, func(v NodeID, _ int) bool {
 		if v == to {
 			found = true
 			return false
@@ -99,7 +111,7 @@ func (g *Graph) Reachable(from, to NodeID) bool {
 // node reachable from it under dir, in hops.
 func (g *Graph) Eccentricity(v NodeID, dir Direction) int {
 	max := 0
-	g.BFS(v, dir, -1, func(_ NodeID, d int) bool {
+	g.Walk(v, dir, -1, func(_ NodeID, d int) bool {
 		if d > max {
 			max = d
 		}
@@ -122,56 +134,16 @@ func (g *Graph) Diameter(dir Direction) int {
 	return max
 }
 
-// Sub is a subgraph materialized as its own Graph together with the node-id
-// correspondence back to the parent graph.
-type Sub struct {
-	// G is the materialized subgraph with dense ids 0..n-1.
-	G *Graph
-	// ToOrig maps a subgraph NodeID to the parent graph NodeID.
-	ToOrig []NodeID
-	// FromOrig maps a parent NodeID to its subgraph NodeID.
-	FromOrig map[NodeID]NodeID
-}
-
-// OrigOf returns the parent-graph id of subgraph node v.
-func (s *Sub) OrigOf(v NodeID) NodeID { return s.ToOrig[v] }
-
-// SubOf returns the subgraph id of parent node v, or NoNode if v is not in
-// the subgraph.
-func (s *Sub) SubOf(v NodeID) NodeID {
-	if w, ok := s.FromOrig[v]; ok {
-		return w
-	}
-	return NoNode
-}
-
-// InducedSubgraph materializes the subgraph of g induced by nodes: it keeps
-// every edge of g whose endpoints are both in nodes. Duplicate entries in
-// nodes are ignored.
-func (g *Graph) InducedSubgraph(nodes []NodeID) *Sub {
-	s := &Sub{FromOrig: make(map[NodeID]NodeID, len(nodes))}
-	b := NewBuilder(len(nodes), 0)
-	for _, v := range nodes {
-		if _, dup := s.FromOrig[v]; dup {
-			continue
-		}
-		s.FromOrig[v] = b.AddNode(g.Label(v))
-		s.ToOrig = append(s.ToOrig, v)
-	}
-	for _, v := range s.ToOrig {
-		sv := s.FromOrig[v]
-		for _, w := range g.Out(v) {
-			if sw, ok := s.FromOrig[w]; ok {
-				b.AddEdge(sv, sw)
-			}
-		}
-	}
-	s.G = b.Build()
-	return s
-}
-
-// Ball returns G_r(v), the subgraph induced by N_r(v) (the paper's
-// r-neighborhood graph of v).
-func (g *Graph) Ball(v NodeID, r int) *Sub {
-	return g.InducedSubgraph(g.NodesWithin(v, r))
+// BallInto materializes G_r(v), the subgraph induced by N_r(v) (the
+// paper's r-neighborhood graph of v), into the reusable CSR c. Positions
+// follow BFS discovery order from v, so position c.PosOf(v) == 0 always
+// holds. The traversal scratch comes from the graph's pools and c reuses
+// its backing slices, so repeated ball extractions allocate nothing once
+// warm — this is the hot path of the ball-based exact baselines (MatchOpt,
+// VF2Opt, StrongSim).
+func (g *Graph) BallInto(v NodeID, r int, c *FragCSR) {
+	tr := g.acquireTrav()
+	tr.nodes = g.walk(v, Both, r, nil, tr.nodes[:0])
+	g.CSRInto(tr.nodes, c)
+	g.releaseTrav(tr)
 }

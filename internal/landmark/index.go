@@ -455,13 +455,19 @@ func (x *Index) attach(parent, child graph.NodeID, down bool) {
 	x.numEdges++
 }
 
-// computeCovers fills cover sizes by one forward and one backward BFS per
+// computeCovers fills cover sizes by one forward and one backward walk per
 // landmark over the DAG — the O((α|G|)²)-ish indexing cost the paper
-// budgets for.
+// budgets for. Only the visit counts are needed, so the pooled Walk is
+// used instead of materializing BFS orders.
 func (x *Index) computeCovers() {
+	count := func(m graph.NodeID, dir graph.Direction) int64 {
+		n := int64(0)
+		x.dag.Walk(m, dir, -1, func(graph.NodeID, int) bool { n++; return true })
+		return n - 1 // exclude m itself
+	}
 	for _, m := range x.landmarks {
-		desc := int64(len(x.dag.BFS(m, graph.Forward, -1, nil)) - 1)
-		anc := int64(len(x.dag.BFS(m, graph.Backward, -1, nil)) - 1)
+		desc := count(m, graph.Forward)
+		anc := count(m, graph.Backward)
 		x.cover[m] = (anc+1)*(desc+1) - 1
 	}
 }

@@ -28,6 +28,7 @@ type Pattern struct {
 	numEdges     int
 	personalized NodeID
 	output       NodeID
+	diam         int // d_Q, cached at Build; see Diameter
 }
 
 // NumNodes returns |V_p|.
@@ -41,6 +42,12 @@ func (p *Pattern) Size() int { return p.NumNodes() + p.NumEdges() }
 
 // Label returns f_v(u), the label constraint of query node u.
 func (p *Pattern) Label(u NodeID) string { return p.labels[u] }
+
+// Labels returns f_v as a slice indexed by query node id. The slice is
+// shared with the pattern and must not be modified; engines hand it to
+// graph.InternLabels to resolve every constraint to an interned id once
+// per query.
+func (p *Pattern) Labels() []string { return p.labels }
 
 // Out returns u's children. The slice is shared and must not be modified.
 func (p *Pattern) Out(u NodeID) []NodeID { return p.out[u] }
@@ -80,13 +87,15 @@ func (p *Pattern) DistinctLabels() int {
 // connected pair of query nodes, following edges in either direction. The
 // paper uses d_Q to scope the data neighborhood G_{d_Q}(v_p); taking hops in
 // either direction matches the neighborhood definition N_r(v) of Section 2.
-func (p *Pattern) Diameter() int { return p.diameter(true) }
+// It is computed once at Build and returned in O(1): the ball-based
+// baselines call it per query evaluation, on their allocation-free path.
+func (p *Pattern) Diameter() int { return p.diam }
 
 // UndirectedDiameter returns d, the diameter of Q treated as an undirected
 // graph — the exponent in Theorem 3(b)'s accuracy bound. For patterns this
 // coincides with Diameter; it is kept as a distinct method to mirror the
 // paper's notation (Table 1 lists d_Q and d separately).
-func (p *Pattern) UndirectedDiameter() int { return p.diameter(true) }
+func (p *Pattern) UndirectedDiameter() int { return p.diam }
 
 func (p *Pattern) diameter(undirected bool) int {
 	n := p.NumNodes()
@@ -284,6 +293,7 @@ func (b *Builder) Build() (*Pattern, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	p.diam = p.diameter(true)
 	return p, nil
 }
 
@@ -369,6 +379,7 @@ func (p *Pattern) WithPersonalized(u NodeID) (*Pattern, error) {
 		numEdges:     p.numEdges,
 		personalized: u,
 		output:       p.output,
+		diam:         p.diam, // re-rooting does not change d_Q
 	}
 	if err := q.Validate(); err != nil {
 		return nil, err

@@ -97,13 +97,15 @@ func run(aux *graph.Aux, p *pattern.Pattern, opts Options, kind guardType, mopts
 	}
 
 	// Guard-filter and rank candidates (higher degree first: hubs reach
-	// more of the pattern's structure per budget unit).
+	// more of the pattern's structure per budget unit). The Semantics is
+	// constructed once per query — label resolution is hoisted out of the
+	// per-candidate guard probes.
 	var guard func(graph.NodeID, pattern.NodeID) bool
 	switch kind {
 	case subSemantics:
-		guard = rbsub.Semantics{Aux: aux, P: rooted}.Guard
+		guard = rbsub.NewSemantics(aux, rooted).Guard
 	default:
-		guard = rbsim.Semantics{Aux: aux, P: rooted}.Guard
+		guard = rbsim.NewSemantics(aux, rooted).Guard
 	}
 	var pass []graph.NodeID
 	for _, v := range cands {

@@ -24,28 +24,47 @@ import (
 
 // Semantics is the strong-simulation instantiation of the dynamic
 // reduction: the guarded condition and potential of Section 4.1, both
-// evaluated against the offline Sl histograms only.
+// evaluated against the offline Sl histograms only. Construct with
+// NewSemantics (or Bind a pooled value): construction resolves every
+// pattern label to the graph's interned LabelID once, so the
+// per-candidate Guard and Potential probes compare int32s instead of
+// hashing label strings.
 type Semantics struct {
-	Aux *graph.Aux
-	P   *pattern.Pattern
+	aux    *graph.Aux
+	p      *pattern.Pattern
+	labels []graph.LabelID // labels[u] = graph id of P's label of u, NoLabel if absent
+}
+
+// NewSemantics resolves p's labels against aux's graph and returns the
+// reduction semantics for the pair.
+func NewSemantics(aux *graph.Aux, p *pattern.Pattern) *Semantics {
+	s := &Semantics{}
+	s.Bind(aux, p)
+	return s
+}
+
+// Bind re-points s at (aux, p), reusing the resolved-label buffer; the
+// pooled scratch of Run rebinds one Semantics value per query.
+func (s *Semantics) Bind(aux *graph.Aux, p *pattern.Pattern) {
+	s.aux, s.p = aux, p
+	s.labels = aux.Graph().InternLabels(p.Labels(), s.labels)
 }
 
 // Guard implements C(v,u): labels agree, and every pattern parent (resp.
 // child) label of u occurs among v's parents (resp. children).
-func (s Semantics) Guard(v graph.NodeID, u pattern.NodeID) bool {
-	g := s.Aux.Graph()
-	if g.Label(v) != s.P.Label(u) {
+func (s *Semantics) Guard(v graph.NodeID, u pattern.NodeID) bool {
+	if s.aux.Graph().LabelOf(v) != s.labels[u] {
 		return false
 	}
-	for _, uc := range s.P.Out(u) {
-		l := g.LabelIDOf(s.P.Label(uc))
-		if l == graph.NoLabel || s.Aux.OutLabelCount(v, l) == 0 {
+	for _, uc := range s.p.Out(u) {
+		l := s.labels[uc]
+		if l == graph.NoLabel || s.aux.OutLabelCount(v, l) == 0 {
 			return false
 		}
 	}
-	for _, ua := range s.P.In(u) {
-		l := g.LabelIDOf(s.P.Label(ua))
-		if l == graph.NoLabel || s.Aux.InLabelCount(v, l) == 0 {
+	for _, ua := range s.p.In(u) {
+		l := s.labels[ua]
+		if l == graph.NoLabel || s.aux.InLabelCount(v, l) == 0 {
 			return false
 		}
 	}
@@ -55,17 +74,16 @@ func (s Semantics) Guard(v graph.NodeID, u pattern.NodeID) bool {
 // Potential implements p(v,u): the number of neighbors of v that are
 // label-candidates for some pattern neighbor of u, counted per direction
 // from the Sl histograms.
-func (s Semantics) Potential(v graph.NodeID, u pattern.NodeID) float64 {
-	g := s.Aux.Graph()
+func (s *Semantics) Potential(v graph.NodeID, u pattern.NodeID) float64 {
 	total := 0
-	for _, uc := range s.P.Out(u) {
-		if l := g.LabelIDOf(s.P.Label(uc)); l != graph.NoLabel {
-			total += int(s.Aux.OutLabelCount(v, l))
+	for _, uc := range s.p.Out(u) {
+		if l := s.labels[uc]; l != graph.NoLabel {
+			total += int(s.aux.OutLabelCount(v, l))
 		}
 	}
-	for _, ua := range s.P.In(u) {
-		if l := g.LabelIDOf(s.P.Label(ua)); l != graph.NoLabel {
-			total += int(s.Aux.InLabelCount(v, l))
+	for _, ua := range s.p.In(u) {
+		if l := s.labels[ua]; l != graph.NoLabel {
+			total += int(s.aux.InLabelCount(v, l))
 		}
 	}
 	return float64(total)
@@ -85,6 +103,7 @@ type scratch struct {
 	frag *graph.Fragment
 	csr  graph.FragCSR
 	sim  simulation.Scratch
+	sem  Semantics
 }
 
 // Run executes RBSim: dynamic reduction followed by exact strong
@@ -98,7 +117,8 @@ func Run(aux *graph.Aux, p *pattern.Pattern, vp graph.NodeID, opts reduce.Option
 	}
 	defer pool.Put(sc)
 
-	stats := reduce.SearchInto(aux, p, vp, Semantics{Aux: aux, P: p}, opts, sc.frag, &sc.red)
+	sc.sem.Bind(aux, p)
+	stats := reduce.SearchInto(aux, p, vp, &sc.sem, opts, sc.frag, &sc.red)
 	res := Result{Stats: stats}
 	sc.frag.CSRInto(&sc.csr)
 	pinPos := sc.csr.PosOf(vp)

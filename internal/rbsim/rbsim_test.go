@@ -106,7 +106,7 @@ func TestGuardSemantics(t *testing.T) {
 	g, michael, _, _ := example2Graph(10, 20)
 	aux := graph.BuildAux(g)
 	p := figure1Pattern(t)
-	sem := Semantics{Aux: aux, P: p}
+	sem := NewSemantics(aux, p)
 	// Michael passes for u_p.
 	if !sem.Guard(michael, p.Personalized()) {
 		t.Fatal("Michael fails its own guard")
@@ -140,7 +140,7 @@ func TestPotentialCountsDirectionally(t *testing.T) {
 	g, michael, _, _ := example2Graph(5, 20)
 	aux := graph.BuildAux(g)
 	p := figure1Pattern(t)
-	sem := Semantics{Aux: aux, P: p}
+	sem := NewSemantics(aux, p)
 	if got := sem.Potential(michael, p.Personalized()); got != 8 { // 3 CC + 5 HG
 		t.Fatalf("potential = %v, want 8", got)
 	}

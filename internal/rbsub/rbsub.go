@@ -24,10 +24,29 @@ import (
 )
 
 // Semantics is the subgraph-isomorphism instantiation of the dynamic
-// reduction.
+// reduction. Construct with NewSemantics (or Bind a pooled value):
+// construction resolves every pattern label to the graph's interned
+// LabelID once, so the per-candidate Guard and Potential probes compare
+// int32s instead of hashing label strings.
 type Semantics struct {
-	Aux *graph.Aux
-	P   *pattern.Pattern
+	aux    *graph.Aux
+	p      *pattern.Pattern
+	labels []graph.LabelID // labels[u] = graph id of P's label of u, NoLabel if absent
+}
+
+// NewSemantics resolves p's labels against aux's graph and returns the
+// reduction semantics for the pair.
+func NewSemantics(aux *graph.Aux, p *pattern.Pattern) *Semantics {
+	s := &Semantics{}
+	s.Bind(aux, p)
+	return s
+}
+
+// Bind re-points s at (aux, p), reusing the resolved-label buffer; the
+// pooled scratch of Run rebinds one Semantics value per query.
+func (s *Semantics) Bind(aux *graph.Aux, p *pattern.Pattern) {
+	s.aux, s.p = aux, p
+	s.labels = aux.Graph().InternLabels(p.Labels(), s.labels)
 }
 
 // Guard implements the revised C(v,u) of Section 4.2. Beyond label
@@ -35,35 +54,34 @@ type Semantics struct {
 // pattern neighbors of u there are at least k data neighbors of v with
 // label l (distinctness), and that v's own degree can accommodate u's
 // (every pattern edge needs its own data edge under isomorphism).
-func (s Semantics) Guard(v graph.NodeID, u pattern.NodeID) bool {
-	g := s.Aux.Graph()
-	if g.Label(v) != s.P.Label(u) {
+func (s *Semantics) Guard(v graph.NodeID, u pattern.NodeID) bool {
+	g := s.aux.Graph()
+	if g.LabelOf(v) != s.labels[u] {
 		return false
 	}
-	if g.OutDegree(v) < len(s.P.Out(u)) || g.InDegree(v) < len(s.P.In(u)) {
+	if g.OutDegree(v) < len(s.p.Out(u)) || g.InDegree(v) < len(s.p.In(u)) {
 		return false
 	}
-	if !s.enoughDistinct(v, s.P.Out(u), true) {
+	if !s.enoughDistinct(v, s.p.Out(u), true) {
 		return false
 	}
-	return s.enoughDistinct(v, s.P.In(u), false)
+	return s.enoughDistinct(v, s.p.In(u), false)
 }
 
 // enoughDistinct checks the per-label multiplicity requirement in one
 // direction: for each label l carried by k pattern neighbors, v must have
 // at least k l-labeled data neighbors. Pattern neighbor lists are tiny, so
 // the k for each label is recounted in place rather than built in a map.
-func (s Semantics) enoughDistinct(v graph.NodeID, patNeigh []pattern.NodeID, out bool) bool {
-	g := s.Aux.Graph()
+func (s *Semantics) enoughDistinct(v graph.NodeID, patNeigh []pattern.NodeID, out bool) bool {
 	for i, u := range patNeigh {
-		l := g.LabelIDOf(s.P.Label(u))
+		l := s.labels[u]
 		if l == graph.NoLabel {
 			return false
 		}
 		// Count this label's multiplicity once, at its first occurrence.
 		first := true
 		for _, w := range patNeigh[:i] {
-			if g.LabelIDOf(s.P.Label(w)) == l {
+			if s.labels[w] == l {
 				first = false
 				break
 			}
@@ -73,15 +91,15 @@ func (s Semantics) enoughDistinct(v graph.NodeID, patNeigh []pattern.NodeID, out
 		}
 		var need int32
 		for _, w := range patNeigh[i:] {
-			if g.LabelIDOf(s.P.Label(w)) == l {
+			if s.labels[w] == l {
 				need++
 			}
 		}
 		var have int32
 		if out {
-			have = s.Aux.OutLabelCount(v, l)
+			have = s.aux.OutLabelCount(v, l)
 		} else {
-			have = s.Aux.InLabelCount(v, l)
+			have = s.aux.InLabelCount(v, l)
 		}
 		if have < need {
 			return false
@@ -92,17 +110,16 @@ func (s Semantics) enoughDistinct(v graph.NodeID, patNeigh []pattern.NodeID, out
 
 // Potential mirrors RBSim's p(v,u) under the revised guard: neighbors of v
 // that are label-candidates for u's pattern neighbors.
-func (s Semantics) Potential(v graph.NodeID, u pattern.NodeID) float64 {
-	g := s.Aux.Graph()
+func (s *Semantics) Potential(v graph.NodeID, u pattern.NodeID) float64 {
 	total := 0
-	for _, uc := range s.P.Out(u) {
-		if l := g.LabelIDOf(s.P.Label(uc)); l != graph.NoLabel {
-			total += int(s.Aux.OutLabelCount(v, l))
+	for _, uc := range s.p.Out(u) {
+		if l := s.labels[uc]; l != graph.NoLabel {
+			total += int(s.aux.OutLabelCount(v, l))
 		}
 	}
-	for _, ua := range s.P.In(u) {
-		if l := g.LabelIDOf(s.P.Label(ua)); l != graph.NoLabel {
-			total += int(s.Aux.InLabelCount(v, l))
+	for _, ua := range s.p.In(u) {
+		if l := s.labels[ua]; l != graph.NoLabel {
+			total += int(s.aux.InLabelCount(v, l))
 		}
 	}
 	return float64(total)
@@ -127,6 +144,7 @@ type scratch struct {
 	frag *graph.Fragment
 	csr  graph.FragCSR
 	sub  subiso.Scratch
+	sem  Semantics
 }
 
 // Run executes RBSub: dynamic reduction with the isomorphism semantics,
@@ -139,7 +157,8 @@ func Run(aux *graph.Aux, p *pattern.Pattern, vp graph.NodeID, opts reduce.Option
 	}
 	defer pool.Put(sc)
 
-	stats := reduce.SearchInto(aux, p, vp, Semantics{Aux: aux, P: p}, opts, sc.frag, &sc.red)
+	sc.sem.Bind(aux, p)
+	stats := reduce.SearchInto(aux, p, vp, &sc.sem, opts, sc.frag, &sc.red)
 	res := Result{Stats: stats, Complete: true}
 	sc.frag.CSRInto(&sc.csr)
 	pinPos := sc.csr.PosOf(vp)

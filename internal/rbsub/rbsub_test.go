@@ -29,13 +29,13 @@ func TestGuardRequiresDistinctNeighbors(t *testing.T) {
 	g := graph.FromEdges([]string{"P", "C"}, [][2]int{{0, 1}})
 	aux := graph.BuildAux(g)
 	p := twoChildPattern(t)
-	sem := Semantics{Aux: aux, P: p}
+	sem := NewSemantics(aux, p)
 	if sem.Guard(0, p.Personalized()) {
 		t.Fatal("guard admitted a node with too few distinct children")
 	}
 	g2 := graph.FromEdges([]string{"P", "C", "C"}, [][2]int{{0, 1}, {0, 2}})
 	aux2 := graph.BuildAux(g2)
-	sem2 := Semantics{Aux: aux2, P: p}
+	sem2 := NewSemantics(aux2, p)
 	if !sem2.Guard(0, p.Personalized()) {
 		t.Fatal("guard rejected a node with enough distinct children")
 	}
@@ -47,7 +47,7 @@ func TestGuardDegreeConstraint(t *testing.T) {
 	g := graph.FromEdges([]string{"P", "C"}, [][2]int{{0, 1}})
 	aux := graph.BuildAux(g)
 	p := twoChildPattern(t)
-	sem := Semantics{Aux: aux, P: p}
+	sem := NewSemantics(aux, p)
 	if sem.Guard(0, p.Personalized()) {
 		t.Fatal("degree constraint not enforced")
 	}
@@ -124,7 +124,7 @@ func TestPotentialPositiveForViableNodes(t *testing.T) {
 	g := graph.FromEdges([]string{"P", "C", "C"}, [][2]int{{0, 1}, {0, 2}})
 	aux := graph.BuildAux(g)
 	p := twoChildPattern(t)
-	sem := Semantics{Aux: aux, P: p}
+	sem := NewSemantics(aux, p)
 	// Potential sums label-candidates per pattern neighbor: 2 query
 	// children x 2 data candidates each.
 	if got := sem.Potential(0, p.Personalized()); got != 4 {

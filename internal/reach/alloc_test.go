@@ -1,0 +1,35 @@
+//go:build !race
+// +build !race
+
+package reach
+
+import (
+	"math/rand"
+	"testing"
+
+	"rbq/internal/graph"
+)
+
+// The reachability baselines must not allocate per query once the
+// graph-owned traversal pools and the frontier pool are warm.
+func TestReachBaselinesAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	b := graph.NewBuilder(500, 2000)
+	for i := 0; i < 500; i++ {
+		b.AddNode("n")
+	}
+	for i := 0; i < 2000; i++ {
+		b.AddEdge(graph.NodeID(rng.Intn(500)), graph.NodeID(rng.Intn(500)))
+	}
+	g := b.Build()
+	from, to := graph.NodeID(0), graph.NodeID(499)
+
+	BFS(g, from, to) // warm up
+	if avg := testing.AllocsPerRun(100, func() { BFS(g, from, to) }); avg != 0 {
+		t.Fatalf("BFS allocates %.1f times per run, want 0", avg)
+	}
+	Bidirectional(g, from, to) // warm up
+	if avg := testing.AllocsPerRun(100, func() { Bidirectional(g, from, to) }); avg != 0 {
+		t.Fatalf("Bidirectional allocates %.1f times per run, want 0", avg)
+	}
+}

@@ -2,9 +2,16 @@
 // Fan, Wang & Wu (SIGMOD 2014): BFS over the original graph, bidirectional
 // BFS, and BFSOpt — BFS over the reachability-preserving condensation of
 // the graph (the paper's "compress first, then BFS" baseline).
+//
+// Per-query state is pooled: BFS rides the graph's own traversal pools
+// (graph.Walk), and Bidirectional draws its dense visited marker from the
+// graph's Visited pool and its frontier queues from a package pool, so
+// steady-state queries allocate nothing.
 package reach
 
 import (
+	"sync"
+
 	"rbq/internal/compress"
 	"rbq/internal/graph"
 )
@@ -15,56 +22,83 @@ func BFS(g *graph.Graph, from, to graph.NodeID) bool {
 	return g.Reachable(from, to)
 }
 
+// frontiers is the pooled queue state of one Bidirectional call: one
+// growable layered queue per direction (the current layer is a window
+// [lo:len) into the queue; expanding appends the next layer in place).
+type frontiers struct {
+	f, b []graph.NodeID
+}
+
+var frontierPool sync.Pool
+
+// Bidirectional mark classes on the shared Visited array.
+const (
+	fwd = 0
+	bwd = 1
+)
+
 // Bidirectional answers reachability by alternating forward search from
 // `from` and backward search from `to`, expanding the smaller frontier
 // first. Exact, and typically visits far fewer nodes than BFS on graphs
-// with bounded degree. Visited state is one dense byte array (forward and
-// backward colors), not hash sets.
+// with bounded degree. Visited state is one pooled epoch-stamped array
+// (forward and backward classes), not hash sets.
 func Bidirectional(g *graph.Graph, from, to graph.NodeID) bool {
 	if from == to {
 		return true
 	}
-	const (
-		fwd = 1
-		bwd = 2
-	)
-	seen := make([]uint8, g.NumNodes())
-	seen[from] = fwd
-	seen[to] = bwd
-	fFrontier := []graph.NodeID{from}
-	bFrontier := []graph.NodeID{to}
-	for len(fFrontier) > 0 && len(bFrontier) > 0 {
-		if len(fFrontier) <= len(bFrontier) {
-			var next []graph.NodeID
-			for _, v := range fFrontier {
+	seen := g.AcquireVisited()
+	defer g.ReleaseVisited(seen)
+	fs, _ := frontierPool.Get().(*frontiers)
+	if fs == nil {
+		fs = new(frontiers)
+	}
+	defer frontierPool.Put(fs)
+
+	seen.Mark(from, fwd)
+	seen.Mark(to, bwd)
+	fq := append(fs.f[:0], from)
+	bq := append(fs.b[:0], to)
+	fLo, bLo := 0, 0
+	met := false
+	for fLo < len(fq) && bLo < len(bq) && !met {
+		if len(fq)-fLo <= len(bq)-bLo {
+			layer := fq[fLo:]
+			fLo = len(fq)
+			for _, v := range layer {
 				for _, w := range g.Out(v) {
-					if seen[w] == bwd {
-						return true
-					}
-					if seen[w] == 0 {
-						seen[w] = fwd
-						next = append(next, w)
+					switch seen.Class(w) {
+					case bwd:
+						met = true
+					case -1:
+						seen.Mark(w, fwd)
+						fq = append(fq, w)
 					}
 				}
+				if met {
+					break
+				}
 			}
-			fFrontier = next
 		} else {
-			var next []graph.NodeID
-			for _, v := range bFrontier {
+			layer := bq[bLo:]
+			bLo = len(bq)
+			for _, v := range layer {
 				for _, w := range g.In(v) {
-					if seen[w] == fwd {
-						return true
-					}
-					if seen[w] == 0 {
-						seen[w] = bwd
-						next = append(next, w)
+					switch seen.Class(w) {
+					case fwd:
+						met = true
+					case -1:
+						seen.Mark(w, bwd)
+						bq = append(bq, w)
 					}
 				}
+				if met {
+					break
+				}
 			}
-			bFrontier = next
 		}
 	}
-	return false
+	fs.f, fs.b = fq[:0], bq[:0] // keep grown capacity pooled
+	return met
 }
 
 // Opt is BFSOpt: the graph is condensed once (offline), queries then run

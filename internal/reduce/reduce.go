@@ -16,10 +16,11 @@
 //
 // The engine keeps no per-round heap state: the per-round (u,v) sets of
 // Fig. 3 ("pushed this round", "expanded this round") are epoch-stamped
-// arrays indexed by pattern-node × data-node, reset in O(1) by bumping the
-// epoch, and the frontier ranking runs over a reusable candidate buffer
-// with a concrete-type selection of the top-b (no sort.Slice, no
-// reflection). All of it lives in a Scratch that Search borrows from the
+// arrays indexed by pattern-node × data-node — switching to a budget-sized
+// open-addressing pair table when |Q|·|V| exceeds 2^25, so multi-million-
+// node graphs keep the same O(1) reset with no Go map anywhere — and the
+// frontier ranking runs over a reusable candidate buffer with a
+// concrete-type selection of the top-b (no sort.Slice, no reflection). All of it lives in a Scratch that Search borrows from the
 // Aux's scratch pool (graph.ScratchReduce) and returns on exit, so
 // steady-state reductions do not allocate; callers that manage their own
 // pooling (rbsim, rbsub) pass a Scratch and a reusable Fragment to
@@ -121,37 +122,140 @@ type pairKey struct {
 
 // maxStampEntries bounds the dense pair-stamp arrays to 4 B × 2^25 =
 // 128 MiB each; beyond that (enormous graph × wide pattern) the stamp
-// falls back to an epoch-valued map, which is still reset in O(1).
+// switches to a budget-sized open-addressing pair table (see pairTable),
+// which is still reset in O(1) and still map-free.
 const maxStampEntries = 1 << 25
 
-// maxFallbackEntries caps how large the map fallback may grow before a
-// reset replaces it, so a long-lived pooled Scratch stays bounded.
-const maxFallbackEntries = 1 << 20
+// Pair-table sizing. The table starts at minTableEntries slots, grows by
+// doubling when half full, and is re-allocated at its minimum size when a
+// reset finds it larger than maxTableEntries — so one pathological query
+// cannot pin hundreds of MiB inside a long-lived pooled Scratch.
+const (
+	minTableEntries = 1 << 12
+	maxTableEntries = 1 << 22
+)
+
+// pairTable is an epoch-stamped open-addressing hash set of (u,v) pairs
+// for the huge-graph regime where the dense array would exceed
+// maxStampEntries. A slot is live when its stamp equals the current
+// epoch, so per-round clearing is a single epoch increment; linear
+// probing treats stale slots as empty, which is sound because an epoch
+// bump invalidates every slot at once. Unlike a Go map it never hashes
+// strings, never allocates per insert, and keeps O(1) reset.
+type pairTable struct {
+	keys  []uint64
+	stamp []int32
+	epoch int32
+	live  int // slots claimed this epoch, to trigger growth at 1/2 load
+}
+
+func packPair(k pairKey) uint64 {
+	return uint64(uint32(k.u))<<32 | uint64(uint32(k.v))
+}
+
+// pairHash is the 64-bit finalizer of MurmurHash3: cheap, allocation-free
+// and well-mixed for the low bits that index the table.
+func pairHash(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// reset empties the table in O(1), sizing it for hint expected pairs (the
+// engine passes a budget-derived estimate; growth covers underestimates).
+func (t *pairTable) reset(hint int) {
+	want := minTableEntries
+	for want < 2*hint && want < maxTableEntries {
+		want <<= 1
+	}
+	if len(t.keys) < want || len(t.keys) > maxTableEntries {
+		t.keys = make([]uint64, want)
+		t.stamp = make([]int32, want)
+		t.epoch = 0
+	}
+	if t.epoch == math.MaxInt32 {
+		clear(t.stamp)
+		t.epoch = 0
+	}
+	t.epoch++
+	t.live = 0
+}
+
+func (t *pairTable) has(k pairKey) bool {
+	key := packPair(k)
+	mask := uint64(len(t.keys) - 1)
+	for i := pairHash(key) & mask; ; i = (i + 1) & mask {
+		if t.stamp[i] != t.epoch {
+			return false
+		}
+		if t.keys[i] == key {
+			return true
+		}
+	}
+}
+
+func (t *pairTable) set(k pairKey) {
+	if 2*t.live >= len(t.keys) {
+		t.grow()
+	}
+	t.insert(packPair(k))
+}
+
+func (t *pairTable) insert(key uint64) {
+	mask := uint64(len(t.keys) - 1)
+	for i := pairHash(key) & mask; ; i = (i + 1) & mask {
+		if t.stamp[i] != t.epoch {
+			t.stamp[i] = t.epoch
+			t.keys[i] = key
+			t.live++
+			return
+		}
+		if t.keys[i] == key {
+			return
+		}
+	}
+}
+
+// grow doubles the table mid-round, re-inserting the live epoch's entries.
+func (t *pairTable) grow() {
+	oldKeys, oldStamp, oldEpoch := t.keys, t.stamp, t.epoch
+	t.keys = make([]uint64, 2*len(oldKeys))
+	t.stamp = make([]int32, 2*len(oldStamp))
+	t.epoch = 1
+	t.live = 0
+	for i, s := range oldStamp {
+		if s == oldEpoch {
+			t.insert(oldKeys[i])
+		}
+	}
+}
 
 // pairStamp is an epoch-stamped set of (pattern node, data node) pairs.
-// Membership is stamp[u·n+v] == epoch; clearing is epoch++. The dense
-// array and the map fallback keep separate epoch counters: dense
-// reallocation resets only the dense epoch, so stale fallback entries from
-// earlier queries can never collide with a fresh epoch (and vice versa).
+// Membership is stamp[u·n+v] == epoch; clearing is epoch++. When the
+// dense array would be too large (|Q|·|V| > maxStampEntries) it switches
+// to the open-addressing pairTable, so even multi-million-node graphs ×
+// wide patterns stay on the allocation-free path. The dense array and the
+// table keep separate epoch counters: dense reallocation resets only the
+// dense epoch, so stale table entries from earlier queries can never
+// collide with a fresh epoch (and vice versa).
 type pairStamp struct {
 	n        int
 	stamp    []int32
 	epoch    int32
-	fallback map[pairKey]int32
-	fepoch   int32
-	useMap   bool
+	table    pairTable
+	useTable bool
 }
 
-// reset prepares the stamp for a pattern of nq nodes over n data nodes and
-// empties it.
-func (s *pairStamp) reset(nq, n int) {
+// reset prepares the stamp for a pattern of nq nodes over n data nodes
+// and empties it; hint estimates how many distinct pairs the round may
+// stamp (used to size the table in the huge-graph regime).
+func (s *pairStamp) reset(nq, n, hint int) {
 	need := nq * n
-	if s.useMap = need > maxStampEntries || need < 0; s.useMap {
-		if s.fallback == nil || len(s.fallback) > maxFallbackEntries || s.fepoch == math.MaxInt32 {
-			s.fallback = make(map[pairKey]int32, 64)
-			s.fepoch = 0
-		}
-		s.fepoch++
+	if s.useTable = need > maxStampEntries || need < 0; s.useTable {
+		s.table.reset(hint)
 		return
 	}
 	s.n = n
@@ -167,15 +271,15 @@ func (s *pairStamp) reset(nq, n int) {
 }
 
 func (s *pairStamp) has(k pairKey) bool {
-	if s.useMap {
-		return s.fallback[k] == s.fepoch
+	if s.useTable {
+		return s.table.has(k)
 	}
 	return s.stamp[int(k.u)*s.n+int(k.v)] == s.epoch
 }
 
 func (s *pairStamp) set(k pairKey) {
-	if s.useMap {
-		s.fallback[k] = s.fepoch
+	if s.useTable {
+		s.table.set(k)
 		return
 	}
 	s.stamp[int(k.u)*s.n+int(k.v)] = s.epoch
@@ -189,6 +293,7 @@ type Scratch struct {
 	expanded pairStamp
 	stack    []pairKey
 	cands    []scored
+	plabels  []graph.LabelID // pattern labels resolved to the graph's ids
 }
 
 // NewScratch returns an empty Scratch.
@@ -204,6 +309,7 @@ type engine struct {
 
 	frag        *graph.Fragment
 	sc          *Scratch
+	plabels     []graph.LabelID // aliases sc.plabels; plabels[u] = g's id of p's label of u
 	budget      int
 	visitBudget int
 	visited     int
@@ -265,6 +371,11 @@ func SearchInto(aux *graph.Aux, p *pattern.Pattern, vp graph.NodeID, sem Semanti
 	if opts.Strategy == WeightRandom {
 		e.rng = rand.New(rand.NewSource(opts.Seed))
 	}
+	// Resolve every pattern label to the graph's interned id once: the
+	// engine's own label probes (ablation guard, fragment-candidate scans)
+	// then compare int32s instead of hashing strings per candidate.
+	sc.plabels = g.InternLabels(p.Labels(), sc.plabels)
+	e.plabels = sc.plabels
 	e.stack = sc.stack[:0]
 	e.run(vp)
 	sc.stack = e.stack // keep grown capacity for the next run
@@ -294,8 +405,11 @@ func (e *engine) run(vp graph.NodeID) {
 	for {
 		e.stats.Rounds++
 		e.emit(EventRound, 0, 0, 0)
-		e.sc.onStack.reset(nq, n)
-		e.sc.expanded.reset(nq, n)
+		// The table hint tracks the size budget: a round stamps roughly one
+		// stack pair per fragment item it can afford (growth covers the
+		// overshoot from guard-rejected pushes).
+		e.sc.onStack.reset(nq, n, e.budget+1)
+		e.sc.expanded.reset(nq, n, e.budget+1)
 		e.stack = e.stack[:0]
 		e.changed = false
 		e.push(pairKey{e.p.Personalized(), vp})
@@ -465,7 +579,7 @@ func (e *engine) pick(v graph.NodeID, target pattern.NodeID, dir graph.Direction
 
 func (e *engine) guard(v graph.NodeID, u pattern.NodeID) bool {
 	if e.opts.DisableGuard {
-		return e.g.Label(v) == e.p.Label(u)
+		return e.g.LabelOf(v) == e.plabels[u]
 	}
 	return e.sem.Guard(v, u)
 }
@@ -506,7 +620,7 @@ func (e *engine) cost(v graph.NodeID, u pattern.NodeID) float64 {
 // search) — the fragment is capped at α|G|, so hub nodes do not force a
 // full neighborhood scan.
 func (e *engine) hasFragCandidate(v graph.NodeID, u pattern.NodeID, dir graph.Direction) bool {
-	want := e.p.Label(u)
+	want := e.plabels[u]
 	var neigh []graph.NodeID
 	if dir == graph.Forward {
 		neigh = e.g.Out(v)
@@ -515,14 +629,14 @@ func (e *engine) hasFragCandidate(v graph.NodeID, u pattern.NodeID, dir graph.Di
 	}
 	if len(neigh) <= e.frag.NumNodes()*4 {
 		for _, w := range neigh {
-			if e.frag.Contains(w) && e.g.Label(w) == want {
+			if e.frag.Contains(w) && e.g.LabelOf(w) == want {
 				return true
 			}
 		}
 		return false
 	}
 	for _, w := range e.frag.Nodes() {
-		if e.g.Label(w) != want {
+		if e.g.LabelOf(w) != want {
 			continue
 		}
 		if dir == graph.Forward && e.g.HasEdge(v, w) {

@@ -265,7 +265,7 @@ func TestCostAgainstBruteForce(t *testing.T) {
 		g := randomLabeled(rng, 30, 120, 2)
 		aux := graph.BuildAux(g)
 		p := chainPattern(t, "a", "b", "a")
-		e := &engine{g: g, aux: aux, p: p, frag: graph.NewFragment(g)}
+		e := newTestEngine(g, aux, p)
 		// Populate a random fragment.
 		for i := 0; i < 8; i++ {
 			e.frag.Add(graph.NodeID(rng.Intn(g.NumNodes())))
@@ -321,13 +321,24 @@ func TestCostHubUsesFragmentScan(t *testing.T) {
 	g := b.Build()
 	aux := graph.BuildAux(g)
 	p := chainPattern(t, "a", "b")
-	e := &engine{g: g, aux: aux, p: p, frag: graph.NewFragment(g)}
+	e := newTestEngine(g, aux, p)
 	e.frag.Add(first) // tiny fragment, huge neighborhood -> HasEdge path
 	if got := e.cost(hub, 0); got != 0 {
 		t.Fatalf("cost = %v, want 0 (fragment holds a b-child)", got)
 	}
-	e2 := &engine{g: g, aux: aux, p: p, frag: graph.NewFragment(g)}
+	e2 := newTestEngine(g, aux, p)
 	if got := e2.cost(hub, 0); got != 1 {
 		t.Fatalf("cost = %v, want 1 (empty fragment)", got)
 	}
+}
+
+// newTestEngine builds an engine the way SearchInto does, for tests that
+// exercise internal methods directly (cost/hasFragCandidate need the
+// resolved pattern labels).
+func newTestEngine(g *graph.Graph, aux *graph.Aux, p *pattern.Pattern) *engine {
+	e := &engine{g: g, aux: aux, p: p, frag: graph.NewFragment(g)}
+	for u := 0; u < p.NumNodes(); u++ {
+		e.plabels = append(e.plabels, g.LabelIDOf(p.Label(pattern.NodeID(u))))
+	}
+	return e
 }

@@ -1,49 +1,113 @@
 package reduce
 
 import (
+	"math/rand"
 	"testing"
 
 	"rbq/internal/graph"
 	"rbq/internal/pattern"
 )
 
-// The dense array and the map fallback of pairStamp must not share epoch
-// state: a wide pattern (fallback) followed by a narrow one (dense,
-// possibly reallocating) followed by another wide one must never see
-// entries from the first query.
-func TestPairStampFallbackDenseTransitions(t *testing.T) {
+// The dense array and the open-addressing table of pairStamp must not
+// share epoch state: a wide pattern (table) followed by a narrow one
+// (dense, possibly reallocating) followed by another wide one must never
+// see entries from the first query.
+func TestPairStampTableDenseTransitions(t *testing.T) {
 	var s pairStamp
 	k := pairKey{u: pattern.NodeID(3), v: graph.NodeID(12345)}
 
-	// Wide pattern: exceeds the dense cap, takes the fallback.
-	s.reset(2, maxStampEntries) // 2 * cap > cap
-	if !s.useMap {
-		t.Fatal("expected map fallback for an oversized stamp")
+	// Wide pattern: exceeds the dense cap, takes the table.
+	s.reset(2, maxStampEntries, 8) // 2 * cap > cap
+	if !s.useTable {
+		t.Fatal("expected the pair table for an oversized stamp")
 	}
 	s.set(k)
 	if !s.has(k) {
-		t.Fatal("fallback lost an entry within one round")
+		t.Fatal("pair table lost an entry within one round")
 	}
 
 	// Narrow pattern: dense path, forces a (re)allocation with epoch reset.
-	s.reset(2, 1<<10)
-	if s.useMap {
+	s.reset(2, 1<<10, 8)
+	if s.useTable {
 		t.Fatal("expected dense stamp for a small pattern")
 	}
 	if s.has(pairKey{u: 1, v: 5}) {
 		t.Fatal("fresh dense stamp reports a member")
 	}
 
-	// Wide again: the fallback's old entries must be invisible.
-	s.reset(2, maxStampEntries)
+	// Wide again: the table's old entries must be invisible.
+	s.reset(2, maxStampEntries, 8)
 	if s.has(k) {
-		t.Fatalf("stale fallback entry survived a dense interlude")
+		t.Fatalf("stale pair-table entry survived a dense interlude")
 	}
 
-	// And per-round clearing still works in fallback mode.
+	// And per-round clearing still works in table mode.
 	s.set(k)
-	s.reset(2, maxStampEntries)
+	s.reset(2, maxStampEntries, 8)
 	if s.has(k) {
-		t.Fatal("fallback entry survived a round reset")
+		t.Fatal("pair-table entry survived a round reset")
+	}
+}
+
+// The table must behave exactly like a set through growth: insert far more
+// pairs than the initial hint, then verify membership of every inserted
+// pair and absence of a disjoint family.
+func TestPairTableGrowthIsExact(t *testing.T) {
+	var tab pairTable
+	tab.reset(1) // minimum size, forces several doublings below
+	rng := rand.New(rand.NewSource(5))
+	type pk = pairKey
+	n := 3 * minTableEntries
+	keys := make([]pk, 0, n)
+	for i := 0; i < n; i++ {
+		k := pk{u: pattern.NodeID(rng.Intn(64)), v: graph.NodeID(rng.Int31())}
+		keys = append(keys, k)
+		tab.set(k)
+	}
+	for i, k := range keys {
+		if !tab.has(k) {
+			t.Fatalf("key %d lost after growth", i)
+		}
+	}
+	misses := 0
+	for i := 0; i < 4096; i++ {
+		// Class-disjoint probes: u beyond any inserted value.
+		if tab.has(pk{u: pattern.NodeID(100 + i%28), v: graph.NodeID(i)}) {
+			misses++
+		}
+	}
+	if misses != 0 {
+		t.Fatalf("%d phantom members after growth", misses)
+	}
+	// A reset makes everything vanish in O(1).
+	tab.reset(1)
+	for i, k := range keys {
+		if tab.has(k) {
+			t.Fatalf("key %d survived reset", i)
+		}
+	}
+}
+
+// Cross-check pairTable against a Go map under random interleaved
+// inserts, lookups and resets.
+func TestPairTableMatchesMap(t *testing.T) {
+	var tab pairTable
+	tab.reset(4)
+	ref := map[pairKey]bool{}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 200_000; i++ {
+		k := pairKey{u: pattern.NodeID(rng.Intn(16)), v: graph.NodeID(rng.Intn(4096))}
+		switch rng.Intn(10) {
+		case 0: // reset round
+			tab.reset(4)
+			ref = map[pairKey]bool{}
+		case 1, 2, 3, 4: // insert
+			tab.set(k)
+			ref[k] = true
+		default: // lookup
+			if got, want := tab.has(k), ref[k]; got != want {
+				t.Fatalf("step %d: has(%v) = %v, map says %v", i, k, got, want)
+			}
+		}
 	}
 }

@@ -66,12 +66,13 @@ func TestMatchFragmentAllocBudget(t *testing.T) {
 		t.Fatalf("MatchFragment allocates %.1f times per run, want ≤ 1", avg)
 	}
 
-	// The pooled path must agree with materialize-then-DualSimulation.
-	sub := frag.Build()
-	ref := MatchInGraph(sub.G, q, sub.SubOf(0))
+	// The pooled path must agree with materialize-then-DualSimulation on a
+	// test-local map-backed materialization (the seed's deleted Sub path).
+	sub := buildRefSub(g, frag.Nodes())
+	ref := MatchInGraph(sub.g, q, sub.fromOrig[0])
 	mapped := make([]graph.NodeID, len(ref))
 	for i, v := range ref {
-		mapped[i] = sub.OrigOf(v)
+		mapped[i] = sub.toOrig[v]
 	}
 	slices.Sort(mapped)
 	if len(mapped) != len(want) {
@@ -81,5 +82,60 @@ func TestMatchFragmentAllocBudget(t *testing.T) {
 		if mapped[i] != want[i] {
 			t.Fatalf("MatchFragment disagrees with MatchInGraph: %v vs %v", want, mapped)
 		}
+	}
+}
+
+// TestMatchOptAllocBudget: the ported ball path — pooled BallInto plus
+// MatchFragment — allocates at most its result slice once the pools are
+// warm.
+func TestMatchOptAllocBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := randomLabeled(rng, 300, 1200, 3)
+	var p *pattern.Pattern
+	var vp graph.NodeID
+	var want []graph.NodeID
+	for i := 0; i < 200 && len(want) == 0; i++ {
+		p = randomPattern(rng, 3)
+		vp = graph.NodeID(rng.Intn(g.NumNodes()))
+		want = MatchOpt(g, p, vp) // also warms the ball pool
+	}
+	if len(want) == 0 {
+		t.Skip("no matching fixture found; nothing to measure")
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		MatchOpt(g, p, vp)
+	})
+	if avg > 1 { // the returned match slice is the only permitted allocation
+		t.Fatalf("MatchOpt allocates %.1f times per run, want ≤ 1", avg)
+	}
+}
+
+// TestStrongSimAllocBudget: the ball-per-center loop reuses one pooled CSR
+// across all centers; per call it may allocate only the union slice and
+// the per-center result slices.
+func TestStrongSimAllocBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	g := randomLabeled(rng, 200, 700, 3)
+	var p *pattern.Pattern
+	var vp graph.NodeID
+	var want []graph.NodeID
+	for i := 0; i < 200 && len(want) == 0; i++ {
+		p = randomPattern(rng, 3)
+		vp = graph.NodeID(rng.Intn(g.NumNodes()))
+		want = StrongSim(g, p, vp)
+	}
+	if len(want) == 0 {
+		t.Skip("no matching fixture found; nothing to measure")
+	}
+	centers := len(g.NodesWithin(vp, p.Diameter()))
+	avg := testing.AllocsPerRun(50, func() {
+		StrongSim(g, p, vp)
+	})
+	// One union slice (plus growth) and at most one slice per matching
+	// center; anything beyond that means a ball or matcher started
+	// allocating again.
+	budget := float64(centers + 4)
+	if avg > budget {
+		t.Fatalf("StrongSim allocates %.1f times per run, budget %.0f (centers=%d)", avg, budget, centers)
 	}
 }

@@ -15,23 +15,27 @@
 // the baselines — so refinement probes are single word tests and the final
 // relation enumerates in ascending order without sorting.
 //
-// Three entry points mirror the paper's experimental setup:
+// Every subgraph this package evaluates — the reduced fragment G_Q of
+// RBSim and the d_Q-balls of the exact baselines alike — is a pooled
+// graph.FragCSR view of the data graph; no per-query subgraph is ever
+// constructed. The entry points mirror the paper's experimental setup:
 //
-//   - MatchInGraph: maximum pinned dual simulation on an entire (small)
-//     graph — what RBSim runs on the reduced fragment G_Q;
+//   - MatchFragment: maximum pinned dual simulation on a materialized
+//     FragCSR with all transient state drawn from a reusable Scratch —
+//     what RBSim runs on the reduced fragment G_Q;
 //   - MatchOpt: the optimized baseline of Section 6, which evaluates the
-//     query on the ball G_{d_Q}(v_p) only;
+//     query on the ball G_{d_Q}(v_p) only (extracted with graph.BallInto
+//     into a pooled CSR);
 //   - StrongSim: the literal ball-per-center semantics of Section 2, used
-//     for cross-validation on small graphs.
-//
-// MatchFragment is the pooled, allocation-free variant of MatchInGraph
-// that rbsim uses: it runs on a graph.FragCSR with all state drawn from a
-// reusable Scratch.
+//     for cross-validation on small graphs;
+//   - MatchInGraph / DualSimulation: the whole-graph relation, kept for
+//     tests and reference comparisons.
 package simulation
 
 import (
 	"math/bits"
 	"slices"
+	"sync"
 
 	"rbq/internal/graph"
 	"rbq/internal/pattern"
@@ -193,11 +197,12 @@ type Scratch struct {
 }
 
 // MatchFragment computes the answer Q(G_Q) by maximum dual simulation with
-// u_p pinned to position pinPos of the materialized fragment csr, returning
+// u_p pinned to position pinPos of the materialized subgraph csr, returning
 // the matches of the output node as parent-graph node ids, sorted. It is
-// semantically identical to materializing the fragment with Fragment.Build
-// and calling MatchInGraph, but runs on the pooled CSR with all transient
-// state drawn from sc; the returned slice is the only allocation.
+// semantically identical to materializing the same node list as a
+// standalone Graph and calling MatchInGraph, but runs on the pooled CSR
+// with all transient state drawn from sc; the returned slice is the only
+// allocation.
 func MatchFragment(g *graph.Graph, csr *graph.FragCSR, p *pattern.Pattern, pinPos int32, sc *Scratch) []graph.NodeID {
 	nq := p.NumNodes()
 	n := csr.NumNodes()
@@ -359,51 +364,67 @@ func MatchInGraph(g *graph.Graph, p *pattern.Pattern, vp graph.NodeID) []graph.N
 	return rel.Matches(p.Output())
 }
 
+// ballScratch pools the per-call state of the ball-based baselines: the
+// CSR materialization of the current ball, the matcher scratch that runs
+// on it, and the center list of StrongSim. The pool is package-level (the
+// baselines take a bare *graph.Graph); values grow to the largest ball
+// they have seen and then stop allocating.
+type ballScratch struct {
+	csr     graph.FragCSR
+	sc      Scratch
+	centers []graph.NodeID
+}
+
+var ballPool sync.Pool
+
 // MatchOpt is the optimized exact baseline of Section 6: it evaluates the
 // pinned simulation on the d_Q-neighborhood ball G_{d_Q}(v_p) only, which
 // is sound because every match of every query node lies within d_Q hops of
-// v_p (data locality of simulation queries, Section 2). Results are in
-// g's node ids, sorted.
+// v_p (data locality of simulation queries, Section 2). The ball is
+// materialized as a pooled FragCSR — no per-query subgraph construction —
+// so the only steady-state allocation is the returned slice, in g's node
+// ids, sorted.
 func MatchOpt(g *graph.Graph, p *pattern.Pattern, vp graph.NodeID) []graph.NodeID {
-	ball := g.Ball(vp, p.Diameter())
-	bvp := ball.SubOf(vp)
-	if bvp == graph.NoNode {
-		return nil
+	bs, _ := ballPool.Get().(*ballScratch)
+	if bs == nil {
+		bs = new(ballScratch)
 	}
-	sub := MatchInGraph(ball.G, p, bvp)
-	return mapBack(ball, sub)
+	defer ballPool.Put(bs)
+	g.BallInto(vp, p.Diameter(), &bs.csr)
+	return MatchFragment(g, &bs.csr, p, bs.csr.PosOf(vp), &bs.sc)
 }
 
 // StrongSim implements the literal Section 2 semantics: the match relation
 // is the union of the maximum dual simulations R_{v0} computed inside every
 // ball G_{d_Q}(v0) that can satisfy the pin (u_p, v_p) — i.e. balls whose
-// center lies within d_Q hops of v_p. Intended for small graphs and
-// cross-validation; MatchOpt is the practical baseline.
+// center lies within d_Q hops of v_p. Each ball is a pooled FragCSR view
+// of g (one CSR is reused across all centers). Intended for small graphs
+// and cross-validation; MatchOpt is the practical baseline.
 func StrongSim(g *graph.Graph, p *pattern.Pattern, vp graph.NodeID) []graph.NodeID {
+	bs, _ := ballPool.Get().(*ballScratch)
+	if bs == nil {
+		bs = new(ballScratch)
+	}
+	defer ballPool.Put(bs)
+
+	// The candidate centers are exactly the nodes of the d_Q-ball of v_p,
+	// in BFS discovery order; copy them out since bs.csr is reused for the
+	// per-center balls.
 	dQ := p.Diameter()
+	g.BallInto(vp, dQ, &bs.csr)
+	bs.centers = append(bs.centers[:0], bs.csr.Orig...)
+
 	out := []graph.NodeID{} // non-nil even when empty, as callers expect
-	for _, v0 := range g.NodesWithin(vp, dQ) {
-		ball := g.Ball(v0, dQ)
-		bvp := ball.SubOf(vp)
-		if bvp == graph.NoNode {
+	// The first center is v_p itself, whose ball is already materialized.
+	out = append(out, MatchFragment(g, &bs.csr, p, bs.csr.PosOf(vp), &bs.sc)...)
+	for _, v0 := range bs.centers[1:] {
+		g.BallInto(v0, dQ, &bs.csr)
+		bvp := bs.csr.PosOf(vp)
+		if bvp < 0 {
 			continue
 		}
-		for _, m := range MatchInGraph(ball.G, p, bvp) {
-			out = append(out, ball.OrigOf(m))
-		}
+		out = append(out, MatchFragment(g, &bs.csr, p, bvp, &bs.sc)...)
 	}
 	slices.Sort(out)
 	return slices.Compact(out)
-}
-
-func mapBack(sub *graph.Sub, nodes []graph.NodeID) []graph.NodeID {
-	if len(nodes) == 0 {
-		return nil
-	}
-	out := make([]graph.NodeID, len(nodes))
-	for i, v := range nodes {
-		out[i] = sub.OrigOf(v)
-	}
-	slices.Sort(out)
-	return out
 }

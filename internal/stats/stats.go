@@ -6,7 +6,7 @@ package stats
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"rbq/internal/graph"
@@ -61,7 +61,7 @@ func Summarize(g *graph.Graph) Summary {
 			s.SelfLoops++
 		}
 	}
-	sort.Ints(degrees)
+	slices.Sort(degrees)
 	s.MaxDegree = degrees[len(degrees)-1]
 	s.AvgDegree = 2 * float64(g.NumEdges()) / float64(g.NumNodes())
 	s.DegreeP50 = percentile(degrees, 50)
@@ -79,11 +79,11 @@ func Summarize(g *graph.Graph) Summary {
 	for l := 0; l < g.NumLabels(); l++ {
 		counts = append(counts, lc{graph.LabelID(l), len(g.NodesWithLabel(graph.LabelID(l)))})
 	}
-	sort.Slice(counts, func(i, j int) bool {
-		if counts[i].n != counts[j].n {
-			return counts[i].n > counts[j].n
+	slices.SortFunc(counts, func(a, b lc) int {
+		if a.n != b.n {
+			return b.n - a.n
 		}
-		return counts[i].l < counts[j].l
+		return int(a.l) - int(b.l)
 	})
 	for i := 0; i < len(counts) && i < 5; i++ {
 		s.TopLabels = append(s.TopLabels, LabelCount{g.LabelName(counts[i].l), counts[i].n})
@@ -161,7 +161,7 @@ func doubleSweep(g *graph.Graph) int {
 
 func farthest(g *graph.Graph, from graph.NodeID) (graph.NodeID, int) {
 	best, bestD := from, 0
-	g.BFS(from, graph.Both, -1, func(v graph.NodeID, d int) bool {
+	g.Walk(from, graph.Both, -1, func(v graph.NodeID, d int) bool {
 		if d > bestD {
 			best, bestD = v, d
 		}

@@ -20,6 +20,7 @@ package subiso
 
 import (
 	"slices"
+	"sync"
 
 	"rbq/internal/graph"
 	"rbq/internal/pattern"
@@ -31,21 +32,6 @@ type Options struct {
 	// backtracking search may attempt; 0 means unlimited. When the cap is
 	// hit the matcher returns the answers found so far and complete=false.
 	MaxSteps int64
-}
-
-// patternLabels resolves each pattern node's label to g's interned id
-// (NoLabel when absent from g — such a node can never match, since every
-// data node's label is interned).
-func patternLabels(g *graph.Graph, p *pattern.Pattern, buf []graph.LabelID) []graph.LabelID {
-	nq := p.NumNodes()
-	if cap(buf) < nq {
-		buf = make([]graph.LabelID, nq)
-	}
-	buf = buf[:nq]
-	for u := 0; u < nq; u++ {
-		buf[u] = g.LabelIDOf(p.Label(pattern.NodeID(u)))
-	}
-	return buf
 }
 
 // buildOrder produces a BFS ordering of query nodes starting at u_p so that
@@ -84,7 +70,7 @@ func buildOrder(p *pattern.Pattern, order []pattern.NodeID, seen []bool) []patte
 // search ran to completion (false only if Options.MaxSteps was exhausted).
 func Match(g *graph.Graph, p *pattern.Pattern, vp graph.NodeID, opts *Options) ([]graph.NodeID, bool) {
 	m := &matcher{g: g, p: p, opts: opts}
-	m.plabels = patternLabels(g, p, nil)
+	m.plabels = g.InternLabels(p.Labels(), nil)
 	if g.LabelOf(vp) != m.plabels[p.Personalized()] {
 		return nil, true
 	}
@@ -97,26 +83,30 @@ func Match(g *graph.Graph, p *pattern.Pattern, vp graph.NodeID, opts *Options) (
 	return out, !m.truncated
 }
 
+// ballScratch pools the per-call state of MatchOpt: the CSR
+// materialization of the d_Q-ball and the matcher scratch that runs on
+// it. The pool is package-level (MatchOpt takes a bare *graph.Graph).
+type ballScratch struct {
+	csr graph.FragCSR
+	sc  Scratch
+}
+
+var ballPool sync.Pool
+
 // MatchOpt is the optimized baseline of Section 6 (the paper's VF2OPT): it
 // searches only the ball G_{d_Q}(v_p), sound because isomorphic images of a
-// connected pattern pinned at v_p lie within d_Q hops of v_p. Results are
-// in g's node ids.
+// connected pattern pinned at v_p lie within d_Q hops of v_p. The ball is
+// materialized as a pooled FragCSR — no per-query subgraph construction —
+// so the only steady-state allocation is the returned slice, in g's node
+// ids, sorted.
 func MatchOpt(g *graph.Graph, p *pattern.Pattern, vp graph.NodeID, opts *Options) ([]graph.NodeID, bool) {
-	ball := g.Ball(vp, p.Diameter())
-	bvp := ball.SubOf(vp)
-	if bvp == graph.NoNode {
-		return nil, true
+	bs, _ := ballPool.Get().(*ballScratch)
+	if bs == nil {
+		bs = new(ballScratch)
 	}
-	sub, complete := Match(ball.G, p, bvp, opts)
-	if len(sub) == 0 {
-		return nil, complete
-	}
-	out := make([]graph.NodeID, len(sub))
-	for i, v := range sub {
-		out[i] = ball.OrigOf(v)
-	}
-	slices.Sort(out)
-	return out, complete
+	defer ballPool.Put(bs)
+	g.BallInto(vp, p.Diameter(), &bs.csr)
+	return MatchFragment(g, &bs.csr, p, bs.csr.PosOf(vp), opts, &bs.sc)
 }
 
 type matcher struct {
@@ -267,15 +257,16 @@ type Scratch struct {
 }
 
 // MatchFragment computes Q(G_Q) under subgraph isomorphism on the
-// materialized fragment csr with u_p pinned to position pinPos, returning
+// materialized subgraph csr with u_p pinned to position pinPos, returning
 // the images of the output node as parent-graph node ids (sorted) and
-// whether the search completed. It explores candidate pairs in exactly the
-// order Match does on the Graph that Fragment.Build would materialize, so
-// answers — including the partial answers of a MaxSteps-truncated run —
-// are identical; all transient state comes from sc, and the returned slice
-// is the only allocation.
+// whether the search completed. It explores candidate pairs in exactly
+// the order Match does on a standalone Graph materialization of the same
+// node list (positions follow that list, adjacency segments are sorted),
+// so answers — including the partial answers of a MaxSteps-truncated run
+// — are identical; all transient state comes from sc, and the returned
+// slice is the only allocation.
 func MatchFragment(g *graph.Graph, csr *graph.FragCSR, p *pattern.Pattern, pinPos int32, opts *Options, sc *Scratch) ([]graph.NodeID, bool) {
-	sc.plabels = patternLabels(g, p, sc.plabels)
+	sc.plabels = g.InternLabels(p.Labels(), sc.plabels)
 	if csr.Labels[pinPos] != sc.plabels[p.Personalized()] {
 		return nil, true
 	}
