@@ -45,6 +45,54 @@ func TestSimulationAtAllocBudget(t *testing.T) {
 	}
 }
 
+// TestPreparedRunAtAllocBudget: the prepared path must allocate no more
+// than the one-shot path it replaces — preparation hoists work out of
+// the per-query hot path, it must never add any back — and stays within
+// the same absolute budget.
+func TestPreparedRunAtAllocBudget(t *testing.T) {
+	g := YoutubeLike(10_000, 1)
+	db := NewDB(g)
+	var q *Pattern
+	var vp NodeID
+	for seed := int64(0); seed < 50 && q == nil; seed++ {
+		cand := NodeID(int(seed*131+17) % g.NumNodes())
+		if g.Degree(cand) < 2 {
+			continue
+		}
+		q = gen.PatternAt(g, graph.NodeID(cand), gen.PatternConfig{Nodes: 4, Edges: 8, Seed: seed})
+		vp = cand
+	}
+	if q == nil {
+		t.Fatal("could not extract a test pattern")
+	}
+	pq, err := db.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneShot := func() {
+		if _, err := db.SimulationAt(q, vp, 0.001); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prepared := func() {
+		if _, err := pq.RunAt(vp, 0.001); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		oneShot()
+		prepared()
+	}
+	oneShotAvg := testing.AllocsPerRun(200, oneShot)
+	preparedAvg := testing.AllocsPerRun(200, prepared)
+	if preparedAvg > oneShotAvg {
+		t.Fatalf("PreparedQuery.RunAt allocates %.1f times per run, one-shot SimulationAt %.1f — prepared must not allocate more", preparedAvg, oneShotAvg)
+	}
+	if preparedAvg > 8 {
+		t.Fatalf("PreparedQuery.RunAt allocates %.1f times per run, want ≤ 8", preparedAvg)
+	}
+}
+
 // TestSubgraphAtAllocBudget is the RBSub counterpart.
 func TestSubgraphAtAllocBudget(t *testing.T) {
 	g := YoutubeLike(10_000, 1)

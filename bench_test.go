@@ -21,6 +21,7 @@ import (
 	"rbq/internal/graph"
 	"rbq/internal/landmark"
 	"rbq/internal/pattern"
+	"rbq/internal/plan"
 	"rbq/internal/rbreach"
 	"rbq/internal/rbsim"
 	"rbq/internal/rbsub"
@@ -128,6 +129,30 @@ func BenchmarkRBSubQuery(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rbsub.Run(f.aux, f.q, f.vp, f.opts, nil)
+	}
+}
+
+func BenchmarkPreparedRBSimQuery(b *testing.B) {
+	f := newPatternFixture(b)
+	pl, err := plan.New(f.aux, f.q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl.Simulation(f.vp, f.opts)
+	}
+}
+
+func BenchmarkPreparedRBSubQuery(b *testing.B) {
+	f := newPatternFixture(b)
+	pl, err := plan.New(f.aux, f.q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl.Subgraph(f.vp, f.opts, nil)
 	}
 }
 

@@ -34,7 +34,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jsonOut   = fs.Bool("json", false, "run the engine micro-benchmark suite and write a JSON report")
 		jsonPath  = fs.String("out", "BENCH_hotpaths.json", "report path for -json ('-' = stdout)")
 		compare   = fs.String("compare", "", "baseline JSON report to compare against (-json mode); exit 1 on regression")
-		tolerance = fs.Float64("tolerance", 0.25, "allowed ns/op regression ratio for -compare (0.25 = 25%)")
+		tolerance = fs.Float64("tolerance", 0.25, "ns/op regression ceiling for -compare (0.25 = 25%); benchmarks with stable recorded run spreads are gated tighter, down to 10%")
 		nsGate    = fs.Bool("nsgate", true, "gate -compare on ns/op too; false gates on allocs/op only (for hardware unrelated to the baseline's)")
 		count     = fs.Int("count", 3, "runs per micro-benchmark; the best (min ns/op) run is reported")
 		youtube   = fs.Int("youtube", 0, "nodes in the Youtube-like stand-in (0 = default)")

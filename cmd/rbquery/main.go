@@ -45,6 +45,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		mode         = fs.String("mode", "sim", "sim | sub | reach | workload")
 		alpha        = fs.Float64("alpha", 0.001, "resource ratio α ∈ (0,1)")
 		exact        = fs.Bool("exact", false, "also run the exact baseline and report accuracy")
+		stats        = fs.Bool("stats", false, "report prepare vs execute timing (pattern and workload modes)")
 		from         = fs.Int("from", -1, "source node (reach mode)")
 		to           = fs.Int("to", -1, "target node (reach mode)")
 		indexPath    = fs.String("index", "", "reach mode: load the oracle from this file if it exists, else build and save it there")
@@ -76,18 +77,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	switch *mode {
 	case "sim", "sub":
-		return runPattern(db, *mode, *patternPath, *alpha, *exact, stdout, stderr)
+		return runPattern(db, *mode, *patternPath, *alpha, *exact, *stats, stdout, stderr)
 	case "reach":
 		return runReach(db, *alpha, *from, *to, *exact, *indexPath, stdout, stderr)
 	case "workload":
-		return runWorkload(db, *workloadPath, *alpha, stdout, stderr)
+		return runWorkload(db, *workloadPath, *alpha, *stats, stdout, stderr)
 	default:
 		fmt.Fprintf(stderr, "rbquery: unknown mode %q\n", *mode)
 		return 2
 	}
 }
 
-func runPattern(db *rbq.DB, mode, path string, alpha float64, exact bool, stdout, stderr io.Writer) int {
+func runPattern(db *rbq.DB, mode, path string, alpha float64, exact, stats bool, stdout, stderr io.Writer) int {
 	if path == "" {
 		fmt.Fprintln(stderr, "rbquery: -pattern is required for pattern modes")
 		return 2
@@ -102,12 +103,21 @@ func runPattern(db *rbq.DB, mode, path string, alpha float64, exact bool, stdout
 		fmt.Fprintln(stderr, "rbquery:", err)
 		return 1
 	}
+	// Compile once, then execute: the resource-bounded run and the exact
+	// baseline share one prepared query.
+	prepStart := time.Now()
+	pq, err := db.Prepare(q)
+	if err != nil {
+		fmt.Fprintln(stderr, "rbquery:", err)
+		return 1
+	}
+	prepElapsed := time.Since(prepStart)
 	var res rbq.PatternResult
 	start := time.Now()
 	if mode == "sim" {
-		res, err = db.Simulation(q, alpha)
+		res, err = pq.Run(alpha)
 	} else {
-		res, err = db.Subgraph(q, alpha)
+		res, err = pq.RunSubgraph(alpha)
 	}
 	if err != nil {
 		fmt.Fprintln(stderr, "rbquery:", err)
@@ -116,6 +126,10 @@ func runPattern(db *rbq.DB, mode, path string, alpha float64, exact bool, stdout
 	elapsed := time.Since(start)
 	fmt.Fprintf(stdout, "%d match(es) in %v; |G_Q| = %d of budget %d; visited %d items\n",
 		len(res.Matches), elapsed.Round(time.Microsecond), res.FragmentSize, res.Budget, res.Visited)
+	if stats {
+		fmt.Fprintf(stdout, "stats: prepare %v, execute %v\n",
+			prepElapsed.Round(time.Microsecond), elapsed.Round(time.Microsecond))
+	}
 	for _, m := range res.Matches {
 		fmt.Fprintf(stdout, "  node %d (%s)\n", m, db.Graph().Label(m))
 	}
@@ -123,9 +137,9 @@ func runPattern(db *rbq.DB, mode, path string, alpha float64, exact bool, stdout
 		var truth []rbq.NodeID
 		start = time.Now()
 		if mode == "sim" {
-			truth, err = db.SimulationExact(q)
+			truth, err = pq.RunExact()
 		} else {
-			truth, _, err = db.SubgraphExact(q, 0)
+			truth, _, err = pq.RunSubgraphExact(0)
 		}
 		if err != nil {
 			fmt.Fprintln(stderr, "rbquery:", err)
@@ -196,7 +210,7 @@ func obtainOracle(db *rbq.DB, alpha float64, indexPath string) (*rbq.ReachOracle
 	return oracle, "built and saved to " + indexPath, nil
 }
 
-func runWorkload(db *rbq.DB, path string, alpha float64, stdout, stderr io.Writer) int {
+func runWorkload(db *rbq.DB, path string, alpha float64, stats bool, stdout, stderr io.Writer) int {
 	if path == "" {
 		fmt.Fprintln(stderr, "rbquery: -workload is required for workload mode")
 		return 2
@@ -218,24 +232,48 @@ func runWorkload(db *rbq.DB, path string, alpha float64, stdout, stderr io.Write
 	}
 
 	if len(wl.Patterns) > 0 {
-		var qs []rbq.AnchoredQuery
-		for _, q := range wl.Patterns {
-			qs = append(qs, rbq.AnchoredQuery{Q: q.P, At: q.VP})
+		// Workload files repeat a handful of pattern templates at many
+		// pins; prepare each distinct template exactly once (parsed
+		// patterns are distinct pointers, so dedup by textual form) and
+		// canonicalize every query onto its template's one pattern.
+		// SimulationBatch then sees one *Pattern per template — its own
+		// per-distinct-pattern preparation and worker pool do the rest.
+		prepStart := time.Now()
+		templates := make(map[string]*rbq.PreparedQuery)
+		qs := make([]rbq.AnchoredQuery, len(wl.Patterns))
+		for i, q := range wl.Patterns {
+			key := q.P.String()
+			pq, ok := templates[key]
+			if !ok {
+				var err error
+				if pq, err = db.Prepare(q.P); err != nil {
+					fmt.Fprintln(stderr, "rbquery:", err)
+					return 1
+				}
+				templates[key] = pq
+			}
+			qs[i] = rbq.AnchoredQuery{Q: pq.Pattern(), At: q.VP}
 		}
+		prepElapsed := time.Since(prepStart)
+
 		start := time.Now()
 		results := db.SimulationBatch(qs, alpha, 0)
 		elapsed := time.Since(start)
 		accSum := 0.0
-		for i, r := range results {
-			exact, err := db.SimulationExactAt(qs[i].Q, qs[i].At)
+		for i, q := range wl.Patterns {
+			exact, err := templates[q.P.String()].RunExactAt(q.VP)
 			if err != nil {
 				fmt.Fprintln(stderr, "rbquery:", err)
 				return 1
 			}
-			accSum += rbq.MatchAccuracy(exact, r.Matches).F
+			accSum += rbq.MatchAccuracy(exact, results[i].Matches).F
 		}
 		fmt.Fprintf(stdout, "patterns: %d queries in %v, mean accuracy %.3f\n",
-			len(qs), elapsed.Round(time.Millisecond), accSum/float64(len(qs)))
+			len(wl.Patterns), elapsed.Round(time.Millisecond), accSum/float64(len(wl.Patterns)))
+		if stats {
+			fmt.Fprintf(stdout, "stats: %d distinct template(s); prepare %v, execute %v\n",
+				len(templates), prepElapsed.Round(time.Microsecond), elapsed.Round(time.Microsecond))
+		}
 	}
 	if len(wl.Reach) > 0 {
 		oracle := db.BuildReachOracle(alpha)

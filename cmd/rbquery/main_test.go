@@ -115,6 +115,76 @@ func TestRunWorkloadMode(t *testing.T) {
 	}
 }
 
+// TestRunWorkloadDedupsTemplates: a workload repeating one template at
+// several pins reports one distinct template in -stats output.
+func TestRunWorkloadDedupsTemplates(t *testing.T) {
+	dir := t.TempDir()
+	gb := rbq.NewGraphBuilder(8, 8)
+	m := gb.AddNode("M")
+	for i := 0; i < 3; i++ {
+		cc := gb.AddNode("CC")
+		gb.AddEdge(m, cc)
+		gb.AddEdge(cc, gb.AddNode("CL"))
+	}
+	db := rbq.NewDB(gb.Build())
+	graphPath := filepath.Join(dir, "g.graph")
+	f, err := os.Create(graphPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// One template (CC* -> CL!) pinned at the three CC nodes.
+	p, err := rbq.ParsePattern("node 0 CC*\nnode 1 CL!\nedge 0 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := &workload.Workload{}
+	for _, vp := range []rbq.NodeID{1, 3, 5} {
+		wl.Patterns = append(wl.Patterns, workload.PatternQuery{P: p, VP: vp})
+	}
+	workloadPath := filepath.Join(dir, "w.txt")
+	wf, err := os.Create(workloadPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.Write(wf, wl); err != nil {
+		t.Fatal(err)
+	}
+	wf.Close()
+
+	var out, errb bytes.Buffer
+	code := run([]string{"-graph", graphPath, "-mode", "workload", "-workload", workloadPath,
+		"-alpha", "0.9", "-stats"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "patterns: 3 queries") {
+		t.Fatalf("unexpected output:\n%s", s)
+	}
+	if !strings.Contains(s, "1 distinct template(s)") || !strings.Contains(s, "prepare ") {
+		t.Fatalf("-stats output missing prepare/execute split:\n%s", s)
+	}
+}
+
+// TestRunPatternStats: -stats in pattern mode reports the compile/execute
+// timing split.
+func TestRunPatternStats(t *testing.T) {
+	g, p, _ := writeFixtures(t)
+	var out, errb bytes.Buffer
+	code := run([]string{"-graph", g, "-pattern", p, "-mode", "sim", "-alpha", "0.9", "-stats"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "stats: prepare ") {
+		t.Fatalf("missing -stats line:\n%s", out.String())
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	g, p, _ := writeFixtures(t)
 	cases := [][]string{

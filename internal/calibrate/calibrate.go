@@ -19,9 +19,8 @@ import (
 	"rbq/internal/accuracy"
 	"rbq/internal/graph"
 	"rbq/internal/pattern"
-	"rbq/internal/rbsim"
+	"rbq/internal/plan"
 	"rbq/internal/reduce"
-	"rbq/internal/simulation"
 )
 
 // Query is one workload item: a pattern pinned at its personalized match.
@@ -41,33 +40,59 @@ type Point struct {
 }
 
 // Curve evaluates RBSim at each α and returns the empirical accuracy
-// curve. Exact answers (MatchOpt) are computed once per query.
+// curve. Each query is compiled once (exact answer and reduction
+// semantics), then executed at every α through the prepared engine path.
 func Curve(aux *graph.Aux, queries []Query, alphas []float64) []Point {
-	g := aux.Graph()
-	exact := make([][]graph.NodeID, len(queries))
-	for i, q := range queries {
-		exact[i] = simulation.MatchOpt(g, q.P, q.VP)
-	}
+	pq := prepare(aux, queries)
 	out := make([]Point, 0, len(alphas))
 	for _, a := range alphas {
-		out = append(out, sample(aux, queries, exact, a))
+		out = append(out, sample(pq, a))
 	}
 	return out
 }
 
-func sample(aux *graph.Aux, queries []Query, exact [][]graph.NodeID, alpha float64) Point {
+// prepared is the calibration workload compiled once through the plan
+// layer: per query, a compiled plan and the exact baseline answer. A
+// calibration sweep evaluates every query at many α values, so the
+// per-query compile step is hoisted out of the α loop.
+type prepared struct {
+	queries []Query
+	exact   [][]graph.NodeID
+	plans   []*plan.Plan
+}
+
+func prepare(aux *graph.Aux, queries []Query) *prepared {
+	pq := &prepared{
+		queries: queries,
+		exact:   make([][]graph.NodeID, len(queries)),
+		plans:   make([]*plan.Plan, len(queries)),
+	}
+	for i, q := range queries {
+		pl, err := plan.New(aux, q.P)
+		if err != nil {
+			// Queries come from Builder/Parse and are valid by
+			// construction; a failure here is a caller bug.
+			panic(fmt.Sprintf("calibrate: %v", err))
+		}
+		pq.plans[i] = pl
+		pq.exact[i] = pl.SimulationExact(q.VP)
+	}
+	return pq
+}
+
+func sample(pq *prepared, alpha float64) Point {
 	pt := Point{Alpha: alpha}
-	if len(queries) == 0 {
+	if len(pq.queries) == 0 {
 		pt.Accuracy = 1
 		return pt
 	}
-	for i, q := range queries {
-		res := rbsim.Run(aux, q.P, q.VP, reduce.Options{Alpha: alpha})
-		pt.Accuracy += accuracy.Matches(exact[i], res.Matches).F
+	for i, q := range pq.queries {
+		res := pq.plans[i].Simulation(q.VP, reduce.Options{Alpha: alpha})
+		pt.Accuracy += accuracy.Matches(pq.exact[i], res.Matches).F
 		pt.MeanFragment += float64(res.Stats.FragmentSize)
 	}
-	pt.Accuracy /= float64(len(queries))
-	pt.MeanFragment /= float64(len(queries))
+	pt.Accuracy /= float64(len(pq.queries))
+	pt.MeanFragment /= float64(len(pq.queries))
 	return pt
 }
 
@@ -84,12 +109,9 @@ func MinAlpha(aux *graph.Aux, queries []Query, target, hi float64, refine int) (
 		panic("calibrate: hi must be positive")
 	}
 	g := aux.Graph()
-	exact := make([][]graph.NodeID, len(queries))
-	for i, q := range queries {
-		exact[i] = simulation.MatchOpt(g, q.P, q.VP)
-	}
+	pq := prepare(aux, queries)
 
-	best := sample(aux, queries, exact, hi)
+	best := sample(pq, hi)
 	if best.Accuracy < target {
 		return best, false
 	}
@@ -98,7 +120,7 @@ func MinAlpha(aux *graph.Aux, queries []Query, target, hi float64, refine int) (
 	a := hi / 2
 	minUseful := 1.0 / float64(g.Size()) // below one item the budget is empty
 	for a >= minUseful {
-		pt := sample(aux, queries, exact, a)
+		pt := sample(pq, a)
 		if pt.Accuracy >= target {
 			best = pt
 			a /= 2
@@ -114,7 +136,7 @@ func MinAlpha(aux *graph.Aux, queries []Query, target, hi float64, refine int) (
 		if mid <= minUseful {
 			break
 		}
-		pt := sample(aux, queries, exact, mid)
+		pt := sample(pq, mid)
 		if pt.Accuracy >= target {
 			best = pt
 			hiA = mid
@@ -128,10 +150,5 @@ func MinAlpha(aux *graph.Aux, queries []Query, target, hi float64, refine int) (
 // MaxAccuracy estimates the η of the paper's open problem directly: the
 // accuracy achievable at a given α on the workload.
 func MaxAccuracy(aux *graph.Aux, queries []Query, alpha float64) Point {
-	g := aux.Graph()
-	exact := make([][]graph.NodeID, len(queries))
-	for i, q := range queries {
-		exact[i] = simulation.MatchOpt(g, q.P, q.VP)
-	}
-	return sample(aux, queries, exact, alpha)
+	return sample(prepare(aux, queries), alpha)
 }

@@ -1,0 +1,275 @@
+// Package plan is the prepared-query layer: the compile/execute split
+// under every pattern engine.
+//
+// Production pattern workloads evaluate a handful of pattern templates
+// millions of times against different pins. Everything about such a
+// template that does not depend on the pin is a compile-time quantity:
+// the resolution of its label constraints to the graph's interned ids,
+// the Semantics values the dynamic reduction is parameterized by (for
+// both query classes), its diameter, the unique personalized match (when
+// one exists), and — for unanchored evaluation — the per-query-node
+// candidate counts, their Potential-mass selectivity estimates, and the
+// chosen anchor. A Plan computes all of that once per (pattern, Aux)
+// pair; its execute methods then run the engines with the compile step
+// skipped (rbsim.RunPrepared / rbsub.RunPrepared / rbany.Prepared).
+//
+// Compilation is cheap — O(|Q|) label work plus one unique-match probe —
+// so the facade also routes its one-shot methods through pool-recycled
+// Plans (see Bind) without measurable overhead. The compile products are
+// built in two lazy tiers: the unanchored form (anchor choice plus the
+// re-rooted pattern, O(|Q|)) on the first unanchored evaluation, and the
+// full selectivity table — whose Potential-mass scan costs one histogram
+// probe per candidate of every query node — only on an explicit
+// Selectivity call, never implicitly on an execute path.
+//
+// A Plan is immutable after New (the lazy selectivity table is guarded by
+// a mutex), so one Plan may serve concurrent evaluations: the engines'
+// transient state still comes from the Aux's scratch pools.
+package plan
+
+import (
+	"fmt"
+	"sync"
+
+	"rbq/internal/graph"
+	"rbq/internal/pattern"
+	"rbq/internal/rbany"
+	"rbq/internal/rbsim"
+	"rbq/internal/rbsub"
+	"rbq/internal/reduce"
+	"rbq/internal/simulation"
+	"rbq/internal/subiso"
+)
+
+// Plan is a pattern compiled against a graph's auxiliary structure.
+// Construct with New, or recycle one with Bind. The zero Plan is unusable
+// until bound.
+type Plan struct {
+	aux    *graph.Aux
+	p      *pattern.Pattern
+	labels []graph.LabelID // labels[u] = interned id of p's label of u
+	simSem rbsim.Semantics
+	subSem rbsub.Semantics
+	vp     graph.NodeID // unique match of u_p, NoNode if absent/ambiguous
+	vpOK   bool
+
+	// The unanchored form (anchor choice + re-rooted pattern) and the
+	// full selectivity table are built lazily: pinned workloads never
+	// need either, and the table's Potential-mass scan costs one probe
+	// per candidate of every query node. mu guards the fields below.
+	mu         sync.Mutex
+	unanchDone bool
+	anchor     pattern.NodeID
+	unanch     *rbany.Prepared
+	sel        *Selectivity
+}
+
+// Selectivity is the compile-time selectivity table of a pattern: how
+// many candidates each query node has in the graph, how much Potential
+// mass those candidates carry, and the anchor unanchored evaluation
+// re-roots the pattern at. rbany's selectivity-weighted budget split is
+// driven by the per-candidate masses behind these aggregates.
+type Selectivity struct {
+	// CandCount[u] is the number of data nodes carrying u's label.
+	CandCount []int
+	// Mass[u] is the summed Potential mass p(v,u) over u's candidates —
+	// an Sl-histogram estimate of how much matching structure surrounds
+	// them. Low count and low mass both mean "selective".
+	Mass []float64
+	// Anchor is the query node unanchored evaluation roots at: the one
+	// with the fewest candidates (ties to the lowest id), exactly as
+	// rbany.PickAnchor chooses.
+	Anchor pattern.NodeID
+	// Unanchored is the compiled unanchored form (anchor candidates,
+	// re-rooted pattern, shared semantics). Nil when some query label is
+	// absent or the pattern is not connected from the anchor; every
+	// unanchored evaluation is then empty.
+	Unanchored *rbany.Prepared
+}
+
+// New compiles p against aux.
+func New(aux *graph.Aux, p *pattern.Pattern) (*Plan, error) {
+	if p == nil {
+		return nil, fmt.Errorf("plan: nil pattern")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("plan: %w", err)
+	}
+	pl := &Plan{}
+	pl.Bind(aux, p)
+	return pl, nil
+}
+
+// Bind re-points pl at (aux, p), reusing its buffers; the facade's
+// one-shot wrappers recycle Plans through a pool this way, so steady-
+// state one-shot queries compile without allocating. Callers must not
+// Bind a Plan that other goroutines may still be executing.
+func (pl *Plan) Bind(aux *graph.Aux, p *pattern.Pattern) {
+	pl.aux, pl.p = aux, p
+	pl.labels = aux.Graph().InternLabels(p.Labels(), pl.labels)
+	pl.simSem.Bind(aux, p)
+	pl.subSem.Bind(aux, p)
+	pl.vp, pl.vpOK = simulation.PersonalizedMatch(aux.Graph(), p)
+	pl.unanchDone = false
+	pl.anchor = 0
+	pl.unanch = nil
+	pl.sel = nil
+}
+
+// Aux returns the auxiliary structure the plan was compiled against.
+func (pl *Plan) Aux() *graph.Aux { return pl.aux }
+
+// Pattern returns the compiled pattern.
+func (pl *Plan) Pattern() *pattern.Pattern { return pl.p }
+
+// Labels returns the pattern's label constraints resolved to the graph's
+// interned ids. The slice is owned by the plan; do not modify.
+func (pl *Plan) Labels() []graph.LabelID { return pl.labels }
+
+// Diameter returns the pattern's cached diameter d_Q.
+func (pl *Plan) Diameter() int { return pl.p.Diameter() }
+
+// SimSemantics returns the pre-bound strong-simulation reduction
+// semantics (shared; safe for concurrent Guard/Potential probes).
+func (pl *Plan) SimSemantics() *rbsim.Semantics { return &pl.simSem }
+
+// SubSemantics returns the pre-bound subgraph-isomorphism semantics.
+func (pl *Plan) SubSemantics() *rbsub.Semantics { return &pl.subSem }
+
+// Personalized returns the unique data-graph match of the pattern's
+// personalized node, resolved at compile time; ok is false when the
+// personalized label is absent or ambiguous (pin explicitly, or run
+// unanchored).
+func (pl *Plan) Personalized() (graph.NodeID, bool) { return pl.vp, pl.vpOK }
+
+// CheckPin validates an explicit personalized pin against the graph and
+// the pattern's label constraint.
+func (pl *Plan) CheckPin(vp graph.NodeID) error {
+	g := pl.aux.Graph()
+	if int(vp) < 0 || int(vp) >= g.NumNodes() {
+		return fmt.Errorf("pinned node %d out of range", vp)
+	}
+	if g.LabelOf(vp) != pl.labels[pl.p.Personalized()] {
+		return fmt.Errorf("pinned node %d has label %q, pattern expects %q",
+			vp, g.Label(vp), pl.p.Label(pl.p.Personalized()))
+	}
+	return nil
+}
+
+// Simulation runs RBSim from the pinned personalized match vp, skipping
+// the per-query compile step.
+func (pl *Plan) Simulation(vp graph.NodeID, opts reduce.Options) rbsim.Result {
+	return rbsim.RunPrepared(pl.aux, pl.p, vp, &pl.simSem, opts)
+}
+
+// Subgraph runs RBSub from the pinned personalized match vp.
+func (pl *Plan) Subgraph(vp graph.NodeID, opts reduce.Options, mopts *rbsub.MatchOpts) rbsub.Result {
+	return rbsub.RunPrepared(pl.aux, pl.p, vp, &pl.subSem, opts, mopts)
+}
+
+// SimulationExact runs the exact MatchOpt baseline from vp.
+func (pl *Plan) SimulationExact(vp graph.NodeID) []graph.NodeID {
+	return simulation.MatchOpt(pl.aux.Graph(), pl.p, vp)
+}
+
+// SubgraphExact runs the exact VF2Opt baseline from vp.
+func (pl *Plan) SubgraphExact(vp graph.NodeID, mopts *subiso.Options) ([]graph.NodeID, bool) {
+	return subiso.MatchOpt(pl.aux.Graph(), pl.p, vp, mopts)
+}
+
+// SimulationUnanchored evaluates the pattern with no designated
+// personalized match under strong simulation, using the plan's cached
+// anchor choice and re-rooted pattern. The budget split weighs each
+// anchor candidate's Potential mass, computed during the run's guard
+// pass over the anchor's candidates only — the full per-query-node
+// selectivity table (see Selectivity) is not needed here.
+func (pl *Plan) SimulationUnanchored(opts rbany.Options) rbany.Result {
+	unanch, anchor := pl.unanchored()
+	if unanch == nil {
+		return rbany.Result{Anchor: anchor}
+	}
+	return unanch.Simulation(opts)
+}
+
+// SubgraphUnanchored is SimulationUnanchored under subgraph isomorphism.
+func (pl *Plan) SubgraphUnanchored(opts rbany.Options, mopts *subiso.Options) rbany.Result {
+	unanch, anchor := pl.unanchored()
+	if unanch == nil {
+		return rbany.Result{Anchor: anchor}
+	}
+	return unanch.Subgraph(opts, mopts)
+}
+
+// unanchored returns the compiled unanchored form (nil when the pattern
+// cannot be anchored) and the chosen anchor, building both on first use.
+// This is the cheap compile product — O(|Q|) label probes — that every
+// unanchored evaluation needs; the candidate-scanning table is built
+// separately by Selectivity.
+func (pl *Plan) unanchored() (*rbany.Prepared, pattern.NodeID) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return pl.unanchoredLocked()
+}
+
+func (pl *Plan) unanchoredLocked() (*rbany.Prepared, pattern.NodeID) {
+	if pl.unanchDone {
+		return pl.unanch, pl.anchor
+	}
+	pl.unanchDone = true
+	// Anchor choice and candidate list must agree bit-for-bit with the
+	// one-shot rbany path, so both come from the same code.
+	anchor, cands := rbany.PickAnchor(pl.aux.Graph(), pl.p)
+	pl.anchor = anchor
+	if len(cands) == 0 {
+		return nil, anchor
+	}
+	rooted, err := pl.p.WithPersonalized(anchor)
+	if err != nil {
+		return nil, anchor
+	}
+	pl.unanch = &rbany.Prepared{
+		Aux:    pl.aux,
+		Anchor: anchor,
+		Rooted: rooted,
+		Cands:  cands,
+		SimSem: &pl.simSem,
+		SubSem: &pl.subSem,
+	}
+	return pl.unanch, anchor
+}
+
+// Selectivity returns the plan's full selectivity table, building it on
+// first use. Unlike the per-run compile products this scans every query
+// node's candidate list (one Sl-histogram probe per candidate), so it is
+// intended for explicit planning diagnostics — the execute paths never
+// build it implicitly. Safe for concurrent callers.
+func (pl *Plan) Selectivity() *Selectivity {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if pl.sel == nil {
+		pl.sel = pl.buildSelectivityLocked()
+	}
+	return pl.sel
+}
+
+func (pl *Plan) buildSelectivityLocked() *Selectivity {
+	g := pl.aux.Graph()
+	nq := pl.p.NumNodes()
+	sel := &Selectivity{
+		CandCount: make([]int, nq),
+		Mass:      make([]float64, nq),
+	}
+	for u := 0; u < nq; u++ {
+		l := pl.labels[u]
+		if l == graph.NoLabel {
+			continue
+		}
+		cands := g.NodesWithLabel(l)
+		sel.CandCount[u] = len(cands)
+		for _, v := range cands {
+			sel.Mass[u] += pl.simSem.Potential(v, pattern.NodeID(u))
+		}
+	}
+	sel.Unanchored, sel.Anchor = pl.unanchoredLocked()
+	return sel
+}

@@ -7,13 +7,23 @@
 // query node (the one whose label has the fewest candidates in G) as the
 // anchor, re-roots the pattern there (pattern.WithPersonalized), and runs
 // the personalized reduction from each anchor candidate in turn with the
-// overall resource budget α|G| divided adaptively among candidates. The
-// answer is the union of the per-anchor answers.
+// overall resource budget α|G| shared among candidates. The answer is the
+// union of the per-anchor answers.
 //
-// The total data accessed stays bounded: per-candidate budgets sum to
-// α|G|, and each per-candidate run obeys its own visit bound. Candidates
-// are ranked by the same guarded condition and degree heuristics as the
-// in-reduction frontier, so unpromising anchors are skipped cheaply.
+// The budget is split by selectivity: each candidate's share of α|G| is
+// proportional to its Potential mass p(v, anchor) — the Sl-histogram
+// estimate of how much matching structure lives around v — with a floor
+// of one item, so hopeless anchors cannot starve promising ones (the
+// legacy even-with-rollover split is kept as Options.SplitEven for
+// ablation). The total data accessed stays bounded: shares sum to α|G|,
+// unspent budget rolls over, and each per-candidate run obeys its own
+// visit bound.
+//
+// Anchor selection, candidate enumeration and the Semantics values are a
+// compile-time decision: Prepare performs them once per pattern and the
+// returned Prepared evaluates many times, which is how the plan layer
+// (internal/plan) embeds this engine. Simulation and Subgraph are the
+// one-shot forms that prepare and run in one call.
 package rbany
 
 import (
@@ -28,12 +38,30 @@ import (
 	"rbq/internal/subiso"
 )
 
+// Split selects how the overall budget α|G| is divided among anchor
+// candidates.
+type Split int
+
+const (
+	// SplitWeighted (the default) gives each candidate a share of the
+	// remaining budget proportional to its Potential mass p(v, anchor),
+	// floored at one item; candidates run in decreasing-mass order.
+	SplitWeighted Split = iota
+	// SplitEven is the legacy even-with-rollover split: remaining budget
+	// divided by remaining candidates, in decreasing-degree order. Kept
+	// for the ablation study and as the comparison baseline in tests.
+	SplitEven
+)
+
 // Options configures an unanchored evaluation.
 type Options struct {
 	// Alpha is the overall resource ratio α; the per-candidate budget is
 	// α|G| divided among the anchor candidates (adaptively: unspent budget
 	// rolls over to later candidates).
 	Alpha float64
+	// Split selects the per-candidate budget division; the zero value is
+	// the selectivity-weighted split.
+	Split Split
 	// MaxAnchors caps how many anchor candidates are tried; zero means
 	// all guard-passing candidates.
 	MaxAnchors int
@@ -56,10 +84,12 @@ type Result struct {
 	FragmentSize int
 }
 
-// pickAnchor returns the query node whose label is rarest in g — the most
+// PickAnchor returns the query node whose label is rarest in g — the most
 // selective traversal root — and its candidate list. An empty candidate
-// list means some query label is absent and the answer is empty.
-func pickAnchor(g *graph.Graph, p *pattern.Pattern) (pattern.NodeID, []graph.NodeID) {
+// list means some query label is absent and the answer is empty. The plan
+// layer calls this during compilation; Prepare calls it for the one-shot
+// path, so both choose identically.
+func PickAnchor(g *graph.Graph, p *pattern.Pattern) (pattern.NodeID, []graph.NodeID) {
 	best := pattern.NodeID(-1)
 	var bestCands []graph.NodeID
 	for u := 0; u < p.NumNodes(); u++ {
@@ -76,6 +106,69 @@ func pickAnchor(g *graph.Graph, p *pattern.Pattern) (pattern.NodeID, []graph.Nod
 	return best, bestCands
 }
 
+// Prepared is the compiled form of an unanchored pattern: the chosen
+// anchor, its candidate list, the pattern re-rooted at the anchor, and
+// the pre-bound reduction semantics for both query classes. Compile once
+// with Prepare (or let the plan layer assemble one), then evaluate many
+// times; a Prepared is immutable and safe for concurrent use.
+type Prepared struct {
+	// Aux is the offline structure the reductions run against.
+	Aux *graph.Aux
+	// Anchor is the most selective query node (see PickAnchor).
+	Anchor pattern.NodeID
+	// Rooted is the pattern re-rooted at Anchor; nil when the pattern is
+	// not connected from it or some query label is absent from the graph
+	// (every evaluation then returns the empty Result).
+	Rooted *pattern.Pattern
+	// Cands are the data nodes carrying the anchor's label (unfiltered;
+	// each evaluation applies the query class's guard).
+	Cands []graph.NodeID
+	// SimSem and SubSem are the reduction semantics bound to the pattern,
+	// shared by every evaluation. Rooted shares the original pattern's
+	// labels, so semantics bound to either work identically.
+	SimSem *rbsim.Semantics
+	SubSem *rbsub.Semantics
+}
+
+// Prepare compiles p against aux for unanchored evaluation under both
+// query classes (the plan layer supplies its own pre-bound Semantics and
+// assembles a Prepared directly instead).
+func Prepare(aux *graph.Aux, p *pattern.Pattern) *Prepared {
+	pr := prepareBase(aux, p)
+	if pr.Rooted != nil {
+		pr.SimSem = rbsim.NewSemantics(aux, pr.Rooted)
+		pr.SubSem = rbsub.NewSemantics(aux, pr.Rooted)
+	}
+	return pr
+}
+
+// prepareBase is Prepare without the Semantics construction: the
+// one-shot entry points bind only the query class they run.
+func prepareBase(aux *graph.Aux, p *pattern.Pattern) *Prepared {
+	anchor, cands := PickAnchor(aux.Graph(), p)
+	pr := &Prepared{Aux: aux, Anchor: anchor}
+	if len(cands) == 0 {
+		return pr
+	}
+	rooted, err := p.WithPersonalized(anchor)
+	if err != nil {
+		return pr
+	}
+	pr.Rooted = rooted
+	pr.Cands = cands
+	return pr
+}
+
+// Simulation evaluates the prepared pattern under strong simulation.
+func (pr *Prepared) Simulation(opts Options) Result {
+	return pr.run(opts, simSemantics, nil)
+}
+
+// Subgraph evaluates the prepared pattern under subgraph isomorphism.
+func (pr *Prepared) Subgraph(opts Options, mopts *subiso.Options) Result {
+	return pr.run(opts, subSemantics, mopts)
+}
+
 // guardType selects which semantics filters and matches.
 type guardType int
 
@@ -84,58 +177,93 @@ const (
 	subSemantics
 )
 
-func run(aux *graph.Aux, p *pattern.Pattern, opts Options, kind guardType, mopts *subiso.Options) Result {
-	g := aux.Graph()
-	anchor, cands := pickAnchor(g, p)
-	res := Result{Anchor: anchor}
-	if len(cands) == 0 {
-		return res
-	}
-	rooted, err := p.WithPersonalized(anchor)
-	if err != nil {
-		return res
-	}
+// anchorCand is one guard-passing anchor candidate with its ranking keys.
+type anchorCand struct {
+	v   graph.NodeID
+	deg int
+	pot float64 // Potential mass p(v, anchor), the selectivity estimate
+}
 
-	// Guard-filter and rank candidates (higher degree first: hubs reach
-	// more of the pattern's structure per budget unit). The Semantics is
-	// constructed once per query — label resolution is hoisted out of the
-	// per-candidate guard probes.
+func (pr *Prepared) run(opts Options, kind guardType, mopts *subiso.Options) Result {
+	res := Result{Anchor: pr.Anchor}
+	if pr.Rooted == nil {
+		return res
+	}
+	g := pr.Aux.Graph()
+	anchor := pr.Anchor
+
+	// Guard-filter the candidates, recording each survivor's Potential
+	// mass — the same Sl-histogram estimate the in-reduction frontier
+	// ranks by, here reused as the anchor's budget weight.
 	var guard func(graph.NodeID, pattern.NodeID) bool
+	var potential func(graph.NodeID, pattern.NodeID) float64
 	switch kind {
 	case subSemantics:
-		guard = rbsub.NewSemantics(aux, rooted).Guard
+		guard, potential = pr.SubSem.Guard, pr.SubSem.Potential
 	default:
-		guard = rbsim.NewSemantics(aux, rooted).Guard
+		guard, potential = pr.SimSem.Guard, pr.SimSem.Potential
 	}
-	var pass []graph.NodeID
-	for _, v := range cands {
-		if guard(v, anchor) {
-			pass = append(pass, v)
+	var pass []anchorCand
+	var mass float64
+	for _, v := range pr.Cands {
+		if !guard(v, anchor) {
+			continue
 		}
+		c := anchorCand{v: v, deg: g.Degree(v), pot: potential(v, anchor)}
+		mass += c.pot
+		pass = append(pass, c)
 	}
 	res.Candidates = len(pass)
 	if len(pass) == 0 {
 		return res
 	}
-	slices.SortFunc(pass, func(a, b graph.NodeID) int {
-		if da, db := g.Degree(a), g.Degree(b); da != db {
-			return db - da // higher degree first
-		}
-		return int(a) - int(b)
-	})
+	if opts.Split == SplitEven {
+		// Legacy ranking: higher degree first (hubs reach more of the
+		// pattern's structure per budget unit).
+		slices.SortFunc(pass, func(a, b anchorCand) int {
+			if a.deg != b.deg {
+				return b.deg - a.deg
+			}
+			return int(a.v) - int(b.v)
+		})
+	} else {
+		// Weighted ranking: higher Potential mass first, so the most
+		// promising anchors draw from the fullest budget.
+		slices.SortFunc(pass, func(a, b anchorCand) int {
+			if a.pot != b.pot {
+				if a.pot > b.pot {
+					return -1
+				}
+				return 1
+			}
+			if a.deg != b.deg {
+				return b.deg - a.deg
+			}
+			return int(a.v) - int(b.v)
+		})
+	}
 	if opts.MaxAnchors > 0 && len(pass) > opts.MaxAnchors {
+		trimmed := pass[opts.MaxAnchors:]
 		pass = pass[:opts.MaxAnchors]
+		for _, c := range trimmed {
+			mass -= c.pot
+		}
 	}
 
 	totalBudget := int(opts.Alpha * float64(g.Size()))
 	var matches []graph.NodeID
 	remaining := totalBudget
-	for i, vp := range pass {
+	for i, c := range pass {
 		if remaining <= 0 {
 			break
 		}
-		// Adaptive split: unspent budget rolls over.
-		share := remaining / (len(pass) - i)
+		// Adaptive split: unspent budget rolls over to later candidates.
+		var share int
+		if opts.Split == SplitEven || mass <= 0 {
+			share = remaining / (len(pass) - i)
+		} else {
+			share = int(float64(remaining) * c.pot / mass)
+		}
 		if share < 1 {
 			share = 1
 		}
@@ -145,16 +273,17 @@ func run(aux *graph.Aux, p *pattern.Pattern, opts Options, kind guardType, mopts
 		var stats reduce.Stats
 		switch kind {
 		case subSemantics:
-			r := rbsub.Run(aux, rooted, vp, ropts, mopts)
+			r := rbsub.RunPrepared(pr.Aux, pr.Rooted, c.v, pr.SubSem, ropts, mopts)
 			got, stats = r.Matches, r.Stats
 		default:
-			r := rbsim.Run(aux, rooted, vp, ropts)
+			r := rbsim.RunPrepared(pr.Aux, pr.Rooted, c.v, pr.SimSem, ropts)
 			got, stats = r.Matches, r.Stats
 		}
 		res.Evaluated++
 		res.Visited += stats.Visited
 		res.FragmentSize += stats.FragmentSize
 		remaining -= stats.FragmentSize
+		mass -= c.pot
 		matches = append(matches, got...)
 	}
 	res.Matches = sortedUnique(matches)
@@ -162,22 +291,32 @@ func run(aux *graph.Aux, p *pattern.Pattern, opts Options, kind guardType, mopts
 }
 
 // Simulation evaluates the pattern under strong simulation with no
-// designated personalized match.
+// designated personalized match (one-shot: prepare and run, binding
+// only the simulation semantics).
 func Simulation(aux *graph.Aux, p *pattern.Pattern, opts Options) Result {
-	return run(aux, p, opts, simSemantics, nil)
+	pr := prepareBase(aux, p)
+	if pr.Rooted != nil {
+		pr.SimSem = rbsim.NewSemantics(aux, pr.Rooted)
+	}
+	return pr.Simulation(opts)
 }
 
 // Subgraph evaluates the pattern under subgraph isomorphism with no
-// designated personalized match.
+// designated personalized match (one-shot: prepare and run, binding
+// only the isomorphism semantics).
 func Subgraph(aux *graph.Aux, p *pattern.Pattern, opts Options, mopts *subiso.Options) Result {
-	return run(aux, p, opts, subSemantics, mopts)
+	pr := prepareBase(aux, p)
+	if pr.Rooted != nil {
+		pr.SubSem = rbsub.NewSemantics(aux, pr.Rooted)
+	}
+	return pr.Subgraph(opts, mopts)
 }
 
 // SimulationExact is the resource-unbounded reference: the union over all
 // anchor candidates v of the exact personalized answer anchored at v.
 // Intended for tests and calibration on graphs where it is affordable.
 func SimulationExact(g *graph.Graph, p *pattern.Pattern) []graph.NodeID {
-	anchor, cands := pickAnchor(g, p)
+	anchor, cands := PickAnchor(g, p)
 	if len(cands) == 0 {
 		return nil
 	}
@@ -194,7 +333,7 @@ func SimulationExact(g *graph.Graph, p *pattern.Pattern) []graph.NodeID {
 
 // SubgraphExact is the isomorphism counterpart of SimulationExact.
 func SubgraphExact(g *graph.Graph, p *pattern.Pattern, mopts *subiso.Options) ([]graph.NodeID, bool) {
-	anchor, cands := pickAnchor(g, p)
+	anchor, cands := PickAnchor(g, p)
 	if len(cands) == 0 {
 		return nil, true
 	}

@@ -49,7 +49,7 @@ func TestAnchorIsMostSelective(t *testing.T) {
 	p := b.MustBuild()
 	g := graph.FromEdges([]string{"A", "B", "A", "B", "A", "B", "C"},
 		[][2]int{{6, 0}})
-	anchor, cands := pickAnchor(g, p)
+	anchor, cands := PickAnchor(g, p)
 	if p.Label(anchor) != "C" || len(cands) != 1 {
 		t.Fatalf("anchor label %q with %d candidates", p.Label(anchor), len(cands))
 	}

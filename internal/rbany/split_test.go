@@ -1,0 +1,128 @@
+package rbany
+
+import (
+	"reflect"
+	"testing"
+
+	"rbq/internal/graph"
+	"rbq/internal/pattern"
+)
+
+// skewedFixture builds a workload whose anchor candidates have wildly
+// different selectivity. The pattern is the chain S -> T -> U -> W -> Y
+// (output Y). One "good" S node fans out to ten T children, exactly one
+// of which completes the chain; five "decoy" S nodes carry one T child
+// each — low Potential mass — but fat, fully-matching subtrees and padded
+// degree, so the legacy even split (which ranks by degree and divides
+// evenly) burns the budget on them before the good anchor's turn.
+func skewedFixture(t *testing.T) (*graph.Graph, *pattern.Pattern) {
+	t.Helper()
+	b := graph.NewBuilder(128, 256)
+	add := func(label string) graph.NodeID { return b.AddNode(label) }
+
+	// Good anchor: 10 T children (Potential mass 10); only t* completes.
+	good := add("S")
+	tStar := add("T")
+	b.AddEdge(good, tStar)
+	for i := 0; i < 9; i++ {
+		b.AddEdge(good, add("T")) // duds: no U child, guard-rejected later
+	}
+	uStar := add("U")
+	wStar := add("W")
+	yStar := add("Y")
+	b.AddEdge(tStar, uStar)
+	b.AddEdge(uStar, wStar)
+	b.AddEdge(wStar, yStar)
+
+	// Shared degree-padding targets for the decoys.
+	var pads []graph.NodeID
+	for i := 0; i < 10; i++ {
+		pads = append(pads, add("X"))
+	}
+	// Decoys: one T child (Potential mass 1) whose subtree matches twice
+	// over — plenty of guard-passing structure to absorb a budget share —
+	// plus padding edges so their degree (11) tops the good anchor's (10).
+	for d := 0; d < 5; d++ {
+		s := add("S")
+		dt := add("T")
+		b.AddEdge(s, dt)
+		for i := 0; i < 2; i++ {
+			u := add("U")
+			b.AddEdge(dt, u)
+			w := add("W")
+			b.AddEdge(u, w)
+			b.AddEdge(w, add("Y"))
+		}
+		for _, x := range pads {
+			b.AddEdge(s, x)
+		}
+	}
+	// Label-frequency padding: keep S the rarest label (6 nodes) so it is
+	// picked as the anchor over W and Y.
+	for i := 0; i < 8; i++ {
+		add("W")
+		add("Y")
+	}
+	g := b.Build()
+
+	pb := pattern.NewBuilder()
+	s := pb.AddNode("S")
+	tt := pb.AddNode("T")
+	u := pb.AddNode("U")
+	w := pb.AddNode("W")
+	y := pb.AddNode("Y")
+	pb.AddEdge(s, tt).AddEdge(tt, u).AddEdge(u, w).AddEdge(w, y)
+	pb.SetPersonalized(s).SetOutput(y)
+	return g, pb.MustBuild()
+}
+
+// TestWeightedSplitBeatsEven: with a budget too small for six equal
+// shares, the selectivity-weighted split funds the high-mass anchor and
+// finds its match; the legacy even split starves it and misses.
+func TestWeightedSplitBeatsEven(t *testing.T) {
+	g, p := skewedFixture(t)
+	aux := graph.BuildAux(g)
+	// Budget of ~40 items: the good anchor's match needs a 9-item
+	// fragment, an even sixth of 40 cannot cover it.
+	alpha := 40.5 / float64(g.Size())
+
+	weighted := Simulation(aux, p, Options{Alpha: alpha})
+	even := Simulation(aux, p, Options{Alpha: alpha, Split: SplitEven})
+
+	inWeighted := map[graph.NodeID]bool{}
+	for _, v := range weighted.Matches {
+		inWeighted[v] = true
+	}
+	var missedByEven []graph.NodeID
+	inEven := map[graph.NodeID]bool{}
+	for _, v := range even.Matches {
+		inEven[v] = true
+	}
+	for _, v := range weighted.Matches {
+		if !inEven[v] {
+			missedByEven = append(missedByEven, v)
+		}
+	}
+	if len(missedByEven) == 0 {
+		t.Fatalf("weighted split found no match the even split missed\nweighted: %v (visited %d)\neven: %v (visited %d)",
+			weighted.Matches, weighted.Visited, even.Matches, even.Visited)
+	}
+	t.Logf("weighted found %v; even found %v; even missed %v", weighted.Matches, even.Matches, missedByEven)
+}
+
+// TestPreparedUnanchoredMatchesOneShot: compiling once and evaluating via
+// Prepared is bit-for-bit identical to the one-shot helpers.
+func TestPreparedUnanchoredMatchesOneShot(t *testing.T) {
+	g, p := skewedFixture(t)
+	aux := graph.BuildAux(g)
+	pr := Prepare(aux, p)
+	for _, alpha := range []float64{0.05, 0.2, 0.8} {
+		opts := Options{Alpha: alpha}
+		if got, want := pr.Simulation(opts), Simulation(aux, p, opts); !reflect.DeepEqual(got, want) {
+			t.Fatalf("alpha=%v: prepared sim %+v != one-shot %+v", alpha, got, want)
+		}
+		if got, want := pr.Subgraph(opts, nil), Subgraph(aux, p, opts, nil); !reflect.DeepEqual(got, want) {
+			t.Fatalf("alpha=%v: prepared sub %+v != one-shot %+v", alpha, got, want)
+		}
+	}
+}

@@ -43,11 +43,18 @@ func NewSemantics(aux *graph.Aux, p *pattern.Pattern) *Semantics {
 }
 
 // Bind re-points s at (aux, p), reusing the resolved-label buffer; the
-// pooled scratch of Run rebinds one Semantics value per query.
+// pooled scratch of Run rebinds one Semantics value per query, and the
+// plan layer binds one per prepared pattern.
 func (s *Semantics) Bind(aux *graph.Aux, p *pattern.Pattern) {
 	s.aux, s.p = aux, p
 	s.labels = aux.Graph().InternLabels(p.Labels(), s.labels)
 }
+
+// Labels returns the pattern's labels resolved to the graph's interned
+// ids (labels[u] = id of p's label of u, NoLabel if absent). The slice is
+// owned by the Semantics; it is handed to reduce.SearchInto so the engine
+// shares the one resolution instead of re-interning per run.
+func (s *Semantics) Labels() []graph.LabelID { return s.labels }
 
 // Guard implements the revised C(v,u) of Section 4.2. Beyond label
 // equality it requires, per direction, that for each label l carried by k
@@ -148,17 +155,37 @@ type scratch struct {
 }
 
 // Run executes RBSub: dynamic reduction with the isomorphism semantics,
-// then exact VF2 search on the fragment.
+// then exact VF2 search on the fragment. The per-query compile step
+// (label resolution into a Semantics) happens inline; use RunPrepared to
+// amortize it across repeated evaluations of one pattern.
 func Run(aux *graph.Aux, p *pattern.Pattern, vp graph.NodeID, opts reduce.Options, mopts *MatchOpts) Result {
-	pool := aux.ScratchPool(graph.ScratchSub)
-	sc, _ := pool.Get().(*scratch)
+	sc := borrow(aux)
+	defer aux.ScratchPool(graph.ScratchSub).Put(sc)
+	sc.sem.Bind(aux, p)
+	return run(aux, p, vp, &sc.sem, opts, mopts, sc)
+}
+
+// RunPrepared is Run with the compile step hoisted out: sem must be a
+// Semantics bound to (aux, p) — or to a re-rooting of p, which shares its
+// labels — typically compiled once per pattern by the plan layer. The
+// reduction and matcher still draw their transient state from the Aux's
+// scratch pool; only the per-query label resolution is skipped.
+func RunPrepared(aux *graph.Aux, p *pattern.Pattern, vp graph.NodeID, sem *Semantics, opts reduce.Options, mopts *MatchOpts) Result {
+	sc := borrow(aux)
+	defer aux.ScratchPool(graph.ScratchSub).Put(sc)
+	return run(aux, p, vp, sem, opts, mopts, sc)
+}
+
+func borrow(aux *graph.Aux) *scratch {
+	sc, _ := aux.ScratchPool(graph.ScratchSub).Get().(*scratch)
 	if sc == nil {
 		sc = &scratch{frag: graph.NewFragment(aux.Graph())}
 	}
-	defer pool.Put(sc)
+	return sc
+}
 
-	sc.sem.Bind(aux, p)
-	stats := reduce.SearchInto(aux, p, vp, &sc.sem, opts, sc.frag, &sc.red)
+func run(aux *graph.Aux, p *pattern.Pattern, vp graph.NodeID, sem *Semantics, opts reduce.Options, mopts *MatchOpts, sc *scratch) Result {
+	stats := reduce.SearchInto(aux, p, sem.Labels(), vp, sem, opts, sc.frag, &sc.red)
 	res := Result{Stats: stats, Complete: true}
 	sc.frag.CSRInto(&sc.csr)
 	pinPos := sc.csr.PosOf(vp)

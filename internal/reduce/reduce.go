@@ -113,6 +113,12 @@ type Stats struct {
 	BudgetExhausted bool
 	// VisitsExhausted reports whether the visit budget stopped the search.
 	VisitsExhausted bool
+	// PairHighWater is the largest number of live (pattern node, data
+	// node) pairs any per-round stamp held at once. The budget-derived
+	// hint that sizes the huge-graph pair table assumes roughly one pair
+	// per affordable fragment item; this records what a run actually
+	// needed, so the hint can be tuned empirically.
+	PairHighWater int
 }
 
 type pairKey struct {
@@ -245,6 +251,7 @@ type pairStamp struct {
 	n        int
 	stamp    []int32
 	epoch    int32
+	live     int // pairs stamped this epoch (dense path; the table counts its own)
 	table    pairTable
 	useTable bool
 }
@@ -268,6 +275,17 @@ func (s *pairStamp) reset(nq, n, hint int) {
 		s.epoch = 0
 	}
 	s.epoch++
+	s.live = 0
+}
+
+// count returns how many pairs are live this epoch. Both engine call
+// sites probe has() before set(), so the dense path can count sets
+// directly without re-checking membership.
+func (s *pairStamp) count() int {
+	if s.useTable {
+		return s.table.live
+	}
+	return s.live
 }
 
 func (s *pairStamp) has(k pairKey) bool {
@@ -283,6 +301,7 @@ func (s *pairStamp) set(k pairKey) {
 		return
 	}
 	s.stamp[int(k.u)*s.n+int(k.v)] = s.epoch
+	s.live++
 }
 
 // Scratch carries every transient buffer a reduction run needs. A zero
@@ -335,7 +354,7 @@ func Search(aux *graph.Aux, p *pattern.Pattern, vp graph.NodeID, sem Semantics, 
 		sc = NewScratch()
 	}
 	frag := graph.NewFragment(aux.Graph())
-	stats := SearchInto(aux, p, vp, sem, opts, frag, sc)
+	stats := SearchInto(aux, p, nil, vp, sem, opts, frag, sc)
 	pool.Put(sc)
 	return frag, stats
 }
@@ -344,7 +363,12 @@ func Search(aux *graph.Aux, p *pattern.Pattern, vp graph.NodeID, sem Semantics, 
 // frag (Reset first; it must belong to aux's graph) using sc for all
 // transient state. It allocates nothing once frag and sc have reached
 // steady-state capacity.
-func SearchInto(aux *graph.Aux, p *pattern.Pattern, vp graph.NodeID, sem Semantics, opts Options, frag *graph.Fragment, sc *Scratch) Stats {
+//
+// labels, when non-nil, must be p's labels pre-resolved against aux's
+// graph (labels[u] = interned id of p's label of u) — the plan layer
+// compiles this once per pattern, and the Semantics values of rbsim and
+// rbsub already carry it. A nil labels resolves into sc on entry.
+func SearchInto(aux *graph.Aux, p *pattern.Pattern, labels []graph.LabelID, vp graph.NodeID, sem Semantics, opts Options, frag *graph.Fragment, sc *Scratch) Stats {
 	g := aux.Graph()
 	frag.Reset()
 	e := &engine{
@@ -371,11 +395,16 @@ func SearchInto(aux *graph.Aux, p *pattern.Pattern, vp graph.NodeID, sem Semanti
 	if opts.Strategy == WeightRandom {
 		e.rng = rand.New(rand.NewSource(opts.Seed))
 	}
-	// Resolve every pattern label to the graph's interned id once: the
-	// engine's own label probes (ablation guard, fragment-candidate scans)
-	// then compare int32s instead of hashing strings per candidate.
-	sc.plabels = g.InternLabels(p.Labels(), sc.plabels)
-	e.plabels = sc.plabels
+	// The engine's own label probes (ablation guard, fragment-candidate
+	// scans) compare int32s instead of hashing strings per candidate:
+	// either the caller compiled the resolution once per pattern (the
+	// plan layer) or it is resolved into the scratch here.
+	if labels != nil {
+		e.plabels = labels
+	} else {
+		sc.plabels = g.InternLabels(p.Labels(), sc.plabels)
+		e.plabels = sc.plabels
+	}
 	e.stack = sc.stack[:0]
 	e.run(vp)
 	sc.stack = e.stack // keep grown capacity for the next run
@@ -414,6 +443,11 @@ func (e *engine) run(vp graph.NodeID) {
 		e.changed = false
 		e.push(pairKey{e.p.Personalized(), vp})
 		e.round()
+		// Capture the round's live pairs before the next reset wipes them:
+		// onStack dominates expanded (every expanded pair was pushed first).
+		if hw := e.sc.onStack.count(); hw > e.stats.PairHighWater {
+			e.stats.PairHighWater = hw
+		}
 		if e.exhausted || e.visitsDone || !e.changed {
 			return
 		}

@@ -1,0 +1,178 @@
+package rbq
+
+import (
+	"reflect"
+	"testing"
+
+	"rbq/internal/gen"
+	"rbq/internal/graph"
+)
+
+// preparedFixture extracts a handful of guaranteed-matching patterns
+// from a generated graph, returning the DB and (pattern, pin) pairs.
+func preparedFixture(t *testing.T, n int) (*DB, []AnchoredQuery) {
+	t.Helper()
+	g := YoutubeLike(n, 1)
+	var qs []AnchoredQuery
+	for seed := int64(0); seed < 80 && len(qs) < 5; seed++ {
+		vp := NodeID(int(seed*131+17) % g.NumNodes())
+		if g.Degree(vp) < 2 {
+			continue
+		}
+		q := gen.PatternAt(g, graph.NodeID(vp), gen.PatternConfig{Nodes: 4, Edges: 8, Seed: seed})
+		if q == nil {
+			continue
+		}
+		qs = append(qs, AnchoredQuery{Q: q, At: vp})
+	}
+	if len(qs) < 3 {
+		t.Fatal("could not extract test patterns")
+	}
+	return NewDB(g), qs
+}
+
+// TestPreparedEquivalence: every PreparedQuery execute method returns
+// bit-for-bit the same answer as its one-shot DB counterpart, across
+// several generated patterns and resource ratios.
+func TestPreparedEquivalence(t *testing.T) {
+	db, qs := preparedFixture(t, 4000)
+	for _, aq := range qs {
+		pq, err := db.Prepare(aq.Q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, alpha := range []float64{0.001, 0.01, 0.1} {
+			got, gotErr := pq.RunAt(aq.At, alpha)
+			want, wantErr := db.SimulationAt(aq.Q, aq.At, alpha)
+			if (gotErr == nil) != (wantErr == nil) || !reflect.DeepEqual(got, want) {
+				t.Fatalf("RunAt(%d, %v) = %+v (%v), one-shot %+v (%v)", aq.At, alpha, got, gotErr, want, wantErr)
+			}
+			got, gotErr = pq.RunSubgraphAt(aq.At, alpha)
+			want, wantErr = db.SubgraphAt(aq.Q, aq.At, alpha)
+			if (gotErr == nil) != (wantErr == nil) || !reflect.DeepEqual(got, want) {
+				t.Fatalf("RunSubgraphAt(%d, %v) mismatch: %+v vs %+v", aq.At, alpha, got, want)
+			}
+			ur, uw := pq.RunUnanchored(alpha), db.SimulationUnanchored(aq.Q, alpha)
+			if !reflect.DeepEqual(ur, uw) {
+				t.Fatalf("RunUnanchored(%v) = %+v, one-shot %+v", alpha, ur, uw)
+			}
+			ur, uw = pq.RunSubgraphUnanchored(alpha), db.SubgraphUnanchored(aq.Q, alpha)
+			if !reflect.DeepEqual(ur, uw) {
+				t.Fatalf("RunSubgraphUnanchored(%v) = %+v, one-shot %+v", alpha, ur, uw)
+			}
+		}
+		gotM, gotErr := pq.RunExactAt(aq.At)
+		wantM, wantErr := db.SimulationExactAt(aq.Q, aq.At)
+		if (gotErr == nil) != (wantErr == nil) || !reflect.DeepEqual(gotM, wantM) {
+			t.Fatalf("RunExactAt mismatch: %v vs %v", gotM, wantM)
+		}
+		gotS, gotOK, _ := pq.RunSubgraphExactAt(aq.At, 1_000_000)
+		wantS, wantOK, _ := db.SubgraphExactAt(aq.Q, aq.At, 1_000_000)
+		if gotOK != wantOK || !reflect.DeepEqual(gotS, wantS) {
+			t.Fatalf("RunSubgraphExactAt mismatch: %v vs %v", gotS, wantS)
+		}
+	}
+}
+
+// TestPreparedRunUsesCompiledPersonalized: Run/RunExact on a pattern with
+// a unique personalized label behave like Simulation/SimulationExact, and
+// fail with the same error when the label is ambiguous.
+func TestPreparedRunUsesCompiledPersonalized(t *testing.T) {
+	g := YoutubeLike(2000, 1)
+	q, g2, _, err := ExtractPattern(g, 4, 6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDB(g2)
+	pq, err := db.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vp, ok := pq.Personalized(); !ok || int(vp) < 0 {
+		t.Fatalf("Personalized() = (%d, %v), want a compile-time unique match", vp, ok)
+	}
+	got, err1 := pq.Run(0.01)
+	want, err2 := db.Simulation(q, 0.01)
+	if err1 != nil || err2 != nil || !reflect.DeepEqual(got, want) {
+		t.Fatalf("Run = %+v (%v), Simulation = %+v (%v)", got, err1, want, err2)
+	}
+	gotE, _ := pq.RunExact()
+	wantE, _ := db.SimulationExact(q)
+	if !reflect.DeepEqual(gotE, wantE) {
+		t.Fatalf("RunExact = %v, SimulationExact = %v", gotE, wantE)
+	}
+
+	// An ambiguous personalized label errors identically on both paths.
+	amb, _, _, err := ExtractPattern(g, 3, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbAmb := NewDB(g) // original graph: the unique label was never installed
+	pqa, err := dbAmb.Prepare(amb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, errPrep := pqa.Run(0.01)
+	_, errShot := dbAmb.Simulation(amb, 0.01)
+	if errPrep == nil || errShot == nil || errPrep.Error() != errShot.Error() {
+		t.Fatalf("ambiguous-label errors differ: %v vs %v", errPrep, errShot)
+	}
+}
+
+// TestPreparedRunBatch: RunBatch over pins equals per-pin RunAt, with
+// zero results for invalid pins.
+func TestPreparedRunBatch(t *testing.T) {
+	db, qs := preparedFixture(t, 3000)
+	q := qs[0].Q
+	pq, err := db.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All candidates of the personalized label, plus one invalid pin.
+	l := db.Graph().LabelIDOf(q.Label(q.Personalized()))
+	pins := append([]NodeID{}, db.Graph().NodesWithLabel(l)...)
+	var bad NodeID
+	for bad = 0; db.Graph().LabelOf(bad) == l; bad++ {
+	}
+	pins = append(pins, bad)
+	for _, workers := range []int{1, 4} {
+		got := pq.RunBatch(pins, 0.01, workers)
+		if len(got) != len(pins) {
+			t.Fatalf("RunBatch returned %d results for %d pins", len(got), len(pins))
+		}
+		for i, pin := range pins {
+			want, err := pq.RunAt(pin, 0.01)
+			if err != nil {
+				want = PatternResult{Personalized: pin}
+			}
+			if !reflect.DeepEqual(got[i], want) {
+				t.Fatalf("workers=%d pin %d: %+v != %+v", workers, pin, got[i], want)
+			}
+		}
+		if got[len(got)-1].Matches != nil {
+			t.Fatalf("invalid pin should yield a zero result, got %+v", got[len(got)-1])
+		}
+	}
+}
+
+// TestBatchSharesPreparedTemplates: SimulationBatch answers are unchanged
+// by the per-distinct-pattern preparation (same template at many pins vs
+// distinct templates interleaved).
+func TestBatchSharesPreparedTemplates(t *testing.T) {
+	db, qs := preparedFixture(t, 3000)
+	// Interleave: template A, B, A, B, ... at their pins.
+	var batch []AnchoredQuery
+	for i := 0; i < 6; i++ {
+		batch = append(batch, qs[i%2])
+	}
+	got := db.SimulationBatch(batch, 0.01, 3)
+	for i, aq := range batch {
+		want, err := db.SimulationAt(aq.Q, aq.At, 0.01)
+		if err != nil {
+			want = PatternResult{Personalized: aq.At}
+		}
+		if !reflect.DeepEqual(got[i], want) {
+			t.Fatalf("batch[%d] = %+v, want %+v", i, got[i], want)
+		}
+	}
+}

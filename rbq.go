@@ -23,15 +23,24 @@
 //	g := rbq.YoutubeLike(100_000, 1)
 //	db := rbq.NewDB(g)
 //	res, err := db.Simulation(q, 0.001)
+//
+// Workloads that evaluate the same pattern template many times should
+// compile it once and execute the prepared form (see DB.Prepare):
+//
+//	pq, err := db.Prepare(q)
+//	for _, pin := range pins {
+//		res, err := pq.RunAt(pin, 0.001)
+//		...
+//	}
+//
+// The one-shot methods are thin wrappers over the same prepared path, so
+// both forms return identical answers.
 package rbq
 
 import (
 	"bufio"
-	"fmt"
 	"io"
-	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"rbq/internal/accuracy"
 	"rbq/internal/calibrate"
@@ -42,12 +51,7 @@ import (
 	"rbq/internal/pattern"
 	"rbq/internal/rbany"
 	"rbq/internal/rbreach"
-	"rbq/internal/rbsim"
-	"rbq/internal/rbsub"
 	"rbq/internal/reach"
-	"rbq/internal/reduce"
-	"rbq/internal/simulation"
-	"rbq/internal/subiso"
 )
 
 // NodeID identifies a node of a Graph.
@@ -98,9 +102,17 @@ func MatchAccuracy(exact, approx []NodeID) Accuracy { return accuracy.Matches(ex
 // steady-state queries allocate only their result slice. The pools are
 // concurrency-safe and every borrower gets a private scratch, which is why
 // SimulationBatch/SubgraphBatch workers can share one DB without locking.
+//
+// Every pattern method routes through the prepared-query layer (see
+// Prepare): the one-shot methods compile the pattern into a pool-recycled
+// plan and execute it once, while PreparedQuery keeps the compiled form
+// for repeated execution.
 type DB struct {
 	g   *graph.Graph
 	aux *graph.Aux
+
+	// prep recycles compiled plans for the one-shot pattern methods.
+	prep sync.Pool
 }
 
 // NewDB builds the offline auxiliary structure for g and returns a handle.
@@ -149,132 +161,80 @@ type PatternResult struct {
 	FragmentSize, Budget, Visited int
 }
 
-func (db *DB) personalized(q *Pattern) (NodeID, error) {
-	vp, ok := simulation.PersonalizedMatch(db.g, q)
-	if !ok {
-		return NoNode, fmt.Errorf("rbq: the personalized node's label %q does not have a unique match",
-			q.Label(q.Personalized()))
-	}
-	return vp, nil
-}
-
 // Simulation answers the pattern under strong simulation with resource
-// ratio alpha (the paper's RBSim).
+// ratio alpha (the paper's RBSim). One-shot form of PreparedQuery.Run.
 func (db *DB) Simulation(q *Pattern, alpha float64) (PatternResult, error) {
-	vp, err := db.personalized(q)
-	if err != nil {
-		return PatternResult{}, err
-	}
-	res := rbsim.Run(db.aux, q, vp, reduce.Options{Alpha: alpha})
-	return PatternResult{
-		Matches:      res.Matches,
-		Personalized: vp,
-		FragmentSize: res.Stats.FragmentSize,
-		Budget:       res.Stats.Budget,
-		Visited:      res.Stats.Visited,
-	}, nil
+	pl := db.borrowPlan(q)
+	defer db.releasePlan(pl)
+	return runSimulation(pl, alpha)
 }
 
 // SimulationExact answers the pattern under strong simulation exactly (the
 // optimized baseline MatchOpt, which searches the d_Q-ball of v_p).
 func (db *DB) SimulationExact(q *Pattern) ([]NodeID, error) {
-	vp, err := db.personalized(q)
-	if err != nil {
-		return nil, err
-	}
-	return simulation.MatchOpt(db.g, q, vp), nil
+	pl := db.borrowPlan(q)
+	defer db.releasePlan(pl)
+	return runSimulationExact(pl)
 }
 
 // Subgraph answers the pattern under subgraph isomorphism with resource
-// ratio alpha (the paper's RBSub).
+// ratio alpha (the paper's RBSub). One-shot form of
+// PreparedQuery.RunSubgraph.
 func (db *DB) Subgraph(q *Pattern, alpha float64) (PatternResult, error) {
-	vp, err := db.personalized(q)
-	if err != nil {
-		return PatternResult{}, err
-	}
-	res := rbsub.Run(db.aux, q, vp, reduce.Options{Alpha: alpha}, nil)
-	return PatternResult{
-		Matches:      res.Matches,
-		Personalized: vp,
-		FragmentSize: res.Stats.FragmentSize,
-		Budget:       res.Stats.Budget,
-		Visited:      res.Stats.Visited,
-	}, nil
+	pl := db.borrowPlan(q)
+	defer db.releasePlan(pl)
+	return runSubgraph(pl, alpha)
 }
 
 // SubgraphExact answers the pattern under subgraph isomorphism exactly
 // (the optimized baseline VF2Opt). maxSteps caps the backtracking search
 // (0 = unlimited); the second result reports whether it completed.
 func (db *DB) SubgraphExact(q *Pattern, maxSteps int64) ([]NodeID, bool, error) {
-	vp, err := db.personalized(q)
-	if err != nil {
-		return nil, false, err
-	}
-	m, complete := subiso.MatchOpt(db.g, q, vp, &subiso.Options{MaxSteps: maxSteps})
-	return m, complete, nil
+	pl := db.borrowPlan(q)
+	defer db.releasePlan(pl)
+	return runSubgraphExact(pl, maxSteps)
 }
 
 // SimulationAt is Simulation with the personalized node pinned to an
 // explicit data node, bypassing the unique-label lookup. The paper's
 // setting guarantees a unique match for u_p; pinning covers batch
-// workloads where many anchor nodes share a label.
+// workloads where many anchor nodes share a label. One-shot form of
+// PreparedQuery.RunAt.
 func (db *DB) SimulationAt(q *Pattern, vp NodeID, alpha float64) (PatternResult, error) {
-	if err := db.checkPin(q, vp); err != nil {
-		return PatternResult{}, err
-	}
-	res := rbsim.Run(db.aux, q, vp, reduce.Options{Alpha: alpha})
-	return PatternResult{
-		Matches:      res.Matches,
-		Personalized: vp,
-		FragmentSize: res.Stats.FragmentSize,
-		Budget:       res.Stats.Budget,
-		Visited:      res.Stats.Visited,
-	}, nil
+	pl := db.borrowPlan(q)
+	defer db.releasePlan(pl)
+	return runSimulationAt(pl, vp, alpha)
 }
 
 // SubgraphAt is Subgraph with the personalized node pinned explicitly.
+// One-shot form of PreparedQuery.RunSubgraphAt.
 func (db *DB) SubgraphAt(q *Pattern, vp NodeID, alpha float64) (PatternResult, error) {
-	if err := db.checkPin(q, vp); err != nil {
-		return PatternResult{}, err
-	}
-	res := rbsub.Run(db.aux, q, vp, reduce.Options{Alpha: alpha}, nil)
-	return PatternResult{
-		Matches:      res.Matches,
-		Personalized: vp,
-		FragmentSize: res.Stats.FragmentSize,
-		Budget:       res.Stats.Budget,
-		Visited:      res.Stats.Visited,
-	}, nil
+	pl := db.borrowPlan(q)
+	defer db.releasePlan(pl)
+	return runSubgraphAt(pl, vp, alpha)
 }
 
 // SimulationExactAt is SimulationExact with the personalized node pinned
 // explicitly.
 func (db *DB) SimulationExactAt(q *Pattern, vp NodeID) ([]NodeID, error) {
-	if err := db.checkPin(q, vp); err != nil {
+	pl := db.borrowPlan(q)
+	defer db.releasePlan(pl)
+	if err := checkPin(pl, vp); err != nil {
 		return nil, err
 	}
-	return simulation.MatchOpt(db.g, q, vp), nil
+	return pl.SimulationExact(vp), nil
 }
 
 // SubgraphExactAt is SubgraphExact with the personalized node pinned
 // explicitly.
 func (db *DB) SubgraphExactAt(q *Pattern, vp NodeID, maxSteps int64) ([]NodeID, bool, error) {
-	if err := db.checkPin(q, vp); err != nil {
+	pl := db.borrowPlan(q)
+	defer db.releasePlan(pl)
+	if err := checkPin(pl, vp); err != nil {
 		return nil, false, err
 	}
-	m, complete := subiso.MatchOpt(db.g, q, vp, &subiso.Options{MaxSteps: maxSteps})
+	m, complete := pl.SubgraphExact(vp, subgraphOpts(maxSteps))
 	return m, complete, nil
-}
-
-func (db *DB) checkPin(q *Pattern, vp NodeID) error {
-	if int(vp) < 0 || int(vp) >= db.g.NumNodes() {
-		return fmt.Errorf("rbq: pinned node %d out of range", vp)
-	}
-	if db.g.Label(vp) != q.Label(q.Personalized()) {
-		return fmt.Errorf("rbq: pinned node %d has label %q, pattern expects %q",
-			vp, db.g.Label(vp), q.Label(q.Personalized()))
-	}
-	return nil
 }
 
 // ReachExact answers a reachability query exactly by BFS.
@@ -361,60 +321,38 @@ type AnchoredQuery struct {
 
 // SimulationBatch evaluates many pinned simulation queries concurrently
 // with the same resource ratio. workers ≤ 0 means one goroutine per
-// available CPU. The DB's structures are immutable, so evaluation is
-// embarrassingly parallel; results are positionally aligned with qs, with
-// a nil-Matches zero result for queries whose pin fails label validation.
+// available CPU. Each distinct *Pattern in qs is prepared exactly once
+// (batch workloads typically evaluate a handful of templates at many
+// pins); the DB's structures are immutable, so evaluation is
+// embarrassingly parallel. Results are positionally aligned with qs,
+// with a nil-Matches zero result for queries whose pin fails label
+// validation.
 func (db *DB) SimulationBatch(qs []AnchoredQuery, alpha float64, workers int) []PatternResult {
-	return db.batch(qs, workers, func(q AnchoredQuery) PatternResult {
-		res, err := db.SimulationAt(q.Q, q.At, alpha)
+	plans, release := db.planned(qs)
+	defer release()
+	out := make([]PatternResult, len(qs))
+	parallelFor(len(qs), workers, func(i int) {
+		res, err := runSimulationAt(plans[i], qs[i].At, alpha)
 		if err != nil {
-			return PatternResult{Personalized: q.At}
+			res = PatternResult{Personalized: qs[i].At}
 		}
-		return res
+		out[i] = res
 	})
+	return out
 }
 
 // SubgraphBatch is SimulationBatch under subgraph isomorphism.
 func (db *DB) SubgraphBatch(qs []AnchoredQuery, alpha float64, workers int) []PatternResult {
-	return db.batch(qs, workers, func(q AnchoredQuery) PatternResult {
-		res, err := db.SubgraphAt(q.Q, q.At, alpha)
-		if err != nil {
-			return PatternResult{Personalized: q.At}
-		}
-		return res
-	})
-}
-
-func (db *DB) batch(qs []AnchoredQuery, workers int, eval func(AnchoredQuery) PatternResult) []PatternResult {
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if workers > len(qs) {
-		workers = len(qs)
-	}
+	plans, release := db.planned(qs)
+	defer release()
 	out := make([]PatternResult, len(qs))
-	if workers <= 1 {
-		for i, q := range qs {
-			out[i] = eval(q)
+	parallelFor(len(qs), workers, func(i int) {
+		res, err := runSubgraphAt(plans[i], qs[i].At, alpha)
+		if err != nil {
+			res = PatternResult{Personalized: qs[i].At}
 		}
-		return out
-	}
-	var next int64 = -1
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(atomic.AddInt64(&next, 1))
-				if i >= len(qs) {
-					return
-				}
-				out[i] = eval(qs[i])
-			}
-		}()
-	}
-	wg.Wait()
+		out[i] = res
+	})
 	return out
 }
 
@@ -435,28 +373,20 @@ type UnanchoredResult struct {
 
 // SimulationUnanchored answers a pattern with NO unique personalized
 // match under strong simulation: every data node carrying the most
-// selective query label is tried as the anchor, sharing one α|G| budget.
+// selective query label is tried as the anchor, sharing one α|G| budget
+// split proportionally to each anchor's Potential-mass selectivity.
+// One-shot form of PreparedQuery.RunUnanchored.
 func (db *DB) SimulationUnanchored(q *Pattern, alpha float64) UnanchoredResult {
-	r := rbany.Simulation(db.aux, q, rbany.Options{Alpha: alpha})
-	return UnanchoredResult{
-		Matches:      r.Matches,
-		Candidates:   r.Candidates,
-		Evaluated:    r.Evaluated,
-		FragmentSize: r.FragmentSize,
-		Visited:      r.Visited,
-	}
+	pl := db.borrowPlan(q)
+	defer db.releasePlan(pl)
+	return unanchoredResult(pl.SimulationUnanchored(rbany.Options{Alpha: alpha}))
 }
 
 // SubgraphUnanchored is SimulationUnanchored under subgraph isomorphism.
 func (db *DB) SubgraphUnanchored(q *Pattern, alpha float64) UnanchoredResult {
-	r := rbany.Subgraph(db.aux, q, rbany.Options{Alpha: alpha}, nil)
-	return UnanchoredResult{
-		Matches:      r.Matches,
-		Candidates:   r.Candidates,
-		Evaluated:    r.Evaluated,
-		FragmentSize: r.FragmentSize,
-		Visited:      r.Visited,
-	}
+	pl := db.borrowPlan(q)
+	defer db.releasePlan(pl)
+	return unanchoredResult(pl.SubgraphUnanchored(rbany.Options{Alpha: alpha}, nil))
 }
 
 // CalibrationPoint is one sample of the empirical accuracy-vs-α curve.
