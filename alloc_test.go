@@ -4,6 +4,7 @@
 package rbq
 
 import (
+	"context"
 	"testing"
 
 	"rbq/internal/gen"
@@ -90,6 +91,54 @@ func TestPreparedRunAtAllocBudget(t *testing.T) {
 	}
 	if preparedAvg > 8 {
 		t.Fatalf("PreparedQuery.RunAt allocates %.1f times per run, want ≤ 8", preparedAvg)
+	}
+}
+
+// TestQueryCacheHitAllocBudget: DB.Query on a warm plan cache — the
+// request-layer hot path — must allocate no more than the legacy
+// SimulationAt wrapper it subsumes (which itself routes through the same
+// core), and stay within the same absolute ≤8 budget. This pins down
+// that the request layer (validation, cache probe, context plumbing,
+// Result assembly) added no per-query allocations.
+func TestQueryCacheHitAllocBudget(t *testing.T) {
+	g := YoutubeLike(10_000, 1)
+	db := NewDB(g)
+	var q *Pattern
+	var vp NodeID
+	for seed := int64(0); seed < 50 && q == nil; seed++ {
+		cand := NodeID(int(seed*131+17) % g.NumNodes())
+		if g.Degree(cand) < 2 {
+			continue
+		}
+		q = gen.PatternAt(g, graph.NodeID(cand), gen.PatternConfig{Nodes: 4, Edges: 8, Seed: seed})
+		vp = cand
+	}
+	if q == nil {
+		t.Fatal("could not extract a test pattern")
+	}
+	ctx := context.Background()
+	req := Request{Anchor: &vp, Alpha: 0.001}
+	query := func() {
+		if _, err := db.Query(ctx, q, req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	legacy := func() {
+		if _, err := db.SimulationAt(q, vp, 0.001); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		query() // first call takes the compile miss; the rest must hit
+		legacy()
+	}
+	queryAvg := testing.AllocsPerRun(200, query)
+	legacyAvg := testing.AllocsPerRun(200, legacy)
+	if queryAvg > legacyAvg {
+		t.Fatalf("DB.Query allocates %.1f times per run, SimulationAt %.1f — the request layer must not add allocations", queryAvg, legacyAvg)
+	}
+	if queryAvg > 8 {
+		t.Fatalf("cache-hit DB.Query allocates %.1f times per run, want ≤ 8", queryAvg)
 	}
 }
 

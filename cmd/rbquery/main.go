@@ -22,6 +22,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -45,13 +47,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		mode         = fs.String("mode", "sim", "sim | sub | reach | workload")
 		alpha        = fs.Float64("alpha", 0.001, "resource ratio α ∈ (0,1)")
 		exact        = fs.Bool("exact", false, "also run the exact baseline and report accuracy")
-		stats        = fs.Bool("stats", false, "report prepare vs execute timing (pattern and workload modes)")
+		stats        = fs.Bool("stats", false, "report prepare vs execute timing and plan-cache hit/miss (pattern and workload modes)")
+		timeout      = fs.Duration("timeout", 0, "cancel query evaluation after this duration (0 = none; pattern and workload modes)")
 		from         = fs.Int("from", -1, "source node (reach mode)")
 		to           = fs.Int("to", -1, "target node (reach mode)")
 		indexPath    = fs.String("index", "", "reach mode: load the oracle from this file if it exists, else build and save it there")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	// -timeout rides the request layer's cooperative cancellation: the
+	// context's deadline is threaded into every engine loop, so a sweep
+	// that would overrun is abandoned promptly instead of killed.
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	if *graphPath == "" {
@@ -77,18 +90,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	switch *mode {
 	case "sim", "sub":
-		return runPattern(db, *mode, *patternPath, *alpha, *exact, *stats, stdout, stderr)
+		return runPattern(ctx, db, *mode, *patternPath, *alpha, *exact, *stats, stdout, stderr)
 	case "reach":
 		return runReach(db, *alpha, *from, *to, *exact, *indexPath, stdout, stderr)
 	case "workload":
-		return runWorkload(db, *workloadPath, *alpha, *stats, stdout, stderr)
+		return runWorkload(ctx, db, *workloadPath, *alpha, *stats, stdout, stderr)
 	default:
 		fmt.Fprintf(stderr, "rbquery: unknown mode %q\n", *mode)
 		return 2
 	}
 }
 
-func runPattern(db *rbq.DB, mode, path string, alpha float64, exact, stats bool, stdout, stderr io.Writer) int {
+// queryErr reports a query failure, flagging an exceeded -timeout.
+func queryErr(err error, stderr io.Writer) int {
+	if errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(stderr, "rbquery: query canceled: -timeout exceeded")
+		return 1
+	}
+	fmt.Fprintln(stderr, "rbquery:", err)
+	return 1
+}
+
+func runPattern(ctx context.Context, db *rbq.DB, mode, path string, alpha float64, exact, stats bool, stdout, stderr io.Writer) int {
 	if path == "" {
 		fmt.Fprintln(stderr, "rbquery: -pattern is required for pattern modes")
 		return 2
@@ -103,51 +126,38 @@ func runPattern(db *rbq.DB, mode, path string, alpha float64, exact, stats bool,
 		fmt.Fprintln(stderr, "rbquery:", err)
 		return 1
 	}
-	// Compile once, then execute: the resource-bounded run and the exact
-	// baseline share one prepared query.
-	prepStart := time.Now()
-	pq, err := db.Prepare(q)
-	if err != nil {
-		fmt.Fprintln(stderr, "rbquery:", err)
-		return 1
+	req := rbq.Request{Alpha: alpha, WantStats: stats}
+	if mode == "sub" {
+		req.Semantics = rbq.Subgraph
 	}
-	prepElapsed := time.Since(prepStart)
-	var res rbq.PatternResult
 	start := time.Now()
-	if mode == "sim" {
-		res, err = pq.Run(alpha)
-	} else {
-		res, err = pq.RunSubgraph(alpha)
-	}
+	res, err := db.Query(ctx, q, req)
 	if err != nil {
-		fmt.Fprintln(stderr, "rbquery:", err)
-		return 1
+		return queryErr(err, stderr)
 	}
 	elapsed := time.Since(start)
 	fmt.Fprintf(stdout, "%d match(es) in %v; |G_Q| = %d of budget %d; visited %d items\n",
 		len(res.Matches), elapsed.Round(time.Microsecond), res.FragmentSize, res.Budget, res.Visited)
 	if stats {
-		fmt.Fprintf(stdout, "stats: prepare %v, execute %v\n",
-			prepElapsed.Round(time.Microsecond), elapsed.Round(time.Microsecond))
+		cs := db.PlanCacheStats()
+		fmt.Fprintf(stdout, "stats: prepare %v, execute %v; plan cache %d hit(s) / %d miss(es)\n",
+			res.Stats.PlanTime.Round(time.Microsecond), res.Stats.ExecTime.Round(time.Microsecond),
+			cs.Hits, cs.Misses)
 	}
 	for _, m := range res.Matches {
 		fmt.Fprintf(stdout, "  node %d (%s)\n", m, db.Graph().Label(m))
 	}
 	if exact {
-		var truth []rbq.NodeID
+		// The exact baseline is the same Request in Exact mode; its plan
+		// comes from the cache the bounded run just filled.
 		start = time.Now()
-		if mode == "sim" {
-			truth, err = pq.RunExact()
-		} else {
-			truth, _, err = pq.RunSubgraphExact(0)
-		}
+		truth, err := db.Query(ctx, q, rbq.Request{Semantics: req.Semantics, Mode: rbq.Exact})
 		if err != nil {
-			fmt.Fprintln(stderr, "rbquery:", err)
-			return 1
+			return queryErr(err, stderr)
 		}
-		acc := rbq.MatchAccuracy(truth, res.Matches)
+		acc := rbq.MatchAccuracy(truth.Matches, res.Matches)
 		fmt.Fprintf(stdout, "exact baseline: %d match(es) in %v; accuracy P=%.3f R=%.3f F=%.3f\n",
-			len(truth), time.Since(start).Round(time.Microsecond), acc.Precision, acc.Recall, acc.F)
+			len(truth.Matches), time.Since(start).Round(time.Microsecond), acc.Precision, acc.Recall, acc.F)
 	}
 	return 0
 }
@@ -210,7 +220,7 @@ func obtainOracle(db *rbq.DB, alpha float64, indexPath string) (*rbq.ReachOracle
 	return oracle, "built and saved to " + indexPath, nil
 }
 
-func runWorkload(db *rbq.DB, path string, alpha float64, stats bool, stdout, stderr io.Writer) int {
+func runWorkload(ctx context.Context, db *rbq.DB, path string, alpha float64, stats bool, stdout, stderr io.Writer) int {
 	if path == "" {
 		fmt.Fprintln(stderr, "rbquery: -workload is required for workload mode")
 		return 2
@@ -233,46 +243,39 @@ func runWorkload(db *rbq.DB, path string, alpha float64, stats bool, stdout, std
 
 	if len(wl.Patterns) > 0 {
 		// Workload files repeat a handful of pattern templates at many
-		// pins; prepare each distinct template exactly once (parsed
-		// patterns are distinct pointers, so dedup by textual form) and
-		// canonicalize every query onto its template's one pattern.
-		// SimulationBatch then sees one *Pattern per template — its own
-		// per-distinct-pattern preparation and worker pool do the rest.
-		prepStart := time.Now()
-		templates := make(map[string]*rbq.PreparedQuery)
+		// pins. The DB's plan cache dedups templates by textual identity,
+		// so QueryBatch compiles each distinct template exactly once even
+		// though every parsed query carries its own *Pattern.
 		qs := make([]rbq.AnchoredQuery, len(wl.Patterns))
 		for i, q := range wl.Patterns {
-			key := q.P.String()
-			pq, ok := templates[key]
-			if !ok {
-				var err error
-				if pq, err = db.Prepare(q.P); err != nil {
-					fmt.Fprintln(stderr, "rbquery:", err)
-					return 1
-				}
-				templates[key] = pq
-			}
-			qs[i] = rbq.AnchoredQuery{Q: pq.Pattern(), At: q.VP}
+			qs[i] = rbq.AnchoredQuery{Q: q.P, At: q.VP}
 		}
-		prepElapsed := time.Since(prepStart)
-
 		start := time.Now()
-		results := db.SimulationBatch(qs, alpha, 0)
+		results, err := db.QueryBatch(ctx, qs, rbq.Request{Alpha: alpha, WantStats: stats}, 0)
+		if err != nil {
+			return queryErr(err, stderr)
+		}
 		elapsed := time.Since(start)
 		accSum := 0.0
 		for i, q := range wl.Patterns {
-			exact, err := templates[q.P.String()].RunExactAt(q.VP)
+			exact, err := db.Query(ctx, q.P, rbq.Request{Mode: rbq.Exact, Anchor: rbq.Pin(q.VP)})
 			if err != nil {
-				fmt.Fprintln(stderr, "rbquery:", err)
-				return 1
+				return queryErr(err, stderr)
 			}
-			accSum += rbq.MatchAccuracy(exact, results[i].Matches).F
+			accSum += rbq.MatchAccuracy(exact.Matches, results[i].Matches).F
 		}
 		fmt.Fprintf(stdout, "patterns: %d queries in %v, mean accuracy %.3f\n",
 			len(wl.Patterns), elapsed.Round(time.Millisecond), accSum/float64(len(wl.Patterns)))
 		if stats {
-			fmt.Fprintf(stdout, "stats: %d distinct template(s); prepare %v, execute %v\n",
-				len(templates), prepElapsed.Round(time.Microsecond), elapsed.Round(time.Microsecond))
+			var prep time.Duration
+			for _, r := range results {
+				if r.Stats != nil {
+					prep += r.Stats.PlanTime
+				}
+			}
+			cs := db.PlanCacheStats()
+			fmt.Fprintf(stdout, "stats: %d distinct template(s); prepare %v, execute %v; plan cache %d hit(s) / %d miss(es)\n",
+				cs.Misses, prep.Round(time.Microsecond), elapsed.Round(time.Microsecond), cs.Hits, cs.Misses)
 		}
 	}
 	if len(wl.Reach) > 0 {

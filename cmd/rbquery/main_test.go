@@ -172,7 +172,7 @@ func TestRunWorkloadDedupsTemplates(t *testing.T) {
 }
 
 // TestRunPatternStats: -stats in pattern mode reports the compile/execute
-// timing split.
+// timing split and the plan-cache hit/miss counters.
 func TestRunPatternStats(t *testing.T) {
 	g, p, _ := writeFixtures(t)
 	var out, errb bytes.Buffer
@@ -182,6 +182,29 @@ func TestRunPatternStats(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "stats: prepare ") {
 		t.Fatalf("missing -stats line:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "plan cache 0 hit(s) / 1 miss(es)") {
+		t.Fatalf("missing plan-cache counters:\n%s", out.String())
+	}
+}
+
+// TestRunTimeoutCancels: an unmeetable -timeout aborts the query through
+// context cancellation with a non-zero exit.
+func TestRunTimeoutCancels(t *testing.T) {
+	g, p, _ := writeFixtures(t)
+	var out, errb bytes.Buffer
+	code := run([]string{"-graph", g, "-pattern", p, "-mode", "sim", "-alpha", "0.9", "-timeout", "1ns"}, &out, &errb)
+	if code == 0 {
+		t.Fatalf("expected non-zero exit, output:\n%s", out.String())
+	}
+	if !strings.Contains(errb.String(), "-timeout exceeded") {
+		t.Fatalf("missing timeout diagnostic:\n%s", errb.String())
+	}
+	// A generous timeout succeeds.
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-graph", g, "-pattern", p, "-mode", "sim", "-alpha", "0.9", "-timeout", "1m"}, &out, &errb); code != 0 {
+		t.Fatalf("generous timeout failed: exit %d, stderr: %s", code, errb.String())
 	}
 }
 

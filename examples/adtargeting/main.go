@@ -13,6 +13,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"math/rand"
@@ -66,29 +68,46 @@ func main() {
 	fmt.Printf("|G| = %d items; targeting diamond |Q| = (%d,%d)\n\n",
 		g.Size(), q.NumNodes(), q.NumEdges())
 
-	// Batch scan: evaluate the diamond pinned at each candidate member,
-	// with a per-query resource budget (RBSub), and verify a sample
-	// against the exact matcher.
+	// Batch scan: one Request (a resource-bounded subgraph query), one
+	// QueryBatch over the candidate members — the template is compiled
+	// once through the plan cache and the workers share the DB's pooled
+	// scratch. The context deadline bounds the whole campaign scan; an
+	// overrunning batch returns the members scanned so far with ctx.Err().
 	const sample = 3000
 	const alpha = 0.0004 // ~ 60-item fragment per member on this graph
-	matched, disagreements := 0, 0
-	start := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	items := make([]rbq.AnchoredQuery, sample)
 	for i := 0; i < sample; i++ {
-		member := people[i]
-		res, err := db.SubgraphAt(q, member, alpha)
-		if err != nil {
-			log.Fatal(err)
-		}
+		items[i] = rbq.AnchoredQuery{Q: q, At: people[i]}
+	}
+	start := time.Now()
+	results, err := db.QueryBatch(ctx, items, rbq.Request{Semantics: rbq.Subgraph, Alpha: alpha}, 0)
+	if errors.Is(err, context.DeadlineExceeded) {
+		// Partial campaign: QueryBatch returned the members it finished
+		// (unprocessed items are zero); report what we have.
+		fmt.Println("deadline hit — reporting the members scanned so far")
+	} else if err != nil {
+		log.Fatal(err)
+	}
+	matched, disagreements := 0, 0
+	spotCheck := err == nil // skip the exact baseline if the deadline already fired
+	for i, res := range results {
 		hit := len(res.Matches) > 0
 		if hit {
 			matched++
 		}
-		if i < 300 { // spot-check against the exact baseline
-			exact, complete, err := db.SubgraphExactAt(q, member, 0)
-			if err != nil {
-				log.Fatal(err)
+		if i < 300 && spotCheck { // spot-check against the exact baseline
+			exact, qerr := db.Query(ctx, q,
+				rbq.Request{Semantics: rbq.Subgraph, Mode: rbq.Exact, Anchor: rbq.Pin(people[i])})
+			if errors.Is(qerr, context.DeadlineExceeded) {
+				// Deadline fired mid-spot-check: keep the partial report.
+				spotCheck = false
+				continue
+			} else if qerr != nil {
+				log.Fatal(qerr)
 			}
-			if complete && hit != (len(exact) > 0) {
+			if exact.Complete && hit != (len(exact.Matches) > 0) {
 				disagreements++
 			}
 		}

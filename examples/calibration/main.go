@@ -11,8 +11,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"rbq"
 )
@@ -40,10 +42,14 @@ func main() {
 	}
 	fmt.Printf("workload: %d pattern queries of shape (4,8)\n\n", len(workload))
 
-	// 1. The empirical accuracy curve.
+	// 1. The empirical accuracy curve. Calibration sweeps are long-running
+	// offline jobs, so they take a context like every other evaluation: a
+	// fired deadline stops the sweep and returns the points sampled so far.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
 	alphas := []float64{0.00002, 0.0001, 0.0005, 0.002, 0.01}
 	fmt.Println("alpha      accuracy   mean |G_Q|")
-	for _, pt := range db.SimulationCurve(workload, alphas) {
+	for _, pt := range db.SimulationCurveContext(ctx, workload, alphas) {
 		fmt.Printf("%-10.5f %-10.3f %.1f\n", pt.Alpha, pt.Accuracy, pt.MeanFragment)
 	}
 
@@ -65,7 +71,10 @@ func main() {
 	pb.SetPersonalized(a)
 	pb.SetOutput(a)
 	motif := pb.MustBuild()
-	res := db.SimulationUnanchored(motif, 0.01)
+	res, err := db.Query(ctx, motif, rbq.Request{Mode: rbq.Unanchored, Alpha: 0.01})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nunanchored motif search: %d matches from %d anchors (of %d candidates), total |G_Q| = %d\n",
 		len(res.Matches), res.Evaluated, res.Candidates, res.FragmentSize)
 }

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -58,9 +59,14 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 3. Query with a resource budget: α = 60% of this tiny graph.
+	// 3. Query with a resource budget: α = 60% of this tiny graph. Every
+	// evaluation is one declarative Request — here the zero Request (a
+	// resource-bounded simulation query) with only α filled in. The
+	// context carries cancellation into the engine: pass a deadline and a
+	// query that would overrun returns ctx.Err() instead.
+	ctx := context.Background()
 	db := rbq.NewDB(g)
-	res, err := db.Simulation(q, 0.6)
+	res, err := db.Query(ctx, q, rbq.Request{Alpha: 0.6})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -68,29 +74,30 @@ func main() {
 		g.Size(), res.Budget, res.FragmentSize, res.Visited)
 	fmt.Printf("cycling lovers matching the pattern: %v\n", res.Matches)
 
-	// 4. Compare against the exact answer.
-	exact, err := db.SimulationExact(q)
+	// 4. Compare against the exact answer: the same Request in Exact
+	// mode. The pattern was compiled on the first Query and cached, so
+	// this evaluation reuses the plan (see WantStats below).
+	exact, err := db.Query(ctx, q, rbq.Request{Mode: rbq.Exact})
 	if err != nil {
 		log.Fatal(err)
 	}
-	acc := rbq.MatchAccuracy(exact, res.Matches)
-	fmt.Printf("exact answer: %v — accuracy F = %.2f\n", exact, acc.F)
+	acc := rbq.MatchAccuracy(exact.Matches, res.Matches)
+	fmt.Printf("exact answer: %v — accuracy F = %.2f\n", exact.Matches, acc.F)
 
-	// 5. Repeated templates: compile the pattern once with Prepare, then
-	// execute it many times (here: re-pinned at Michael for each of three
-	// budgets). Production workloads evaluate a handful of templates
-	// millions of times; the prepared form skips the per-query compile
-	// step and returns answers identical to the one-shot methods.
-	pq, err := db.Prepare(q)
-	if err != nil {
-		log.Fatal(err)
-	}
-	vp, _ := pq.Personalized() // resolved once, at compile time
+	// 5. Repeated templates: re-issuing the same pattern hits the DB's
+	// plan cache, so hot templates are compiled once no matter how many
+	// callers evaluate them. WantStats surfaces the cache outcome and the
+	// compile/execute timing split per query.
+	vp := res.Personalized // resolved at compile time, reported per query
 	for _, alpha := range []float64{0.3, 0.45, 0.6} {
-		r, err := pq.RunAt(vp, alpha)
+		r, err := db.Query(ctx, q, rbq.Request{Anchor: rbq.Pin(vp), Alpha: alpha, WantStats: true})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("prepared run at α=%.2f: budget %d -> matches %v\n", alpha, r.Budget, r.Matches)
+		fmt.Printf("cached run at α=%.2f: budget %d -> matches %v (plan cache hit: %v)\n",
+			alpha, r.Budget, r.Matches, r.Stats.PlanCacheHit)
 	}
+	cs := db.PlanCacheStats()
+	fmt.Printf("plan cache: %d hit(s), %d miss(es) — one compilation served every query\n",
+		cs.Hits, cs.Misses)
 }

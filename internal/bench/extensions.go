@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -61,13 +62,13 @@ func runExtCalibrate(w io.Writer, s Scale) error {
 		effAlpha(2e-5, d.paperSize, d.g),
 		effAlpha(1e-4, d.paperSize, d.g),
 	}
-	for _, pt := range calibrate.Curve(d.aux, queries, alphas) {
+	for _, pt := range calibrate.Curve(context.Background(), d.aux, queries, alphas) {
 		fmt.Fprintf(tw, "%.5f\t%s\t%.1f\n", pt.Alpha, pct(pt.Accuracy), pt.MeanFragment)
 	}
 	if err := tw.Flush(); err != nil {
 		return err
 	}
-	pt, ok := calibrate.MinAlpha(d.aux, queries, 1.0, effAlpha(1e-3, d.paperSize, d.g), 5)
+	pt, ok := calibrate.MinAlpha(context.Background(), d.aux, queries, 1.0, effAlpha(1e-3, d.paperSize, d.g), 5)
 	if ok {
 		fmt.Fprintf(w, "minimal α for 100%% accuracy on this workload: %.6f (mean |G_Q| = %.1f)\n",
 			pt.Alpha, pt.MeanFragment)

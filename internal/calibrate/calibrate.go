@@ -14,10 +14,12 @@
 package calibrate
 
 import (
+	"context"
 	"fmt"
 
 	"rbq/internal/accuracy"
 	"rbq/internal/graph"
+	"rbq/internal/interrupt"
 	"rbq/internal/pattern"
 	"rbq/internal/plan"
 	"rbq/internal/reduce"
@@ -42,11 +44,20 @@ type Point struct {
 // Curve evaluates RBSim at each α and returns the empirical accuracy
 // curve. Each query is compiled once (exact answer and reduction
 // semantics), then executed at every α through the prepared engine path.
-func Curve(aux *graph.Aux, queries []Query, alphas []float64) []Point {
+// Cancellation is cooperative, exactly as for the request layer: ctx's
+// Done channel is threaded into every reduction run and checked between
+// samples, and a fired context returns the points sampled so far (nil
+// ctx means context.Background()). Calibration sweeps over large
+// workloads are long-running, which is why they ride the same
+// cancellation plumbing as serving queries.
+func Curve(ctx context.Context, aux *graph.Aux, queries []Query, alphas []float64) []Point {
 	pq := prepare(aux, queries)
 	out := make([]Point, 0, len(alphas))
 	for _, a := range alphas {
-		out = append(out, sample(pq, a))
+		if interrupt.Err(ctx) != nil {
+			break
+		}
+		out = append(out, sample(ctx, pq, a))
 	}
 	return out
 }
@@ -80,14 +91,15 @@ func prepare(aux *graph.Aux, queries []Query) *prepared {
 	return pq
 }
 
-func sample(pq *prepared, alpha float64) Point {
+func sample(ctx context.Context, pq *prepared, alpha float64) Point {
 	pt := Point{Alpha: alpha}
 	if len(pq.queries) == 0 {
 		pt.Accuracy = 1
 		return pt
 	}
+	done := interrupt.Done(ctx)
 	for i, q := range pq.queries {
-		res := pq.plans[i].Simulation(q.VP, reduce.Options{Alpha: alpha})
+		res := pq.plans[i].Simulation(q.VP, reduce.Options{Alpha: alpha, Interrupt: done})
 		pt.Accuracy += accuracy.Matches(pq.exact[i], res.Matches).F
 		pt.MeanFragment += float64(res.Stats.FragmentSize)
 	}
@@ -100,8 +112,10 @@ func sample(pq *prepared, alpha float64) Point {
 // least target. It sweeps geometrically from hi downward (factor 2) to
 // bracket the transition, then bisects the bracket refine times. It
 // returns the best point found; ok is false when even α = hi misses the
-// target (the returned point is then the hi sample).
-func MinAlpha(aux *graph.Aux, queries []Query, target, hi float64, refine int) (Point, bool) {
+// target (the returned point is then the hi sample). A canceled ctx
+// stops the search at the best point found so far (see Curve on the
+// cancellation contract).
+func MinAlpha(ctx context.Context, aux *graph.Aux, queries []Query, target, hi float64, refine int) (Point, bool) {
 	if target <= 0 || target > 1 {
 		panic(fmt.Sprintf("calibrate: target %v outside (0,1]", target))
 	}
@@ -111,7 +125,7 @@ func MinAlpha(aux *graph.Aux, queries []Query, target, hi float64, refine int) (
 	g := aux.Graph()
 	pq := prepare(aux, queries)
 
-	best := sample(pq, hi)
+	best := sample(ctx, pq, hi)
 	if best.Accuracy < target {
 		return best, false
 	}
@@ -119,8 +133,8 @@ func MinAlpha(aux *graph.Aux, queries []Query, target, hi float64, refine int) (
 	lo := 0.0
 	a := hi / 2
 	minUseful := 1.0 / float64(g.Size()) // below one item the budget is empty
-	for a >= minUseful {
-		pt := sample(pq, a)
+	for a >= minUseful && interrupt.Err(ctx) == nil {
+		pt := sample(ctx, pq, a)
 		if pt.Accuracy >= target {
 			best = pt
 			a /= 2
@@ -131,12 +145,12 @@ func MinAlpha(aux *graph.Aux, queries []Query, target, hi float64, refine int) (
 	}
 	// Bisect between the failing lo and the succeeding best.Alpha.
 	hiA := best.Alpha
-	for i := 0; i < refine; i++ {
+	for i := 0; i < refine && interrupt.Err(ctx) == nil; i++ {
 		mid := (lo + hiA) / 2
 		if mid <= minUseful {
 			break
 		}
-		pt := sample(pq, mid)
+		pt := sample(ctx, pq, mid)
 		if pt.Accuracy >= target {
 			best = pt
 			hiA = mid
@@ -149,6 +163,6 @@ func MinAlpha(aux *graph.Aux, queries []Query, target, hi float64, refine int) (
 
 // MaxAccuracy estimates the η of the paper's open problem directly: the
 // accuracy achievable at a given α on the workload.
-func MaxAccuracy(aux *graph.Aux, queries []Query, alpha float64) Point {
-	return sample(prepare(aux, queries), alpha)
+func MaxAccuracy(ctx context.Context, aux *graph.Aux, queries []Query, alpha float64) Point {
+	return sample(ctx, prepare(aux, queries), alpha)
 }

@@ -1,6 +1,7 @@
 package calibrate
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -37,7 +38,7 @@ func TestCurveShape(t *testing.T) {
 	g := testGraph(1)
 	aux := graph.BuildAux(g)
 	qs := workload(t, g, 3, 2)
-	pts := Curve(aux, qs, []float64{0.0005, 0.01, 0.3})
+	pts := Curve(context.Background(), aux, qs, []float64{0.0005, 0.01, 0.3})
 	if len(pts) != 3 {
 		t.Fatalf("points = %d", len(pts))
 	}
@@ -58,7 +59,7 @@ func TestCurveShape(t *testing.T) {
 
 func TestCurveEmptyWorkload(t *testing.T) {
 	g := testGraph(1)
-	pts := Curve(graph.BuildAux(g), nil, []float64{0.1})
+	pts := Curve(context.Background(), graph.BuildAux(g), nil, []float64{0.1})
 	if pts[0].Accuracy != 1 {
 		t.Fatalf("empty workload accuracy = %v", pts[0].Accuracy)
 	}
@@ -68,7 +69,7 @@ func TestMinAlphaFindsSmallBudget(t *testing.T) {
 	g := testGraph(3)
 	aux := graph.BuildAux(g)
 	qs := workload(t, g, 3, 4)
-	pt, ok := MinAlpha(aux, qs, 1.0, 0.5, 6)
+	pt, ok := MinAlpha(context.Background(), aux, qs, 1.0, 0.5, 6)
 	if !ok {
 		t.Fatal("target unreachable even at alpha=0.5")
 	}
@@ -79,7 +80,7 @@ func TestMinAlphaFindsSmallBudget(t *testing.T) {
 		t.Fatalf("search did not descend below hi: alpha=%v", pt.Alpha)
 	}
 	// Re-evaluating at the returned alpha must reproduce the accuracy.
-	check := MaxAccuracy(aux, qs, pt.Alpha)
+	check := MaxAccuracy(context.Background(), aux, qs, pt.Alpha)
 	if check.Accuracy != pt.Accuracy {
 		t.Fatalf("non-reproducible point: %v vs %v", check.Accuracy, pt.Accuracy)
 	}
@@ -90,7 +91,7 @@ func TestMinAlphaUnreachableTarget(t *testing.T) {
 	aux := graph.BuildAux(g)
 	qs := workload(t, g, 2, 6)
 	// hi so small the budget is a couple of items: target 1.0 should fail.
-	pt, ok := MinAlpha(aux, qs, 1.0, 2.5/float64(g.Size()), 4)
+	pt, ok := MinAlpha(context.Background(), aux, qs, 1.0, 2.5/float64(g.Size()), 4)
 	if ok && pt.Accuracy < 1 {
 		t.Fatalf("ok=true with accuracy %v", pt.Accuracy)
 	}
@@ -103,9 +104,9 @@ func TestMinAlphaPanicsOnBadArgs(t *testing.T) {
 	g := testGraph(1)
 	aux := graph.BuildAux(g)
 	for _, f := range []func(){
-		func() { MinAlpha(aux, nil, 0, 0.5, 1) },
-		func() { MinAlpha(aux, nil, 1.5, 0.5, 1) },
-		func() { MinAlpha(aux, nil, 0.9, 0, 1) },
+		func() { MinAlpha(context.Background(), aux, nil, 0, 0.5, 1) },
+		func() { MinAlpha(context.Background(), aux, nil, 1.5, 0.5, 1) },
+		func() { MinAlpha(context.Background(), aux, nil, 0.9, 0, 1) },
 	} {
 		func() {
 			defer func() {
@@ -123,8 +124,8 @@ func TestMaxAccuracyMatchesCurve(t *testing.T) {
 	aux := graph.BuildAux(g)
 	qs := workload(t, g, 2, 8)
 	a := 0.02
-	direct := MaxAccuracy(aux, qs, a)
-	viaCurve := Curve(aux, qs, []float64{a})[0]
+	direct := MaxAccuracy(context.Background(), aux, qs, a)
+	viaCurve := Curve(context.Background(), aux, qs, []float64{a})[0]
 	if direct.Accuracy != viaCurve.Accuracy || direct.MeanFragment != viaCurve.MeanFragment {
 		t.Fatalf("MaxAccuracy %+v != Curve %+v", direct, viaCurve)
 	}

@@ -1,0 +1,54 @@
+// Package interrupt is the cooperative-cancellation probe shared by the
+// engine loops (reduce's search loop, subiso's backtracker, rbany's
+// per-anchor loop, the facade's batch workers).
+//
+// The engines never see a context.Context: the facade hands them the
+// context's Done channel through their Options, and each loop polls it
+// with Fired every strideth iteration of whatever quantity it already
+// counts (visited data items for the reduction, extension steps for the
+// backtracker). The poll is a non-blocking select on a channel — no
+// allocation, no syscall — and a nil channel (context.Background has
+// one) short-circuits to false, so the probe costs one predictable
+// branch on the hot path when cancellation is not in play.
+package interrupt
+
+import "context"
+
+// Stride is the default polling interval: loops probe the channel every
+// Stride iterations, bounding both the probe overhead (one select per
+// Stride items) and the cancellation latency (at most Stride items of
+// extra work after the context fires). A power of two so callers can
+// test `counter&(Stride-1) == 0` with a mask.
+const Stride = 1 << 10
+
+// Fired reports whether done is closed, without blocking. A nil done
+// never fires.
+func Fired(done <-chan struct{}) bool {
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Done returns ctx's Done channel for the engines' probes, tolerating a
+// nil context (nil channel: the probe never fires). context.Background
+// also yields nil, which keeps the uncancellable hot path free.
+func Done(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
+}
+
+// Err returns ctx.Err(), tolerating a nil context.
+func Err(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}

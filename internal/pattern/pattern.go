@@ -28,7 +28,8 @@ type Pattern struct {
 	numEdges     int
 	personalized NodeID
 	output       NodeID
-	diam         int // d_Q, cached at Build; see Diameter
+	diam         int    // d_Q, cached at Build; see Diameter
+	text         string // cached String(), computed at construction
 }
 
 // NumNodes returns |V_p|.
@@ -209,8 +210,19 @@ func (p *Pattern) Validate() error {
 	return nil
 }
 
-// String renders the pattern in the textual form accepted by Parse.
+// String returns the pattern in the textual form accepted by Parse. It
+// is rendered once at construction (Build, Parse, WithPersonalized) and
+// then returned in O(1) without allocating: the textual form is the
+// pattern's identity key, and the facade's plan cache looks it up on
+// every query, so the hot path must not re-render it.
 func (p *Pattern) String() string {
+	if p.text != "" {
+		return p.text
+	}
+	return p.render()
+}
+
+func (p *Pattern) render() string {
 	var sb strings.Builder
 	for u := 0; u < p.NumNodes(); u++ {
 		marks := ""
@@ -294,6 +306,7 @@ func (b *Builder) Build() (*Pattern, error) {
 		return nil, err
 	}
 	p.diam = p.diameter(true)
+	p.text = p.render()
 	return p, nil
 }
 
@@ -384,5 +397,6 @@ func (p *Pattern) WithPersonalized(u NodeID) (*Pattern, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
+	q.text = q.render() // the * mark moved: the re-rooting has its own identity
 	return q, nil
 }

@@ -30,6 +30,7 @@ import (
 	"slices"
 
 	"rbq/internal/graph"
+	"rbq/internal/interrupt"
 	"rbq/internal/pattern"
 	"rbq/internal/rbsim"
 	"rbq/internal/rbsub"
@@ -255,6 +256,13 @@ func (pr *Prepared) run(opts Options, kind guardType, mopts *subiso.Options) Res
 	remaining := totalBudget
 	for i, c := range pass {
 		if remaining <= 0 {
+			break
+		}
+		// Cooperative cancellation between anchors: each per-anchor
+		// reduction already polls opts.Reduce.Interrupt internally; this
+		// check stops the loop from starting the next anchor after the
+		// channel fires.
+		if interrupt.Fired(opts.Reduce.Interrupt) {
 			break
 		}
 		// Adaptive split: unspent budget rolls over to later candidates.

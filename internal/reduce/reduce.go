@@ -10,7 +10,8 @@
 // algorithms share: the stack-driven traversal guided by the pattern, the
 // dynamically maintained cost c(v,u), the weight p/(c+1), the fairness
 // bound b (initially 2, escalated when a round stalls), the size budget
-// α|G| and the visit budget c·α|G|.
+// α|G|, the visit budget c·α|G|, and cooperative cancellation
+// (Options.Interrupt, polled every interrupt.Stride visited items).
 //
 // # Scratch state and pooling
 //
@@ -37,6 +38,7 @@ import (
 	"math/rand"
 
 	"rbq/internal/graph"
+	"rbq/internal/interrupt"
 	"rbq/internal/pattern"
 )
 
@@ -91,6 +93,11 @@ type Options struct {
 	DisableGuard bool
 	// Trace, when non-nil, receives every reduction step (see Event).
 	Trace Tracer
+	// Interrupt, when non-nil, is polled every interrupt.Stride visited
+	// items; once it is closed the search stops cooperatively and Stats
+	// reports Canceled. The facade passes a context's Done channel here —
+	// nil (context.Background) keeps the hot path probe-free.
+	Interrupt <-chan struct{}
 }
 
 // Stats reports what a reduction run did.
@@ -119,6 +126,10 @@ type Stats struct {
 	// per affordable fragment item; this records what a run actually
 	// needed, so the hint can be tuned empirically.
 	PairHighWater int
+	// Canceled reports that Options.Interrupt fired and stopped the
+	// search before a budget did; the fragment holds whatever had been
+	// extracted when the probe observed the cancellation.
+	Canceled bool
 }
 
 type pairKey struct {
@@ -339,7 +350,39 @@ type engine struct {
 	changed    bool
 	exhausted  bool // size budget hit
 	visitsDone bool // visit budget hit
+	canceled   bool // Options.Interrupt fired
 	bound      int
+}
+
+// stopVisit accounts one examined data item and reports whether the
+// search must stop — the visit budget drained, or the cancellation probe
+// (polled every interrupt.Stride visits, so it stays off the per-item
+// hot path) observed Options.Interrupt closed.
+func (e *engine) stopVisit() bool {
+	e.visited++
+	if e.visited > e.visitBudget {
+		e.visitsDone = true
+		return true
+	}
+	if e.opts.Interrupt != nil && e.visited&(interrupt.Stride-1) == 0 &&
+		interrupt.Fired(e.opts.Interrupt) {
+		e.canceled = true
+		return true
+	}
+	return false
+}
+
+// stopped reports whether a visit budget or a cancellation already ended
+// the search; the traversal loops unwind when it turns true.
+func (e *engine) stopped() bool { return e.visitsDone || e.canceled }
+
+// stopKind labels a stopVisit halt for tracers: cancellation and visit
+// exhaustion are distinct stop causes.
+func (e *engine) stopKind() EventKind {
+	if e.canceled {
+		return EventCanceled
+	}
+	return EventVisitStop
 }
 
 // Search runs the dynamic reduction of Fig. 3 from the personalized match
@@ -416,6 +459,7 @@ func SearchInto(aux *graph.Aux, p *pattern.Pattern, labels []graph.LabelID, vp g
 	e.stats.FinalBound = e.bound
 	e.stats.BudgetExhausted = e.exhausted
 	e.stats.VisitsExhausted = e.visitsDone
+	e.stats.Canceled = e.canceled
 	return e.stats
 }
 
@@ -448,7 +492,7 @@ func (e *engine) run(vp graph.NodeID) {
 		if hw := e.sc.onStack.count(); hw > e.stats.PairHighWater {
 			e.stats.PairHighWater = hw
 		}
-		if e.exhausted || e.visitsDone || !e.changed {
+		if e.exhausted || e.stopped() || !e.changed {
 			return
 		}
 		if e.opts.MaxBound > 0 && e.bound >= e.opts.MaxBound {
@@ -471,9 +515,8 @@ func (e *engine) round() {
 	for len(e.stack) > 0 {
 		k := e.stack[len(e.stack)-1]
 		e.stack = e.stack[:len(e.stack)-1]
-		e.visited++ // the pop itself touches one data item
-		if e.visitsDone = e.visited > e.visitBudget; e.visitsDone {
-			e.emit(EventVisitStop, k.u, k.v, 0)
+		if e.stopVisit() { // the pop itself touches one data item
+			e.emit(e.stopKind(), k.u, k.v, 0)
 			return
 		}
 		e.emit(EventPop, k.u, k.v, 0)
@@ -504,13 +547,13 @@ func (e *engine) round() {
 		// backward.
 		for _, uc := range e.p.Out(k.u) {
 			e.pick(k.v, uc, graph.Forward)
-			if e.visitsDone {
+			if e.stopped() {
 				return
 			}
 		}
 		for _, ua := range e.p.In(k.u) {
 			e.pick(k.v, ua, graph.Backward)
-			if e.visitsDone {
+			if e.stopped() {
 				return
 			}
 		}
@@ -560,8 +603,7 @@ func (e *engine) pick(v graph.NodeID, target pattern.NodeID, dir graph.Direction
 	// v_p (Section 2 fixes (u_p, v_p) in every match relation). A single
 	// edge-existence probe replaces the neighborhood scan.
 	if target == e.p.Personalized() {
-		e.visited++
-		if e.visitsDone = e.visited > e.visitBudget; e.visitsDone {
+		if e.stopVisit() {
 			return
 		}
 		var has bool
@@ -583,10 +625,9 @@ func (e *engine) pick(v graph.NodeID, target pattern.NodeID, dir graph.Direction
 	}
 	cands := e.sc.cands[:0]
 	for _, w := range neigh {
-		e.visited++
-		if e.visitsDone = e.visited > e.visitBudget; e.visitsDone {
+		if e.stopVisit() {
 			e.sc.cands = cands[:0]
-			e.emit(EventVisitStop, target, w, 0)
+			e.emit(e.stopKind(), target, w, 0)
 			return
 		}
 		if e.sc.onStack.has(pairKey{target, w}) {

@@ -28,6 +28,8 @@ const (
 	EventBudgetStop
 	// EventVisitStop reports the visit budget halting the search.
 	EventVisitStop
+	// EventCanceled reports Options.Interrupt halting the search.
+	EventCanceled
 )
 
 // String names the event kind.
@@ -47,6 +49,8 @@ func (k EventKind) String() string {
 		return "budget-stop"
 	case EventVisitStop:
 		return "visit-stop"
+	case EventCanceled:
+		return "canceled"
 	}
 	return fmt.Sprintf("event(%d)", int(k))
 }

@@ -23,6 +23,7 @@ import (
 	"sync"
 
 	"rbq/internal/graph"
+	"rbq/internal/interrupt"
 	"rbq/internal/pattern"
 )
 
@@ -32,6 +33,24 @@ type Options struct {
 	// backtracking search may attempt; 0 means unlimited. When the cap is
 	// hit the matcher returns the answers found so far and complete=false.
 	MaxSteps int64
+	// Interrupt, when non-nil, is polled every interrupt.Stride extension
+	// steps — piggybacking on the step counter MaxSteps already maintains
+	// — and once closed the search stops like an exhausted step budget:
+	// the answers found so far are returned with complete=false. The
+	// facade passes a context's Done channel here.
+	Interrupt <-chan struct{}
+}
+
+// stop reports whether the step budget or the cancellation probe ends
+// the search after the stepsth extension.
+func (o *Options) stop(steps int64) bool {
+	if o == nil {
+		return false
+	}
+	if o.MaxSteps > 0 && steps > o.MaxSteps {
+		return true
+	}
+	return o.Interrupt != nil && steps&(interrupt.Stride-1) == 0 && interrupt.Fired(o.Interrupt)
 }
 
 // buildOrder produces a BFS ordering of query nodes starting at u_p so that
@@ -126,7 +145,7 @@ type matcher struct {
 
 func (m *matcher) budgetOK() bool {
 	m.steps++
-	if m.opts != nil && m.opts.MaxSteps > 0 && m.steps > m.opts.MaxSteps {
+	if m.opts.stop(m.steps) {
 		m.truncated = true
 		return false
 	}
@@ -299,7 +318,7 @@ type fragMatcher struct {
 
 func (m *fragMatcher) budgetOK() bool {
 	m.steps++
-	if m.opts != nil && m.opts.MaxSteps > 0 && m.steps > m.opts.MaxSteps {
+	if m.opts.stop(m.steps) {
 		m.truncated = true
 		return false
 	}

@@ -1,0 +1,128 @@
+package rbq
+
+// The DB-level plan cache: a bounded, concurrency-safe LRU of compiled
+// plans keyed by pattern identity (the textual form of Pattern.String,
+// cached on the pattern so a hit costs no allocation). Independent
+// callers issuing the same hot template — even from pointer-distinct
+// Parse results — share one compiled plan; PreparedQuery remains the
+// explicit, cache-independent way to pin a compilation.
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"rbq/internal/graph"
+	"rbq/internal/plan"
+)
+
+// DefaultPlanCacheCapacity is the number of distinct pattern templates a
+// DB keeps compiled; see DB.SetPlanCacheCapacity.
+const DefaultPlanCacheCapacity = 256
+
+// PlanCacheStats is a snapshot of a DB's plan-cache counters.
+type PlanCacheStats struct {
+	// Hits and Misses count lookups since the DB was built. A miss
+	// compiles the pattern and inserts it (evicting the least recently
+	// used entry when full), so Misses also counts compilations.
+	Hits, Misses uint64
+	// Size is the number of plans currently cached; Capacity the bound.
+	Size, Capacity int
+}
+
+// planCache is the bounded LRU. Plans are immutable after compilation
+// (their lazy selectivity tier is internally synchronized), so one entry
+// may serve concurrent queries; the mutex guards only the map and the
+// recency list.
+type planCache struct {
+	mu           sync.Mutex
+	capacity     int
+	ll           list.List // front = most recently used; values are *planEntry
+	m            map[string]*list.Element
+	hits, misses uint64
+}
+
+type planEntry struct {
+	key string
+	pl  *plan.Plan
+}
+
+func newPlanCache(capacity int) *planCache {
+	c := &planCache{capacity: capacity, m: make(map[string]*list.Element)}
+	c.ll.Init()
+	return c
+}
+
+// lookup returns the compiled plan for q, compiling and inserting it on a
+// miss. hit reports whether the plan was already cached.
+func (c *planCache) lookup(aux *graph.Aux, q *Pattern) (pl *plan.Plan, hit bool, err error) {
+	if q == nil {
+		return nil, false, fmt.Errorf("rbq: nil pattern")
+	}
+	key := q.String() // cached on the pattern: no render, no allocation
+	c.mu.Lock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		pl = el.Value.(*planEntry).pl
+		c.mu.Unlock()
+		return pl, true, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	// Compile outside the lock: concurrent misses on distinct templates
+	// must not serialize behind one compilation.
+	pl, err = plan.New(aux, q)
+	if err != nil {
+		return nil, false, fmt.Errorf("rbq: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		// Another goroutine compiled the same template first; share its
+		// plan so concurrent evaluations converge on one entry.
+		c.ll.MoveToFront(el)
+		return el.Value.(*planEntry).pl, false, nil
+	}
+	c.m[key] = c.ll.PushFront(&planEntry{key: key, pl: pl})
+	c.evictLocked()
+	return pl, false, nil
+}
+
+func (c *planCache) evictLocked() {
+	for c.ll.Len() > c.capacity {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.m, last.Value.(*planEntry).key)
+	}
+}
+
+func (c *planCache) stats() PlanCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return PlanCacheStats{Hits: c.hits, Misses: c.misses, Size: c.ll.Len(), Capacity: c.capacity}
+}
+
+func (c *planCache) setCapacity(n int) {
+	if n < 1 {
+		n = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.capacity = n
+	c.evictLocked()
+}
+
+// PlanCacheStats returns the DB's plan-cache counters: how many Query
+// calls found their template compiled (hits) versus compiled it (misses),
+// and the cache occupancy. The same outcome is reported per query in
+// QueryStats.PlanCacheHit when Request.WantStats is set.
+func (db *DB) PlanCacheStats() PlanCacheStats { return db.plans.stats() }
+
+// SetPlanCacheCapacity bounds the plan cache to n compiled templates
+// (minimum 1; the default is DefaultPlanCacheCapacity), evicting the
+// least recently used entries if it already holds more. Safe to call
+// concurrently with queries; in-flight evaluations of an evicted plan
+// run to completion.
+func (db *DB) SetPlanCacheCapacity(n int) { db.plans.setCapacity(n) }

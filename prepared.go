@@ -1,21 +1,16 @@
 package rbq
 
 // The prepared-query facade: compile a pattern once with DB.Prepare, then
-// execute it many times with different pins (or unanchored) through
-// PreparedQuery. Every one-shot DB pattern method is a thin wrapper that
-// borrows a pool-recycled plan, so the one-shot and prepared paths are
-// the same code and return bit-for-bit identical answers.
+// execute it many times through PreparedQuery.Query (or the legacy Run*
+// wrappers, each a one-line Request translation). The one-shot DB methods
+// share compilations through the plan cache instead, so every path runs
+// the same core and returns bit-for-bit identical answers.
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"rbq/internal/plan"
-	"rbq/internal/rbany"
-	"rbq/internal/reduce"
-	"rbq/internal/subiso"
 )
 
 // PreparedQuery is a pattern compiled against a DB: interned labels,
@@ -25,6 +20,11 @@ import (
 // template, execute many times; a PreparedQuery is immutable and safe
 // for concurrent use — per-run transient state comes from the DB's
 // scratch pools, exactly as for the one-shot methods.
+//
+// PreparedQuery pins its compilation for the lifetime of the value,
+// independent of the DB's plan cache and its eviction policy; DB.Query
+// reaches the same steady state through the cache without the explicit
+// handle.
 type PreparedQuery struct {
 	db *DB
 	pl *plan.Plan
@@ -33,7 +33,7 @@ type PreparedQuery struct {
 // Prepare compiles q for repeated evaluation against db. The compile
 // step resolves every label constraint to the graph's interned ids,
 // binds the RBSim/RBSub reduction semantics, and resolves the
-// personalized node's unique match when one exists; Run-time work is
+// personalized node's unique match when one exists; execution time is
 // then the reduction and matching alone.
 func (db *DB) Prepare(q *Pattern) (*PreparedQuery, error) {
 	pl, err := plan.New(db.aux, q)
@@ -48,261 +48,120 @@ func (pq *PreparedQuery) Pattern() *Pattern { return pq.pl.Pattern() }
 
 // Personalized returns the unique data-graph match of the pattern's
 // personalized node resolved at compile time; ok is false when the label
-// is absent or ambiguous (use RunAt or RunUnanchored then).
+// is absent or ambiguous (pin via Request.Anchor, or run Unanchored).
 func (pq *PreparedQuery) Personalized() (NodeID, bool) { return pq.pl.Personalized() }
 
 // Run answers the pattern under strong simulation with resource ratio
-// alpha, anchored at the compile-time personalized match (the prepared
-// form of DB.Simulation).
+// alpha, anchored at the compile-time personalized match.
+//
+// Deprecated-style wrapper: equivalent to Query with
+// Request{Mode: Bounded, Alpha: alpha}; prefer Query, which adds
+// cancellation and per-query stats.
 func (pq *PreparedQuery) Run(alpha float64) (PatternResult, error) {
-	return runSimulation(pq.pl, alpha)
+	return toPatternResult(pq.Query(context.Background(), Request{Alpha: alpha}))
 }
 
 // RunAt is Run with the personalized node pinned to an explicit data
-// node (the prepared form of DB.SimulationAt).
+// node.
+//
+// Deprecated-style wrapper: equivalent to Query with
+// Request{Anchor: Pin(vp), Alpha: alpha}.
 func (pq *PreparedQuery) RunAt(vp NodeID, alpha float64) (PatternResult, error) {
-	return runSimulationAt(pq.pl, vp, alpha)
+	return toPatternResult(pq.Query(context.Background(), Request{Anchor: &vp, Alpha: alpha}))
 }
 
 // RunBatch evaluates the template at many pins concurrently with one
 // shared resource ratio; workers ≤ 0 means one goroutine per CPU.
 // Results align with pins; a pin failing label validation yields a
 // nil-Matches zero result.
+//
+// Deprecated-style wrapper: equivalent to QueryBatch with
+// Request{Mode: Bounded, Alpha: alpha}.
 func (pq *PreparedQuery) RunBatch(pins []NodeID, alpha float64, workers int) []PatternResult {
-	out := make([]PatternResult, len(pins))
-	parallelFor(len(pins), workers, func(i int) {
-		res, err := runSimulationAt(pq.pl, pins[i], alpha)
-		if err != nil {
-			res = PatternResult{Personalized: pins[i]}
-		}
-		out[i] = res
-	})
-	return out
+	res, _ := pq.QueryBatch(context.Background(), pins, Request{Alpha: alpha}, workers)
+	return toPatternResults(res, len(pins), func(i int) NodeID { return pins[i] })
 }
 
 // RunUnanchored answers the pattern with NO unique personalized match
-// under strong simulation (the prepared form of DB.SimulationUnanchored):
-// every candidate of the most selective query node is tried as the
-// anchor, sharing one α|G| budget split by the plan's selectivity table.
+// under strong simulation: every candidate of the most selective query
+// node is tried as the anchor, sharing one α|G| budget split by the
+// plan's selectivity table.
+//
+// Deprecated-style wrapper: equivalent to Query with
+// Request{Mode: Unanchored, Alpha: alpha}.
 func (pq *PreparedQuery) RunUnanchored(alpha float64) UnanchoredResult {
-	return unanchoredResult(pq.pl.SimulationUnanchored(rbany.Options{Alpha: alpha}))
+	return toUnanchoredResult(pq.Query(context.Background(), Request{Mode: Unanchored, Alpha: alpha}))
 }
 
-// RunExact answers the pattern exactly under strong simulation (the
-// prepared form of DB.SimulationExact).
+// RunExact answers the pattern exactly under strong simulation.
+//
+// Deprecated-style wrapper: equivalent to Query with
+// Request{Mode: Exact}.
 func (pq *PreparedQuery) RunExact() ([]NodeID, error) {
-	return runSimulationExact(pq.pl)
+	return toMatches(pq.Query(context.Background(), Request{Mode: Exact}))
 }
 
 // RunExactAt is RunExact with the personalized node pinned explicitly.
+//
+// Deprecated-style wrapper: equivalent to Query with
+// Request{Mode: Exact, Anchor: Pin(vp)}.
 func (pq *PreparedQuery) RunExactAt(vp NodeID) ([]NodeID, error) {
-	if err := checkPin(pq.pl, vp); err != nil {
-		return nil, err
-	}
-	return pq.pl.SimulationExact(vp), nil
+	return toMatches(pq.Query(context.Background(), Request{Mode: Exact, Anchor: &vp}))
 }
 
-// RunSubgraph answers the pattern under subgraph isomorphism (the
-// prepared form of DB.Subgraph).
+// RunSubgraph answers the pattern under subgraph isomorphism.
+//
+// Deprecated-style wrapper: equivalent to Query with
+// Request{Semantics: Subgraph, Alpha: alpha}.
 func (pq *PreparedQuery) RunSubgraph(alpha float64) (PatternResult, error) {
-	return runSubgraph(pq.pl, alpha)
+	return toPatternResult(pq.Query(context.Background(), Request{Semantics: Subgraph, Alpha: alpha}))
 }
 
 // RunSubgraphAt is RunSubgraph with the personalized node pinned
-// explicitly (the prepared form of DB.SubgraphAt).
+// explicitly.
+//
+// Deprecated-style wrapper: equivalent to Query with
+// Request{Semantics: Subgraph, Anchor: Pin(vp), Alpha: alpha}.
 func (pq *PreparedQuery) RunSubgraphAt(vp NodeID, alpha float64) (PatternResult, error) {
-	return runSubgraphAt(pq.pl, vp, alpha)
+	return toPatternResult(pq.Query(context.Background(),
+		Request{Semantics: Subgraph, Anchor: &vp, Alpha: alpha}))
 }
 
 // RunSubgraphBatch is RunBatch under subgraph isomorphism.
+//
+// Deprecated-style wrapper: equivalent to QueryBatch with
+// Request{Semantics: Subgraph, Alpha: alpha}.
 func (pq *PreparedQuery) RunSubgraphBatch(pins []NodeID, alpha float64, workers int) []PatternResult {
-	out := make([]PatternResult, len(pins))
-	parallelFor(len(pins), workers, func(i int) {
-		res, err := runSubgraphAt(pq.pl, pins[i], alpha)
-		if err != nil {
-			res = PatternResult{Personalized: pins[i]}
-		}
-		out[i] = res
-	})
-	return out
+	res, _ := pq.QueryBatch(context.Background(), pins, Request{Semantics: Subgraph, Alpha: alpha}, workers)
+	return toPatternResults(res, len(pins), func(i int) NodeID { return pins[i] })
 }
 
 // RunSubgraphUnanchored is RunUnanchored under subgraph isomorphism.
+//
+// Deprecated-style wrapper: equivalent to Query with
+// Request{Semantics: Subgraph, Mode: Unanchored, Alpha: alpha}.
 func (pq *PreparedQuery) RunSubgraphUnanchored(alpha float64) UnanchoredResult {
-	return unanchoredResult(pq.pl.SubgraphUnanchored(rbany.Options{Alpha: alpha}, nil))
+	return toUnanchoredResult(pq.Query(context.Background(),
+		Request{Semantics: Subgraph, Mode: Unanchored, Alpha: alpha}))
 }
 
 // RunSubgraphExact answers the pattern exactly under subgraph
 // isomorphism; maxSteps caps the backtracking search (0 = unlimited) and
 // the bool reports completion.
+//
+// Deprecated-style wrapper: equivalent to Query with
+// Request{Semantics: Subgraph, Mode: Exact, MaxSteps: maxSteps}.
 func (pq *PreparedQuery) RunSubgraphExact(maxSteps int64) ([]NodeID, bool, error) {
-	return runSubgraphExact(pq.pl, maxSteps)
+	return toMatchesComplete(pq.Query(context.Background(),
+		Request{Semantics: Subgraph, Mode: Exact, MaxSteps: maxSteps}))
 }
 
 // RunSubgraphExactAt is RunSubgraphExact with the personalized node
 // pinned explicitly.
+//
+// Deprecated-style wrapper: equivalent to Query with
+// Request{Semantics: Subgraph, Mode: Exact, Anchor: Pin(vp), MaxSteps: maxSteps}.
 func (pq *PreparedQuery) RunSubgraphExactAt(vp NodeID, maxSteps int64) ([]NodeID, bool, error) {
-	if err := checkPin(pq.pl, vp); err != nil {
-		return nil, false, err
-	}
-	m, complete := pq.pl.SubgraphExact(vp, subgraphOpts(maxSteps))
-	return m, complete, nil
-}
-
-// --- shared execution helpers (one-shot wrappers borrow pooled plans
-// and call the same functions, so both paths stay bit-for-bit equal) ---
-
-// borrowPlan compiles q into a pool-recycled plan; steady-state one-shot
-// queries compile without allocating.
-func (db *DB) borrowPlan(q *Pattern) *plan.Plan {
-	pl, _ := db.prep.Get().(*plan.Plan)
-	if pl == nil {
-		pl = new(plan.Plan)
-	}
-	pl.Bind(db.aux, q)
-	return pl
-}
-
-func (db *DB) releasePlan(pl *plan.Plan) { db.prep.Put(pl) }
-
-func personalizedErr(pl *plan.Plan) error {
-	q := pl.Pattern()
-	return fmt.Errorf("rbq: the personalized node's label %q does not have a unique match",
-		q.Label(q.Personalized()))
-}
-
-func checkPin(pl *plan.Plan, vp NodeID) error {
-	if err := pl.CheckPin(vp); err != nil {
-		return fmt.Errorf("rbq: %w", err)
-	}
-	return nil
-}
-
-func subgraphOpts(maxSteps int64) *subiso.Options { return &subiso.Options{MaxSteps: maxSteps} }
-
-func patternResult(matches []NodeID, stats reduce.Stats, vp NodeID) PatternResult {
-	return PatternResult{
-		Matches:      matches,
-		Personalized: vp,
-		FragmentSize: stats.FragmentSize,
-		Budget:       stats.Budget,
-		Visited:      stats.Visited,
-	}
-}
-
-func unanchoredResult(r rbany.Result) UnanchoredResult {
-	return UnanchoredResult{
-		Matches:      r.Matches,
-		Candidates:   r.Candidates,
-		Evaluated:    r.Evaluated,
-		FragmentSize: r.FragmentSize,
-		Visited:      r.Visited,
-	}
-}
-
-func runSimulation(pl *plan.Plan, alpha float64) (PatternResult, error) {
-	vp, ok := pl.Personalized()
-	if !ok {
-		return PatternResult{}, personalizedErr(pl)
-	}
-	res := pl.Simulation(vp, reduce.Options{Alpha: alpha})
-	return patternResult(res.Matches, res.Stats, vp), nil
-}
-
-func runSimulationAt(pl *plan.Plan, vp NodeID, alpha float64) (PatternResult, error) {
-	if err := checkPin(pl, vp); err != nil {
-		return PatternResult{}, err
-	}
-	res := pl.Simulation(vp, reduce.Options{Alpha: alpha})
-	return patternResult(res.Matches, res.Stats, vp), nil
-}
-
-func runSimulationExact(pl *plan.Plan) ([]NodeID, error) {
-	vp, ok := pl.Personalized()
-	if !ok {
-		return nil, personalizedErr(pl)
-	}
-	return pl.SimulationExact(vp), nil
-}
-
-func runSubgraph(pl *plan.Plan, alpha float64) (PatternResult, error) {
-	vp, ok := pl.Personalized()
-	if !ok {
-		return PatternResult{}, personalizedErr(pl)
-	}
-	res := pl.Subgraph(vp, reduce.Options{Alpha: alpha}, nil)
-	return patternResult(res.Matches, res.Stats, vp), nil
-}
-
-func runSubgraphAt(pl *plan.Plan, vp NodeID, alpha float64) (PatternResult, error) {
-	if err := checkPin(pl, vp); err != nil {
-		return PatternResult{}, err
-	}
-	res := pl.Subgraph(vp, reduce.Options{Alpha: alpha}, nil)
-	return patternResult(res.Matches, res.Stats, vp), nil
-}
-
-func runSubgraphExact(pl *plan.Plan, maxSteps int64) ([]NodeID, bool, error) {
-	vp, ok := pl.Personalized()
-	if !ok {
-		return nil, false, personalizedErr(pl)
-	}
-	m, complete := pl.SubgraphExact(vp, subgraphOpts(maxSteps))
-	return m, complete, nil
-}
-
-// planned maps each query in qs to a compiled plan, preparing every
-// distinct *Pattern exactly once (pool-recycled); release returns the
-// distinct plans to the pool.
-func (db *DB) planned(qs []AnchoredQuery) (plans []*plan.Plan, release func()) {
-	plans = make([]*plan.Plan, len(qs))
-	seen := make(map[*Pattern]*plan.Plan, 8)
-	for i, q := range qs {
-		pl, ok := seen[q.Q]
-		if !ok {
-			pl = db.borrowPlan(q.Q)
-			seen[q.Q] = pl
-		}
-		plans[i] = pl
-	}
-	return plans, func() {
-		for _, pl := range seen {
-			db.releasePlan(pl)
-		}
-	}
-}
-
-// parallelFor runs eval(0..n-1) on workers goroutines (≤ 0 = one per
-// CPU); with one worker it degenerates to an inline loop. The DB's
-// structures are immutable and every evaluation borrows private scratch,
-// so the iterations are embarrassingly parallel.
-func parallelFor(n, workers int, eval func(i int)) {
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			eval(i)
-		}
-		return
-	}
-	var next int64 = -1
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(atomic.AddInt64(&next, 1))
-				if i >= n {
-					return
-				}
-				eval(i)
-			}
-		}()
-	}
-	wg.Wait()
+	return toMatchesComplete(pq.Query(context.Background(),
+		Request{Semantics: Subgraph, Mode: Exact, Anchor: &vp, MaxSteps: maxSteps}))
 }

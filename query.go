@@ -1,0 +1,577 @@
+package rbq
+
+// The request layer: one declarative request value, one execution core.
+//
+// Every pattern evaluation the facade offers — both matching semantics,
+// the bounded/exact/unanchored regimes, explicit pins, batches — is a
+// Request executed by runRequest. The legacy method lattice
+// (DB.Simulation…/Subgraph… and PreparedQuery.Run…) survives as one-line
+// wrappers that build the equivalent Request, so both forms are the same
+// code and return bit-for-bit identical answers. The request path adds
+// the production axes the wrappers never had: context cancellation
+// threaded cooperatively through every engine loop, a DB-level plan
+// cache shared by independent callers (see plancache.go), and opt-in
+// per-query stats.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rbq/internal/interrupt"
+	"rbq/internal/plan"
+	"rbq/internal/rbany"
+	"rbq/internal/reduce"
+	"rbq/internal/subiso"
+)
+
+// Semantics selects the matching semantics of a Request.
+type Semantics int
+
+const (
+	// Simulation matches under strong simulation (the paper's RBSim
+	// family). The zero value.
+	Simulation Semantics = iota
+	// Subgraph matches under subgraph isomorphism (RBSub, VF2Opt).
+	Subgraph
+)
+
+// Mode selects the evaluation regime of a Request.
+type Mode int
+
+const (
+	// Bounded evaluates within bounded resources: a fragment G_Q with
+	// |G_Q| ≤ Alpha·|G| is extracted and matched exactly. The zero value.
+	Bounded Mode = iota
+	// Exact runs the optimized exact baseline (MatchOpt / VF2Opt) with no
+	// resource bound.
+	Exact
+	// Unanchored evaluates a pattern with no unique personalized match:
+	// every candidate of the most selective query node is tried as the
+	// anchor, sharing one Alpha·|G| budget (see Split).
+	Unanchored
+)
+
+// Split selects how Unanchored mode divides its budget among anchor
+// candidates.
+type Split int
+
+const (
+	// SplitWeighted shares the budget proportionally to each anchor's
+	// Potential-mass selectivity, floored at one item. The zero value.
+	SplitWeighted Split = iota
+	// SplitEven is the legacy even-with-rollover split, kept for ablation.
+	SplitEven
+)
+
+// ErrBadRequest wraps every Request validation failure, so callers can
+// distinguish a malformed request from an evaluation error with
+// errors.Is.
+var ErrBadRequest = errors.New("rbq: invalid request")
+
+// Request is a declarative pattern-query request: what to evaluate and
+// under which resource regime, as one data value. The zero Request is a
+// Bounded Simulation query — only Alpha must be set. Requests are small
+// and copyable; build them inline per call or reuse one across calls.
+type Request struct {
+	// Semantics selects the matching semantics; zero is Simulation.
+	Semantics Semantics
+	// Mode selects the evaluation regime; zero is Bounded.
+	Mode Mode
+	// Anchor pins the personalized node u_p to an explicit data node
+	// (see Pin), bypassing the compile-time unique-label lookup. Nil uses
+	// the unique match resolved at compile time. Must be nil in
+	// Unanchored mode; batch entry points supply it per item.
+	Anchor *NodeID
+	// Alpha is the resource ratio α, normally in (0,1) (Bounded and
+	// Unanchored modes; must be zero in Exact mode). α ≥ 1 covers the
+	// whole graph; α = 0 yields budget 0 and an empty answer.
+	Alpha float64
+	// MaxSteps caps the subgraph matcher's backtracking search (0 =
+	// unlimited; Result.Complete reports whether the cap was hit). Only
+	// valid with Subgraph semantics.
+	MaxSteps int64
+	// Split selects the Unanchored budget division; zero is
+	// SplitWeighted. Only valid in Unanchored mode.
+	Split Split
+	// WantStats asks for Result.Stats: reduction telemetry, plan-cache
+	// outcome and the compile/execute timing split. Off by default so the
+	// hot path does not buy telemetry it will not read.
+	WantStats bool
+}
+
+// Pin returns Request.Anchor pinning the personalized node to v.
+func Pin(v NodeID) *NodeID { return &v }
+
+// validate checks the request's internal consistency; every failure
+// wraps ErrBadRequest.
+func (req Request) validate() error {
+	switch req.Semantics {
+	case Simulation, Subgraph:
+	default:
+		return fmt.Errorf("%w: unknown semantics %d", ErrBadRequest, req.Semantics)
+	}
+	switch req.Mode {
+	case Bounded, Unanchored:
+		// The paper's regime is α ∈ (0,1), but the engines define the
+		// whole half-line: α ≥ 1 means "budget covers the whole graph"
+		// (used by tests and calibration sweeps) and α = 0 yields budget
+		// 0 and an empty — not erroneous — answer, the seed's documented
+		// contract. Only values with no defined budget are rejected.
+		if req.Alpha < 0 || math.IsNaN(req.Alpha) {
+			return fmt.Errorf("%w: alpha %v must be non-negative", ErrBadRequest, req.Alpha)
+		}
+	case Exact:
+		if req.Alpha != 0 {
+			return fmt.Errorf("%w: alpha is meaningless in Exact mode (got %v)", ErrBadRequest, req.Alpha)
+		}
+	default:
+		return fmt.Errorf("%w: unknown mode %d", ErrBadRequest, req.Mode)
+	}
+	if req.Mode == Unanchored && req.Anchor != nil {
+		return fmt.Errorf("%w: an Unanchored request cannot carry an Anchor", ErrBadRequest)
+	}
+	if req.MaxSteps < 0 {
+		return fmt.Errorf("%w: negative MaxSteps %d", ErrBadRequest, req.MaxSteps)
+	}
+	if req.MaxSteps != 0 && req.Semantics != Subgraph {
+		return fmt.Errorf("%w: MaxSteps applies to Subgraph semantics only", ErrBadRequest)
+	}
+	switch req.Split {
+	case SplitWeighted:
+	case SplitEven:
+		if req.Mode != Unanchored {
+			return fmt.Errorf("%w: Split applies to Unanchored mode only", ErrBadRequest)
+		}
+	default:
+		return fmt.Errorf("%w: unknown split %d", ErrBadRequest, req.Split)
+	}
+	return nil
+}
+
+// ReduceStats is the dynamic reduction's telemetry (rounds, budgets,
+// visit counts; see the fields' docs).
+type ReduceStats = reduce.Stats
+
+// QueryStats is the opt-in telemetry of a Request with WantStats set.
+type QueryStats struct {
+	// Reduce reports the dynamic reduction of a Bounded run (zero for
+	// Exact mode and for Unanchored mode, whose per-anchor runs are
+	// aggregated into Result's counters instead).
+	Reduce ReduceStats
+	// PlanCacheHit reports whether the compiled plan came from the DB's
+	// plan cache; always true on the PreparedQuery path, which holds its
+	// own compilation.
+	PlanCacheHit bool
+	// PlanTime is the time spent obtaining the compiled plan (a cache
+	// probe on hits, compilation on misses; zero on the PreparedQuery
+	// path). ExecTime is the evaluation itself.
+	PlanTime, ExecTime time.Duration
+}
+
+// Result is the unified answer of a Request.
+type Result struct {
+	// Matches are the data nodes matching the pattern's output node,
+	// sorted ascending.
+	Matches []NodeID
+	// Personalized is the anchor the evaluation ran from: the explicit
+	// Request.Anchor, the compile-time unique match, or NoNode in
+	// Unanchored mode.
+	Personalized NodeID
+	// Complete reports whether the matcher ran to completion. It is
+	// false only under Subgraph semantics in anchored modes, when
+	// MaxSteps was exhausted.
+	Complete bool
+	// FragmentSize is |G_Q| (nodes+edges) actually extracted; Budget is
+	// the cap α|G|; Visited counts data items examined during reduction.
+	// All zero in Exact mode; in Unanchored mode they aggregate over the
+	// per-anchor runs.
+	FragmentSize, Budget, Visited int
+	// Candidates is how many anchor candidates passed the guard and
+	// Evaluated how many were run before the budget drained; both are
+	// Unanchored-mode telemetry, zero otherwise.
+	Candidates, Evaluated int
+	// Stats carries the extended telemetry; non-nil only when
+	// Request.WantStats was set.
+	Stats *QueryStats
+}
+
+// Query evaluates req for pattern q. It is the single execution core
+// every pattern method routes through: the legacy DB methods are
+// wrappers over it and return identical answers.
+//
+// The compiled plan comes from the DB's bounded plan cache, keyed by the
+// pattern's textual form, so independent callers issuing the same hot
+// template share one compilation (see PlanCacheStats).
+//
+// Cancellation is cooperative: the engine loops poll ctx.Done() at a
+// fixed stride, so a canceled or expired context makes Query return
+// ctx.Err() promptly (within ~1024 items of engine work) with a zero
+// Result. A nil ctx is treated as context.Background(), which costs
+// nothing on the hot path. The exact simulation baseline (Mode Exact,
+// Semantics Simulation) runs a closed fixpoint computation with no probe
+// points; the context is still checked when it returns.
+func (db *DB) Query(ctx context.Context, q *Pattern, req Request) (Result, error) {
+	if err := req.validate(); err != nil {
+		return Result{}, err
+	}
+	var t0 time.Time
+	if req.WantStats {
+		t0 = time.Now()
+	}
+	pl, hit, err := db.plans.lookup(db.aux, q)
+	if err != nil {
+		return Result{}, err
+	}
+	var planTime time.Duration
+	if req.WantStats {
+		planTime = time.Since(t0)
+	}
+	return runRequest(ctx, pl, req, hit, planTime)
+}
+
+// QueryBatch evaluates req at many (pattern, pin) items concurrently,
+// with each item's At pinning the personalized node (req.Anchor must be
+// nil, and Mode must be anchored — Bounded or Exact). workers ≤ 0 means
+// one goroutine per CPU. Each distinct template is compiled once through
+// the plan cache (one lookup per distinct *Pattern, not per item).
+// Results align with qs; an item whose pin fails validation — or whose
+// template fails to compile — yields a zero Result carrying only its
+// Personalized pin, leaving the rest of the batch intact. When ctx is
+// canceled mid-batch the already-computed results are returned alongside
+// ctx.Err(), with unprocessed items left zero.
+func (db *DB) QueryBatch(ctx context.Context, qs []AnchoredQuery, req Request, workers int) ([]Result, error) {
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	if req.Mode == Unanchored {
+		return nil, fmt.Errorf("%w: QueryBatch needs an anchored mode", ErrBadRequest)
+	}
+	if req.Anchor != nil {
+		return nil, fmt.Errorf("%w: QueryBatch items carry their own anchors", ErrBadRequest)
+	}
+	// Resolve every distinct template to its cached plan up front: one
+	// serialized cache probe per template (batches repeat a handful of
+	// templates at many pins), so the workers touch no shared state and
+	// the cache's hit/miss counters keep reflecting template reuse
+	// rather than batch size. A template that fails to compile yields
+	// nil and zeroes only its own items.
+	type planInfo struct {
+		pl  *plan.Plan
+		hit bool
+		// planTime is the template's one cache resolution, attributed to
+		// the item that triggered it (first below) so that summing
+		// QueryStats.PlanTime over a batch counts each compile once.
+		planTime time.Duration
+		first    int
+	}
+	infos := make([]planInfo, 0, 8)
+	seen := make(map[*Pattern]int, 8)
+	idx := make([]int, len(qs))
+	done := interrupt.Done(ctx)
+	for i, item := range qs {
+		// Cancellation must bound the compile phase too: a fired context
+		// stops template resolution, not just the workers.
+		if interrupt.Fired(done) {
+			return make([]Result, len(qs)), interrupt.Err(ctx)
+		}
+		j, ok := seen[item.Q]
+		if !ok {
+			var t0 time.Time
+			if req.WantStats {
+				t0 = time.Now()
+			}
+			pl, hit, err := db.plans.lookup(db.aux, item.Q)
+			if err != nil {
+				pl = nil // compile failure: this template's items zero out
+			}
+			info := planInfo{pl: pl, hit: hit, first: i}
+			if req.WantStats {
+				info.planTime = time.Since(t0)
+			}
+			j = len(infos)
+			infos = append(infos, info)
+			seen[item.Q] = j
+		}
+		idx[i] = j
+	}
+	out := make([]Result, len(qs))
+	parallelFor(ctx, len(qs), workers, func(i int) {
+		info := infos[idx[i]]
+		if info.pl == nil {
+			out[i] = Result{Personalized: qs[i].At}
+			return
+		}
+		r := req
+		r.Anchor = &qs[i].At
+		var planTime time.Duration
+		if i == info.first {
+			planTime = info.planTime
+		}
+		res, err := runRequest(ctx, info.pl, r, info.hit, planTime)
+		if err != nil {
+			res = Result{Personalized: qs[i].At}
+		}
+		out[i] = res
+	})
+	if err := interrupt.Err(ctx); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// Query evaluates req through the prepared plan (the request form of the
+// Run* methods, which wrap it). The compilation was done by Prepare, so
+// QueryStats reports PlanCacheHit and zero PlanTime.
+func (pq *PreparedQuery) Query(ctx context.Context, req Request) (Result, error) {
+	if err := req.validate(); err != nil {
+		return Result{}, err
+	}
+	return runRequest(ctx, pq.pl, req, true, 0)
+}
+
+// QueryBatch evaluates req at many pins concurrently through the
+// prepared plan (see DB.QueryBatch for the batch contract; req.Anchor
+// must be nil and Mode anchored).
+func (pq *PreparedQuery) QueryBatch(ctx context.Context, pins []NodeID, req Request, workers int) ([]Result, error) {
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	if req.Mode == Unanchored {
+		return nil, fmt.Errorf("%w: QueryBatch needs an anchored mode", ErrBadRequest)
+	}
+	if req.Anchor != nil {
+		return nil, fmt.Errorf("%w: QueryBatch items carry their own anchors", ErrBadRequest)
+	}
+	out := make([]Result, len(pins))
+	parallelFor(ctx, len(pins), workers, func(i int) {
+		r := req
+		r.Anchor = &pins[i]
+		res, err := runRequest(ctx, pq.pl, r, true, 0)
+		if err != nil {
+			res = Result{Personalized: pins[i]}
+		}
+		out[i] = res
+	})
+	if err := interrupt.Err(ctx); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// runRequest is the one execution core. req must be validated. The
+// engines receive ctx's Done channel through their options and poll it
+// cooperatively; a fired context surfaces as ctx.Err() here, regardless
+// of how far the evaluation got.
+func runRequest(ctx context.Context, pl *plan.Plan, req Request, cacheHit bool, planTime time.Duration) (Result, error) {
+	done := interrupt.Done(ctx)
+	var t0 time.Time
+	if req.WantStats {
+		t0 = time.Now()
+	}
+	var res Result
+	var rstats reduce.Stats
+
+	if req.Mode == Unanchored {
+		opts := rbany.Options{
+			Alpha:  req.Alpha,
+			Split:  rbany.Split(req.Split),
+			Reduce: reduce.Options{Interrupt: done},
+		}
+		var r rbany.Result
+		if req.Semantics == Subgraph {
+			r = pl.SubgraphUnanchored(opts, subOpts(req.MaxSteps, done))
+		} else {
+			r = pl.SimulationUnanchored(opts)
+		}
+		res = Result{
+			Matches:      r.Matches,
+			Personalized: NoNode,
+			Complete:     true,
+			FragmentSize: r.FragmentSize,
+			Budget:       int(req.Alpha * float64(pl.Aux().Graph().Size())),
+			Visited:      r.Visited,
+			Candidates:   r.Candidates,
+			Evaluated:    r.Evaluated,
+		}
+	} else {
+		var vp NodeID
+		if req.Anchor != nil {
+			vp = *req.Anchor
+			if err := checkPin(pl, vp); err != nil {
+				return Result{}, err
+			}
+		} else {
+			var ok bool
+			if vp, ok = pl.Personalized(); !ok {
+				return Result{}, personalizedErr(pl)
+			}
+		}
+		switch {
+		case req.Mode == Exact && req.Semantics == Simulation:
+			res = Result{Matches: pl.SimulationExact(vp), Personalized: vp, Complete: true}
+		case req.Mode == Exact:
+			m, complete := pl.SubgraphExact(vp, subOpts(req.MaxSteps, done))
+			res = Result{Matches: m, Personalized: vp, Complete: complete}
+		case req.Semantics == Simulation:
+			r := pl.Simulation(vp, reduce.Options{Alpha: req.Alpha, Interrupt: done})
+			rstats = r.Stats
+			res = Result{
+				Matches: r.Matches, Personalized: vp, Complete: true,
+				FragmentSize: r.Stats.FragmentSize, Budget: r.Stats.Budget, Visited: r.Stats.Visited,
+			}
+		default:
+			r := pl.Subgraph(vp, reduce.Options{Alpha: req.Alpha, Interrupt: done}, subOpts(req.MaxSteps, done))
+			rstats = r.Stats
+			res = Result{
+				Matches: r.Matches, Personalized: vp, Complete: r.Complete,
+				FragmentSize: r.Stats.FragmentSize, Budget: r.Stats.Budget, Visited: r.Stats.Visited,
+			}
+		}
+	}
+	if err := interrupt.Err(ctx); err != nil {
+		return Result{}, err
+	}
+	if req.WantStats {
+		res.Stats = &QueryStats{
+			Reduce:       rstats,
+			PlanCacheHit: cacheHit,
+			PlanTime:     planTime,
+			ExecTime:     time.Since(t0),
+		}
+	}
+	return res, nil
+}
+
+// subOpts builds the subgraph matcher options, returning nil when both
+// knobs are off so the Background-context hot path hands the matcher the
+// same nil the legacy wrappers always did.
+func subOpts(maxSteps int64, done <-chan struct{}) *subiso.Options {
+	if maxSteps == 0 && done == nil {
+		return nil
+	}
+	return &subiso.Options{MaxSteps: maxSteps, Interrupt: done}
+}
+
+func personalizedErr(pl *plan.Plan) error {
+	q := pl.Pattern()
+	return fmt.Errorf("rbq: the personalized node's label %q does not have a unique match",
+		q.Label(q.Personalized()))
+}
+
+func checkPin(pl *plan.Plan, vp NodeID) error {
+	if err := pl.CheckPin(vp); err != nil {
+		return fmt.Errorf("rbq: %w", err)
+	}
+	return nil
+}
+
+// --- legacy-shape adapters (the one-line wrappers funnel through these) ---
+
+func toPatternResult(r Result, err error) (PatternResult, error) {
+	if err != nil {
+		return PatternResult{}, err
+	}
+	return PatternResult{
+		Matches:      r.Matches,
+		Personalized: r.Personalized,
+		FragmentSize: r.FragmentSize,
+		Budget:       r.Budget,
+		Visited:      r.Visited,
+	}, nil
+}
+
+func toMatches(r Result, err error) ([]NodeID, error) {
+	if err != nil {
+		return nil, err
+	}
+	return r.Matches, nil
+}
+
+func toMatchesComplete(r Result, err error) ([]NodeID, bool, error) {
+	if err != nil {
+		return nil, false, err
+	}
+	return r.Matches, r.Complete, nil
+}
+
+func toUnanchoredResult(r Result, _ error) UnanchoredResult {
+	return UnanchoredResult{
+		Matches:      r.Matches,
+		Candidates:   r.Candidates,
+		Evaluated:    r.Evaluated,
+		FragmentSize: r.FragmentSize,
+		Visited:      r.Visited,
+	}
+}
+
+// toPatternResults adapts a batch of Results to the legacy shape: failed
+// items (zero Result with only the pin set) keep exactly the zero
+// PatternResult the legacy batch methods produced. n is the item count
+// and pin each item's anchor, preserving the positional contract —
+// zero results carrying their pin — even when the whole batch failed
+// validation (rs nil) and the error-less legacy wrapper swallowed it.
+func toPatternResults(rs []Result, n int, pin func(int) NodeID) []PatternResult {
+	out := make([]PatternResult, n)
+	for i := range out {
+		if i < len(rs) {
+			r := rs[i]
+			out[i] = PatternResult{
+				Matches:      r.Matches,
+				Personalized: r.Personalized,
+				FragmentSize: r.FragmentSize,
+				Budget:       r.Budget,
+				Visited:      r.Visited,
+			}
+		} else {
+			out[i] = PatternResult{Personalized: pin(i)}
+		}
+	}
+	return out
+}
+
+// parallelFor runs eval(0..n-1) on workers goroutines (≤ 0 = one per
+// CPU); with one worker it degenerates to an inline loop. The DB's
+// structures are immutable and every evaluation borrows private scratch,
+// so the iterations are embarrassingly parallel. A canceled ctx stops
+// workers from claiming further items (claimed items still finish, and
+// poll the context inside the engines).
+func parallelFor(ctx context.Context, n, workers int, eval func(i int)) {
+	done := interrupt.Done(ctx)
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if interrupt.Fired(done) {
+				return
+			}
+			eval(i)
+		}
+		return
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n || interrupt.Fired(done) {
+					return
+				}
+				eval(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

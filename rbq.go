@@ -18,29 +18,30 @@
 // The exact baselines the paper compares against (MatchOpt, VF2Opt, BFS,
 // BFSOpt, LM) are available too, so applications can calibrate α.
 //
-// Entry point: wrap a Graph in a DB, then query.
+// Entry point: wrap a Graph in a DB, then issue a Request.
 //
 //	g := rbq.YoutubeLike(100_000, 1)
 //	db := rbq.NewDB(g)
-//	res, err := db.Simulation(q, 0.001)
+//	res, err := db.Query(ctx, q, rbq.Request{Alpha: 0.001})
 //
-// Workloads that evaluate the same pattern template many times should
-// compile it once and execute the prepared form (see DB.Prepare):
+// Request is the single declarative query value: Semantics selects
+// strong simulation or subgraph isomorphism, Mode selects
+// bounded/exact/unanchored evaluation, and the optional Anchor pins the
+// personalized node. DB.Query honors context cancellation and routes
+// compilation through a DB-level plan cache, so independent callers
+// issuing the same hot template share one compiled plan. Workloads that
+// hold a template explicitly can still compile once with DB.Prepare and
+// execute it via PreparedQuery.Query.
 //
-//	pq, err := db.Prepare(q)
-//	for _, pin := range pins {
-//		res, err := pq.RunAt(pin, 0.001)
-//		...
-//	}
-//
-// The one-shot methods are thin wrappers over the same prepared path, so
-// both forms return identical answers.
+// The named methods (Simulation, SubgraphAt, …) predate Request and are
+// kept as one-line wrappers over the same core; new code should prefer
+// DB.Query.
 package rbq
 
 import (
 	"bufio"
+	"context"
 	"io"
-	"sync"
 
 	"rbq/internal/accuracy"
 	"rbq/internal/calibrate"
@@ -49,7 +50,6 @@ import (
 	"rbq/internal/graph"
 	"rbq/internal/landmark"
 	"rbq/internal/pattern"
-	"rbq/internal/rbany"
 	"rbq/internal/rbreach"
 	"rbq/internal/reach"
 )
@@ -103,21 +103,22 @@ func MatchAccuracy(exact, approx []NodeID) Accuracy { return accuracy.Matches(ex
 // concurrency-safe and every borrower gets a private scratch, which is why
 // SimulationBatch/SubgraphBatch workers can share one DB without locking.
 //
-// Every pattern method routes through the prepared-query layer (see
-// Prepare): the one-shot methods compile the pattern into a pool-recycled
-// plan and execute it once, while PreparedQuery keeps the compiled form
-// for repeated execution.
+// Every pattern method routes through the request core (see Query): the
+// named methods build the equivalent Request, the plan cache supplies
+// the compiled form, and PreparedQuery pins a compilation explicitly for
+// repeated execution.
 type DB struct {
 	g   *graph.Graph
 	aux *graph.Aux
 
-	// prep recycles compiled plans for the one-shot pattern methods.
-	prep sync.Pool
+	// plans is the bounded DB-level cache of compiled plans, keyed by
+	// pattern identity (see plancache.go).
+	plans *planCache
 }
 
 // NewDB builds the offline auxiliary structure for g and returns a handle.
 func NewDB(g *Graph) *DB {
-	return &DB{g: g, aux: graph.BuildAux(g)}
+	return &DB{g: g, aux: graph.BuildAux(g), plans: newPlanCache(DefaultPlanCacheCapacity)}
 }
 
 // Load reads a graph — in either the textual edge-list format (see Save)
@@ -162,79 +163,81 @@ type PatternResult struct {
 }
 
 // Simulation answers the pattern under strong simulation with resource
-// ratio alpha (the paper's RBSim). One-shot form of PreparedQuery.Run.
+// ratio alpha (the paper's RBSim).
+//
+// Deprecated-style wrapper: equivalent to Query with
+// Request{Semantics: Simulation, Mode: Bounded, Alpha: alpha}; prefer
+// Query, which adds cancellation and per-query stats.
 func (db *DB) Simulation(q *Pattern, alpha float64) (PatternResult, error) {
-	pl := db.borrowPlan(q)
-	defer db.releasePlan(pl)
-	return runSimulation(pl, alpha)
+	return toPatternResult(db.Query(context.Background(), q, Request{Alpha: alpha}))
 }
 
 // SimulationExact answers the pattern under strong simulation exactly (the
 // optimized baseline MatchOpt, which searches the d_Q-ball of v_p).
+//
+// Deprecated-style wrapper: equivalent to Query with
+// Request{Semantics: Simulation, Mode: Exact}.
 func (db *DB) SimulationExact(q *Pattern) ([]NodeID, error) {
-	pl := db.borrowPlan(q)
-	defer db.releasePlan(pl)
-	return runSimulationExact(pl)
+	return toMatches(db.Query(context.Background(), q, Request{Mode: Exact}))
 }
 
 // Subgraph answers the pattern under subgraph isomorphism with resource
-// ratio alpha (the paper's RBSub). One-shot form of
-// PreparedQuery.RunSubgraph.
+// ratio alpha (the paper's RBSub).
+//
+// Deprecated-style wrapper: equivalent to Query with
+// Request{Semantics: Subgraph, Mode: Bounded, Alpha: alpha}.
 func (db *DB) Subgraph(q *Pattern, alpha float64) (PatternResult, error) {
-	pl := db.borrowPlan(q)
-	defer db.releasePlan(pl)
-	return runSubgraph(pl, alpha)
+	return toPatternResult(db.Query(context.Background(), q, Request{Semantics: Subgraph, Alpha: alpha}))
 }
 
 // SubgraphExact answers the pattern under subgraph isomorphism exactly
 // (the optimized baseline VF2Opt). maxSteps caps the backtracking search
 // (0 = unlimited); the second result reports whether it completed.
+//
+// Deprecated-style wrapper: equivalent to Query with
+// Request{Semantics: Subgraph, Mode: Exact, MaxSteps: maxSteps}.
 func (db *DB) SubgraphExact(q *Pattern, maxSteps int64) ([]NodeID, bool, error) {
-	pl := db.borrowPlan(q)
-	defer db.releasePlan(pl)
-	return runSubgraphExact(pl, maxSteps)
+	return toMatchesComplete(db.Query(context.Background(), q,
+		Request{Semantics: Subgraph, Mode: Exact, MaxSteps: maxSteps}))
 }
 
 // SimulationAt is Simulation with the personalized node pinned to an
 // explicit data node, bypassing the unique-label lookup. The paper's
 // setting guarantees a unique match for u_p; pinning covers batch
-// workloads where many anchor nodes share a label. One-shot form of
-// PreparedQuery.RunAt.
+// workloads where many anchor nodes share a label.
+//
+// Deprecated-style wrapper: equivalent to Query with
+// Request{Mode: Bounded, Anchor: Pin(vp), Alpha: alpha}.
 func (db *DB) SimulationAt(q *Pattern, vp NodeID, alpha float64) (PatternResult, error) {
-	pl := db.borrowPlan(q)
-	defer db.releasePlan(pl)
-	return runSimulationAt(pl, vp, alpha)
+	return toPatternResult(db.Query(context.Background(), q, Request{Anchor: &vp, Alpha: alpha}))
 }
 
 // SubgraphAt is Subgraph with the personalized node pinned explicitly.
-// One-shot form of PreparedQuery.RunSubgraphAt.
+//
+// Deprecated-style wrapper: equivalent to Query with
+// Request{Semantics: Subgraph, Anchor: Pin(vp), Alpha: alpha}.
 func (db *DB) SubgraphAt(q *Pattern, vp NodeID, alpha float64) (PatternResult, error) {
-	pl := db.borrowPlan(q)
-	defer db.releasePlan(pl)
-	return runSubgraphAt(pl, vp, alpha)
+	return toPatternResult(db.Query(context.Background(), q,
+		Request{Semantics: Subgraph, Anchor: &vp, Alpha: alpha}))
 }
 
 // SimulationExactAt is SimulationExact with the personalized node pinned
 // explicitly.
+//
+// Deprecated-style wrapper: equivalent to Query with
+// Request{Mode: Exact, Anchor: Pin(vp)}.
 func (db *DB) SimulationExactAt(q *Pattern, vp NodeID) ([]NodeID, error) {
-	pl := db.borrowPlan(q)
-	defer db.releasePlan(pl)
-	if err := checkPin(pl, vp); err != nil {
-		return nil, err
-	}
-	return pl.SimulationExact(vp), nil
+	return toMatches(db.Query(context.Background(), q, Request{Mode: Exact, Anchor: &vp}))
 }
 
 // SubgraphExactAt is SubgraphExact with the personalized node pinned
 // explicitly.
+//
+// Deprecated-style wrapper: equivalent to Query with
+// Request{Semantics: Subgraph, Mode: Exact, Anchor: Pin(vp), MaxSteps: maxSteps}.
 func (db *DB) SubgraphExactAt(q *Pattern, vp NodeID, maxSteps int64) ([]NodeID, bool, error) {
-	pl := db.borrowPlan(q)
-	defer db.releasePlan(pl)
-	if err := checkPin(pl, vp); err != nil {
-		return nil, false, err
-	}
-	m, complete := pl.SubgraphExact(vp, subgraphOpts(maxSteps))
-	return m, complete, nil
+	return toMatchesComplete(db.Query(context.Background(), q,
+		Request{Semantics: Subgraph, Mode: Exact, Anchor: &vp, MaxSteps: maxSteps}))
 }
 
 // ReachExact answers a reachability query exactly by BFS.
@@ -321,39 +324,28 @@ type AnchoredQuery struct {
 
 // SimulationBatch evaluates many pinned simulation queries concurrently
 // with the same resource ratio. workers ≤ 0 means one goroutine per
-// available CPU. Each distinct *Pattern in qs is prepared exactly once
-// (batch workloads typically evaluate a handful of templates at many
-// pins); the DB's structures are immutable, so evaluation is
-// embarrassingly parallel. Results are positionally aligned with qs,
-// with a nil-Matches zero result for queries whose pin fails label
-// validation.
+// available CPU. Each distinct template in qs is compiled exactly once
+// through the plan cache (batch workloads typically evaluate a handful
+// of templates at many pins); the DB's structures are immutable, so
+// evaluation is embarrassingly parallel. Results are positionally
+// aligned with qs, with a nil-Matches zero result for queries whose pin
+// fails label validation.
+//
+// Deprecated-style wrapper: equivalent to QueryBatch with
+// Request{Mode: Bounded, Alpha: alpha}; prefer QueryBatch, which adds
+// cancellation.
 func (db *DB) SimulationBatch(qs []AnchoredQuery, alpha float64, workers int) []PatternResult {
-	plans, release := db.planned(qs)
-	defer release()
-	out := make([]PatternResult, len(qs))
-	parallelFor(len(qs), workers, func(i int) {
-		res, err := runSimulationAt(plans[i], qs[i].At, alpha)
-		if err != nil {
-			res = PatternResult{Personalized: qs[i].At}
-		}
-		out[i] = res
-	})
-	return out
+	res, _ := db.QueryBatch(context.Background(), qs, Request{Alpha: alpha}, workers)
+	return toPatternResults(res, len(qs), func(i int) NodeID { return qs[i].At })
 }
 
 // SubgraphBatch is SimulationBatch under subgraph isomorphism.
+//
+// Deprecated-style wrapper: equivalent to QueryBatch with
+// Request{Semantics: Subgraph, Alpha: alpha}.
 func (db *DB) SubgraphBatch(qs []AnchoredQuery, alpha float64, workers int) []PatternResult {
-	plans, release := db.planned(qs)
-	defer release()
-	out := make([]PatternResult, len(qs))
-	parallelFor(len(qs), workers, func(i int) {
-		res, err := runSubgraphAt(plans[i], qs[i].At, alpha)
-		if err != nil {
-			res = PatternResult{Personalized: qs[i].At}
-		}
-		out[i] = res
-	})
-	return out
+	res, _ := db.QueryBatch(context.Background(), qs, Request{Semantics: Subgraph, Alpha: alpha}, workers)
+	return toPatternResults(res, len(qs), func(i int) NodeID { return qs[i].At })
 }
 
 // UnanchoredResult reports a pattern evaluation without a personalized
@@ -375,18 +367,20 @@ type UnanchoredResult struct {
 // match under strong simulation: every data node carrying the most
 // selective query label is tried as the anchor, sharing one α|G| budget
 // split proportionally to each anchor's Potential-mass selectivity.
-// One-shot form of PreparedQuery.RunUnanchored.
+//
+// Deprecated-style wrapper: equivalent to Query with
+// Request{Mode: Unanchored, Alpha: alpha}.
 func (db *DB) SimulationUnanchored(q *Pattern, alpha float64) UnanchoredResult {
-	pl := db.borrowPlan(q)
-	defer db.releasePlan(pl)
-	return unanchoredResult(pl.SimulationUnanchored(rbany.Options{Alpha: alpha}))
+	return toUnanchoredResult(db.Query(context.Background(), q, Request{Mode: Unanchored, Alpha: alpha}))
 }
 
 // SubgraphUnanchored is SimulationUnanchored under subgraph isomorphism.
+//
+// Deprecated-style wrapper: equivalent to Query with
+// Request{Semantics: Subgraph, Mode: Unanchored, Alpha: alpha}.
 func (db *DB) SubgraphUnanchored(q *Pattern, alpha float64) UnanchoredResult {
-	pl := db.borrowPlan(q)
-	defer db.releasePlan(pl)
-	return unanchoredResult(pl.SubgraphUnanchored(rbany.Options{Alpha: alpha}, nil))
+	return toUnanchoredResult(db.Query(context.Background(), q,
+		Request{Semantics: Subgraph, Mode: Unanchored, Alpha: alpha}))
 }
 
 // CalibrationPoint is one sample of the empirical accuracy-vs-α curve.
@@ -399,16 +393,32 @@ type CalibrationPoint struct {
 // SimulationCurve evaluates the workload at each α against the exact
 // baseline and returns the empirical accuracy curve — the data behind the
 // paper's Fig. 8(c) and its Section 7 question of how η relates to α.
+// Equivalent to SimulationCurveContext with context.Background().
 func (db *DB) SimulationCurve(qs []AnchoredQuery, alphas []float64) []CalibrationPoint {
-	pts := calibrate.Curve(db.aux, toCalibrate(qs), alphas)
+	return db.SimulationCurveContext(context.Background(), qs, alphas)
+}
+
+// SimulationCurveContext is SimulationCurve with cooperative
+// cancellation: sweeps over large workloads are long-running, and a
+// fired ctx stops the sweep and returns the points sampled so far.
+func (db *DB) SimulationCurveContext(ctx context.Context, qs []AnchoredQuery, alphas []float64) []CalibrationPoint {
+	pts := calibrate.Curve(ctx, db.aux, toCalibrate(qs), alphas)
 	return fromCalibrate(pts)
 }
 
 // MinAlphaForAccuracy searches (0, hi] for the smallest resource ratio
 // whose workload accuracy reaches target (refined by `refine` bisection
-// steps). ok is false when even hi misses the target.
+// steps). ok is false when even hi misses the target. Equivalent to
+// MinAlphaForAccuracyContext with context.Background().
 func (db *DB) MinAlphaForAccuracy(qs []AnchoredQuery, target, hi float64, refine int) (CalibrationPoint, bool) {
-	pt, ok := calibrate.MinAlpha(db.aux, toCalibrate(qs), target, hi, refine)
+	return db.MinAlphaForAccuracyContext(context.Background(), qs, target, hi, refine)
+}
+
+// MinAlphaForAccuracyContext is MinAlphaForAccuracy with cooperative
+// cancellation: a fired ctx stops the search at the best point found so
+// far.
+func (db *DB) MinAlphaForAccuracyContext(ctx context.Context, qs []AnchoredQuery, target, hi float64, refine int) (CalibrationPoint, bool) {
+	pt, ok := calibrate.MinAlpha(ctx, db.aux, toCalibrate(qs), target, hi, refine)
 	return CalibrationPoint{Alpha: pt.Alpha, Accuracy: pt.Accuracy, MeanFragment: pt.MeanFragment}, ok
 }
 

@@ -1,0 +1,466 @@
+package rbq
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"rbq/internal/gen"
+	"rbq/internal/graph"
+)
+
+// TestRequestValidation: malformed requests fail with ErrBadRequest
+// before touching the engines.
+func TestRequestValidation(t *testing.T) {
+	db, qs := preparedFixture(t, 500)
+	q := qs[0].Q
+	bad := []Request{
+		{Semantics: 7, Alpha: 0.1},                       // unknown semantics
+		{Mode: 9, Alpha: 0.1},                            // unknown mode
+		{Alpha: -0.5},                                    // negative alpha
+		{Alpha: math.NaN()},                              // NaN alpha
+		{Mode: Unanchored, Alpha: -1},                    // negative alpha, Unanchored
+		{Mode: Exact, Alpha: 0.5},                        // alpha in Exact mode
+		{Mode: Unanchored, Alpha: 0.1, Anchor: Pin(0)},   // anchored Unanchored
+		{Semantics: Subgraph, Alpha: 0.1, MaxSteps: -1},  // negative step cap
+		{Alpha: 0.1, MaxSteps: 5},                        // MaxSteps on Simulation
+		{Alpha: 0.1, Split: SplitEven},                   // Split outside Unanchored
+		{Mode: Unanchored, Alpha: 0.1, Split: 3},         // unknown split
+		{Semantics: Subgraph, Mode: Exact, MaxSteps: -3}, // negative cap, Exact
+		{Semantics: -1, Mode: Exact},                     // negative semantics
+	}
+	for i, req := range bad {
+		if _, err := db.Query(context.Background(), q, req); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("case %d (%+v): err = %v, want ErrBadRequest", i, req, err)
+		}
+	}
+	// α = 0 is NOT an error: budget 0, empty answer — the seed contract.
+	if r, err := db.Query(context.Background(), q, Request{Alpha: 0, Anchor: Pin(qs[0].At)}); err != nil || r.Budget != 0 || r.Matches != nil {
+		t.Errorf("alpha=0: got %+v, %v; want empty zero-budget result", r, err)
+	}
+	// A bad request must also fail the batch entry points.
+	if _, err := db.QueryBatch(context.Background(), qs, Request{Alpha: -1}, 1); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("QueryBatch: err = %v, want ErrBadRequest", err)
+	}
+	// The error-less legacy batch wrappers keep the positional contract
+	// even then: every zero result still carries its pin.
+	pr := db.SimulationBatch(qs, -1, 1)
+	if len(pr) != len(qs) || pr[0].Personalized != qs[0].At || pr[0].Matches != nil {
+		t.Errorf("legacy batch on invalid request: %+v", pr)
+	}
+	// Batch-specific constraints.
+	if _, err := db.QueryBatch(context.Background(), qs, Request{Mode: Unanchored, Alpha: 0.1}, 1); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("QueryBatch Unanchored: err = %v, want ErrBadRequest", err)
+	}
+	if _, err := db.QueryBatch(context.Background(), qs, Request{Alpha: 0.1, Anchor: Pin(0)}, 1); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("QueryBatch with Anchor: err = %v, want ErrBadRequest", err)
+	}
+}
+
+// wantPattern compares a legacy PatternResult against the Result of its
+// Request translation.
+func wantPattern(t *testing.T, name string, got PatternResult, gotErr error, r Result, rErr error) {
+	t.Helper()
+	if (gotErr == nil) != (rErr == nil) {
+		t.Fatalf("%s: error mismatch: %v vs %v", name, gotErr, rErr)
+	}
+	if gotErr != nil && gotErr.Error() != rErr.Error() {
+		t.Fatalf("%s: error text mismatch: %q vs %q", name, gotErr, rErr)
+	}
+	want := PatternResult{Matches: r.Matches, Personalized: r.Personalized,
+		FragmentSize: r.FragmentSize, Budget: r.Budget, Visited: r.Visited}
+	if gotErr != nil {
+		want = PatternResult{}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: legacy %+v != request %+v", name, got, want)
+	}
+}
+
+// TestLegacyMethodsEqualRequestCore: every legacy DB method returns
+// bit-for-bit the answer of its documented Request translation.
+func TestLegacyMethodsEqualRequestCore(t *testing.T) {
+	db, qs := preparedFixture(t, 4000)
+	ctx := context.Background()
+	for _, aq := range qs {
+		q, vp := aq.Q, aq.At
+		for _, alpha := range []float64{0, 0.001, 0.02} {
+			got, gotErr := db.Simulation(q, alpha)
+			r, rErr := db.Query(ctx, q, Request{Semantics: Simulation, Mode: Bounded, Alpha: alpha})
+			wantPattern(t, "Simulation", got, gotErr, r, rErr)
+
+			got, gotErr = db.SimulationAt(q, vp, alpha)
+			r, rErr = db.Query(ctx, q, Request{Mode: Bounded, Anchor: Pin(vp), Alpha: alpha})
+			wantPattern(t, "SimulationAt", got, gotErr, r, rErr)
+
+			got, gotErr = db.Subgraph(q, alpha)
+			r, rErr = db.Query(ctx, q, Request{Semantics: Subgraph, Alpha: alpha})
+			wantPattern(t, "Subgraph", got, gotErr, r, rErr)
+
+			got, gotErr = db.SubgraphAt(q, vp, alpha)
+			r, rErr = db.Query(ctx, q, Request{Semantics: Subgraph, Anchor: Pin(vp), Alpha: alpha})
+			wantPattern(t, "SubgraphAt", got, gotErr, r, rErr)
+
+			ur := db.SimulationUnanchored(q, alpha)
+			r, rErr = db.Query(ctx, q, Request{Mode: Unanchored, Alpha: alpha})
+			if rErr != nil || !reflect.DeepEqual(ur, toUnanchoredResult(r, nil)) {
+				t.Fatalf("SimulationUnanchored: %+v != %+v (%v)", ur, r, rErr)
+			}
+			ur = db.SubgraphUnanchored(q, alpha)
+			r, rErr = db.Query(ctx, q, Request{Semantics: Subgraph, Mode: Unanchored, Alpha: alpha})
+			if rErr != nil || !reflect.DeepEqual(ur, toUnanchoredResult(r, nil)) {
+				t.Fatalf("SubgraphUnanchored: %+v != %+v (%v)", ur, r, rErr)
+			}
+		}
+
+		gotM, gotErr := db.SimulationExact(q)
+		r, rErr := db.Query(ctx, q, Request{Mode: Exact})
+		if (gotErr == nil) != (rErr == nil) || !reflect.DeepEqual(gotM, r.Matches) {
+			t.Fatalf("SimulationExact: %v (%v) != %v (%v)", gotM, gotErr, r.Matches, rErr)
+		}
+		gotM, gotErr = db.SimulationExactAt(q, vp)
+		r, rErr = db.Query(ctx, q, Request{Mode: Exact, Anchor: Pin(vp)})
+		if (gotErr == nil) != (rErr == nil) || !reflect.DeepEqual(gotM, r.Matches) {
+			t.Fatalf("SimulationExactAt: %v != %v", gotM, r.Matches)
+		}
+		gotM, gotOK, _ := db.SubgraphExact(q, 100_000)
+		r, _ = db.Query(ctx, q, Request{Semantics: Subgraph, Mode: Exact, MaxSteps: 100_000})
+		if gotOK != r.Complete || !reflect.DeepEqual(gotM, r.Matches) {
+			t.Fatalf("SubgraphExact: %v/%v != %v/%v", gotM, gotOK, r.Matches, r.Complete)
+		}
+		gotM, gotOK, _ = db.SubgraphExactAt(q, vp, 100_000)
+		r, _ = db.Query(ctx, q, Request{Semantics: Subgraph, Mode: Exact, Anchor: Pin(vp), MaxSteps: 100_000})
+		if gotOK != r.Complete || !reflect.DeepEqual(gotM, r.Matches) {
+			t.Fatalf("SubgraphExactAt: %v/%v != %v/%v", gotM, gotOK, r.Matches, r.Complete)
+		}
+	}
+
+	// Batches: the legacy wrappers against QueryBatch.
+	var batch []AnchoredQuery
+	for i := 0; i < 6; i++ {
+		batch = append(batch, qs[i%len(qs)])
+	}
+	legacy := db.SimulationBatch(batch, 0.01, 3)
+	rs, err := db.QueryBatch(ctx, batch, Request{Alpha: 0.01}, 3)
+	if err != nil || !reflect.DeepEqual(legacy, toPatternResults(rs, len(batch), func(i int) NodeID { return batch[i].At })) {
+		t.Fatalf("SimulationBatch != QueryBatch: %v (%v)", legacy, err)
+	}
+	legacy = db.SubgraphBatch(batch, 0.01, 3)
+	rs, err = db.QueryBatch(ctx, batch, Request{Semantics: Subgraph, Alpha: 0.01}, 3)
+	if err != nil || !reflect.DeepEqual(legacy, toPatternResults(rs, len(batch), func(i int) NodeID { return batch[i].At })) {
+		t.Fatalf("SubgraphBatch != QueryBatch: %v (%v)", legacy, err)
+	}
+}
+
+// TestPreparedRunMethodsEqualQuery: every PreparedQuery.Run* method
+// returns bit-for-bit the answer of its Request translation through
+// PreparedQuery.Query.
+func TestPreparedRunMethodsEqualQuery(t *testing.T) {
+	db, qs := preparedFixture(t, 3000)
+	ctx := context.Background()
+	aq := qs[0]
+	pq, err := db.Prepare(aq.Q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha, vp := 0.01, aq.At
+
+	got, gotErr := pq.Run(alpha)
+	r, rErr := pq.Query(ctx, Request{Alpha: alpha})
+	wantPattern(t, "Run", got, gotErr, r, rErr)
+
+	got, gotErr = pq.RunAt(vp, alpha)
+	r, rErr = pq.Query(ctx, Request{Anchor: Pin(vp), Alpha: alpha})
+	wantPattern(t, "RunAt", got, gotErr, r, rErr)
+
+	got, gotErr = pq.RunSubgraph(alpha)
+	r, rErr = pq.Query(ctx, Request{Semantics: Subgraph, Alpha: alpha})
+	wantPattern(t, "RunSubgraph", got, gotErr, r, rErr)
+
+	got, gotErr = pq.RunSubgraphAt(vp, alpha)
+	r, rErr = pq.Query(ctx, Request{Semantics: Subgraph, Anchor: Pin(vp), Alpha: alpha})
+	wantPattern(t, "RunSubgraphAt", got, gotErr, r, rErr)
+
+	ur := pq.RunUnanchored(alpha)
+	r, rErr = pq.Query(ctx, Request{Mode: Unanchored, Alpha: alpha})
+	if rErr != nil || !reflect.DeepEqual(ur, toUnanchoredResult(r, nil)) {
+		t.Fatalf("RunUnanchored: %+v != %+v", ur, r)
+	}
+	ur = pq.RunSubgraphUnanchored(alpha)
+	r, rErr = pq.Query(ctx, Request{Semantics: Subgraph, Mode: Unanchored, Alpha: alpha})
+	if rErr != nil || !reflect.DeepEqual(ur, toUnanchoredResult(r, nil)) {
+		t.Fatalf("RunSubgraphUnanchored: %+v != %+v", ur, r)
+	}
+
+	gotM, _ := pq.RunExact()
+	r, _ = pq.Query(ctx, Request{Mode: Exact})
+	if !reflect.DeepEqual(gotM, r.Matches) {
+		t.Fatalf("RunExact: %v != %v", gotM, r.Matches)
+	}
+	gotM, _ = pq.RunExactAt(vp)
+	r, _ = pq.Query(ctx, Request{Mode: Exact, Anchor: Pin(vp)})
+	if !reflect.DeepEqual(gotM, r.Matches) {
+		t.Fatalf("RunExactAt: %v != %v", gotM, r.Matches)
+	}
+	gotM, gotOK, _ := pq.RunSubgraphExact(50_000)
+	r, _ = pq.Query(ctx, Request{Semantics: Subgraph, Mode: Exact, MaxSteps: 50_000})
+	if gotOK != r.Complete || !reflect.DeepEqual(gotM, r.Matches) {
+		t.Fatalf("RunSubgraphExact: %v/%v != %v/%v", gotM, gotOK, r.Matches, r.Complete)
+	}
+	gotM, gotOK, _ = pq.RunSubgraphExactAt(vp, 50_000)
+	r, _ = pq.Query(ctx, Request{Semantics: Subgraph, Mode: Exact, Anchor: Pin(vp), MaxSteps: 50_000})
+	if gotOK != r.Complete || !reflect.DeepEqual(gotM, r.Matches) {
+		t.Fatalf("RunSubgraphExactAt: %v/%v != %v/%v", gotM, gotOK, r.Matches, r.Complete)
+	}
+
+	// RunBatch / RunSubgraphBatch against PreparedQuery.QueryBatch.
+	pins := []NodeID{vp, vp, vp}
+	legacy := pq.RunBatch(pins, alpha, 2)
+	rs, err := pq.QueryBatch(ctx, pins, Request{Alpha: alpha}, 2)
+	if err != nil || !reflect.DeepEqual(legacy, toPatternResults(rs, len(pins), func(i int) NodeID { return pins[i] })) {
+		t.Fatalf("RunBatch != QueryBatch: %v (%v)", legacy, err)
+	}
+	legacy = pq.RunSubgraphBatch(pins, alpha, 2)
+	rs, err = pq.QueryBatch(ctx, pins, Request{Semantics: Subgraph, Alpha: alpha}, 2)
+	if err != nil || !reflect.DeepEqual(legacy, toPatternResults(rs, len(pins), func(i int) NodeID { return pins[i] })) {
+		t.Fatalf("RunSubgraphBatch != QueryBatch: %v (%v)", legacy, err)
+	}
+}
+
+// TestPlanCacheShareAndEvict: textual identity dedups pointer-distinct
+// patterns, counters add up, and the capacity bound holds under
+// eviction.
+func TestPlanCacheShareAndEvict(t *testing.T) {
+	db, qs := preparedFixture(t, 1000)
+	q := qs[0].Q
+
+	// Two pointer-distinct parses of the same text share one plan.
+	q2, err := ParsePattern(q.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2 == q {
+		t.Fatal("fixture broken: same pointer")
+	}
+	if _, err := db.Query(context.Background(), q, Request{Alpha: 0.01, Anchor: Pin(qs[0].At)}); err != nil {
+		t.Fatal(err)
+	}
+	cs := db.PlanCacheStats()
+	if cs.Misses != 1 || cs.Hits != 0 || cs.Size != 1 {
+		t.Fatalf("after first query: %+v", cs)
+	}
+	r, err := db.Query(context.Background(), q2, Request{Alpha: 0.01, Anchor: Pin(qs[0].At), WantStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Stats.PlanCacheHit {
+		t.Fatal("pointer-distinct same-text pattern missed the cache")
+	}
+	cs = db.PlanCacheStats()
+	if cs.Hits != 1 || cs.Misses != 1 || cs.Size != 1 {
+		t.Fatalf("after textual-identity hit: %+v", cs)
+	}
+
+	// Eviction: capacity 2, three distinct templates.
+	db.SetPlanCacheCapacity(2)
+	for _, aq := range qs[:3] {
+		if _, err := db.Query(context.Background(), aq.Q, Request{Alpha: 0.01, Anchor: Pin(aq.At)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs = db.PlanCacheStats()
+	if cs.Size > 2 || cs.Capacity != 2 {
+		t.Fatalf("capacity bound violated: %+v", cs)
+	}
+	// An evicted template still answers correctly (recompiled on miss).
+	want, _ := db.SimulationAt(qs[0].Q, qs[0].At, 0.01)
+	r, err = db.Query(context.Background(), qs[0].Q, Request{Alpha: 0.01, Anchor: Pin(qs[0].At)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := toPatternResult(r, nil)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-eviction answer diverged: %+v != %+v", got, want)
+	}
+}
+
+// TestPlanCacheConcurrentHammer: many goroutines hammer DB.Query over a
+// template set larger than the cache capacity (constant churn of
+// eviction, recompilation and sharing) and every answer must equal the
+// serial baseline. Run with -race in CI.
+func TestPlanCacheConcurrentHammer(t *testing.T) {
+	db, qs := preparedFixture(t, 2000)
+	db.SetPlanCacheCapacity(2) // force eviction churn across templates
+
+	// Serial ground truth per (query, semantics).
+	wantSim := make([]PatternResult, len(qs))
+	wantSub := make([]PatternResult, len(qs))
+	for i, aq := range qs {
+		wantSim[i], _ = db.SimulationAt(aq.Q, aq.At, 0.01)
+		wantSub[i], _ = db.SubgraphAt(aq.Q, aq.At, 0.01)
+	}
+
+	const goroutines = 8
+	const iters = 40
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for w := 0; w < goroutines; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := context.Background()
+			for it := 0; it < iters; it++ {
+				i := (w + it) % len(qs)
+				req := Request{Alpha: 0.01, Anchor: Pin(qs[i].At)}
+				want := wantSim[i]
+				if (w+it)%2 == 1 {
+					req.Semantics = Subgraph
+					want = wantSub[i]
+				}
+				r, err := db.Query(ctx, qs[i].Q, req)
+				if err != nil {
+					errc <- err
+					return
+				}
+				got, _ := toPatternResult(r, nil)
+				if !reflect.DeepEqual(got, want) {
+					errc <- fmt.Errorf("worker %d iter %d: %+v != %+v", w, it, got, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	cs := db.PlanCacheStats()
+	if cs.Size > 2 {
+		t.Fatalf("capacity bound violated under concurrency: %+v", cs)
+	}
+	if cs.Hits+cs.Misses < goroutines*iters {
+		t.Fatalf("lookup counters lost updates: %+v", cs)
+	}
+}
+
+// TestQueryCancellation: a canceled context makes a large bounded query
+// return promptly with ctx.Err(), on both the one-shot and batch paths.
+func TestQueryCancellation(t *testing.T) {
+	g := YoutubeLike(60_000, 1)
+	db := NewDB(g)
+	var q *Pattern
+	var vp NodeID
+	for seed := int64(0); seed < 50 && q == nil; seed++ {
+		cand := NodeID(int(seed*131+17) % g.NumNodes())
+		if g.Degree(cand) < 2 {
+			continue
+		}
+		q = gen.PatternAt(g, graph.NodeID(cand), gen.PatternConfig{Nodes: 4, Edges: 8, Seed: seed})
+		vp = cand
+	}
+	if q == nil {
+		t.Fatal("could not extract a test pattern")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // canceled before the query starts: the probe must fire early
+	req := Request{Anchor: Pin(vp), Alpha: 0.8}
+	start := time.Now()
+	res, err := db.Query(ctx, q, req)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Matches != nil || res.Visited != 0 {
+		t.Fatalf("canceled query leaked a result: %+v", res)
+	}
+	// The engine stops within one probe stride (~1024 visited items); a
+	// generous wall-clock bound keeps the promptness check unflaky.
+	if elapsed > 2*time.Second {
+		t.Fatalf("canceled query took %v, want prompt return", elapsed)
+	}
+
+	// The same query on a live context succeeds (the probe is harmless).
+	if _, err := db.Query(context.Background(), q, req); err != nil {
+		t.Fatal(err)
+	}
+
+	// Batch path: canceled context surfaces ctx.Err() and zero results
+	// for unprocessed items.
+	batch := []AnchoredQuery{{Q: q, At: vp}, {Q: q, At: vp}}
+	rs, err := db.QueryBatch(ctx, batch, Request{Alpha: 0.5}, 2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("QueryBatch err = %v, want context.Canceled", err)
+	}
+	if len(rs) != len(batch) {
+		t.Fatalf("QueryBatch returned %d results for %d items", len(rs), len(batch))
+	}
+
+	// An expiring deadline also cancels mid-search.
+	dctx, dcancel := context.WithTimeout(context.Background(), time.Microsecond)
+	defer dcancel()
+	time.Sleep(time.Millisecond) // let the deadline fire
+	if _, err := db.Query(dctx, q, req); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestQueryStats: WantStats populates the telemetry and the plan-cache
+// outcome; without it the hot path carries no Stats.
+func TestQueryStats(t *testing.T) {
+	db, qs := preparedFixture(t, 1500)
+	aq := qs[0]
+	ctx := context.Background()
+
+	r, err := db.Query(ctx, aq.Q, Request{Anchor: Pin(aq.At), Alpha: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats != nil {
+		t.Fatal("Stats present without WantStats")
+	}
+	r, err = db.Query(ctx, aq.Q, Request{Anchor: Pin(aq.At), Alpha: 0.01, WantStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats == nil {
+		t.Fatal("Stats missing with WantStats")
+	}
+	if !r.Stats.PlanCacheHit {
+		t.Fatal("second query on the same template should hit the cache")
+	}
+	if r.Stats.Reduce.Budget != r.Budget || r.Stats.Reduce.Visited != r.Visited {
+		t.Fatalf("Reduce stats disagree with Result: %+v vs %+v", r.Stats.Reduce, r)
+	}
+	if r.Stats.ExecTime <= 0 {
+		t.Fatalf("ExecTime = %v, want > 0", r.Stats.ExecTime)
+	}
+
+	// The prepared path reports its compilation as a hit with no plan time.
+	pq, err := db.Prepare(aq.Q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err = pq.Query(ctx, Request{Anchor: Pin(aq.At), Alpha: 0.01, WantStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats == nil || !r.Stats.PlanCacheHit || r.Stats.PlanTime != 0 {
+		t.Fatalf("prepared-path stats: %+v", r.Stats)
+	}
+}
+
+// TestQueryNilPattern: a nil pattern is rejected, not a panic.
+func TestQueryNilPattern(t *testing.T) {
+	db, _ := preparedFixture(t, 500)
+	if _, err := db.Query(context.Background(), nil, Request{Alpha: 0.1}); err == nil {
+		t.Fatal("nil pattern accepted")
+	}
+}
