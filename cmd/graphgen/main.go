@@ -1,10 +1,14 @@
 // Command graphgen writes synthetic data graphs in the textual edge-list
-// format understood by rbquery and rbq.Load.
+// format understood by rbquery and rbq.Load, and optionally a mutation
+// op stream (for rbquery's update mode) that is valid against the
+// generated graph.
 //
 // Usage:
 //
 //	graphgen -kind youtube -nodes 100000 > youtube.graph
 //	graphgen -kind random -nodes 50000 -edges 100000 -seed 7 -out g.graph
+//	graphgen -kind youtube -nodes 10000 -out g.graph \
+//	    -ops 5000 -opbatch 100 -opsout stream.ops
 //
 // Kinds: youtube (power-law, avg degree ~2.8), yahoo (power-law, ~5.0),
 // random (uniform), powerlaw (heavy-tailed with explicit edge count).
@@ -14,9 +18,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 
 	"rbq/internal/dataset"
+	"rbq/internal/delta"
 	"rbq/internal/gen"
 	"rbq/internal/graph"
 	"rbq/internal/stats"
@@ -35,6 +41,10 @@ func run(args []string, stderr io.Writer) int {
 		out    = fs.String("out", "", "output file (default stdout)")
 		binF   = fs.Bool("binary", false, "write the compact binary format instead of text")
 		statsF = fs.Bool("stats", false, "print graph statistics to stderr")
+		opsN   = fs.Int("ops", 0, "also emit this many mutation ops valid against the graph (0 = none)")
+		opsOut = fs.String("opsout", "", "op-stream output file (required with -ops)")
+		opsB   = fs.Int("opbatch", 100, "ops per batch in the emitted stream")
+		opSeed = fs.Int64("opseed", 0, "op-stream seed (0 = -seed)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -81,5 +91,95 @@ func run(args []string, stderr io.Writer) int {
 	if *statsF {
 		fmt.Fprint(stderr, stats.Summarize(g))
 	}
+	if *opsN > 0 {
+		if *opsOut == "" {
+			fmt.Fprintln(stderr, "graphgen: -ops needs -opsout")
+			return 2
+		}
+		streamSeed := *opSeed
+		if streamSeed == 0 {
+			streamSeed = *seed
+		}
+		batches := opStream(g, *opsN, *opsB, streamSeed)
+		f, err := os.Create(*opsOut)
+		if err != nil {
+			fmt.Fprintln(stderr, "graphgen:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := delta.WriteOps(f, batches); err != nil {
+			fmt.Fprintln(stderr, "graphgen:", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "graphgen: wrote %d mutation op(s) in %d batch(es) to %s\n",
+			*opsN, len(batches), *opsOut)
+	}
 	return 0
+}
+
+// opStream synthesizes a mutation stream valid against g in batch
+// order: roughly 10% node adds (existing labels, plus an occasional new
+// one), 70% edge adds and 20% edge deletes, tracked against a shadow
+// edge set so every op applies cleanly. This mirrors a serving-tier
+// write mix: mostly link churn, some membership growth, a rare new
+// entity type.
+func opStream(g *graph.Graph, n, batchSize int, seed int64) [][]delta.Op {
+	rng := rand.New(rand.NewSource(seed))
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	type edge = [2]graph.NodeID
+	edges := make(map[edge]int, g.NumEdges())
+	list := make([]edge, 0, g.NumEdges())
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, w := range g.Out(graph.NodeID(v)) {
+			e := edge{graph.NodeID(v), w}
+			edges[e] = len(list)
+			list = append(list, e)
+		}
+	}
+	nodes := g.NumNodes()
+	var batches [][]delta.Op
+	var cur []delta.Op
+	for len(batches)*batchSize+len(cur) < n {
+		switch k := rng.Intn(10); {
+		case k == 0:
+			var label string
+			if rng.Intn(8) == 0 {
+				label = fmt.Sprintf("genlabel%d", rng.Intn(4))
+			} else {
+				label = g.LabelName(graph.LabelID(rng.Intn(g.NumLabels())))
+			}
+			cur = append(cur, delta.AddNode(label))
+			nodes++
+		case k <= 7:
+			e := edge{graph.NodeID(rng.Intn(nodes)), graph.NodeID(rng.Intn(nodes))}
+			if _, ok := edges[e]; ok {
+				continue
+			}
+			cur = append(cur, delta.AddEdge(e[0], e[1]))
+			edges[e] = len(list)
+			list = append(list, e)
+		default:
+			if len(list) == 0 {
+				continue
+			}
+			e := list[rng.Intn(len(list))]
+			cur = append(cur, delta.DelEdge(e[0], e[1]))
+			i := edges[e]
+			last := list[len(list)-1]
+			list[i] = last
+			edges[last] = i
+			list = list[:len(list)-1]
+			delete(edges, e)
+		}
+		if len(cur) == batchSize {
+			batches = append(batches, cur)
+			cur = nil
+		}
+	}
+	if len(cur) > 0 {
+		batches = append(batches, cur)
+	}
+	return batches
 }

@@ -7,7 +7,9 @@ import (
 	"strings"
 	"testing"
 
+	"rbq"
 	"rbq/internal/dataset"
+	"rbq/internal/delta"
 )
 
 func TestRunGeneratesTextGraph(t *testing.T) {
@@ -79,5 +81,62 @@ func TestRunErrors(t *testing.T) {
 		if code := run(args, &errb); code == 0 {
 			t.Errorf("case %d (%v): expected non-zero exit", i, args)
 		}
+	}
+}
+
+// TestRunEmitsValidOpStream: the emitted op stream parses and applies
+// cleanly, batch by batch, to a DB over the emitted graph.
+func TestRunEmitsValidOpStream(t *testing.T) {
+	dir := t.TempDir()
+	gPath := filepath.Join(dir, "g.graph")
+	oPath := filepath.Join(dir, "s.ops")
+	var errb bytes.Buffer
+	code := run([]string{"-kind", "random", "-nodes", "300", "-edges", "900", "-seed", "3",
+		"-out", gPath, "-ops", "500", "-opbatch", "64", "-opsout", oPath}, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "wrote 500 mutation op(s)") {
+		t.Fatalf("stderr missing ops summary: %s", errb.String())
+	}
+
+	gf, err := os.Open(gPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gf.Close()
+	db, err := rbq.Load(gf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	of, err := os.Open(oPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer of.Close()
+	batches, err := delta.ReadOps(of)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i, batch := range batches {
+		if err := db.Apply(batch); err != nil {
+			t.Fatalf("batch %d does not apply: %v", i, err)
+		}
+		total += len(batch)
+	}
+	if total != 500 {
+		t.Fatalf("stream carries %d ops, want 500", total)
+	}
+	if err := db.Graph().Validate(); err != nil {
+		t.Fatalf("mutated graph invalid: %v", err)
+	}
+}
+
+// TestRunOpsRequiresOpsout: -ops without -opsout is a usage error.
+func TestRunOpsRequiresOpsout(t *testing.T) {
+	var errb bytes.Buffer
+	if code := run([]string{"-kind", "random", "-nodes", "10", "-out", filepath.Join(t.TempDir(), "g"), "-ops", "5"}, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"math/rand"
 	"os"
 	"strings"
+	"sync"
 	"testing"
 
 	"rbq"
@@ -59,8 +60,9 @@ type microResult struct {
 // parallelBench marks suite entries whose allocation counts depend on
 // GOMAXPROCS (one chunk of buffers per worker), so their alloc gate gets
 // headroom for differing core counts instead of the exact-count gate the
-// serial hot paths use.
-var parallelBench = map[string]bool{"BuildAux": true}
+// serial hot paths use. CompactSwap rebuilds the Aux, whose construction
+// parallelizes the same way.
+var parallelBench = map[string]bool{"BuildAux": true, "CompactSwap": true}
 
 // loadBaseline reads and parses a baseline report. Callers load it
 // before the fresh report is written, so -out and -compare may name the
@@ -210,6 +212,60 @@ func runMicro(path, comparePath string, tolerance float64, count int, nsGate boo
 		return fmt.Errorf("warm facade query: %w", err)
 	}
 
+	// Mutation fixtures: a batch of net-new edges over g (and its exact
+	// inverse), drawn deterministically, so ApplyEdges can oscillate the
+	// live delta without drifting and OverlayQuery can run the RBSim
+	// fixture against a snapshot with a live overlay. The three DBs are
+	// built lazily, on the first run of the first mutation entry: they
+	// add ~3 graph-sized structures of live heap, which must not sit in
+	// memory while the engine entries are measured (GC and cache
+	// pressure from fixture state is not a property of the hot paths).
+	// The mutation entries therefore sit LAST in the suite — keep them
+	// there — and exclude the one-time setup via b.ResetTimer.
+	const mutBatch = 64
+	var mutAdd, mutDel []rbq.Op
+	var adb, odb, cdb *rbq.DB
+	var mutOnce sync.Once
+	var mutErr error
+	mutSetup := func(b *testing.B) {
+		mutOnce.Do(func() {
+			mutSeen := make(map[[2]int]bool)
+			mrng := rand.New(rand.NewSource(11))
+			for len(mutAdd) < mutBatch {
+				u, v := mrng.Intn(g.NumNodes()), mrng.Intn(g.NumNodes())
+				if mutSeen[[2]int{u, v}] || g.HasEdge(graph.NodeID(u), graph.NodeID(v)) {
+					continue
+				}
+				mutSeen[[2]int{u, v}] = true
+				mutAdd = append(mutAdd, rbq.AddEdge(graph.NodeID(u), graph.NodeID(v)))
+				mutDel = append(mutDel, rbq.DelEdge(graph.NodeID(u), graph.NodeID(v)))
+			}
+			// ApplyEdges mutates its own DB so the QueryCacheHit fixture's
+			// plan cache and epoch stay untouched.
+			adb = rbq.NewDB(g)
+			// OverlayQuery pins one live-delta snapshot: the same query and
+			// pin as QueryCacheHit, answered through an overlay that touches
+			// 128 nodes of 30k — the representative serving state between
+			// compactions. One warm-up takes the compile miss.
+			odb = rbq.NewDB(g)
+			if mutErr = odb.Apply(mutAdd); mutErr != nil {
+				return
+			}
+			if _, err := odb.Query(context.Background(), q, qreq); err != nil {
+				mutErr = err
+				return
+			}
+			// CompactSwap alternates one-op deltas with forced compactions,
+			// so each iteration measures two full rebuild-and-swap cycles of
+			// CSR + Aux at the 30k-node scale.
+			cdb = rbq.NewDB(g)
+		})
+		if mutErr != nil {
+			b.Fatalf("mutation fixture: %v", mutErr)
+		}
+		b.ResetTimer()
+	}
+
 	suite := []struct {
 		name string
 		fn   func(b *testing.B)
@@ -258,6 +314,43 @@ func runMicro(path, comparePath string, tolerance float64, count int, nsGate boo
 		{"BuildAux", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				graph.BuildAux(g)
+			}
+		}},
+		{"ApplyEdges", func(b *testing.B) {
+			// One iteration = one batch of 64 edge adds + the inverse
+			// batch: validation, two delta seals (overlay + patched Aux)
+			// and two snapshot publishes, with the live delta returning
+			// to empty so iterations are identical.
+			mutSetup(b)
+			for i := 0; i < b.N; i++ {
+				if err := adb.Apply(mutAdd); err != nil {
+					b.Fatal(err)
+				}
+				if err := adb.Apply(mutDel); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"OverlayQuery", func(b *testing.B) {
+			// QueryCacheHit's exact workload, answered against a snapshot
+			// carrying a 64-edge live delta: the cost of overlay-aware
+			// adjacency and histogram reads on a mostly-untouched graph.
+			mutSetup(b)
+			for i := 0; i < b.N; i++ {
+				odb.Query(context.Background(), q, qreq)
+			}
+		}},
+		{"CompactSwap", func(b *testing.B) {
+			mutSetup(b)
+			for i := 0; i < b.N; i++ {
+				if err := cdb.Apply(mutAdd[:1]); err != nil {
+					b.Fatal(err)
+				}
+				cdb.Compact()
+				if err := cdb.Apply(mutDel[:1]); err != nil {
+					b.Fatal(err)
+				}
+				cdb.Compact()
 			}
 		}},
 	}

@@ -14,6 +14,14 @@
 //
 //	rbquery -graph g.graph -mode workload -workload w.txt -alpha 0.001
 //
+// Update streams (see cmd/graphgen -ops for the generator, and
+// internal/delta for the format: node/edge/deledge lines batched by
+// "apply"): each batch lands atomically through DB.Apply, and an
+// optional -pattern is evaluated against the mutated snapshot after
+// every batch — the paper's query answering, under live updates:
+//
+//	rbquery -graph g.graph -mode update -ops stream.ops -pattern q.pat -alpha 0.001
+//
 // Pattern files use the format of rbq.ParsePattern:
 //
 //	node 0 Michael*      # * marks the personalized node
@@ -32,6 +40,7 @@ import (
 
 	"rbq"
 	"rbq/internal/accuracy"
+	"rbq/internal/delta"
 	"rbq/internal/workload"
 )
 
@@ -42,12 +51,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		graphPath    = fs.String("graph", "", "data graph file (required)")
-		patternPath  = fs.String("pattern", "", "pattern file (sim/sub modes)")
+		patternPath  = fs.String("pattern", "", "pattern file (sim/sub/update modes)")
 		workloadPath = fs.String("workload", "", "workload file (workload mode)")
-		mode         = fs.String("mode", "sim", "sim | sub | reach | workload")
+		opsPath      = fs.String("ops", "", "op-stream file (update mode)")
+		compactAt    = fs.Int("compact-threshold", 0, "update mode: live-delta op count that triggers compaction (0 = library default)")
+		mode         = fs.String("mode", "sim", "sim | sub | reach | workload | update")
 		alpha        = fs.Float64("alpha", 0.001, "resource ratio α ∈ (0,1)")
 		exact        = fs.Bool("exact", false, "also run the exact baseline and report accuracy")
-		stats        = fs.Bool("stats", false, "report prepare vs execute timing and plan-cache hit/miss (pattern and workload modes)")
+		stats        = fs.Bool("stats", false, "report timing and plan-cache counters (pattern, workload and update modes)")
 		timeout      = fs.Duration("timeout", 0, "cancel query evaluation after this duration (0 = none; pattern and workload modes)")
 		from         = fs.Int("from", -1, "source node (reach mode)")
 		to           = fs.Int("to", -1, "target node (reach mode)")
@@ -95,6 +106,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runReach(db, *alpha, *from, *to, *exact, *indexPath, stdout, stderr)
 	case "workload":
 		return runWorkload(ctx, db, *workloadPath, *alpha, *stats, stdout, stderr)
+	case "update":
+		return runUpdate(ctx, db, *opsPath, *patternPath, *alpha, *compactAt, *stats, stdout, stderr)
 	default:
 		fmt.Fprintf(stderr, "rbquery: unknown mode %q\n", *mode)
 		return 2
@@ -218,6 +231,73 @@ func obtainOracle(db *rbq.DB, alpha float64, indexPath string) (*rbq.ReachOracle
 		return nil, "", fmt.Errorf("saving %s: %w", indexPath, err)
 	}
 	return oracle, "built and saved to " + indexPath, nil
+}
+
+// runUpdate streams mutation batches into the DB and, when a pattern is
+// given, answers it against the snapshot after every batch — the
+// dynamic-query-answering loop: updates land atomically, readers see
+// epochs, compaction happens off the request path at the threshold.
+func runUpdate(ctx context.Context, db *rbq.DB, opsPath, patternPath string, alpha float64, compactAt int, stats bool, stdout, stderr io.Writer) int {
+	if opsPath == "" {
+		fmt.Fprintln(stderr, "rbquery: -ops is required for update mode")
+		return 2
+	}
+	f, err := os.Open(opsPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "rbquery:", err)
+		return 1
+	}
+	batches, err := delta.ReadOps(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(stderr, "rbquery:", err)
+		return 1
+	}
+	if compactAt > 0 {
+		db.SetCompactThreshold(compactAt)
+	}
+	var q *rbq.Pattern
+	if patternPath != "" {
+		text, err := os.ReadFile(patternPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "rbquery:", err)
+			return 1
+		}
+		if q, err = rbq.ParsePattern(string(text)); err != nil {
+			fmt.Fprintln(stderr, "rbquery:", err)
+			return 1
+		}
+	}
+	totalOps := 0
+	start := time.Now()
+	for i, batch := range batches {
+		if err := db.Apply(batch); err != nil {
+			fmt.Fprintf(stderr, "rbquery: batch %d: %v\n", i, err)
+			return 1
+		}
+		totalOps += len(batch)
+		if q != nil {
+			res, err := db.Query(ctx, q, rbq.Request{Alpha: alpha})
+			if err != nil {
+				return queryErr(err, stderr)
+			}
+			ms := db.MutationStats()
+			fmt.Fprintf(stdout, "batch %d (%d ops): epoch %d, %d match(es), |G_Q| = %d of budget %d\n",
+				i, len(batch), ms.Epoch, len(res.Matches), res.FragmentSize, res.Budget)
+		}
+	}
+	elapsed := time.Since(start)
+	ms := db.MutationStats()
+	g := db.Graph()
+	fmt.Fprintf(stdout, "applied %d batch(es), %d op(s) in %v; now |V|=%d |E|=%d; epoch %d, %d live delta op(s), %d compaction(s)\n",
+		len(batches), totalOps, elapsed.Round(time.Microsecond),
+		g.NumNodes(), g.NumEdges(), ms.Epoch, ms.LiveDeltaOps, ms.Compactions)
+	if stats {
+		cs := db.PlanCacheStats()
+		fmt.Fprintf(stdout, "stats: plan cache %d hit(s) / %d miss(es) / %d invalidation(s)\n",
+			cs.Hits, cs.Misses, cs.Invalidations)
+	}
+	return 0
 }
 
 func runWorkload(ctx context.Context, db *rbq.DB, path string, alpha float64, stats bool, stdout, stderr io.Writer) int {

@@ -282,3 +282,56 @@ func TestRunReachModeWithPersistedIndex(t *testing.T) {
 		t.Fatalf("wrong answer from persisted index:\n%s", out2.String())
 	}
 }
+
+// TestRunUpdateMode: an op stream mutates the graph batch by batch,
+// the pattern is re-answered per batch against the fresh snapshot, and
+// the final summary reports the mutated sizes and epoch.
+func TestRunUpdateMode(t *testing.T) {
+	g, p, _ := writeFixtures(t)
+	dir := t.TempDir()
+	opsPath := filepath.Join(dir, "stream.ops")
+	// Batch 1 grows a second CL behind CC (a new match); batch 2 cuts
+	// the HG->CL edge of the original motif (destroying all matches:
+	// the pattern needs an HG parent for the output CL).
+	ops := "node CL\napply\ndeledge 2 3\napply\n"
+	if err := os.WriteFile(opsPath, []byte(ops), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	code := run([]string{"-graph", g, "-mode", "update", "-ops", opsPath,
+		"-pattern", p, "-alpha", "0.9", "-stats"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "batch 0 (1 ops): epoch 1, 1 match(es)") {
+		t.Fatalf("batch 0 line missing:\n%s", s)
+	}
+	if !strings.Contains(s, "batch 1 (1 ops): epoch 2, 0 match(es)") {
+		t.Fatalf("batch 1 line missing:\n%s", s)
+	}
+	if !strings.Contains(s, "applied 2 batch(es), 2 op(s)") || !strings.Contains(s, "|V|=8 |E|=3") {
+		t.Fatalf("summary missing:\n%s", s)
+	}
+	if !strings.Contains(s, "invalidation(s)") {
+		t.Fatalf("stats line missing:\n%s", s)
+	}
+}
+
+// TestRunUpdateModeRejectsBadStream: an op conflicting with the graph
+// fails the run with a batch-numbered error.
+func TestRunUpdateModeRejectsBadStream(t *testing.T) {
+	g, _, _ := writeFixtures(t)
+	dir := t.TempDir()
+	opsPath := filepath.Join(dir, "bad.ops")
+	if err := os.WriteFile(opsPath, []byte("edge 0 1\napply\n"), 0o644); err != nil {
+		t.Fatal(err) // (0,1) already exists in the fixture graph
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-graph", g, "-mode", "update", "-ops", opsPath}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "batch 0") {
+		t.Fatalf("error does not name the batch: %s", errb.String())
+	}
+}

@@ -51,7 +51,7 @@ type Point struct {
 // workloads are long-running, which is why they ride the same
 // cancellation plumbing as serving queries.
 func Curve(ctx context.Context, aux *graph.Aux, queries []Query, alphas []float64) []Point {
-	pq := prepare(aux, queries)
+	pq := prepare(ctx, aux, queries)
 	out := make([]Point, 0, len(alphas))
 	for _, a := range alphas {
 		if interrupt.Err(ctx) != nil {
@@ -72,7 +72,13 @@ type prepared struct {
 	plans   []*plan.Plan
 }
 
-func prepare(aux *graph.Aux, queries []Query) *prepared {
+// prepare compiles each query and runs its exact baseline. The exact
+// runs honor ctx through MatchOpt's fixpoint probe — calibration sweeps
+// are long-running, and the baselines are the expensive half — so a
+// fired ctx leaves the remaining baselines nil; the callers' interrupt
+// checks stop the sweep before those entries are scored.
+func prepare(ctx context.Context, aux *graph.Aux, queries []Query) *prepared {
+	done := interrupt.Done(ctx)
 	pq := &prepared{
 		queries: queries,
 		exact:   make([][]graph.NodeID, len(queries)),
@@ -86,7 +92,7 @@ func prepare(aux *graph.Aux, queries []Query) *prepared {
 			panic(fmt.Sprintf("calibrate: %v", err))
 		}
 		pq.plans[i] = pl
-		pq.exact[i] = pl.SimulationExact(q.VP)
+		pq.exact[i] = pl.SimulationExact(q.VP, done)
 	}
 	return pq
 }
@@ -123,7 +129,13 @@ func MinAlpha(ctx context.Context, aux *graph.Aux, queries []Query, target, hi f
 		panic("calibrate: hi must be positive")
 	}
 	g := aux.Graph()
-	pq := prepare(aux, queries)
+	pq := prepare(ctx, aux, queries)
+	if interrupt.Err(ctx) != nil {
+		// The exact baselines were cut short: scoring against their nil
+		// answers would fabricate perfect accuracy (empty == empty), so
+		// report "target not reached" instead of a made-up point.
+		return Point{Alpha: hi}, false
+	}
 
 	best := sample(ctx, pq, hi)
 	if best.Accuracy < target {
@@ -164,5 +176,10 @@ func MinAlpha(ctx context.Context, aux *graph.Aux, queries []Query, target, hi f
 // MaxAccuracy estimates the η of the paper's open problem directly: the
 // accuracy achievable at a given α on the workload.
 func MaxAccuracy(ctx context.Context, aux *graph.Aux, queries []Query, alpha float64) Point {
-	return sample(ctx, prepare(aux, queries), alpha)
+	pq := prepare(ctx, aux, queries)
+	if interrupt.Err(ctx) != nil {
+		// See MinAlpha: a canceled prepare must not score as perfect.
+		return Point{Alpha: alpha}
+	}
+	return sample(ctx, pq, alpha)
 }

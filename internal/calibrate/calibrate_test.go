@@ -130,3 +130,25 @@ func TestMaxAccuracyMatchesCurve(t *testing.T) {
 		t.Fatalf("MaxAccuracy %+v != Curve %+v", direct, viaCurve)
 	}
 }
+
+// TestCanceledContextDoesNotFabricateAccuracy: a context canceled
+// before (or during) prepare cuts the exact baselines short; scoring
+// the canceled runs against those nil answers would read as perfect
+// accuracy, so MinAlpha must report ok=false, MaxAccuracy a zero
+// point, and Curve no points.
+func TestCanceledContextDoesNotFabricateAccuracy(t *testing.T) {
+	g := testGraph(5)
+	aux := graph.BuildAux(g)
+	qs := workload(t, g, 4, 9)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if pt, ok := MinAlpha(ctx, aux, qs, 0.9, 0.5, 2); ok || pt.Accuracy != 0 {
+		t.Fatalf("canceled MinAlpha returned ok=%v accuracy=%v", ok, pt.Accuracy)
+	}
+	if pt := MaxAccuracy(ctx, aux, qs, 0.5); pt.Accuracy != 0 {
+		t.Fatalf("canceled MaxAccuracy fabricated accuracy %v", pt.Accuracy)
+	}
+	if pts := Curve(ctx, aux, qs, []float64{0.1, 0.5}); len(pts) != 0 {
+		t.Fatalf("canceled Curve returned %d points", len(pts))
+	}
+}

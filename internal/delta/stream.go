@@ -1,0 +1,93 @@
+package delta
+
+// The op-stream text format shared by cmd/graphgen (emitter) and
+// cmd/rbquery's update mode (consumer): one op per line, batches
+// separated by "apply" lines. Everything after "node " is the label
+// (labels may contain spaces, matching the graph text format).
+//
+//	# comment / blank lines ignored
+//	node <label>
+//	edge <from> <to>
+//	deledge <from> <to>
+//	apply
+//
+// A trailing batch without a closing "apply" is returned too, so a
+// stream is never silently truncated.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"rbq/internal/graph"
+)
+
+// ReadOps parses an op stream into batches (split at "apply" lines).
+func ReadOps(r io.Reader) ([][]Op, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var batches [][]Op
+	var cur []Op
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case line == "apply":
+			batches = append(batches, cur)
+			cur = nil
+		case strings.HasPrefix(line, "node "):
+			label := strings.TrimSpace(line[len("node "):])
+			if label == "" {
+				return nil, fmt.Errorf("ops line %d: empty node label", lineNo)
+			}
+			cur = append(cur, AddNode(label))
+		case strings.HasPrefix(line, "edge "), strings.HasPrefix(line, "deledge "):
+			fields := strings.Fields(line)
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("ops line %d: want %q <from> <to>, got %q", lineNo, fields[0], line)
+			}
+			from, err1 := strconv.Atoi(fields[1])
+			to, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("ops line %d: bad node id in %q", lineNo, line)
+			}
+			if fields[0] == "edge" {
+				cur = append(cur, AddEdge(graph.NodeID(from), graph.NodeID(to)))
+			} else {
+				cur = append(cur, DelEdge(graph.NodeID(from), graph.NodeID(to)))
+			}
+		default:
+			return nil, fmt.Errorf("ops line %d: unknown directive %q", lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(cur) > 0 {
+		batches = append(batches, cur)
+	}
+	return batches, nil
+}
+
+// WriteOps writes batches in the op-stream text format, each batch
+// terminated by an "apply" line.
+func WriteOps(w io.Writer, batches [][]Op) error {
+	bw := bufio.NewWriter(w)
+	for _, batch := range batches {
+		for _, op := range batch {
+			if _, err := fmt.Fprintln(bw, op.String()); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw, "apply"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

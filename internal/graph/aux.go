@@ -37,6 +37,15 @@ type Aux struct {
 	inStart  []int32
 	inHist   []LabelCount
 
+	// ov is nil for base Aux structures; a patched view built by
+	// PatchedFor (see overlay.go) overrides the histograms of the nodes
+	// an overlay touched and shares the base arrays for everything else.
+	ov *auxOverlay
+
+	// hists aliases the four arrays above for BaseHists, prebuilt so
+	// binding a Semantics costs a pointer copy, not a struct copy.
+	hists Hists
+
 	pools [scratchSlots]sync.Pool
 }
 
@@ -77,6 +86,7 @@ func BuildAux(g *Graph) *Aux {
 	workers := runtime.GOMAXPROCS(0)
 	if n < auxSerialCutoff || workers < 2 {
 		a.outHist, a.inHist = buildHistRange(g, 0, n, a.outStart, a.inStart)
+		a.hists = Hists{OutStart: a.outStart, InStart: a.inStart, OutHist: a.outHist, InHist: a.inHist}
 		return a
 	}
 	if workers > (n+auxSerialCutoff-1)/auxSerialCutoff {
@@ -124,6 +134,7 @@ func BuildAux(g *Graph) *Aux {
 		}
 		a.inHist = append(a.inHist, c.inHist...)
 	}
+	a.hists = Hists{OutStart: a.outStart, InStart: a.inStart, OutHist: a.outHist, InHist: a.inHist}
 	return a
 }
 
@@ -132,31 +143,48 @@ func BuildAux(g *Graph) *Aux {
 // lo+1..hi (so entry lo+1 starts at 0) and returns the histogram entries
 // for the range; BuildAux rebases them to global offsets afterwards.
 func buildHistRange(g *Graph, lo, hi int, outStart, inStart []int32) (outHist, inHist []LabelCount) {
-	counts := make([]int32, g.NumLabels())
-	touched := make([]LabelID, 0, 64)
-	histInto := func(dst []LabelCount, neigh []NodeID) []LabelCount {
-		touched = touched[:0]
-		for _, w := range neigh {
-			l := g.LabelOf(w)
-			if counts[l] == 0 {
-				touched = append(touched, l)
-			}
-			counts[l]++
-		}
-		slices.Sort(touched)
-		for _, l := range touched {
-			dst = append(dst, LabelCount{l, counts[l]})
-			counts[l] = 0
-		}
-		return dst
-	}
+	hb := newHistBuilder(g)
 	for v := lo; v < hi; v++ {
-		outHist = histInto(outHist, g.Out(NodeID(v)))
+		outHist = hb.appendHist(outHist, g.Out(NodeID(v)))
 		outStart[v+1] = int32(len(outHist))
-		inHist = histInto(inHist, g.In(NodeID(v)))
+		inHist = hb.appendHist(inHist, g.In(NodeID(v)))
 		inStart[v+1] = int32(len(inHist))
 	}
 	return outHist, inHist
+}
+
+// histBuilder accumulates one neighbor list's (label, count) histogram
+// at a time into a label-indexed counting array (no map). It is the one
+// definition of the Aux histogram format — sorted by label, zero counts
+// omitted — shared by the offline BuildAux scan and the per-touched-node
+// patching of Aux.PatchedFor, so the two can never drift apart.
+type histBuilder struct {
+	g       *Graph
+	counts  []int32
+	touched []LabelID
+}
+
+func newHistBuilder(g *Graph) *histBuilder {
+	return &histBuilder{g: g, counts: make([]int32, g.NumLabels()), touched: make([]LabelID, 0, 64)}
+}
+
+// appendHist appends the histogram of neigh (labels read from the
+// builder's graph) to dst and returns it.
+func (hb *histBuilder) appendHist(dst []LabelCount, neigh []NodeID) []LabelCount {
+	hb.touched = hb.touched[:0]
+	for _, w := range neigh {
+		l := hb.g.LabelOf(w)
+		if hb.counts[l] == 0 {
+			hb.touched = append(hb.touched, l)
+		}
+		hb.counts[l]++
+	}
+	slices.Sort(hb.touched)
+	for _, l := range hb.touched {
+		dst = append(dst, LabelCount{l, hb.counts[l]})
+		hb.counts[l] = 0
+	}
+	return dst
 }
 
 // Graph returns the graph this structure was built for.
@@ -164,13 +192,24 @@ func (a *Aux) Graph() *Graph { return a.g }
 
 // OutLabelHist returns the (label,count) histogram of v's children, sorted
 // by label. The slice is shared and must not be modified.
+//
+// The overlay check is shaped to keep the base path inline-eligible:
+// these accessors sit under the per-candidate Guard probes, the hottest
+// loop in the system, so a base Aux must pay one predicted branch and
+// nothing else.
 func (a *Aux) OutLabelHist(v NodeID) []LabelCount {
+	if a.ov != nil {
+		return a.ov.outOf(a, v)
+	}
 	return a.outHist[a.outStart[v]:a.outStart[v+1]]
 }
 
 // InLabelHist returns the (label,count) histogram of v's parents, sorted by
 // label. The slice is shared and must not be modified.
 func (a *Aux) InLabelHist(v NodeID) []LabelCount {
+	if a.ov != nil {
+		return a.ov.inOf(a, v)
+	}
 	return a.inHist[a.inStart[v]:a.inStart[v+1]]
 }
 
@@ -197,6 +236,39 @@ func (a *Aux) OutLabelCount(v NodeID, l LabelID) int32 { return lookup(a.OutLabe
 
 // InLabelCount returns how many parents of v carry label l.
 func (a *Aux) InLabelCount(v NodeID, l LabelID) int32 { return lookup(a.InLabelHist(v), l) }
+
+// Hists is the raw histogram layout of a *base* Aux, for engine code
+// whose innermost loops probe it millions of times per query: the
+// OutCount/InCount methods compile to the same inlined slice-and-search
+// the accessors above were before Aux views could carry overlays, with
+// no per-probe overlay check. Obtain via BaseHists at bind time; the
+// arrays are immutable and shared.
+type Hists struct {
+	OutStart, InStart []int32
+	OutHist, InHist   []LabelCount
+}
+
+// BaseHists returns the histogram arrays when a is an unpatched base
+// Aux. Patched views (see PatchedFor) return nil; callers must then
+// route every probe through OutLabelCount / InLabelCount, which consult
+// the per-touched-node overrides. The returned value is shared and
+// immutable.
+func (a *Aux) BaseHists() *Hists {
+	if a.ov != nil {
+		return nil
+	}
+	return &a.hists
+}
+
+// OutCount returns how many children of v carry label l.
+func (h *Hists) OutCount(v NodeID, l LabelID) int32 {
+	return lookup(h.OutHist[h.OutStart[v]:h.OutStart[v+1]], l)
+}
+
+// InCount returns how many parents of v carry label l.
+func (h *Hists) InCount(v NodeID, l LabelID) int32 {
+	return lookup(h.InHist[h.InStart[v]:h.InStart[v+1]], l)
+}
 
 // LabelCountBoth returns how many neighbors of v (parents plus children,
 // with multiplicity) carry label l — the paper's Sl lookup.

@@ -77,6 +77,16 @@ type Graph struct {
 
 	maxDegree int // cached at build time; see MaxDegree
 
+	// degCount[d] is the number of nodes with Degree d, maintained so an
+	// overlay view (see overlay.go) can keep MaxDegree exact under edge
+	// deletions without an O(|V|) rescan.
+	degCount []int32
+
+	// ov is nil for base graphs; an overlay view layers sealed mutations
+	// over the shared base arrays (see overlay.go). Every accessor that
+	// consults it pays one nil check on the base path.
+	ov *overlay
+
 	// Traversal scratch pools (see visit.go). Pools are safe for
 	// concurrent use and do not affect the graph's immutability contract.
 	visitPool sync.Pool // *Visited
@@ -84,20 +94,37 @@ type Graph struct {
 }
 
 // NumNodes returns |V|.
-func (g *Graph) NumNodes() int { return len(g.labels) }
+func (g *Graph) NumNodes() int {
+	if g.ov != nil {
+		return g.ov.nodes
+	}
+	return len(g.labels)
+}
 
 // NumEdges returns |E|.
-func (g *Graph) NumEdges() int { return len(g.outAdj) }
+func (g *Graph) NumEdges() int {
+	if g.ov != nil {
+		return g.ov.edges
+	}
+	return len(g.outAdj)
+}
 
 // Size returns |G| = |V| + |E|, the unit in which the paper's resource
 // ratio α is expressed.
 func (g *Graph) Size() int { return g.NumNodes() + g.NumEdges() }
 
-// LabelOf returns the interned label of v.
-func (g *Graph) LabelOf(v NodeID) LabelID { return g.labels[v] }
+// LabelOf returns the interned label of v. Node labels are immutable,
+// so base nodes need no overlay check: only new overlay nodes (ids at
+// or beyond the base node count) read the overlay's label list.
+func (g *Graph) LabelOf(v NodeID) LabelID {
+	if int(v) < len(g.labels) {
+		return g.labels[v]
+	}
+	return g.ov.newLabels[int(v)-len(g.labels)]
+}
 
 // Label returns the string form of v's label.
-func (g *Graph) Label(v NodeID) string { return g.labelNames[g.labels[v]] }
+func (g *Graph) Label(v NodeID) string { return g.labelNames[g.LabelOf(v)] }
 
 // LabelName returns the string form of an interned label.
 func (g *Graph) LabelName(l LabelID) string { return g.labelNames[l] }
@@ -135,29 +162,63 @@ func (g *Graph) NodesWithLabel(l LabelID) []NodeID {
 	if l < 0 || int(l) >= g.NumLabels() {
 		return nil
 	}
+	if g.ov != nil {
+		if patched := g.ov.labelNodes[l]; patched != nil {
+			return patched
+		}
+		// Unpatched labels predate the overlay: the base index applies.
+	}
 	return g.labelNodes[g.labelStart[l]:g.labelStart[l+1]]
 }
 
 // Out returns the out-neighbors (children) of v in ascending order. The
 // slice is shared with the graph and must not be modified.
 func (g *Graph) Out(v NodeID) []NodeID {
+	if g.ov == nil {
+		return g.outAdj[g.outStart[v]:g.outStart[v+1]]
+	}
+	return g.outOverlay(v)
+}
+
+// outOverlay is the overlay-view slow path of Out, kept out of line so
+// the base path stays inlinable.
+func (g *Graph) outOverlay(v NodeID) []NodeID {
+	if s := g.ov.slotOf(v); s >= 0 {
+		return g.ov.out[s]
+	}
 	return g.outAdj[g.outStart[v]:g.outStart[v+1]]
 }
 
 // In returns the in-neighbors (parents) of v in ascending order. The slice
 // is shared with the graph and must not be modified.
 func (g *Graph) In(v NodeID) []NodeID {
+	if g.ov == nil {
+		return g.inAdj[g.inStart[v]:g.inStart[v+1]]
+	}
+	return g.inOverlay(v)
+}
+
+func (g *Graph) inOverlay(v NodeID) []NodeID {
+	if s := g.ov.slotOf(v); s >= 0 {
+		return g.ov.in[s]
+	}
 	return g.inAdj[g.inStart[v]:g.inStart[v+1]]
 }
 
 // OutDegree returns the number of children of v.
 func (g *Graph) OutDegree(v NodeID) int {
-	return int(g.outStart[v+1] - g.outStart[v])
+	if g.ov == nil {
+		return int(g.outStart[v+1] - g.outStart[v])
+	}
+	return len(g.outOverlay(v))
 }
 
 // InDegree returns the number of parents of v.
 func (g *Graph) InDegree(v NodeID) int {
-	return int(g.inStart[v+1] - g.inStart[v])
+	if g.ov == nil {
+		return int(g.inStart[v+1] - g.inStart[v])
+	}
+	return len(g.inOverlay(v))
 }
 
 // Degree returns d(v) = |N(v)| counted with multiplicity, i.e. the number of
@@ -195,21 +256,26 @@ func (g *Graph) MaxDegree() int { return g.maxDegree }
 
 // Validate checks internal consistency (CSR monotonicity, in/out symmetry,
 // sorted adjacency, label tables). It is O(|G|) and intended for tests and
-// data loaders.
+// data loaders. Overlay views are validated through the same accessor
+// surface the engines use, so a broken merge cannot hide behind the base
+// arrays.
 func (g *Graph) Validate() error {
 	n := g.NumNodes()
-	if len(g.outStart) != n+1 || len(g.inStart) != n+1 {
-		return fmt.Errorf("graph: CSR offset arrays have wrong length")
+	if g.ov == nil {
+		if len(g.outStart) != n+1 || len(g.inStart) != n+1 {
+			return fmt.Errorf("graph: CSR offset arrays have wrong length")
+		}
+		if len(g.outAdj) != len(g.inAdj) {
+			return fmt.Errorf("graph: out edge count %d != in edge count %d", len(g.outAdj), len(g.inAdj))
+		}
 	}
-	if len(g.outAdj) != len(g.inAdj) {
-		return fmt.Errorf("graph: out edge count %d != in edge count %d", len(g.outAdj), len(g.inAdj))
-	}
-	var inCount int64
+	var outCount, inCount int64
 	for v := 0; v < n; v++ {
-		if g.outStart[v] > g.outStart[v+1] || g.inStart[v] > g.inStart[v+1] {
+		if g.ov == nil && (g.outStart[v] > g.outStart[v+1] || g.inStart[v] > g.inStart[v+1]) {
 			return fmt.Errorf("graph: non-monotone CSR offsets at node %d", v)
 		}
 		out := g.Out(NodeID(v))
+		outCount += int64(len(out))
 		for i, w := range out {
 			if w < 0 || int(w) >= n {
 				return fmt.Errorf("graph: edge (%d,%d) out of range", v, w)
@@ -231,22 +297,34 @@ func (g *Graph) Validate() error {
 				return fmt.Errorf("graph: in-edge (%d,%d) missing from out lists", w, v)
 			}
 		}
-		if int(g.labels[v]) < 0 || int(g.labels[v]) >= len(g.labelNames) {
-			return fmt.Errorf("graph: node %d has out-of-range label %d", v, g.labels[v])
+		if int(g.LabelOf(NodeID(v))) < 0 || int(g.LabelOf(NodeID(v))) >= len(g.labelNames) {
+			return fmt.Errorf("graph: node %d has out-of-range label %d", v, g.LabelOf(NodeID(v)))
 		}
 	}
-	if inCount != int64(len(g.outAdj)) {
-		return fmt.Errorf("graph: in lists carry %d edges, out lists %d", inCount, len(g.outAdj))
+	if outCount != int64(g.NumEdges()) {
+		return fmt.Errorf("graph: out lists carry %d edges, NumEdges says %d", outCount, g.NumEdges())
 	}
-	if len(g.labelStart) != g.NumLabels()+1 {
+	if inCount != outCount {
+		return fmt.Errorf("graph: in lists carry %d edges, out lists %d", inCount, outCount)
+	}
+	if g.ov == nil && len(g.labelStart) != g.NumLabels()+1 {
 		return fmt.Errorf("graph: label index has %d offsets for %d labels", len(g.labelStart), g.NumLabels())
 	}
+	labelTotal := 0
 	for l := 0; l < g.NumLabels(); l++ {
-		for _, v := range g.NodesWithLabel(LabelID(l)) {
-			if g.labels[v] != LabelID(l) {
-				return fmt.Errorf("graph: label index lists node %d under %d, actual %d", v, l, g.labels[v])
+		nodes := g.NodesWithLabel(LabelID(l))
+		labelTotal += len(nodes)
+		for i, v := range nodes {
+			if g.LabelOf(v) != LabelID(l) {
+				return fmt.Errorf("graph: label index lists node %d under %d, actual %d", v, l, g.LabelOf(v))
+			}
+			if i > 0 && nodes[i-1] >= v {
+				return fmt.Errorf("graph: label %d node list not strictly sorted at %d", l, v)
 			}
 		}
+	}
+	if labelTotal != n {
+		return fmt.Errorf("graph: label index covers %d nodes, graph has %d", labelTotal, n)
 	}
 	return nil
 }
@@ -410,6 +488,12 @@ func (b *Builder) Build() *Graph {
 		if d := g.Degree(NodeID(v)); d > g.maxDegree {
 			g.maxDegree = d
 		}
+	}
+	// Per-degree node counts, so overlay views can keep MaxDegree exact
+	// under deletions (see overlay.go) without rescanning the graph.
+	g.degCount = make([]int32, g.maxDegree+1)
+	for v := 0; v < n; v++ {
+		g.degCount[g.Degree(NodeID(v))]++
 	}
 	return g
 }

@@ -1,5 +1,7 @@
 package graph
 
+import "rbq/internal/interrupt"
+
 // This file implements the locality machinery of Section 2 of the paper:
 // N_r(v), the set of nodes within r hops of v following edges in either
 // direction; G_r(v), the subgraph induced by N_r(v), materialized as a
@@ -34,7 +36,7 @@ func (g *Graph) NodesWithin(v NodeID, r int) []NodeID {
 // allocate nothing: the visited marker and the queue come from the
 // graph's traversal pools.
 func (g *Graph) Walk(start NodeID, dir Direction, maxDepth int, visit func(v NodeID, depth int) bool) {
-	g.walk(start, dir, maxDepth, visit, nil)
+	g.walk(start, dir, maxDepth, visit, nil, nil)
 }
 
 // BFS is Walk plus discovery order: it returns the visited nodes in the
@@ -42,12 +44,17 @@ func (g *Graph) Walk(start NodeID, dir Direction, maxDepth int, visit func(v Nod
 // nil.
 func (g *Graph) BFS(start NodeID, dir Direction, maxDepth int, visit func(v NodeID, depth int) bool) []NodeID {
 	order := make([]NodeID, 0, 64)
-	return g.walk(start, dir, maxDepth, visit, order)
+	order, _ = g.walk(start, dir, maxDepth, visit, order, nil)
+	return order
 }
 
 // walk is the shared BFS core. When order is non-nil every discovered
-// node is appended to it; the (possibly grown) slice is returned.
-func (g *Graph) walk(start NodeID, dir Direction, maxDepth int, visit func(v NodeID, depth int) bool, order []NodeID) []NodeID {
+// node is appended to it; the (possibly grown) slice is returned. A
+// non-nil done channel is polled every interrupt.Stride dequeued nodes;
+// when it fires the traversal stops and complete reports false (the
+// partial order is returned for the caller to discard). A nil done
+// costs nothing: the probe branch tests the dequeue counter first.
+func (g *Graph) walk(start NodeID, dir Direction, maxDepth int, visit func(v NodeID, depth int) bool, order []NodeID, done <-chan struct{}) (_ []NodeID, complete bool) {
 	seen := g.AcquireVisited()
 	tr := g.acquireTrav()
 	defer func() {
@@ -58,6 +65,10 @@ func (g *Graph) walk(start NodeID, dir Direction, maxDepth int, visit func(v Nod
 	queue := append(tr.queue[:0], travItem{start, 0})
 	seen.Mark(start, 0)
 	for head := 0; head < len(queue); head++ {
+		if head&(interrupt.Stride-1) == interrupt.Stride-1 && interrupt.Fired(done) {
+			tr.queue = queue
+			return order, false
+		}
 		it := queue[head]
 		if order != nil {
 			order = append(order, it.v)
@@ -86,7 +97,7 @@ func (g *Graph) walk(start NodeID, dir Direction, maxDepth int, visit func(v Nod
 		}
 	}
 	tr.queue = queue // keep grown capacity pooled
-	return order
+	return order, true
 }
 
 // Reachable reports whether to is reachable from from by a directed path
@@ -142,8 +153,23 @@ func (g *Graph) Diameter(dir Direction) int {
 // warm — this is the hot path of the ball-based exact baselines (MatchOpt,
 // VF2Opt, StrongSim).
 func (g *Graph) BallInto(v NodeID, r int, c *FragCSR) {
+	g.BallIntoInterruptible(v, r, c, nil)
+}
+
+// BallIntoInterruptible is BallInto with a cooperative cancellation
+// probe in the extraction BFS (polled every interrupt.Stride dequeued
+// nodes): giant balls on dense graphs are the expensive half of the
+// exact baselines, and a bounded cancellation latency must cover them,
+// not just the matcher that follows. When done fires the extraction is
+// abandoned — complete reports false and c holds an unspecified partial
+// state the caller must not use. A nil done is exactly BallInto.
+func (g *Graph) BallIntoInterruptible(v NodeID, r int, c *FragCSR, done <-chan struct{}) (complete bool) {
 	tr := g.acquireTrav()
-	tr.nodes = g.walk(v, Both, r, nil, tr.nodes[:0])
+	defer g.releaseTrav(tr)
+	tr.nodes, complete = g.walk(v, Both, r, nil, tr.nodes[:0], done)
+	if !complete {
+		return false
+	}
 	g.CSRInto(tr.nodes, c)
-	g.releaseTrav(tr)
+	return true
 }

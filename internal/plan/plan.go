@@ -64,6 +64,19 @@ type Plan struct {
 	sel        *Selectivity
 }
 
+// SelectivitySampleThreshold is the candidate-list length above which
+// the Potential-mass scan samples instead of probing every candidate:
+// the list is stride-sampled down to roughly SelectivitySampleSize
+// Potential probes and the sampled mass scaled by the degree-weighted
+// ratio estimator of massEstimate. Very common labels ("user" on a
+// social graph) otherwise make the table's build cost one histogram
+// probe per graph node, for a number whose consumers only need it to be
+// proportionally right.
+const (
+	SelectivitySampleThreshold = 4096
+	SelectivitySampleSize      = 2048
+)
+
 // Selectivity is the compile-time selectivity table of a pattern: how
 // many candidates each query node has in the graph, how much Potential
 // mass those candidates carry, and the anchor unanchored evaluation
@@ -74,8 +87,16 @@ type Selectivity struct {
 	CandCount []int
 	// Mass[u] is the summed Potential mass p(v,u) over u's candidates —
 	// an Sl-histogram estimate of how much matching structure surrounds
-	// them. Low count and low mass both mean "selective".
+	// them. Low count and low mass both mean "selective". For query
+	// nodes whose candidate list exceeds SelectivitySampleThreshold the
+	// value is a sample-and-scale estimate (see Sampled): a deterministic
+	// stride sample of the candidates, scaled by the candidates' degree
+	// mass rather than their bare count so heavy-tailed graphs do not
+	// skew it (see massEstimate).
 	Mass []float64
+	// Sampled[u] reports whether Mass[u] was estimated by sampling
+	// rather than an exact scan.
+	Sampled []bool
 	// Anchor is the query node unanchored evaluation roots at: the one
 	// with the fewest candidates (ties to the lowest id), exactly as
 	// rbany.PickAnchor chooses.
@@ -167,9 +188,14 @@ func (pl *Plan) Subgraph(vp graph.NodeID, opts reduce.Options, mopts *rbsub.Matc
 	return rbsub.RunPrepared(pl.aux, pl.p, vp, &pl.subSem, opts, mopts)
 }
 
-// SimulationExact runs the exact MatchOpt baseline from vp.
-func (pl *Plan) SimulationExact(vp graph.NodeID) []graph.NodeID {
-	return simulation.MatchOpt(pl.aux.Graph(), pl.p, vp)
+// SimulationExact runs the exact MatchOpt baseline from vp. done is the
+// cooperative cancellation channel threaded into the ball-local
+// fixpoint (nil = uncancellable); when it fires the partial answer is
+// abandoned and nil returned — the request layer reports ctx.Err()
+// instead of the result.
+func (pl *Plan) SimulationExact(vp graph.NodeID, done <-chan struct{}) []graph.NodeID {
+	m, _ := simulation.MatchOptInterruptible(pl.aux.Graph(), pl.p, vp, done)
+	return m
 }
 
 // SubgraphExact runs the exact VF2Opt baseline from vp.
@@ -258,6 +284,7 @@ func (pl *Plan) buildSelectivityLocked() *Selectivity {
 	sel := &Selectivity{
 		CandCount: make([]int, nq),
 		Mass:      make([]float64, nq),
+		Sampled:   make([]bool, nq),
 	}
 	for u := 0; u < nq; u++ {
 		l := pl.labels[u]
@@ -266,10 +293,53 @@ func (pl *Plan) buildSelectivityLocked() *Selectivity {
 		}
 		cands := g.NodesWithLabel(l)
 		sel.CandCount[u] = len(cands)
-		for _, v := range cands {
-			sel.Mass[u] += pl.simSem.Potential(v, pattern.NodeID(u))
-		}
+		sel.Mass[u], sel.Sampled[u] = massEstimate(g, &pl.simSem, cands, pattern.NodeID(u))
 	}
 	sel.Unanchored, sel.Anchor = pl.unanchoredLocked()
 	return sel
+}
+
+// massEstimate sums the Potential mass over a candidate list, switching
+// to sample-and-scale once the list exceeds
+// SelectivitySampleThreshold. The expensive per-candidate work is the
+// Potential probe (one Sl-histogram binary search per pattern neighbor
+// of u); the sample replaces it with a deterministic stride sample
+// plus one O(1) Degree read per candidate, combined as a ratio
+// estimator:
+//
+//	mass ≈ Σ_all (d(v)+1) × [Σ_sample Potential / Σ_sample (d(v)+1)]
+//
+// Potential is bounded by (and strongly correlated with) degree, so
+// scaling by the *degree* mass instead of the bare candidate count
+// absorbs most of the heavy-tailed variance a power-law graph would
+// otherwise inject — a plain count-scaled sample can miss or overweight
+// the few high-degree candidates that carry most of the mass. Stride
+// sampling keeps the estimate deterministic (no RNG on a compile
+// path); the accuracy guard test pins the relative error against the
+// exact scan.
+func massEstimate(g *graph.Graph, sem potentialFn, cands []graph.NodeID, u pattern.NodeID) (float64, bool) {
+	if len(cands) <= SelectivitySampleThreshold {
+		var mass float64
+		for _, v := range cands {
+			mass += sem.Potential(v, u)
+		}
+		return mass, false
+	}
+	var degAll float64
+	for _, v := range cands {
+		degAll += float64(g.Degree(v)) + 1
+	}
+	stride := (len(cands) + SelectivitySampleSize - 1) / SelectivitySampleSize
+	var mass, degSample float64
+	for i := 0; i < len(cands); i += stride {
+		mass += sem.Potential(cands[i], u)
+		degSample += float64(g.Degree(cands[i])) + 1
+	}
+	return mass * degAll / degSample, true
+}
+
+// potentialFn is the one Semantics probe massEstimate needs; taking the
+// narrow interface keeps the estimator testable against a reference.
+type potentialFn interface {
+	Potential(v graph.NodeID, u pattern.NodeID) float64
 }

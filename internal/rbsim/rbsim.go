@@ -33,6 +33,12 @@ type Semantics struct {
 	aux    *graph.Aux
 	p      *pattern.Pattern
 	labels []graph.LabelID // labels[u] = graph id of P's label of u, NoLabel if absent
+
+	// hists caches the base histogram arrays when aux carries no
+	// overlay (base reports which), so the per-candidate probes below
+	// compile to the inlined slice-and-search they always were; a
+	// patched Aux routes through the overlay-aware accessors instead.
+	hists *graph.Hists // nil for patched Aux views
 }
 
 // NewSemantics resolves p's labels against aux's graph and returns the
@@ -49,6 +55,24 @@ func NewSemantics(aux *graph.Aux, p *pattern.Pattern) *Semantics {
 func (s *Semantics) Bind(aux *graph.Aux, p *pattern.Pattern) {
 	s.aux, s.p = aux, p
 	s.labels = aux.Graph().InternLabels(p.Labels(), s.labels)
+	s.hists = aux.BaseHists()
+}
+
+// outCount / inCount are the Sl probes of Guard and Potential: the
+// inlined fast path against the cached base arrays, or the
+// overlay-aware accessor for patched Aux views.
+func (s *Semantics) outCount(v graph.NodeID, l graph.LabelID) int32 {
+	if s.hists != nil {
+		return s.hists.OutCount(v, l)
+	}
+	return s.aux.OutLabelCount(v, l)
+}
+
+func (s *Semantics) inCount(v graph.NodeID, l graph.LabelID) int32 {
+	if s.hists != nil {
+		return s.hists.InCount(v, l)
+	}
+	return s.aux.InLabelCount(v, l)
 }
 
 // Labels returns the pattern's labels resolved to the graph's interned
@@ -65,13 +89,13 @@ func (s *Semantics) Guard(v graph.NodeID, u pattern.NodeID) bool {
 	}
 	for _, uc := range s.p.Out(u) {
 		l := s.labels[uc]
-		if l == graph.NoLabel || s.aux.OutLabelCount(v, l) == 0 {
+		if l == graph.NoLabel || s.outCount(v, l) == 0 {
 			return false
 		}
 	}
 	for _, ua := range s.p.In(u) {
 		l := s.labels[ua]
-		if l == graph.NoLabel || s.aux.InLabelCount(v, l) == 0 {
+		if l == graph.NoLabel || s.inCount(v, l) == 0 {
 			return false
 		}
 	}
@@ -85,12 +109,12 @@ func (s *Semantics) Potential(v graph.NodeID, u pattern.NodeID) float64 {
 	total := 0
 	for _, uc := range s.p.Out(u) {
 		if l := s.labels[uc]; l != graph.NoLabel {
-			total += int(s.aux.OutLabelCount(v, l))
+			total += int(s.outCount(v, l))
 		}
 	}
 	for _, ua := range s.p.In(u) {
 		if l := s.labels[ua]; l != graph.NoLabel {
-			total += int(s.aux.InLabelCount(v, l))
+			total += int(s.inCount(v, l))
 		}
 	}
 	return float64(total)

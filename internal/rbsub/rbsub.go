@@ -32,6 +32,11 @@ type Semantics struct {
 	aux    *graph.Aux
 	p      *pattern.Pattern
 	labels []graph.LabelID // labels[u] = graph id of P's label of u, NoLabel if absent
+
+	// hists caches the base histogram arrays when aux carries no
+	// overlay (base reports which); see rbsim.Semantics for the
+	// rationale — these probes are the innermost loop of the reduction.
+	hists *graph.Hists // nil for patched Aux views
 }
 
 // NewSemantics resolves p's labels against aux's graph and returns the
@@ -48,6 +53,23 @@ func NewSemantics(aux *graph.Aux, p *pattern.Pattern) *Semantics {
 func (s *Semantics) Bind(aux *graph.Aux, p *pattern.Pattern) {
 	s.aux, s.p = aux, p
 	s.labels = aux.Graph().InternLabels(p.Labels(), s.labels)
+	s.hists = aux.BaseHists()
+}
+
+// outCount / inCount: inlined base-array probes, with the
+// overlay-aware accessor as the patched-view fallback.
+func (s *Semantics) outCount(v graph.NodeID, l graph.LabelID) int32 {
+	if s.hists != nil {
+		return s.hists.OutCount(v, l)
+	}
+	return s.aux.OutLabelCount(v, l)
+}
+
+func (s *Semantics) inCount(v graph.NodeID, l graph.LabelID) int32 {
+	if s.hists != nil {
+		return s.hists.InCount(v, l)
+	}
+	return s.aux.InLabelCount(v, l)
 }
 
 // Labels returns the pattern's labels resolved to the graph's interned
@@ -104,9 +126,9 @@ func (s *Semantics) enoughDistinct(v graph.NodeID, patNeigh []pattern.NodeID, ou
 		}
 		var have int32
 		if out {
-			have = s.aux.OutLabelCount(v, l)
+			have = s.outCount(v, l)
 		} else {
-			have = s.aux.InLabelCount(v, l)
+			have = s.inCount(v, l)
 		}
 		if have < need {
 			return false
@@ -121,12 +143,12 @@ func (s *Semantics) Potential(v graph.NodeID, u pattern.NodeID) float64 {
 	total := 0
 	for _, uc := range s.p.Out(u) {
 		if l := s.labels[uc]; l != graph.NoLabel {
-			total += int(s.aux.OutLabelCount(v, l))
+			total += int(s.outCount(v, l))
 		}
 	}
 	for _, ua := range s.p.In(u) {
 		if l := s.labels[ua]; l != graph.NoLabel {
-			total += int(s.aux.InLabelCount(v, l))
+			total += int(s.inCount(v, l))
 		}
 	}
 	return float64(total)

@@ -38,6 +38,7 @@ import (
 	"sync"
 
 	"rbq/internal/graph"
+	"rbq/internal/interrupt"
 	"rbq/internal/pattern"
 )
 
@@ -204,6 +205,22 @@ type Scratch struct {
 // with all transient state drawn from sc; the returned slice is the only
 // allocation.
 func MatchFragment(g *graph.Graph, csr *graph.FragCSR, p *pattern.Pattern, pinPos int32, sc *Scratch) []graph.NodeID {
+	out, _, _ := MatchFragmentInterruptible(g, csr, p, pinPos, sc, nil)
+	return out
+}
+
+// MatchFragmentInterruptible is MatchFragment with a cooperative
+// cancellation probe threaded through the fixpoint refinement — the one
+// potentially long-running loop (the candidate sets shrink
+// monotonically, but a dense ball can still force many rounds over
+// thousands of candidates). The probe polls done every interrupt.Stride
+// examined candidates, mirroring the reduce engine's contract: a fired
+// channel abandons the fixpoint within about one stride of work and
+// returns complete=false with a nil answer. visited reports the number
+// of candidates examined, so tests can pin the promptness bound; an
+// open or nil channel leaves the computation bit-for-bit identical to
+// MatchFragment.
+func MatchFragmentInterruptible(g *graph.Graph, csr *graph.FragCSR, p *pattern.Pattern, pinPos int32, sc *Scratch, done <-chan struct{}) (out []graph.NodeID, complete bool, visited int) {
 	nq := p.NumNodes()
 	n := csr.NumNodes()
 	words := (n + 63) / 64
@@ -230,7 +247,7 @@ func MatchFragment(g *graph.Graph, csr *graph.FragCSR, p *pattern.Pattern, pinPo
 	for u := 0; u < nq; u++ {
 		l := g.LabelIDOf(p.Label(pattern.NodeID(u)))
 		if l == graph.NoLabel {
-			return nil
+			return nil, true, visited
 		}
 		sc.labels[u] = l
 	}
@@ -251,7 +268,7 @@ func MatchFragment(g *graph.Graph, csr *graph.FragCSR, p *pattern.Pattern, pinPo
 			}
 		}
 		if sc.size[u] == 0 {
-			return nil
+			return nil, true, visited
 		}
 	}
 
@@ -277,6 +294,13 @@ func MatchFragment(g *graph.Graph, csr *graph.FragCSR, p *pattern.Pattern, pinPo
 			for word != 0 {
 				v := int32(wi<<6 + bits.TrailingZeros64(word))
 				word &= word - 1
+				// The cancellation probe piggybacks on the candidate
+				// counter the loop already advances, exactly like the
+				// reduce engine's visited-item probe.
+				visited++
+				if visited&(interrupt.Stride-1) == 0 && interrupt.Fired(done) {
+					return nil, false, visited
+				}
 				ok := true
 				for _, uc := range p.Out(u) {
 					if !anyIn(csr.Out(v), sc.sim[uc]) {
@@ -305,7 +329,7 @@ func MatchFragment(g *graph.Graph, csr *graph.FragCSR, p *pattern.Pattern, pinPo
 		}
 		sc.size[u] -= int32(len(sc.drop))
 		if sc.size[u] <= 0 {
-			return nil
+			return nil, true, visited
 		}
 		for _, w := range p.Out(u) {
 			if !sc.dirty[w] {
@@ -323,9 +347,9 @@ func MatchFragment(g *graph.Graph, csr *graph.FragCSR, p *pattern.Pattern, pinPo
 
 	uo := p.Output()
 	if sc.size[uo] == 0 {
-		return nil
+		return nil, true, visited
 	}
-	out := make([]graph.NodeID, 0, sc.size[uo])
+	out = make([]graph.NodeID, 0, sc.size[uo])
 	for wi, word := range sc.sim[uo] {
 		for word != 0 {
 			pos := int32(wi<<6 + bits.TrailingZeros64(word))
@@ -334,7 +358,7 @@ func MatchFragment(g *graph.Graph, csr *graph.FragCSR, p *pattern.Pattern, pinPo
 		}
 	}
 	slices.Sort(out)
-	return out
+	return out, true, visited
 }
 
 // PersonalizedMatch finds v_p, the unique data node whose label equals
@@ -385,13 +409,34 @@ var ballPool sync.Pool
 // so the only steady-state allocation is the returned slice, in g's node
 // ids, sorted.
 func MatchOpt(g *graph.Graph, p *pattern.Pattern, vp graph.NodeID) []graph.NodeID {
+	m, _ := MatchOptInterruptible(g, p, vp, nil)
+	return m
+}
+
+// MatchOptInterruptible is MatchOpt with cooperative cancellation
+// probes threaded through both the ball-extraction BFS
+// (graph.BallIntoInterruptible) and the ball-local fixpoint
+// (MatchFragmentInterruptible). It is the form the facade's Exact-mode
+// simulation requests run, closing the one engine path that previously
+// had no probe point: a fired done channel abandons the evaluation
+// within about one interrupt.Stride of work — extracted nodes or
+// examined candidates, whichever loop is running — and returns
+// complete=false (the request layer then surfaces ctx.Err() and
+// discards the partial state). A nil or open channel is bit-for-bit
+// identical to MatchOpt.
+func MatchOptInterruptible(g *graph.Graph, p *pattern.Pattern, vp graph.NodeID, done <-chan struct{}) ([]graph.NodeID, bool) {
 	bs, _ := ballPool.Get().(*ballScratch)
 	if bs == nil {
 		bs = new(ballScratch)
 	}
 	defer ballPool.Put(bs)
-	g.BallInto(vp, p.Diameter(), &bs.csr)
-	return MatchFragment(g, &bs.csr, p, bs.csr.PosOf(vp), &bs.sc)
+	// Both halves probe: the extraction BFS (giant balls are the
+	// expensive half on dense graphs) and the fixpoint refinement.
+	if !g.BallIntoInterruptible(vp, p.Diameter(), &bs.csr, done) {
+		return nil, false
+	}
+	m, complete, _ := MatchFragmentInterruptible(g, &bs.csr, p, bs.csr.PosOf(vp), &bs.sc, done)
+	return m, complete
 }
 
 // StrongSim implements the literal Section 2 semantics: the match relation

@@ -124,7 +124,16 @@ func MatchOpt(g *graph.Graph, p *pattern.Pattern, vp graph.NodeID, opts *Options
 		bs = new(ballScratch)
 	}
 	defer ballPool.Put(bs)
-	g.BallInto(vp, p.Diameter(), &bs.csr)
+	// The extraction BFS probes opts.Interrupt like the backtracker
+	// does: giant balls on dense graphs are the expensive half of the
+	// baseline, and the cancellation latency bound must cover them.
+	var done <-chan struct{}
+	if opts != nil {
+		done = opts.Interrupt
+	}
+	if !g.BallIntoInterruptible(vp, p.Diameter(), &bs.csr, done) {
+		return nil, false
+	}
 	return MatchFragment(g, &bs.csr, p, bs.csr.PosOf(vp), opts, &bs.sc)
 }
 

@@ -1,0 +1,169 @@
+package rbq
+
+// The mutation facade: DB.Apply buffers a validated batch of graph
+// mutations into the DB's live delta (internal/delta) and publishes a
+// fresh immutable snapshot; readers pin a snapshot with one atomic
+// pointer load, so queries never block on writers and always see one
+// consistent epoch end to end. When the live delta crosses the
+// compaction threshold, Apply rebuilds the merged base CSR + Aux — off
+// the request path: readers keep the old snapshot until the swap — and
+// starts an empty delta over the new base.
+//
+// Epoch/pinning invariants (the property and race tests in
+// mutation_test.go enforce them):
+//
+//   - Every published snapshot is immutable: its graph view, Aux and
+//     every structure hanging off them never change after Store.
+//   - A query uses exactly one snapshot: DB.Query loads it once and
+//     threads it (via the compiled plan) through validation, reduction
+//     and matching. Concurrent Applies are invisible to in-flight
+//     queries.
+//   - The plan cache is epoch-keyed: a cached plan is only served to
+//     queries at the epoch it was compiled for; Apply bumps the epoch,
+//     so stale plans recompile lazily on next use (counted in
+//     PlanCacheStats.Invalidations). When a batch grows the label
+//     alphabet the cache is flushed wholesale — compiled plans resolve
+//     absent labels to sentinels, and a new label can turn that
+//     resolution stale for every cached template at once.
+//   - PreparedQuery pins the snapshot current at Prepare time: re-run
+//     Prepare (or use DB.Query) to observe later mutations.
+
+import (
+	"fmt"
+
+	"rbq/internal/delta"
+)
+
+// Op is one graph mutation: a node add, an edge add or an edge delete.
+// Build with AddNode/AddEdge/DelEdge and submit batches through
+// DB.Apply.
+type Op = delta.Op
+
+// AddNode returns an op appending a node labeled label. The new node's
+// id is the graph's node count at the moment the op takes effect within
+// its batch (ids are dense; nodes are never deleted).
+func AddNode(label string) Op { return delta.AddNode(label) }
+
+// AddEdge returns an op inserting the directed edge (from, to). The
+// edge must not already exist; endpoints may be nodes added earlier in
+// the same batch.
+func AddEdge(from, to NodeID) Op { return delta.AddEdge(from, to) }
+
+// DelEdge returns an op removing the directed edge (from, to), which
+// must exist.
+func DelEdge(from, to NodeID) Op { return delta.DelEdge(from, to) }
+
+// DefaultCompactThreshold is the live-delta op count at which Apply
+// compacts: the merged view is rebuilt as a fresh base CSR + Aux and
+// swapped in. See SetCompactThreshold.
+const DefaultCompactThreshold = 1 << 15
+
+// Apply validates and applies one batch of mutations atomically: either
+// every op is consistent with the current graph (in batch order, so an
+// edge may target a node added earlier in the batch) and a snapshot
+// containing the whole batch is published, or the DB is left unchanged
+// and the error names the first offending op (wrapped in ErrBadRequest).
+//
+// Apply is safe to call concurrently with queries and with other
+// Applies (writers serialize behind a mutex). In-flight queries keep
+// the snapshot they pinned; queries issued after Apply returns see the
+// mutations. Sealing costs O(live delta); when the live delta reaches
+// the compaction threshold, Apply additionally rebuilds the merged base
+// (O(|G|)) before publishing — still without blocking readers.
+func (db *DB) Apply(ops []Op) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.pending.Apply(ops); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return db.publishLocked(db.pending.Ops() >= db.compactAt)
+}
+
+// Compact forces a compaction: the current snapshot's merged view is
+// rebuilt as a standalone base CSR with a freshly built Aux and swapped
+// in, and the live delta resets to empty. A no-op when there is no live
+// delta. Apply triggers the same rebuild automatically at the
+// compaction threshold; Compact is for callers that want the rebuild at
+// a quiet moment of their own choosing.
+func (db *DB) Compact() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.pending.Ops() == 0 {
+		return
+	}
+	// publishLocked cannot fail here: the pending delta was validated
+	// op by op as it accumulated.
+	if err := db.publishLocked(true); err != nil {
+		panic(fmt.Sprintf("rbq: compaction of a validated delta failed: %v", err))
+	}
+}
+
+// publishLocked seals the pending delta into the next-epoch snapshot —
+// compacting it into a fresh base first when compact is set — and
+// publishes it. The plan cache is flushed when the label alphabet grew,
+// and otherwise invalidates lazily via the epoch bump. Callers hold
+// db.mu.
+func (db *DB) publishLocked(compact bool) error {
+	old := db.snap.Load()
+	epoch := old.Epoch() + 1
+	snap, err := db.pending.Seal(epoch)
+	if err != nil {
+		return fmt.Errorf("rbq: %w", err)
+	}
+	if compact {
+		snap = snap.Compacted(epoch)
+		db.pending = delta.New(snap.Graph(), snap.Aux())
+		db.compactions++
+	}
+	// Alphabet growth stales every cached template at once; compaction
+	// replaces the base that stale entries would otherwise pin in the
+	// LRU. Both flush (plain epoch bumps invalidate lazily instead).
+	if compact || snap.Graph().NumLabels() > old.Graph().NumLabels() {
+		db.plans.flush(epoch)
+	}
+	db.snap.Store(snap)
+	return nil
+}
+
+// SetCompactThreshold sets the live-delta op count at which Apply
+// compacts (minimum 1; the default is DefaultCompactThreshold). A lower
+// threshold trades more frequent O(|G|) rebuilds for cheaper overlay
+// lookups on touched nodes; tests use it to force compaction churn.
+func (db *DB) SetCompactThreshold(n int) {
+	if n < 1 {
+		n = 1
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.compactAt = n
+}
+
+// MutationStats is a snapshot of the DB's mutation-side counters.
+type MutationStats struct {
+	// Epoch is the current snapshot's publish epoch; it increments with
+	// every Apply and every compaction.
+	Epoch uint64
+	// LiveDeltaOps is the net op count of the live delta (zero right
+	// after a compaction). Net: an add canceled by a later delete leaves
+	// no trace.
+	LiveDeltaOps int
+	// Compactions counts base rebuilds (threshold-triggered and
+	// explicit alike). CompactThreshold is the current trigger.
+	Compactions      uint64
+	CompactThreshold int
+}
+
+// MutationStats returns the DB's mutation counters.
+func (db *DB) MutationStats() MutationStats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return MutationStats{
+		Epoch:            db.snap.Load().Epoch(),
+		LiveDeltaOps:     db.pending.Ops(),
+		Compactions:      db.compactions,
+		CompactThreshold: db.compactAt,
+	}
+}

@@ -1,0 +1,514 @@
+package rbq
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"rbq/internal/gen"
+	"rbq/internal/graph"
+)
+
+// shadow mirrors the DB's mutable graph as plain lists, so the property
+// test can rebuild "the graph the DB claims to be" from scratch and
+// compare answers bit for bit.
+type shadow struct {
+	labels   []string
+	edges    map[[2]NodeID]int // edge -> index in list
+	edgeList [][2]NodeID
+}
+
+func newShadow(g *Graph) *shadow {
+	s := &shadow{edges: make(map[[2]NodeID]int, g.NumEdges())}
+	for v := 0; v < g.NumNodes(); v++ {
+		s.labels = append(s.labels, g.Label(NodeID(v)))
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, w := range g.Out(NodeID(v)) {
+			s.addEdge([2]NodeID{NodeID(v), w})
+		}
+	}
+	return s
+}
+
+func (s *shadow) addEdge(e [2]NodeID) {
+	s.edges[e] = len(s.edgeList)
+	s.edgeList = append(s.edgeList, e)
+}
+
+func (s *shadow) delEdge(e [2]NodeID) {
+	i := s.edges[e]
+	last := s.edgeList[len(s.edgeList)-1]
+	s.edgeList[i] = last
+	s.edges[last] = i
+	s.edgeList = s.edgeList[:len(s.edgeList)-1]
+	delete(s.edges, e)
+}
+
+// randomBatch draws a batch of ops valid against the shadow (applying
+// each op's effect to the shadow immediately, so later ops in the batch
+// see earlier ones — the same order contract DB.Apply validates).
+func (s *shadow) randomBatch(rng *rand.Rand, n int) []Op {
+	ops := make([]Op, 0, n)
+	for len(ops) < n {
+		switch k := rng.Intn(10); {
+		case k == 0: // node with an existing label
+			label := s.labels[rng.Intn(len(s.labels))]
+			ops = append(ops, AddNode(label))
+			s.labels = append(s.labels, label)
+		case k == 1: // node with a possibly brand-new label
+			label := fmt.Sprintf("NEW%d", rng.Intn(4))
+			ops = append(ops, AddNode(label))
+			s.labels = append(s.labels, label)
+		case k <= 6: // edge add
+			e := [2]NodeID{NodeID(rng.Intn(len(s.labels))), NodeID(rng.Intn(len(s.labels)))}
+			if _, ok := s.edges[e]; ok {
+				continue
+			}
+			ops = append(ops, AddEdge(e[0], e[1]))
+			s.addEdge(e)
+		default: // edge delete
+			if len(s.edgeList) == 0 {
+				continue
+			}
+			e := s.edgeList[rng.Intn(len(s.edgeList))]
+			ops = append(ops, DelEdge(e[0], e[1]))
+			s.delEdge(e)
+		}
+	}
+	return ops
+}
+
+// rebuild constructs a fresh graph from the shadow.
+func (s *shadow) rebuild() *Graph {
+	b := NewGraphBuilder(len(s.labels), len(s.edgeList))
+	for _, l := range s.labels {
+		b.AddNode(l)
+	}
+	// Builder sorts and dedups, so insertion order does not matter.
+	for _, e := range s.edgeList {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+// queryMatrix runs every Semantics × Mode combination the ISSUE's
+// equivalence contract names and returns the Results (errors rendered
+// into the value so mismatched failures diverge too).
+func queryMatrix(t *testing.T, db *DB, q *Pattern, pin NodeID, alpha float64) []Result {
+	t.Helper()
+	ctx := context.Background()
+	reqs := []Request{
+		{Semantics: Simulation, Mode: Bounded, Anchor: &pin, Alpha: alpha},
+		{Semantics: Simulation, Mode: Exact, Anchor: &pin},
+		{Semantics: Simulation, Mode: Unanchored, Alpha: alpha},
+		{Semantics: Subgraph, Mode: Bounded, Anchor: &pin, Alpha: alpha, MaxSteps: 500_000},
+		{Semantics: Subgraph, Mode: Exact, Anchor: &pin, MaxSteps: 500_000},
+		{Semantics: Subgraph, Mode: Unanchored, Alpha: alpha},
+	}
+	out := make([]Result, len(reqs))
+	for i, req := range reqs {
+		res, err := db.Query(ctx, q, req)
+		if err != nil {
+			res = Result{Matches: []NodeID{-2}, Personalized: NoNode}
+		}
+		out[i] = res
+	}
+	return out
+}
+
+// TestSnapshotEquivalentToRebuild is the mutation subsystem's core
+// property: for random op batches, querying the live Snapshot (overlay
+// graph + patched Aux) is bit-for-bit identical to rebuilding the graph
+// from scratch and querying that — across Simulation/Subgraph ×
+// Bounded/Exact/Unanchored, including every fragment/budget/visited
+// counter in the Result. Run both with compaction disabled (pure
+// overlay execution) and with compaction after every batch (exercising
+// the rebuild-and-swap path).
+func TestSnapshotEquivalentToRebuild(t *testing.T) {
+	seeds := 4
+	if testing.Short() {
+		seeds = 2
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		for _, compactEvery := range []bool{false, true} {
+			name := fmt.Sprintf("seed=%d/compact=%v", seed, compactEvery)
+			t.Run(name, func(t *testing.T) {
+				rng := rand.New(rand.NewSource(seed))
+				base := RandomGraph(400, 1000, seed+1, true)
+				db := NewDB(base)
+				if compactEvery {
+					db.SetCompactThreshold(1)
+				}
+				sh := newShadow(base)
+
+				// Patterns are drawn from the base graph; their label
+				// constraints stay meaningful across mutations. Pins are
+				// re-drawn per round from nodes carrying the personalized
+				// label, so they are valid in both DBs by construction.
+				var pats []*Pattern
+				for i := int64(0); i < 40 && len(pats) < 3; i++ {
+					cand := graph.NodeID(rng.Intn(base.NumNodes()))
+					if base.Degree(cand) < 2 {
+						continue
+					}
+					if q := gen.PatternAt(base, cand, gen.PatternConfig{Nodes: 4, Edges: 6, Seed: seed + i}); q != nil {
+						pats = append(pats, q)
+					}
+				}
+				if len(pats) == 0 {
+					t.Fatal("no patterns extracted")
+				}
+
+				rounds := 4
+				batch := 50
+				if testing.Short() {
+					rounds = 2
+				}
+				for round := 0; round < rounds; round++ {
+					ops := sh.randomBatch(rng, batch)
+					if err := db.Apply(ops); err != nil {
+						t.Fatalf("round %d: Apply: %v", round, err)
+					}
+					if err := db.Graph().Validate(); err != nil {
+						t.Fatalf("round %d: snapshot graph invalid: %v", round, err)
+					}
+					ref := NewDB(sh.rebuild())
+					if db.Graph().NumNodes() != ref.Graph().NumNodes() ||
+						db.Graph().NumEdges() != ref.Graph().NumEdges() {
+						t.Fatalf("round %d: size diverges: %d/%d vs %d/%d", round,
+							db.Graph().NumNodes(), db.Graph().NumEdges(),
+							ref.Graph().NumNodes(), ref.Graph().NumEdges())
+					}
+					for pi, q := range pats {
+						// A pin valid under the pattern's personalized label.
+						l := ref.Graph().LabelIDOf(q.Label(q.Personalized()))
+						cands := ref.Graph().NodesWithLabel(l)
+						if len(cands) == 0 {
+							continue
+						}
+						pin := cands[rng.Intn(len(cands))]
+						got := queryMatrix(t, db, q, pin, 0.05)
+						want := queryMatrix(t, ref, q, pin, 0.05)
+						if !reflect.DeepEqual(got, want) {
+							for i := range got {
+								if !reflect.DeepEqual(got[i], want[i]) {
+									t.Errorf("round %d pattern %d req %d: snapshot %+v\nrebuild  %+v",
+										round, pi, i, got[i], want[i])
+								}
+							}
+							t.FailNow()
+						}
+					}
+				}
+				if compactEvery {
+					if ms := db.MutationStats(); ms.Compactions == 0 || ms.LiveDeltaOps != 0 {
+						t.Fatalf("compact-every run never compacted: %+v", ms)
+					}
+				} else {
+					if ms := db.MutationStats(); ms.Compactions != 0 || ms.LiveDeltaOps == 0 {
+						t.Fatalf("overlay run compacted unexpectedly: %+v", ms)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestApplyAtomicityAndValidation: a batch with an invalid op leaves
+// the DB untouched — snapshot, epoch and stats — and the error wraps
+// ErrBadRequest.
+func TestApplyAtomicityAndValidation(t *testing.T) {
+	g := RandomGraph(50, 120, 1, false)
+	db := NewDB(g)
+	before := db.MutationStats()
+	gBefore := db.Graph()
+
+	var existing [2]NodeID
+	for v := 0; v < g.NumNodes(); v++ {
+		if out := g.Out(NodeID(v)); len(out) > 0 {
+			existing = [2]NodeID{NodeID(v), out[0]}
+			break
+		}
+	}
+	bad := [][]Op{
+		{AddNode("X"), AddEdge(0, 999)},                       // out of range
+		{AddEdge(existing[0], existing[1])},                   // duplicate of base edge
+		{DelEdge(0, 0), AddNode("X")},                         // deleting a missing self-loop
+		{AddNode("")},                                         // empty label
+		{AddEdge(1, 2), AddEdge(1, 2)},                        // in-batch duplicate
+		{DelEdge(existing[0], existing[1]), DelEdge(existing[0], existing[1])}, // double delete
+	}
+	for i, ops := range bad {
+		err := db.Apply(ops)
+		if err == nil {
+			t.Fatalf("bad batch %d accepted", i)
+		}
+		if !errors.Is(err, ErrBadRequest) {
+			t.Fatalf("bad batch %d: error %v does not wrap ErrBadRequest", i, err)
+		}
+	}
+	if after := db.MutationStats(); after != before {
+		t.Fatalf("failed batches changed stats: %+v -> %+v", before, after)
+	}
+	if db.Graph() != gBefore {
+		t.Fatal("failed batches republished the snapshot")
+	}
+	if err := db.Apply(nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+}
+
+// TestPreparedQueryPinsItsSnapshot: a PreparedQuery keeps answering
+// from the snapshot current at Prepare time, while DB.Query sees the
+// mutation — the documented epoch-pinning contract.
+func TestPreparedQueryPinsItsSnapshot(t *testing.T) {
+	b := NewGraphBuilder(4, 4)
+	m := b.AddNode("M")
+	c1 := b.AddNode("C")
+	c2 := b.AddNode("C")
+	b.AddEdge(m, c1)
+	g := b.Build()
+	q, err := ParsePattern("node 0 M*\nnode 1 C!\nedge 0 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDB(g)
+	pq, err := db.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	res, err := pq.Query(ctx, Request{Mode: Exact})
+	if err != nil || len(res.Matches) != 1 {
+		t.Fatalf("before mutation: %v %v", res.Matches, err)
+	}
+	if err := db.Apply([]Op{AddEdge(m, c2)}); err != nil {
+		t.Fatal(err)
+	}
+	res, err = pq.Query(ctx, Request{Mode: Exact})
+	if err != nil || len(res.Matches) != 1 {
+		t.Fatalf("prepared query saw the mutation: %v %v", res.Matches, err)
+	}
+	fresh, err := db.Query(ctx, q, Request{Mode: Exact})
+	if err != nil || len(fresh.Matches) != 2 {
+		t.Fatalf("DB.Query missed the mutation: %v %v", fresh.Matches, err)
+	}
+}
+
+// TestPlanCacheInvalidationOnApply: an Apply bumps the epoch, so the
+// next use of a cached template recompiles (counted as an
+// invalidation); an Apply that grows the label alphabet flushes the
+// cache wholesale.
+func TestPlanCacheInvalidationOnApply(t *testing.T) {
+	g := RandomGraph(200, 500, 2, false)
+	db := NewDB(g)
+	rng := rand.New(rand.NewSource(9))
+	var q *Pattern
+	for i := int64(0); q == nil && i < 50; i++ {
+		cand := graph.NodeID(rng.Intn(g.NumNodes()))
+		if g.Degree(cand) >= 2 {
+			q = gen.PatternAt(g, cand, gen.PatternConfig{Nodes: 3, Edges: 4, Seed: i})
+		}
+	}
+	if q == nil {
+		t.Fatal("no pattern")
+	}
+	ctx := context.Background()
+	pin := Pin(0)
+	l := g.LabelIDOf(q.Label(q.Personalized()))
+	pin = Pin(g.NodesWithLabel(l)[0])
+
+	mustQuery := func() {
+		if _, err := db.Query(ctx, q, Request{Anchor: pin, Alpha: 0.05}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustQuery() // miss: first compile
+	mustQuery() // hit
+	cs := db.PlanCacheStats()
+	if cs.Hits != 1 || cs.Misses != 1 || cs.Invalidations != 0 {
+		t.Fatalf("warm-up counters: %+v", cs)
+	}
+	// Same-alphabet mutation: lazy per-snapshot invalidation.
+	if err := db.Apply([]Op{AddNode(g.Label(0))}); err != nil {
+		t.Fatal(err)
+	}
+	if cs = db.PlanCacheStats(); cs.Size != 1 {
+		t.Fatalf("same-alphabet Apply flushed the cache: %+v", cs)
+	}
+	mustQuery() // stale epoch: recompile
+	mustQuery() // hit at the new epoch
+	cs = db.PlanCacheStats()
+	if cs.Invalidations != 1 || cs.Misses != 2 || cs.Hits != 2 {
+		t.Fatalf("post-mutation counters: %+v", cs)
+	}
+	// Alphabet-growing mutation: eager flush. Dropped entries are not
+	// invalidations (that counter tracks recompiles performed); the
+	// flush shows as Size 0, and the refill as a plain miss.
+	if err := db.Apply([]Op{AddNode("BRAND-NEW-LABEL")}); err != nil {
+		t.Fatal(err)
+	}
+	if cs = db.PlanCacheStats(); cs.Size != 0 || cs.Invalidations != 1 {
+		t.Fatalf("alphabet growth did not flush: %+v", cs)
+	}
+	mustQuery()
+	cs = db.PlanCacheStats()
+	if cs.Size != 1 || cs.Misses != 3 || cs.Invalidations != 1 {
+		t.Fatalf("cache did not refill as a plain miss: %+v", cs)
+	}
+	if cs.Invalidations > cs.Misses {
+		t.Fatalf("Invalidations must stay a subset of Misses: %+v", cs)
+	}
+	// Compaction prunes stale entries: they are unservable anyway (epoch
+	// keying) and would otherwise pin the replaced base in the LRU.
+	if err := db.Apply([]Op{AddNode(g.Label(0))}); err != nil {
+		t.Fatal(err)
+	}
+	db.Compact()
+	if cs = db.PlanCacheStats(); cs.Size != 0 {
+		t.Fatalf("compaction left stale entries pinning the old base: %+v", cs)
+	}
+	mustQuery()
+	if cs = db.PlanCacheStats(); cs.Size != 1 {
+		t.Fatalf("cache did not refill after compaction: %+v", cs)
+	}
+}
+
+// TestApplyQueryCompactRace hammers concurrent Apply / Query /
+// QueryBatch / Compact with a tiny compaction threshold, so snapshots
+// churn through overlay and rebuilt bases while readers run. The
+// assertions are weak (no torn results, valid snapshots); the value is
+// under -race, where any unsynchronized snapshot handoff bites.
+func TestApplyQueryCompactRace(t *testing.T) {
+	base := RandomGraph(300, 800, 5, true)
+	db := NewDB(base)
+	db.SetCompactThreshold(64)
+	rng := rand.New(rand.NewSource(17))
+	var q *Pattern
+	for i := int64(0); q == nil && i < 50; i++ {
+		cand := graph.NodeID(rng.Intn(base.NumNodes()))
+		if base.Degree(cand) >= 2 {
+			q = gen.PatternAt(base, cand, gen.PatternConfig{Nodes: 4, Edges: 6, Seed: i})
+		}
+	}
+	if q == nil {
+		t.Fatal("no pattern")
+	}
+	l := base.LabelIDOf(q.Label(q.Personalized()))
+	pins := base.NodesWithLabel(l)
+
+	deadline := time.Now().Add(400 * time.Millisecond)
+	if testing.Short() {
+		deadline = time.Now().Add(150 * time.Millisecond)
+	}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	// Writers: small valid-shaped batches; concurrent writers may race
+	// on the same edge, so ErrBadRequest is tolerated — the point is
+	// that the DB stays coherent.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for time.Now().Before(deadline) {
+				g := db.Graph()
+				n := g.NumNodes()
+				ops := []Op{AddNode("RACE")}
+				for i := 0; i < 6; i++ {
+					if rng.Intn(3) == 0 {
+						v := NodeID(rng.Intn(n))
+						if out := g.Out(v); len(out) > 0 {
+							ops = append(ops, DelEdge(v, out[rng.Intn(len(out))]))
+							continue
+						}
+					}
+					ops = append(ops, AddEdge(NodeID(rng.Intn(n)), NodeID(rng.Intn(n))))
+				}
+				if err := db.Apply(ops); err != nil && !errors.Is(err, ErrBadRequest) {
+					t.Errorf("Apply: %v", err)
+					return
+				}
+			}
+		}(int64(100 + w))
+	}
+	// Readers: single queries and batches, all modes.
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for time.Now().Before(deadline) {
+				pin := pins[rng.Intn(len(pins))]
+				if _, err := db.Query(ctx, q, Request{Anchor: &pin, Alpha: 0.02}); err != nil {
+					t.Errorf("Query: %v", err)
+					return
+				}
+				if rng.Intn(4) == 0 {
+					qs := []AnchoredQuery{{Q: q, At: pins[rng.Intn(len(pins))]}, {Q: q, At: pins[rng.Intn(len(pins))]}}
+					if _, err := db.QueryBatch(ctx, qs, Request{Alpha: 0.02}, 2); err != nil {
+						t.Errorf("QueryBatch: %v", err)
+						return
+					}
+				}
+				if rng.Intn(8) == 0 {
+					if _, err := db.Query(ctx, q, Request{Mode: Unanchored, Alpha: 0.02}); err != nil {
+						t.Errorf("Unanchored: %v", err)
+						return
+					}
+				}
+			}
+		}(int64(200 + r))
+	}
+	// Compactor: explicit rebuilds on top of the threshold churn.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for time.Now().Before(deadline) {
+			db.Compact()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	wg.Wait()
+
+	if err := db.Graph().Validate(); err != nil {
+		t.Fatalf("final snapshot invalid: %v", err)
+	}
+	ms := db.MutationStats()
+	if ms.Epoch == 0 {
+		t.Fatal("no mutations landed during the hammer")
+	}
+	t.Logf("hammer: epoch %d, %d compactions, %d live ops, |V|=%d |E|=%d",
+		ms.Epoch, ms.Compactions, ms.LiveDeltaOps, db.Graph().NumNodes(), db.Graph().NumEdges())
+}
+
+// TestNewDBAcceptsOverlayView: any *Graph the library hands out —
+// including the overlay view returned by Graph() after Apply — is a
+// valid NewDB argument (compacted into a standalone base internally).
+func TestNewDBAcceptsOverlayView(t *testing.T) {
+	db := NewDB(RandomGraph(80, 200, 3, false))
+	if err := db.Apply([]Op{AddNode("V"), AddEdge(NodeID(db.Graph().NumNodes()-1), 0)}); err != nil {
+		t.Fatal(err)
+	}
+	view := db.Graph()
+	if !view.HasOverlay() {
+		t.Fatal("expected an overlay view after Apply")
+	}
+	db2 := NewDB(view)
+	if db2.Graph().HasOverlay() {
+		t.Fatal("NewDB kept the overlay view as its base")
+	}
+	if db2.Graph().NumNodes() != view.NumNodes() || db2.Graph().NumEdges() != view.NumEdges() {
+		t.Fatalf("compacted base diverges: %d/%d vs %d/%d",
+			db2.Graph().NumNodes(), db2.Graph().NumEdges(), view.NumNodes(), view.NumEdges())
+	}
+	if err := db2.Apply([]Op{AddNode("W")}); err != nil {
+		t.Fatalf("mutating the re-wrapped DB: %v", err)
+	}
+}

@@ -26,6 +26,13 @@ type PlanCacheStats struct {
 	// compiles the pattern and inserts it (evicting the least recently
 	// used entry when full), so Misses also counts compilations.
 	Hits, Misses uint64
+	// Invalidations counts the subset of Misses caused by mutation: the
+	// template was cached, but compiled at an older snapshot epoch, so
+	// this lookup recompiled it against the current snapshot. (A
+	// label-alphabet-growing Apply flushes the cache wholesale instead;
+	// that shows up as Size dropping to zero and plain Misses as hot
+	// templates refill it.)
+	Invalidations uint64
 	// Size is the number of plans currently cached; Capacity the bound.
 	Size, Capacity int
 }
@@ -34,17 +41,33 @@ type PlanCacheStats struct {
 // (their lazy selectivity tier is internally synchronized), so one entry
 // may serve concurrent queries; the mutex guards only the map and the
 // recency list.
+//
+// Entries are stamped with the snapshot epoch they were compiled at. A
+// plan binds everything epoch-dependent — interned labels, Aux-bound
+// semantics, the unique personalized match, selectivity — so a hit
+// requires the entry's epoch to equal the querying snapshot's; stale
+// entries are recompiled in place (per-snapshot invalidation). An Apply
+// that grows the label alphabet flushes the whole cache instead (see
+// mutate.go).
 type planCache struct {
-	mu           sync.Mutex
-	capacity     int
-	ll           list.List // front = most recently used; values are *planEntry
-	m            map[string]*list.Element
-	hits, misses uint64
+	mu            sync.Mutex
+	capacity      int
+	ll            list.List // front = most recently used; values are *planEntry
+	m             map[string]*list.Element
+	hits, misses  uint64
+	invalidations uint64
+
+	// minEpoch is the floor set by flush: entries compiled at older
+	// epochs are never (re)inserted, so a reader that pinned a
+	// pre-compaction snapshot cannot re-pin the replaced base into the
+	// LRU after the flush dropped it.
+	minEpoch uint64
 }
 
 type planEntry struct {
-	key string
-	pl  *plan.Plan
+	key   string
+	pl    *plan.Plan
+	epoch uint64
 }
 
 func newPlanCache(capacity int) *planCache {
@@ -53,20 +76,33 @@ func newPlanCache(capacity int) *planCache {
 	return c
 }
 
-// lookup returns the compiled plan for q, compiling and inserting it on a
-// miss. hit reports whether the plan was already cached.
-func (c *planCache) lookup(aux *graph.Aux, q *Pattern) (pl *plan.Plan, hit bool, err error) {
+// lookup returns the compiled plan for q at the given snapshot epoch,
+// compiling and inserting it on a miss. A cached entry compiled at an
+// older epoch counts as an invalidation: it is recompiled against aux
+// (the querying snapshot's) and replaced. hit reports whether a
+// current-epoch plan was already cached.
+func (c *planCache) lookup(aux *graph.Aux, epoch uint64, q *Pattern) (pl *plan.Plan, hit bool, err error) {
 	if q == nil {
 		return nil, false, fmt.Errorf("rbq: nil pattern")
 	}
 	key := q.String() // cached on the pattern: no render, no allocation
 	c.mu.Lock()
 	if el, ok := c.m[key]; ok {
-		c.ll.MoveToFront(el)
-		c.hits++
-		pl = el.Value.(*planEntry).pl
-		c.mu.Unlock()
-		return pl, true, nil
+		e := el.Value.(*planEntry)
+		if e.epoch == epoch {
+			c.ll.MoveToFront(el)
+			c.hits++
+			pl = e.pl
+			c.mu.Unlock()
+			return pl, true, nil
+		}
+		if e.epoch < epoch {
+			// Only a genuinely stale entry counts as a mutation-caused
+			// invalidation; finding one compiled at a NEWER epoch (a
+			// racing reader of a fresher snapshot got there first) is a
+			// plain miss for this older-snapshot query.
+			c.invalidations++
+		}
 	}
 	c.misses++
 	c.mu.Unlock()
@@ -80,14 +116,53 @@ func (c *planCache) lookup(aux *graph.Aux, q *Pattern) (pl *plan.Plan, hit bool,
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.m[key]; ok {
-		// Another goroutine compiled the same template first; share its
-		// plan so concurrent evaluations converge on one entry.
-		c.ll.MoveToFront(el)
-		return el.Value.(*planEntry).pl, false, nil
+		e := el.Value.(*planEntry)
+		if e.epoch == epoch {
+			// Another goroutine compiled the same template at this epoch
+			// first; share its plan so concurrent evaluations converge.
+			c.ll.MoveToFront(el)
+			return e.pl, false, nil
+		}
+		// The entry is stale (or was compiled at a newer epoch by a
+		// racing reader of a fresher snapshot — equally unusable here):
+		// hand this query its own consistent plan and let the entry
+		// carry the newer of the two compilations.
+		if e.epoch < epoch {
+			e.pl, e.epoch = pl, epoch
+			c.ll.MoveToFront(el)
+		}
+		return pl, false, nil
 	}
-	c.m[key] = c.ll.PushFront(&planEntry{key: key, pl: pl})
+	if epoch < c.minEpoch {
+		// A flush ran while this plan compiled (its snapshot was
+		// replaced): serve the query its consistent plan, but do not
+		// cache it — caching would re-pin the replaced snapshot.
+		return pl, false, nil
+	}
+	c.m[key] = c.ll.PushFront(&planEntry{key: key, pl: pl, epoch: epoch})
 	c.evictLocked()
 	return pl, false, nil
+}
+
+// flush empties the cache; mutate.go calls it when an Apply grows the
+// label alphabet (compiled plans resolve absent labels to sentinels,
+// which a new label can stale across every template at once) and after
+// a compaction (stale entries are unservable anyway under epoch keying,
+// but each pins its snapshot — after a compaction that is the entire
+// replaced base CSR + Aux, which must not sit in the LRU until
+// eviction). Dropped entries are not counted as invalidations — that
+// counter tracks recompiles actually performed (a subset of Misses),
+// and a flushed template that is never queried again costs nothing.
+// In-flight evaluations of dropped plans run to completion — plans are
+// immutable and self-contained.
+// minEpoch is the epoch of the snapshot being published with the
+// flush; see planCache.minEpoch.
+func (c *planCache) flush(minEpoch uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	clear(c.m)
+	c.minEpoch = minEpoch
 }
 
 func (c *planCache) evictLocked() {
@@ -101,7 +176,10 @@ func (c *planCache) evictLocked() {
 func (c *planCache) stats() PlanCacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return PlanCacheStats{Hits: c.hits, Misses: c.misses, Size: c.ll.Len(), Capacity: c.capacity}
+	return PlanCacheStats{
+		Hits: c.hits, Misses: c.misses, Invalidations: c.invalidations,
+		Size: c.ll.Len(), Capacity: c.capacity,
+	}
 }
 
 func (c *planCache) setCapacity(n int) {

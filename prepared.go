@@ -35,8 +35,13 @@ type PreparedQuery struct {
 // binds the RBSim/RBSub reduction semantics, and resolves the
 // personalized node's unique match when one exists; execution time is
 // then the reduction and matching alone.
+//
+// The compilation pins the snapshot current at Prepare time: every
+// later execution runs against that point-in-time view, unaffected by
+// DB.Apply. Re-Prepare (or use DB.Query, whose epoch-keyed cache
+// recompiles lazily) to observe mutations.
 func (db *DB) Prepare(q *Pattern) (*PreparedQuery, error) {
-	pl, err := plan.New(db.aux, q)
+	pl, err := plan.New(db.snapshot().Aux(), q)
 	if err != nil {
 		return nil, fmt.Errorf("rbq: %w", err)
 	}

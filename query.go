@@ -210,12 +210,16 @@ type Result struct {
 // template share one compilation (see PlanCacheStats).
 //
 // Cancellation is cooperative: the engine loops poll ctx.Done() at a
-// fixed stride, so a canceled or expired context makes Query return
-// ctx.Err() promptly (within ~1024 items of engine work) with a zero
-// Result. A nil ctx is treated as context.Background(), which costs
-// nothing on the hot path. The exact simulation baseline (Mode Exact,
-// Semantics Simulation) runs a closed fixpoint computation with no probe
-// points; the context is still checked when it returns.
+// fixed stride — the reduce engine and VF2 backtracker on their item
+// counters, the exact simulation baseline (MatchOpt) on its fixpoint
+// refinement probes — so a canceled or expired context makes Query
+// return ctx.Err() promptly (within ~1024 items of engine work) with a
+// zero Result. A nil ctx is treated as context.Background(), which
+// costs nothing on the hot path.
+//
+// The query executes against the snapshot current at the call: one
+// atomic load pins the graph view, Aux and epoch for the query's whole
+// lifetime, so concurrent DB.Apply calls never tear an evaluation.
 func (db *DB) Query(ctx context.Context, q *Pattern, req Request) (Result, error) {
 	if err := req.validate(); err != nil {
 		return Result{}, err
@@ -224,7 +228,8 @@ func (db *DB) Query(ctx context.Context, q *Pattern, req Request) (Result, error
 	if req.WantStats {
 		t0 = time.Now()
 	}
-	pl, hit, err := db.plans.lookup(db.aux, q)
+	snap := db.snapshot()
+	pl, hit, err := db.plans.lookup(snap.Aux(), snap.Epoch(), q)
 	if err != nil {
 		return Result{}, err
 	}
@@ -274,6 +279,9 @@ func (db *DB) QueryBatch(ctx context.Context, qs []AnchoredQuery, req Request, w
 	seen := make(map[*Pattern]int, 8)
 	idx := make([]int, len(qs))
 	done := interrupt.Done(ctx)
+	// One snapshot pin for the whole batch: every item evaluates against
+	// the same epoch, whatever Applies land while the workers run.
+	snap := db.snapshot()
 	for i, item := range qs {
 		// Cancellation must bound the compile phase too: a fired context
 		// stops template resolution, not just the workers.
@@ -286,7 +294,7 @@ func (db *DB) QueryBatch(ctx context.Context, qs []AnchoredQuery, req Request, w
 			if req.WantStats {
 				t0 = time.Now()
 			}
-			pl, hit, err := db.plans.lookup(db.aux, item.Q)
+			pl, hit, err := db.plans.lookup(snap.Aux(), snap.Epoch(), item.Q)
 			if err != nil {
 				pl = nil // compile failure: this template's items zero out
 			}
@@ -414,7 +422,7 @@ func runRequest(ctx context.Context, pl *plan.Plan, req Request, cacheHit bool, 
 		}
 		switch {
 		case req.Mode == Exact && req.Semantics == Simulation:
-			res = Result{Matches: pl.SimulationExact(vp), Personalized: vp, Complete: true}
+			res = Result{Matches: pl.SimulationExact(vp, done), Personalized: vp, Complete: true}
 		case req.Mode == Exact:
 			m, complete := pl.SubgraphExact(vp, subOpts(req.MaxSteps, done))
 			res = Result{Matches: m, Personalized: vp, Complete: complete}

@@ -42,10 +42,13 @@ import (
 	"bufio"
 	"context"
 	"io"
+	"sync"
+	"sync/atomic"
 
 	"rbq/internal/accuracy"
 	"rbq/internal/calibrate"
 	"rbq/internal/dataset"
+	"rbq/internal/delta"
 	"rbq/internal/gen"
 	"rbq/internal/graph"
 	"rbq/internal/landmark"
@@ -107,19 +110,49 @@ func MatchAccuracy(exact, approx []NodeID) Accuracy { return accuracy.Matches(ex
 // named methods build the equivalent Request, the plan cache supplies
 // the compiled form, and PreparedQuery pins a compilation explicitly for
 // repeated execution.
+//
+// A DB is mutable through Apply (see mutate.go): mutations are buffered
+// in a delta over an immutable base graph and published as immutable
+// snapshots through one atomic pointer, so readers never block and
+// every query executes against one consistent epoch. A DB constructed
+// over a graph it does not mutate behaves exactly as before — the
+// static hot path pays one snapshot-pointer load.
 type DB struct {
-	g   *graph.Graph
-	aux *graph.Aux
+	// snap is the current published snapshot (graph view + aux + epoch).
+	// Readers pin it with one atomic load per query; Apply/Compact are
+	// the only writers.
+	snap atomic.Pointer[delta.Snapshot]
 
 	// plans is the bounded DB-level cache of compiled plans, keyed by
-	// pattern identity (see plancache.go).
+	// pattern identity and stamped with the snapshot epoch they were
+	// compiled at (see plancache.go).
 	plans *planCache
+
+	// mu serializes the mutation side (Apply, Compact, threshold
+	// changes); it is never taken on the query path.
+	mu          sync.Mutex
+	pending     *delta.Delta // cumulative live delta over the current base
+	compactAt   int          // live-op threshold that triggers compaction
+	compactions uint64
 }
 
 // NewDB builds the offline auxiliary structure for g and returns a handle.
+//
+// A graph obtained from a mutated DB (see Graph after Apply) may be an
+// overlay view; NewDB compacts such a view into a standalone base first,
+// so any *Graph the library hands out is a valid argument.
 func NewDB(g *Graph) *DB {
-	return &DB{g: g, aux: graph.BuildAux(g), plans: newPlanCache(DefaultPlanCacheCapacity)}
+	g = g.Compact() // identity for base graphs
+	db := &DB{plans: newPlanCache(DefaultPlanCacheCapacity), compactAt: DefaultCompactThreshold}
+	aux := graph.BuildAux(g)
+	db.snap.Store(delta.NewBase(g, aux, 0))
+	db.pending = delta.New(g, aux)
+	return db
 }
+
+// snapshot pins the current published snapshot: one atomic load, the
+// only cost mutation support adds to the static query hot path.
+func (db *DB) snapshot() *delta.Snapshot { return db.snap.Load() }
 
 // Load reads a graph — in either the textual edge-list format (see Save)
 // or the compact binary format (see SaveBinary), auto-detected — and wraps
@@ -140,15 +173,18 @@ func Load(r io.Reader) (*DB, error) {
 	return NewDB(g), nil
 }
 
-// Save writes the graph in a plain-text edge-list format readable by Load.
-func (db *DB) Save(w io.Writer) error { return dataset.Write(w, db.g) }
+// Save writes the graph — the current snapshot's merged view — in a
+// plain-text edge-list format readable by Load.
+func (db *DB) Save(w io.Writer) error { return dataset.Write(w, db.snapshot().Graph()) }
 
 // SaveBinary writes the graph in a compact binary format readable by Load,
 // an order of magnitude faster to parse than the text format.
-func (db *DB) SaveBinary(w io.Writer) error { return dataset.WriteBinary(w, db.g) }
+func (db *DB) SaveBinary(w io.Writer) error { return dataset.WriteBinary(w, db.snapshot().Graph()) }
 
-// Graph returns the underlying graph.
-func (db *DB) Graph() *Graph { return db.g }
+// Graph returns the current snapshot's graph view. After Apply it
+// includes the live delta; the value is immutable, so callers holding
+// it keep a consistent point-in-time view across later mutations.
+func (db *DB) Graph() *Graph { return db.snapshot().Graph() }
 
 // PatternResult reports a resource-bounded pattern query evaluation.
 type PatternResult struct {
@@ -240,8 +276,9 @@ func (db *DB) SubgraphExactAt(q *Pattern, vp NodeID, maxSteps int64) ([]NodeID, 
 		Request{Semantics: Subgraph, Mode: Exact, Anchor: &vp, MaxSteps: maxSteps}))
 }
 
-// ReachExact answers a reachability query exactly by BFS.
-func (db *DB) ReachExact(from, to NodeID) bool { return reach.BFS(db.g, from, to) }
+// ReachExact answers a reachability query exactly by BFS over the
+// current snapshot.
+func (db *DB) ReachExact(from, to NodeID) bool { return reach.BFS(db.snapshot().Graph(), from, to) }
 
 // ReachResult reports one resource-bounded reachability evaluation.
 type ReachResult struct {
@@ -262,7 +299,7 @@ type ReachOracle struct {
 // plus hierarchical landmark indexing with resource ratio alpha — and
 // returns a query oracle. Each query then visits at most α|G| items.
 func (db *DB) BuildReachOracle(alpha float64) *ReachOracle {
-	return &ReachOracle{inner: rbreach.New(db.g, landmark.BuildOptions{Alpha: alpha})}
+	return &ReachOracle{inner: rbreach.New(db.snapshot().Graph(), landmark.BuildOptions{Alpha: alpha})}
 }
 
 // Reach answers whether from reaches to.
@@ -402,7 +439,7 @@ func (db *DB) SimulationCurve(qs []AnchoredQuery, alphas []float64) []Calibratio
 // cancellation: sweeps over large workloads are long-running, and a
 // fired ctx stops the sweep and returns the points sampled so far.
 func (db *DB) SimulationCurveContext(ctx context.Context, qs []AnchoredQuery, alphas []float64) []CalibrationPoint {
-	pts := calibrate.Curve(ctx, db.aux, toCalibrate(qs), alphas)
+	pts := calibrate.Curve(ctx, db.snapshot().Aux(), toCalibrate(qs), alphas)
 	return fromCalibrate(pts)
 }
 
@@ -418,7 +455,7 @@ func (db *DB) MinAlphaForAccuracy(qs []AnchoredQuery, target, hi float64, refine
 // cancellation: a fired ctx stops the search at the best point found so
 // far.
 func (db *DB) MinAlphaForAccuracyContext(ctx context.Context, qs []AnchoredQuery, target, hi float64, refine int) (CalibrationPoint, bool) {
-	pt, ok := calibrate.MinAlpha(ctx, db.aux, toCalibrate(qs), target, hi, refine)
+	pt, ok := calibrate.MinAlpha(ctx, db.snapshot().Aux(), toCalibrate(qs), target, hi, refine)
 	return CalibrationPoint{Alpha: pt.Alpha, Accuracy: pt.Accuracy, MeanFragment: pt.MeanFragment}, ok
 }
 
