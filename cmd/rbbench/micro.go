@@ -30,6 +30,7 @@ import (
 	"rbq/internal/rbsub"
 	"rbq/internal/reduce"
 	"rbq/internal/simulation"
+	"rbq/internal/store"
 )
 
 // microResult is one benchmark measurement in the JSON report.
@@ -266,6 +267,58 @@ func runMicro(path, comparePath string, tolerance float64, count int, nsGate boo
 		b.ResetTimer()
 	}
 
+	// Persistence fixtures, also built lazily and LAST in the suite: a
+	// scratch dir for WALAppend, and a prepared database directory for
+	// RecoverReplay (a ~5k-node base image plus a 32-batch WAL tail, the
+	// representative restart state between compactions). Both use
+	// SyncNone so the entries measure the library's encode/frame/replay
+	// work, not the host's fsync latency.
+	var persistDirs []string
+	defer func() {
+		for _, d := range persistDirs {
+			os.RemoveAll(d)
+		}
+	}()
+	var recoverDir string
+	var persistOnce sync.Once
+	var persistErr error
+	persistSetup := func(b *testing.B) {
+		persistOnce.Do(func() {
+			recoverDir, persistErr = os.MkdirTemp("", "rbbench-recover")
+			if persistErr != nil {
+				return
+			}
+			persistDirs = append(persistDirs, recoverDir)
+			base := dataset.YoutubeLike(5_000, 7)
+			pdb, err := rbq.OpenDB(recoverDir, rbq.OpenOptions{Bootstrap: base, Sync: rbq.SyncNone})
+			if err != nil {
+				persistErr = err
+				return
+			}
+			seen := make(map[[2]int]bool)
+			prng := rand.New(rand.NewSource(17))
+			for batch := 0; batch < 32; batch++ {
+				ops := make([]rbq.Op, 0, mutBatch)
+				for len(ops) < mutBatch {
+					u, v := prng.Intn(base.NumNodes()), prng.Intn(base.NumNodes())
+					if seen[[2]int{u, v}] || base.HasEdge(graph.NodeID(u), graph.NodeID(v)) {
+						continue
+					}
+					seen[[2]int{u, v}] = true
+					ops = append(ops, rbq.AddEdge(graph.NodeID(u), graph.NodeID(v)))
+				}
+				if persistErr = pdb.Apply(ops); persistErr != nil {
+					return
+				}
+			}
+			persistErr = pdb.Close()
+		})
+		if persistErr != nil {
+			b.Fatalf("persistence fixture: %v", persistErr)
+		}
+		b.ResetTimer()
+	}
+
 	suite := []struct {
 		name string
 		fn   func(b *testing.B)
@@ -351,6 +404,62 @@ func runMicro(path, comparePath string, tolerance float64, count int, nsGate boo
 					b.Fatal(err)
 				}
 				cdb.Compact()
+			}
+		}},
+		{"WALAppend", func(b *testing.B) {
+			// One iteration = framing, checksumming and writing one 64-op
+			// batch record (SyncNone, so no fsync in the loop). The log is
+			// rotated off-clock every 32k batches to bound disk use.
+			dir, err := os.MkdirTemp("", "rbbench-wal")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			ops := make([]rbq.Op, 0, mutBatch)
+			for i := 0; i < mutBatch; i++ {
+				ops = append(ops, rbq.AddEdge(graph.NodeID(i), graph.NodeID(i+1)))
+			}
+			st, err := store.Open(dir, store.Options{Sync: store.SyncNone})
+			if err != nil {
+				b.Fatal(err)
+			}
+			seq := uint64(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				seq++
+				if err := st.Append(seq, ops); err != nil {
+					b.Fatal(err)
+				}
+				if seq == 1<<15 {
+					b.StopTimer()
+					st.Close()
+					os.RemoveAll(dir)
+					if err := os.MkdirAll(dir, 0o755); err != nil {
+						b.Fatal(err)
+					}
+					if st, err = store.Open(dir, store.Options{Sync: store.SyncNone}); err != nil {
+						b.Fatal(err)
+					}
+					seq = 0
+					b.StartTimer()
+				}
+			}
+			b.StopTimer()
+			st.Close()
+		}},
+		{"RecoverReplay", func(b *testing.B) {
+			// One iteration = a full restart: load the 5k-node base image,
+			// replay the 32-batch WAL tail into a live delta, publish the
+			// snapshot, close.
+			persistSetup(b)
+			for i := 0; i < b.N; i++ {
+				pdb, err := rbq.OpenDB(recoverDir, rbq.OpenOptions{Sync: rbq.SyncNone})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := pdb.Close(); err != nil {
+					b.Fatal(err)
+				}
 			}
 		}},
 	}

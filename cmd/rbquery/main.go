@@ -22,6 +22,15 @@
 //
 //	rbquery -graph g.graph -mode update -ops stream.ops -pattern q.pat -alpha 0.001
 //
+// Persistent databases (-db): instead of loading a graph file into
+// memory, open a durable database directory (WAL + base image, see
+// internal/store). A fresh directory is bootstrapped from -graph; a
+// non-fresh one resumes from disk and -graph is ignored. Update-mode
+// batches then survive restarts:
+//
+//	rbquery -db ./dbdir -graph g.graph -mode update -ops stream.ops
+//	rbquery -db ./dbdir -mode sim -pattern q.pat -alpha 0.001
+//
 // Pattern files use the format of rbq.ParsePattern:
 //
 //	node 0 Michael*      # * marks the personalized node
@@ -50,7 +59,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("rbquery", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		graphPath    = fs.String("graph", "", "data graph file (required)")
+		graphPath    = fs.String("graph", "", "data graph file (required unless -db resumes an existing directory)")
+		dbPath       = fs.String("db", "", "persistent database directory (WAL + base image); fresh dirs bootstrap from -graph")
 		patternPath  = fs.String("pattern", "", "pattern file (sim/sub/update modes)")
 		workloadPath = fs.String("workload", "", "workload file (workload mode)")
 		opsPath      = fs.String("ops", "", "op-stream file (update mode)")
@@ -78,41 +88,99 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defer cancel()
 	}
 
-	if *graphPath == "" {
+	if *graphPath == "" && *dbPath == "" {
 		fmt.Fprintln(stderr, "rbquery: -graph is required")
 		return 2
 	}
-	f, err := os.Open(*graphPath)
-	if err != nil {
-		fmt.Fprintln(stderr, "rbquery:", err)
-		return 1
-	}
 	start := time.Now()
-	db, err := rbq.Load(f)
-	f.Close()
-	if err != nil {
-		fmt.Fprintln(stderr, "rbquery:", err)
-		return 1
+	var db *rbq.DB
+	if *dbPath != "" {
+		var err error
+		if db, err = openPersistent(*dbPath, *graphPath, stdout); err != nil {
+			fmt.Fprintln(stderr, "rbquery:", err)
+			return 1
+		}
+	} else {
+		f, err := os.Open(*graphPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "rbquery:", err)
+			return 1
+		}
+		db, err = rbq.Load(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(stderr, "rbquery:", err)
+			return 1
+		}
 	}
 	g := db.Graph()
 	fmt.Fprintf(stdout, "loaded |V|=%d |E|=%d (|G|=%d) in %v; budget α|G| = %d\n",
 		g.NumNodes(), g.NumEdges(), g.Size(), time.Since(start).Round(time.Millisecond),
 		int(*alpha*float64(g.Size())))
 
+	rc := 0
 	switch *mode {
 	case "sim", "sub":
-		return runPattern(ctx, db, *mode, *patternPath, *alpha, *exact, *stats, stdout, stderr)
+		rc = runPattern(ctx, db, *mode, *patternPath, *alpha, *exact, *stats, stdout, stderr)
 	case "reach":
-		return runReach(db, *alpha, *from, *to, *exact, *indexPath, stdout, stderr)
+		rc = runReach(db, *alpha, *from, *to, *exact, *indexPath, stdout, stderr)
 	case "workload":
-		return runWorkload(ctx, db, *workloadPath, *alpha, *stats, stdout, stderr)
+		rc = runWorkload(ctx, db, *workloadPath, *alpha, *stats, stdout, stderr)
 	case "update":
-		return runUpdate(ctx, db, *opsPath, *patternPath, *alpha, *compactAt, *stats, stdout, stderr)
+		rc = runUpdate(ctx, db, *opsPath, *patternPath, *alpha, *compactAt, *stats, stdout, stderr)
 	default:
 		fmt.Fprintf(stderr, "rbquery: unknown mode %q\n", *mode)
 		return 2
 	}
+	// A persistent DB must close cleanly — the final fsync is part of the
+	// durability contract, so a failure there flips a successful run.
+	if *dbPath != "" {
+		if err := db.Close(); err != nil {
+			fmt.Fprintln(stderr, "rbquery: close:", err)
+			if rc == 0 {
+				rc = 1
+			}
+		}
+	}
+	return rc
 }
+
+// openPersistent opens (or bootstraps) a durable database directory and
+// prints the recovery summary — what was loaded from the base image,
+// what was replayed from the WAL, and whether a torn tail was dropped.
+func openPersistent(dir, graphPath string, stdout io.Writer) (*rbq.DB, error) {
+	var bootstrap *rbq.Graph
+	if graphPath != "" {
+		f, err := os.Open(graphPath)
+		if err != nil {
+			return nil, err
+		}
+		seed, err := rbq.Load(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		bootstrap = seed.Graph()
+	}
+	db, err := rbq.OpenDB(dir, rbq.OpenOptions{Bootstrap: bootstrap})
+	if err != nil {
+		return nil, err
+	}
+	rs := db.RecoveryStats()
+	switch {
+	case rs.FreshDir:
+		fmt.Fprintf(stdout, "db %s: fresh, bootstrapped at seq 0\n", dir)
+	default:
+		fmt.Fprintf(stdout, "db %s: base seq %d, replayed %d batch(es) (%d op(s)) from WAL\n",
+			dir, rs.BaseSeq, rs.ReplayedBatches, rs.ReplayedOps)
+	}
+	if rs.Truncated {
+		fmt.Fprintf(stdout, "db %s: WARNING: truncated a torn/corrupt WAL tail (%d byte(s), %d unreplayable batch(es) dropped)\n",
+			dir, rs.DroppedBytes, rs.DroppedBatches)
+	}
+	return db, nil
+}
+
 
 // queryErr reports a query failure, flagging an exceeded -timeout.
 func queryErr(err error, stderr io.Writer) int {
@@ -237,6 +305,12 @@ func obtainOracle(db *rbq.DB, alpha float64, indexPath string) (*rbq.ReachOracle
 // given, answers it against the snapshot after every batch — the
 // dynamic-query-answering loop: updates land atomically, readers see
 // epochs, compaction happens off the request path at the threshold.
+//
+// Failure mid-stream — a malformed line or a batch the DB rejects —
+// does not discard the run: every batch before the failure stays
+// applied (and, with -db, durable), the summary reports the partial
+// progress, and the error names the batch index and the ops-file line
+// it starts at. Exit is nonzero.
 func runUpdate(ctx context.Context, db *rbq.DB, opsPath, patternPath string, alpha float64, compactAt int, stats bool, stdout, stderr io.Writer) int {
 	if opsPath == "" {
 		fmt.Fprintln(stderr, "rbquery: -ops is required for update mode")
@@ -247,12 +321,10 @@ func runUpdate(ctx context.Context, db *rbq.DB, opsPath, patternPath string, alp
 		fmt.Fprintln(stderr, "rbquery:", err)
 		return 1
 	}
-	batches, err := delta.ReadOps(f)
+	// ReadBatches hands back the well-formed prefix alongside a parse
+	// error, so a truncated or damaged stream still applies what it can.
+	batches, parseErr := delta.ReadBatches(f)
 	f.Close()
-	if err != nil {
-		fmt.Fprintln(stderr, "rbquery:", err)
-		return 1
-	}
 	if compactAt > 0 {
 		db.SetCompactThreshold(compactAt)
 	}
@@ -268,14 +340,16 @@ func runUpdate(ctx context.Context, db *rbq.DB, opsPath, patternPath string, alp
 			return 1
 		}
 	}
-	totalOps := 0
+	applied, totalOps := 0, 0
+	var applyErr error
 	start := time.Now()
 	for i, batch := range batches {
-		if err := db.Apply(batch); err != nil {
-			fmt.Fprintf(stderr, "rbquery: batch %d: %v\n", i, err)
-			return 1
+		if err := db.Apply(batch.Ops); err != nil {
+			applyErr = fmt.Errorf("batch %d (ops line %d): %w", i, batch.Line, err)
+			break
 		}
-		totalOps += len(batch)
+		applied++
+		totalOps += len(batch.Ops)
 		if q != nil {
 			res, err := db.Query(ctx, q, rbq.Request{Alpha: alpha})
 			if err != nil {
@@ -283,19 +357,32 @@ func runUpdate(ctx context.Context, db *rbq.DB, opsPath, patternPath string, alp
 			}
 			ms := db.MutationStats()
 			fmt.Fprintf(stdout, "batch %d (%d ops): epoch %d, %d match(es), |G_Q| = %d of budget %d\n",
-				i, len(batch), ms.Epoch, len(res.Matches), res.FragmentSize, res.Budget)
+				i, len(batch.Ops), ms.Epoch, len(res.Matches), res.FragmentSize, res.Budget)
 		}
 	}
 	elapsed := time.Since(start)
+	// The summary reflects the last good epoch whether or not the stream
+	// finished — partial progress is progress.
 	ms := db.MutationStats()
 	g := db.Graph()
-	fmt.Fprintf(stdout, "applied %d batch(es), %d op(s) in %v; now |V|=%d |E|=%d; epoch %d, %d live delta op(s), %d compaction(s)\n",
-		len(batches), totalOps, elapsed.Round(time.Microsecond),
+	fmt.Fprintf(stdout, "applied %d of %d batch(es), %d op(s) in %v; now |V|=%d |E|=%d; epoch %d, %d live delta op(s), %d compaction(s)\n",
+		applied, len(batches), totalOps, elapsed.Round(time.Microsecond),
 		g.NumNodes(), g.NumEdges(), ms.Epoch, ms.LiveDeltaOps, ms.Compactions)
+	if ms.Persistent {
+		fmt.Fprintf(stdout, "durable through seq %d\n", ms.Seq)
+	}
 	if stats {
 		cs := db.PlanCacheStats()
 		fmt.Fprintf(stdout, "stats: plan cache %d hit(s) / %d miss(es) / %d invalidation(s)\n",
 			cs.Hits, cs.Misses, cs.Invalidations)
+	}
+	if applyErr != nil {
+		fmt.Fprintf(stderr, "rbquery: %v (the %d batch(es) before it remain applied)\n", applyErr, applied)
+		return 1
+	}
+	if parseErr != nil {
+		fmt.Fprintf(stderr, "rbquery: %s: %v (applied the %d well-formed batch(es) before it)\n", opsPath, parseErr, applied)
+		return 1
 	}
 	return 0
 }

@@ -310,7 +310,7 @@ func TestRunUpdateMode(t *testing.T) {
 	if !strings.Contains(s, "batch 1 (1 ops): epoch 2, 0 match(es)") {
 		t.Fatalf("batch 1 line missing:\n%s", s)
 	}
-	if !strings.Contains(s, "applied 2 batch(es), 2 op(s)") || !strings.Contains(s, "|V|=8 |E|=3") {
+	if !strings.Contains(s, "applied 2 of 2 batch(es), 2 op(s)") || !strings.Contains(s, "|V|=8 |E|=3") {
 		t.Fatalf("summary missing:\n%s", s)
 	}
 	if !strings.Contains(s, "invalidation(s)") {
@@ -333,5 +333,94 @@ func TestRunUpdateModeRejectsBadStream(t *testing.T) {
 	}
 	if !strings.Contains(errb.String(), "batch 0") {
 		t.Fatalf("error does not name the batch: %s", errb.String())
+	}
+}
+
+// TestRunUpdateModePartialProgress: a batch the DB rejects mid-stream
+// keeps every earlier batch applied, reports the batch index and the
+// ops-file line it starts at, prints the last good epoch's summary, and
+// exits nonzero.
+func TestRunUpdateModePartialProgress(t *testing.T) {
+	g, _, _ := writeFixtures(t)
+	dir := t.TempDir()
+	opsPath := filepath.Join(dir, "partial.ops")
+	// Batch 0 is fine; batch 1 (starting at line 3) re-adds edge 0->1,
+	// which the fixture graph already has, so Apply rejects it; batch 2
+	// must never land.
+	ops := "node CL\napply\nedge 0 1\napply\nnode NEVER\napply\n"
+	if err := os.WriteFile(opsPath, []byte(ops), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-graph", g, "-mode", "update", "-ops", opsPath}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "batch 1 (ops line 3)") {
+		t.Fatalf("error does not name batch and line: %s", errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "applied 1 of 3 batch(es), 1 op(s)") || !strings.Contains(s, "|V|=8") {
+		t.Fatalf("partial-progress summary missing:\n%s", s)
+	}
+	if !strings.Contains(s, "epoch 1") {
+		t.Fatalf("summary does not reflect the last good epoch:\n%s", s)
+	}
+}
+
+// TestRunUpdateModeMalformedStream: a parse error mid-file still
+// applies the well-formed prefix and exits nonzero with a line-numbered
+// error.
+func TestRunUpdateModeMalformedStream(t *testing.T) {
+	g, _, _ := writeFixtures(t)
+	dir := t.TempDir()
+	opsPath := filepath.Join(dir, "malformed.ops")
+	ops := "node CL\napply\nedge zero one\napply\n"
+	if err := os.WriteFile(opsPath, []byte(ops), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-graph", g, "-mode", "update", "-ops", opsPath}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "ops line 3") {
+		t.Fatalf("parse error does not name the line: %s", errb.String())
+	}
+	if !strings.Contains(out.String(), "applied 1 of 1 batch(es)") {
+		t.Fatalf("well-formed prefix was not applied:\n%s", out.String())
+	}
+}
+
+// TestRunPersistentDB: -db bootstraps a fresh directory from -graph,
+// update batches survive the process, and a second invocation resumes
+// from disk (ignoring -graph) and sees the mutated graph.
+func TestRunPersistentDB(t *testing.T) {
+	g, p, _ := writeFixtures(t)
+	dbDir := filepath.Join(t.TempDir(), "db")
+	opsPath := filepath.Join(t.TempDir(), "stream.ops")
+	if err := os.WriteFile(opsPath, []byte("node CL\napply\ndeledge 2 3\napply\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out1, err1 bytes.Buffer
+	code := run([]string{"-db", dbDir, "-graph", g, "-mode", "update", "-ops", opsPath}, &out1, &err1)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, err1.String())
+	}
+	s := out1.String()
+	if !strings.Contains(s, "fresh, bootstrapped") || !strings.Contains(s, "durable through seq 2") {
+		t.Fatalf("persistence lines missing:\n%s", s)
+	}
+	// Second run: resume without -graph, query the mutated graph. The
+	// fixture motif was cut by the deledge, so the pattern has 0 matches.
+	var out2, err2 bytes.Buffer
+	code = run([]string{"-db", dbDir, "-mode", "sim", "-pattern", p, "-alpha", "0.9"}, &out2, &err2)
+	if code != 0 {
+		t.Fatalf("resume exit %d, stderr: %s", code, err2.String())
+	}
+	s = out2.String()
+	if !strings.Contains(s, "base seq 0, replayed 2 batch(es)") {
+		t.Fatalf("recovery line missing:\n%s", s)
+	}
+	if !strings.Contains(s, "|V|=8 |E|=3") || !strings.Contains(s, "0 match(es)") {
+		t.Fatalf("resumed DB does not reflect the durable mutations:\n%s", s)
 	}
 }

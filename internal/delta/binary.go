@@ -1,0 +1,109 @@
+package delta
+
+// The binary op codec used by the WAL (internal/store): a compact,
+// varint-encoded form of one op batch. The framing (length prefix +
+// CRC32C) lives in the store layer; this codec only encodes the batch
+// payload, so it must never panic on hostile bytes — the checksum
+// catches random corruption, but a truncated or bit-flipped record that
+// happens to pass framing still reaches DecodeOps.
+//
+//	batch    := uvarint opCount, op*
+//	op       := byte kind, body
+//	AddNode  := uvarint labelLen, labelLen bytes
+//	AddEdge  := uvarint from, uvarint to
+//	DelEdge  := uvarint from, uvarint to
+//
+// Node ids fit uvarints because they are dense non-negative ints; the
+// codec rejects values that overflow int64 or a label longer than
+// maxLabelLen (no real label comes close — the guard bounds allocation
+// on corrupt input).
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"rbq/internal/graph"
+)
+
+// maxLabelLen bounds a decoded node label; longer means corruption.
+const maxLabelLen = 1 << 20
+
+// errShortBatch is wrapped by DecodeOps errors for truncated input.
+var errShortBatch = errors.New("truncated batch")
+
+// EncodeOps appends the binary encoding of one op batch to buf and
+// returns the extended slice.
+func EncodeOps(buf []byte, ops []Op) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(ops)))
+	for _, op := range ops {
+		buf = append(buf, byte(op.Kind))
+		switch op.Kind {
+		case OpAddNode:
+			buf = binary.AppendUvarint(buf, uint64(len(op.Label)))
+			buf = append(buf, op.Label...)
+		default:
+			buf = binary.AppendUvarint(buf, uint64(op.From))
+			buf = binary.AppendUvarint(buf, uint64(op.To))
+		}
+	}
+	return buf
+}
+
+// DecodeOps decodes one binary op batch. It errors (never panics) on
+// truncated input, trailing bytes, unknown kinds, or oversized counts:
+// allocation stays proportional to len(data) whatever the bytes say.
+func DecodeOps(data []byte) ([]Op, error) {
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("delta: decode ops: bad op count: %w", errShortBatch)
+	}
+	data = data[n:]
+	// Every op occupies at least 2 bytes (kind + 1-byte body), so a
+	// count beyond len(data)/2 cannot be honest — reject before
+	// allocating.
+	if count > uint64(len(data)/2)+1 {
+		return nil, fmt.Errorf("delta: decode ops: op count %d exceeds payload", count)
+	}
+	ops := make([]Op, 0, count)
+	for i := uint64(0); i < count; i++ {
+		if len(data) == 0 {
+			return nil, fmt.Errorf("delta: decode op %d: %w", i, errShortBatch)
+		}
+		kind := OpKind(data[0])
+		data = data[1:]
+		switch kind {
+		case OpAddNode:
+			l, n := binary.Uvarint(data)
+			if n <= 0 {
+				return nil, fmt.Errorf("delta: decode op %d: bad label length: %w", i, errShortBatch)
+			}
+			data = data[n:]
+			if l > maxLabelLen || l > uint64(len(data)) {
+				return nil, fmt.Errorf("delta: decode op %d: label length %d exceeds payload", i, l)
+			}
+			ops = append(ops, AddNode(string(data[:l])))
+			data = data[l:]
+		case OpAddEdge, OpDelEdge:
+			from, n := binary.Uvarint(data)
+			if n <= 0 || from > math.MaxInt32 {
+				return nil, fmt.Errorf("delta: decode op %d: bad from id: %w", i, errShortBatch)
+			}
+			data = data[n:]
+			to, n := binary.Uvarint(data)
+			if n <= 0 || to > math.MaxInt32 {
+				return nil, fmt.Errorf("delta: decode op %d: bad to id: %w", i, errShortBatch)
+			}
+			data = data[n:]
+			op := Op{Kind: kind, From: graph.NodeID(from), To: graph.NodeID(to)}
+			ops = append(ops, op)
+		default:
+			return nil, fmt.Errorf("delta: decode op %d: unknown kind %d", i, kind)
+		}
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("delta: decode ops: %d trailing bytes", len(data))
+	}
+	return ops, nil
+}

@@ -130,44 +130,64 @@ func (d *Delta) edgeExists(batch map[edgeKey]bool, u, v graph.NodeID) bool {
 	return int(u) < d.base.NumNodes() && int(v) < d.base.NumNodes() && d.base.HasEdge(u, v)
 }
 
+// stage validates one batch against (live delta + batch so far) without
+// touching live state, filling caller-allocated batchEdges with the net
+// in-batch edge overrides and returning the labels of in-batch node
+// adds. The map is a parameter rather than a return value so it never
+// escapes: Apply's copy stays off the heap, keeping the batch hot path
+// at its pre-Validate allocation count.
+func (d *Delta) stage(ops []Op, batchEdges map[edgeKey]bool) (batchNodes []string, err error) {
+	n := graph.NodeID(d.NumNodes())
+	for i, op := range ops {
+		switch op.Kind {
+		case OpAddNode:
+			if op.Label == "" {
+				return nil, fmt.Errorf("delta: op %d: empty node label", i)
+			}
+			batchNodes = append(batchNodes, op.Label)
+			n++
+		case OpAddEdge:
+			if op.From < 0 || op.From >= n || op.To < 0 || op.To >= n {
+				return nil, fmt.Errorf("delta: op %d: edge (%d,%d) out of range [0,%d)", i, op.From, op.To, n)
+			}
+			if d.edgeExists(batchEdges, op.From, op.To) {
+				return nil, fmt.Errorf("delta: op %d: edge (%d,%d) already exists", i, op.From, op.To)
+			}
+			batchEdges[edgeKey{op.From, op.To}] = true
+		case OpDelEdge:
+			if op.From < 0 || op.From >= n || op.To < 0 || op.To >= n {
+				return nil, fmt.Errorf("delta: op %d: edge (%d,%d) out of range [0,%d)", i, op.From, op.To, n)
+			}
+			if !d.edgeExists(batchEdges, op.From, op.To) {
+				return nil, fmt.Errorf("delta: op %d: edge (%d,%d) does not exist", i, op.From, op.To)
+			}
+			batchEdges[edgeKey{op.From, op.To}] = false
+		default:
+			return nil, fmt.Errorf("delta: op %d: unknown kind %d", i, op.Kind)
+		}
+	}
+	return batchNodes, nil
+}
+
+// Validate checks one batch of ops against the mutated view exactly as
+// Apply would, without changing the Delta. The facade uses it to decide
+// whether a batch deserves a WAL record before any state moves: a batch
+// that passes Validate cannot fail the Apply that immediately follows.
+func (d *Delta) Validate(ops []Op) error {
+	_, err := d.stage(ops, make(map[edgeKey]bool))
+	return err
+}
+
 // Apply validates and buffers one batch of ops, atomically: either
 // every op is consistent with the mutated view (in batch order, so an
 // edge may target a node added earlier in the same batch) and the whole
 // batch lands, or the Delta is left exactly as it was and the error
 // names the first offending op.
 func (d *Delta) Apply(ops []Op) error {
-	// Phase 1 — validate against (live delta + batch so far) without
-	// touching live state. batchEdges records the net in-batch edge
-	// overrides, batchNodes the labels of in-batch node adds.
 	batchEdges := make(map[edgeKey]bool)
-	var batchNodes []string
-	n := func() graph.NodeID { return graph.NodeID(d.NumNodes() + len(batchNodes)) }
-	for i, op := range ops {
-		switch op.Kind {
-		case OpAddNode:
-			if op.Label == "" {
-				return fmt.Errorf("delta: op %d: empty node label", i)
-			}
-			batchNodes = append(batchNodes, op.Label)
-		case OpAddEdge:
-			if op.From < 0 || op.From >= n() || op.To < 0 || op.To >= n() {
-				return fmt.Errorf("delta: op %d: edge (%d,%d) out of range [0,%d)", i, op.From, op.To, n())
-			}
-			if d.edgeExists(batchEdges, op.From, op.To) {
-				return fmt.Errorf("delta: op %d: edge (%d,%d) already exists", i, op.From, op.To)
-			}
-			batchEdges[edgeKey{op.From, op.To}] = true
-		case OpDelEdge:
-			if op.From < 0 || op.From >= n() || op.To < 0 || op.To >= n() {
-				return fmt.Errorf("delta: op %d: edge (%d,%d) out of range [0,%d)", i, op.From, op.To, n())
-			}
-			if !d.edgeExists(batchEdges, op.From, op.To) {
-				return fmt.Errorf("delta: op %d: edge (%d,%d) does not exist", i, op.From, op.To)
-			}
-			batchEdges[edgeKey{op.From, op.To}] = false
-		default:
-			return fmt.Errorf("delta: op %d: unknown kind %d", i, op.Kind)
-		}
+	batchNodes, err := d.stage(ops, batchEdges)
+	if err != nil {
+		return err
 	}
 	// Phase 2 — merge the batch's net effect into the live delta. The
 	// rules keep addEdges/delEdges disjoint and minimal: an edge that

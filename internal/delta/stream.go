@@ -24,38 +24,69 @@ import (
 	"rbq/internal/graph"
 )
 
+// Batch is one parsed op batch plus the 1-based line number of its
+// first op — what cmd/rbquery points at when an apply fails mid-stream.
+type Batch struct {
+	Ops  []Op
+	Line int
+}
+
 // ReadOps parses an op stream into batches (split at "apply" lines).
+// On a malformed line it returns the batches fully parsed before the
+// bad line alongside the error, so a consumer can report partial
+// progress instead of discarding the prefix.
 func ReadOps(r io.Reader) ([][]Op, error) {
+	parsed, err := ReadBatches(r)
+	batches := make([][]Op, len(parsed))
+	for i, b := range parsed {
+		batches[i] = b.Ops
+	}
+	return batches, err
+}
+
+// ReadBatches parses an op stream into batches carrying the line number
+// each batch starts at. On a malformed line it returns every batch
+// closed by an "apply" before the error (a partially accumulated batch
+// is dropped — it was never going to be applied atomically) together
+// with a line-numbered error.
+func ReadBatches(r io.Reader) ([]Batch, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
-	var batches [][]Op
+	var batches []Batch
 	var cur []Op
+	curLine := 0 // line of cur's first op; 0 = batch not started
 	lineNo := 0
+	fail := func(format string, args ...any) ([]Batch, error) {
+		return batches, fmt.Errorf(format, args...)
+	}
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
+		if curLine == 0 && line != "apply" {
+			curLine = lineNo
+		}
 		switch {
 		case line == "apply":
-			batches = append(batches, cur)
-			cur = nil
+			batches = append(batches, Batch{Ops: cur, Line: curLine})
+			cur, curLine = nil, 0
 		case strings.HasPrefix(line, "node "):
 			label := strings.TrimSpace(line[len("node "):])
 			if label == "" {
-				return nil, fmt.Errorf("ops line %d: empty node label", lineNo)
+				return fail("ops line %d: empty node label", lineNo)
 			}
 			cur = append(cur, AddNode(label))
 		case strings.HasPrefix(line, "edge "), strings.HasPrefix(line, "deledge "):
 			fields := strings.Fields(line)
 			if len(fields) != 3 {
-				return nil, fmt.Errorf("ops line %d: want %q <from> <to>, got %q", lineNo, fields[0], line)
+				return fail("ops line %d: want %q <from> <to>, got %q", lineNo, fields[0], line)
 			}
-			from, err1 := strconv.Atoi(fields[1])
-			to, err2 := strconv.Atoi(fields[2])
+			from, err1 := strconv.ParseInt(fields[1], 10, 32)
+			to, err2 := strconv.ParseInt(fields[2], 10, 32)
 			if err1 != nil || err2 != nil {
-				return nil, fmt.Errorf("ops line %d: bad node id in %q", lineNo, line)
+				return fail("ops line %d: bad node id in %q", lineNo, line)
 			}
 			if fields[0] == "edge" {
 				cur = append(cur, AddEdge(graph.NodeID(from), graph.NodeID(to)))
@@ -63,14 +94,14 @@ func ReadOps(r io.Reader) ([][]Op, error) {
 				cur = append(cur, DelEdge(graph.NodeID(from), graph.NodeID(to)))
 			}
 		default:
-			return nil, fmt.Errorf("ops line %d: unknown directive %q", lineNo, line)
+			return fail("ops line %d: unknown directive %q", lineNo, line)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return batches, err
 	}
 	if len(cur) > 0 {
-		batches = append(batches, cur)
+		batches = append(batches, Batch{Ops: cur, Line: curLine})
 	}
 	return batches, nil
 }

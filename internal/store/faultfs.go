@@ -1,0 +1,216 @@
+package store
+
+// CrashFS: the fault-injection harness behind the crash-matrix property
+// test. It wraps a real FS and models a hard crash as an *event budget*:
+// every byte written costs one event, every metadata operation (create,
+// rename, remove, truncate, file sync, dir sync) costs one, and once the
+// budget is exhausted every subsequent operation fails with ErrCrashed —
+// including the tail of the write that ran out, which lands as a torn
+// partial prefix exactly the way a power cut tears an append.
+//
+// Run a workload once with an unlimited budget to count its events, then
+// replay it with every (or a sampled set of) budget k in [0, total): each
+// k is one distinct crash point, and the recovery property must hold at
+// all of them. OpEvents records the event index of each metadata
+// operation so the sampler can aim straight at the interesting edges
+// (just before / at / just after a rename or truncate).
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"sync"
+)
+
+// ErrCrashed is returned by every CrashFS operation at or past the
+// simulated crash point.
+var ErrCrashed = errors.New("store: simulated crash")
+
+// CrashFS wraps an FS with an event-budget crash simulator. A negative
+// budget never crashes (counting mode).
+type CrashFS struct {
+	inner FS
+
+	mu       sync.Mutex
+	budget   int64 // remaining events; < 0 = unlimited
+	dead     bool  // the crash point has been reached
+	events   int64 // events consumed so far
+	opEvents []int64
+}
+
+// NewCrashFS returns a CrashFS over inner that crashes after budget
+// events (budget < 0: never, count only).
+func NewCrashFS(inner FS, budget int64) *CrashFS {
+	return &CrashFS{inner: inner, budget: budget}
+}
+
+// Events returns the number of events consumed so far.
+func (c *CrashFS) Events() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.events
+}
+
+// OpEvents returns the event indices at which metadata operations
+// (everything except individual written bytes) were charged.
+func (c *CrashFS) OpEvents() []int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]int64(nil), c.opEvents...)
+}
+
+// take charges up to want events and returns how many were granted and
+// whether the budget survives. A metadata op calls take(1) and must not
+// happen on 0; a write calls take(len(p)) and tears at the granted count.
+func (c *CrashFS) take(want int64, meta bool) (granted int64, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead {
+		return 0, false
+	}
+	if meta {
+		c.opEvents = append(c.opEvents, c.events)
+	}
+	if c.budget < 0 {
+		c.events += want
+		return want, true
+	}
+	if c.budget >= want {
+		c.budget -= want
+		c.events += want
+		return want, true
+	}
+	granted = c.budget
+	c.events += granted
+	c.budget = 0
+	// After the simulated power cut nothing else happens.
+	c.dead = true
+	return granted, false
+}
+
+// crashed reports whether the crash point has been reached.
+func (c *CrashFS) crashed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dead
+}
+
+func (c *CrashFS) meta() error {
+	if c.crashed() {
+		return ErrCrashed
+	}
+	if _, ok := c.take(1, true); !ok {
+		return ErrCrashed
+	}
+	return nil
+}
+
+func (c *CrashFS) MkdirAll(path string, perm os.FileMode) error {
+	// Directory creation is not a crash point of interest (it happens
+	// once, before any data exists); it still fails after the crash.
+	if c.crashed() {
+		return ErrCrashed
+	}
+	return c.inner.MkdirAll(path, perm)
+}
+
+func (c *CrashFS) ReadFile(name string) ([]byte, error) {
+	if c.crashed() {
+		return nil, ErrCrashed
+	}
+	return c.inner.ReadFile(name)
+}
+
+func (c *CrashFS) Create(name string) (File, error) {
+	if err := c.meta(); err != nil {
+		return nil, err
+	}
+	f, err := c.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &crashFile{c: c, f: f}, nil
+}
+
+func (c *CrashFS) OpenAppend(name string) (File, error) {
+	if err := c.meta(); err != nil {
+		return nil, err
+	}
+	f, err := c.inner.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &crashFile{c: c, f: f}, nil
+}
+
+func (c *CrashFS) Rename(oldpath, newpath string) error {
+	if err := c.meta(); err != nil {
+		return err
+	}
+	return c.inner.Rename(oldpath, newpath)
+}
+
+func (c *CrashFS) Remove(name string) error {
+	if err := c.meta(); err != nil {
+		return err
+	}
+	return c.inner.Remove(name)
+}
+
+func (c *CrashFS) Truncate(name string, size int64) error {
+	if err := c.meta(); err != nil {
+		return err
+	}
+	return c.inner.Truncate(name, size)
+}
+
+func (c *CrashFS) Stat(name string) (fs.FileInfo, error) {
+	if c.crashed() {
+		return nil, ErrCrashed
+	}
+	return c.inner.Stat(name)
+}
+
+func (c *CrashFS) SyncDir(dir string) error {
+	if err := c.meta(); err != nil {
+		return err
+	}
+	return c.inner.SyncDir(dir)
+}
+
+type crashFile struct {
+	c *CrashFS
+	f File
+}
+
+// Write charges one event per byte; when the budget runs out mid-write
+// only the granted prefix reaches the file — a torn write.
+func (cf *crashFile) Write(p []byte) (int, error) {
+	if cf.c.crashed() {
+		return 0, ErrCrashed
+	}
+	granted, ok := cf.c.take(int64(len(p)), false)
+	if granted > 0 {
+		if n, err := cf.f.Write(p[:granted]); err != nil {
+			return n, err
+		}
+	}
+	if !ok {
+		return int(granted), ErrCrashed
+	}
+	return len(p), nil
+}
+
+func (cf *crashFile) Sync() error {
+	if err := cf.c.meta(); err != nil {
+		return err
+	}
+	return cf.f.Sync()
+}
+
+// Close never costs an event: the interesting states are torn writes
+// and missed syncs, and a real crash closes nothing. It still closes
+// the underlying file so tests do not leak descriptors.
+func (cf *crashFile) Close() error {
+	return cf.f.Close()
+}

@@ -1,0 +1,362 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rbq/internal/delta"
+	"rbq/internal/graph"
+)
+
+func testGraph() (*graph.Graph, *graph.Aux) {
+	g := graph.FromEdges([]string{"A", "B", "C", "A"}, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	return g, graph.BuildAux(g)
+}
+
+func batchN(i int) []delta.Op {
+	return []delta.Op{
+		delta.AddNode("N"),
+		delta.AddEdge(0, graph.NodeID(4+i)),
+	}
+}
+
+func openT(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+func TestFreshOpenAppendReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+	if !s.Stats().FreshDir {
+		t.Fatal("fresh dir not reported fresh")
+	}
+	if g, _, seq := s.Base(); g != nil || seq != 0 {
+		t.Fatal("fresh dir has a base")
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Append(uint64(i+1), batchN(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	s2 := openT(t, dir, Options{})
+	defer s2.Close()
+	st := s2.Stats()
+	if st.FreshDir || st.Truncated || st.SkippedRecords != 0 {
+		t.Fatalf("unexpected stats after clean reopen: %+v", st)
+	}
+	tail := s2.Tail()
+	if len(tail) != 3 {
+		t.Fatalf("tail: got %d batches, want 3", len(tail))
+	}
+	for i, b := range tail {
+		if b.Seq != uint64(i+1) {
+			t.Fatalf("tail[%d].Seq = %d", i, b.Seq)
+		}
+		want := batchN(i)
+		if len(b.Ops) != len(want) {
+			t.Fatalf("tail[%d]: %d ops, want %d", i, len(b.Ops), len(want))
+		}
+		for j := range want {
+			if b.Ops[j] != want[j] {
+				t.Fatalf("tail[%d].Ops[%d] = %v, want %v", i, j, b.Ops[j], want[j])
+			}
+		}
+	}
+	if s2.LastSeq() != 3 {
+		t.Fatalf("LastSeq = %d, want 3", s2.LastSeq())
+	}
+}
+
+func TestAppendSeqDiscipline(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+	defer s.Close()
+	if err := s.Append(2, batchN(0)); err == nil {
+		t.Fatal("append with a seq gap accepted")
+	}
+	// The misuse poisoned the store.
+	if err := s.Append(1, batchN(0)); err == nil {
+		t.Fatal("poisoned store accepted an append")
+	}
+}
+
+func TestWriteBaseTruncatesWAL(t *testing.T) {
+	dir := t.TempDir()
+	g, aux := testGraph()
+	s := openT(t, dir, Options{})
+	ops := []delta.Op{delta.AddNode("X")}
+	if err := s.Append(1, ops); err != nil {
+		t.Fatal(err)
+	}
+	// Pretend the facade folded batch 1 into g (the store does not
+	// inspect image contents, only the protocol).
+	if err := s.WriteBase(g, aux, 1); err != nil {
+		t.Fatalf("WriteBase: %v", err)
+	}
+	if err := s.Append(2, ops); err != nil {
+		t.Fatalf("append after compaction: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openT(t, dir, Options{})
+	defer s2.Close()
+	bg, _, seq := s2.Base()
+	if bg == nil || seq != 1 {
+		t.Fatalf("base seq = %d (nil=%v), want 1", seq, bg == nil)
+	}
+	if bg.NumNodes() != g.NumNodes() || bg.NumEdges() != g.NumEdges() {
+		t.Fatal("base image does not match the written graph")
+	}
+	tail := s2.Tail()
+	if len(tail) != 1 || tail[0].Seq != 2 {
+		t.Fatalf("tail after compaction: %+v", tail)
+	}
+	if s2.Stats().SkippedRecords != 0 {
+		t.Fatal("clean compaction left skipped records")
+	}
+}
+
+// TestReplaySkipsFoldedRecords covers the crash window between the base
+// rename and the WAL swap: the new base coexists with the old WAL, and
+// replay must skip the records the base already folds.
+func TestReplaySkipsFoldedRecords(t *testing.T) {
+	dir := t.TempDir()
+	g, aux := testGraph()
+	s := openT(t, dir, Options{})
+	ops := []delta.Op{delta.AddNode("X")}
+	for i := 1; i <= 3; i++ {
+		if err := s.Append(uint64(i), ops); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	// Reconstruct the crash state: write a base at seq 2 by hand while
+	// the WAL still holds 1..3.
+	walBefore, err := os.ReadFile(filepath.Join(dir, walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s = openT(t, dir, Options{})
+	if err := s.Append(4, ops); err != nil { // keep seqs moving to 4 first
+		t.Fatal(err)
+	}
+	if err := s.WriteBase(g, aux, 4); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// Overwrite wal.log with the pre-compaction bytes: base seq 4 + WAL 1..3.
+	if err := os.WriteFile(filepath.Join(dir, walName), walBefore, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openT(t, dir, Options{})
+	defer s2.Close()
+	st := s2.Stats()
+	if st.SkippedRecords != 3 {
+		t.Fatalf("SkippedRecords = %d, want 3", st.SkippedRecords)
+	}
+	if len(s2.Tail()) != 0 {
+		t.Fatalf("tail = %+v, want empty", s2.Tail())
+	}
+	if s2.LastSeq() != 4 {
+		t.Fatalf("LastSeq = %d, want 4", s2.LastSeq())
+	}
+	// The store must accept new appends at seq 5 even though the WAL
+	// file ends at seq 3.
+	if err := s2.Append(5, ops); err != nil {
+		t.Fatalf("append after skip-recovery: %v", err)
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	for cut := 1; cut <= 8; cut++ {
+		dir := t.TempDir()
+		s := openT(t, dir, Options{})
+		ops := []delta.Op{delta.AddNode("X")}
+		for i := 1; i <= 2; i++ {
+			if err := s.Append(uint64(i), ops); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Close()
+		path := filepath.Join(dir, walName)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data[:len(data)-cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s2 := openT(t, dir, Options{})
+		st := s2.Stats()
+		if !st.Truncated || st.DroppedBytes == 0 {
+			t.Fatalf("cut %d: torn tail not reported: %+v", cut, st)
+		}
+		if len(s2.Tail()) != 1 || s2.Tail()[0].Seq != 1 {
+			t.Fatalf("cut %d: tail = %+v, want seq 1 only", cut, s2.Tail())
+		}
+		// The repaired WAL accepts the next append and reopens clean.
+		if err := s2.Append(2, ops); err != nil {
+			t.Fatal(err)
+		}
+		s2.Close()
+		s3 := openT(t, dir, Options{})
+		if s3.Stats().Truncated || len(s3.Tail()) != 2 {
+			t.Fatalf("cut %d: reopen after repair: %+v", cut, s3.Stats())
+		}
+		s3.Close()
+	}
+}
+
+func TestBitFlipTruncatesAtDamage(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+	ops := []delta.Op{delta.AddNode("X")}
+	for i := 1; i <= 4; i++ {
+		if err := s.Append(uint64(i), ops); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	path := filepath.Join(dir, walName)
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recLen := (len(pristine) - walHeaderLen) / 4
+	for off := walHeaderLen; off < len(pristine); off++ {
+		mut := append([]byte(nil), pristine...)
+		mut[off] ^= 0x10
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s2, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("flip at %d: open failed: %v", off, err)
+		}
+		// The flip lands in record k; everything before must survive and
+		// everything from k on must be dropped.
+		k := (off - walHeaderLen) / recLen
+		if got := len(s2.Tail()); got != k {
+			t.Fatalf("flip at %d (record %d): %d tail batches survive", off, k, got)
+		}
+		if !s2.Stats().Truncated {
+			t.Fatalf("flip at %d: truncation not reported", off)
+		}
+		s2.Close()
+		if err := os.WriteFile(path, pristine, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBaseImageDamageIsHardError(t *testing.T) {
+	dir := t.TempDir()
+	g, aux := testGraph()
+	s := openT(t, dir, Options{})
+	if err := s.WriteBase(g, aux, 0); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	path := filepath.Join(dir, baseName)
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, off := range []int{0, 5, 10, 17, basePrologueLen + 3, len(pristine) - 1} {
+		mut := append([]byte(nil), pristine...)
+		mut[off] ^= 0x01
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open(dir, Options{}); err == nil {
+			t.Fatalf("flip at %d: corrupt base image opened", off)
+		}
+	}
+}
+
+func TestWALHeaderMismatchIsHardError(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+	s.Close()
+	path := filepath.Join(dir, walName)
+	// Wrong magic: refuse, don't repair — it is not our file.
+	if err := os.WriteFile(path, []byte("NOPE\x01\x00\x00\x00"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("foreign wal magic accepted")
+	}
+	var hdr [walHeaderLen]byte
+	copy(hdr[:], walMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], 99)
+	if err := os.WriteFile(path, hdr[:], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("future wal version accepted")
+	}
+}
+
+// TestCrashFSBudget pins the harness semantics the crash matrix depends
+// on: byte-granular write tearing and all-ops-fail after exhaustion.
+func TestCrashFSBudget(t *testing.T) {
+	dir := t.TempDir()
+	cfs := NewCrashFS(OSFS, 12)
+	f, err := cfs.Create(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Create cost 1 event; 11 remain: a 20-byte write tears at 11.
+	n, err := f.Write(make([]byte, 20))
+	if !errors.Is(err, ErrCrashed) || n != 11 {
+		t.Fatalf("torn write: n=%d err=%v", n, err)
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatal("write after crash succeeded")
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatal("sync after crash succeeded")
+	}
+	if err := cfs.Rename(filepath.Join(dir, "f"), filepath.Join(dir, "g")); !errors.Is(err, ErrCrashed) {
+		t.Fatal("rename after crash succeeded")
+	}
+	f.Close()
+	got, err := os.ReadFile(filepath.Join(dir, "f"))
+	if err != nil || len(got) != 11 {
+		t.Fatalf("file holds %d bytes (err %v), want the 11-byte torn prefix", len(got), err)
+	}
+	if cfs.Events() != 12 {
+		t.Fatalf("events = %d, want 12", cfs.Events())
+	}
+}
+
+func TestCrashFSCounting(t *testing.T) {
+	dir := t.TempDir()
+	cfs := NewCrashFS(OSFS, -1)
+	s, err := Open(dir, Options{FS: cfs})
+	if err != nil {
+		t.Fatalf("open under counting CrashFS: %v", err)
+	}
+	if err := s.Append(1, []delta.Op{delta.AddNode("X")}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if cfs.Events() == 0 || len(cfs.OpEvents()) == 0 {
+		t.Fatal("counting mode recorded nothing")
+	}
+}

@@ -70,14 +70,40 @@ const DefaultCompactThreshold = 1 << 15
 // mutations. Sealing costs O(live delta); when the live delta reaches
 // the compaction threshold, Apply additionally rebuilds the merged base
 // (O(|G|)) before publishing — still without blocking readers.
+//
+// On a persistent DB (see OpenDB) the batch is validated first, then
+// appended to the WAL (fsync'd per the SyncPolicy), and only then
+// buffered and published: a nil return means the batch is durable —
+// recovery replays it. A WAL error fails the Apply, leaves the DB
+// unchanged, and poisons the store (reopen to resume); after Close,
+// Apply returns ErrClosed.
 func (db *DB) Apply(ops []Op) error {
 	if len(ops) == 0 {
 		return nil
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if err := db.pending.Apply(ops); err != nil {
+	if db.closed {
+		return ErrClosed
+	}
+	if db.store == nil {
+		if err := db.pending.Apply(ops); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		return db.publishLocked(db.pending.Ops() >= db.compactAt)
+	}
+	// Durability ordering: validate (no state moves), append to the WAL,
+	// then buffer. A batch that passed Validate cannot fail the Apply
+	// below, so the WAL never acks a record the in-memory DB rejects.
+	if err := db.pending.Validate(ops); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if err := db.store.Append(db.seq+1, ops); err != nil {
+		return fmt.Errorf("rbq: wal append: %w", err)
+	}
+	db.seq++
+	if err := db.pending.Apply(ops); err != nil {
+		panic(fmt.Sprintf("rbq: validated batch failed to apply: %v", err))
 	}
 	return db.publishLocked(db.pending.Ops() >= db.compactAt)
 }
@@ -88,17 +114,28 @@ func (db *DB) Apply(ops []Op) error {
 // delta. Apply triggers the same rebuild automatically at the
 // compaction threshold; Compact is for callers that want the rebuild at
 // a quiet moment of their own choosing.
-func (db *DB) Compact() {
+//
+// On a persistent DB compaction also writes the rebuilt base as a new
+// snapshot image (temp file, fsync, atomic rename) and truncates the
+// WAL. The returned error reports a failed image write; the in-memory
+// compaction still took effect and no acked batch is at risk — the WAL
+// retains everything the image misses — but the store refuses further
+// writes until reopened. In-memory DBs always return nil.
+func (db *DB) Compact() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
 	if db.pending.Ops() == 0 {
-		return
+		return nil
 	}
 	// publishLocked cannot fail here: the pending delta was validated
 	// op by op as it accumulated.
 	if err := db.publishLocked(true); err != nil {
 		panic(fmt.Sprintf("rbq: compaction of a validated delta failed: %v", err))
 	}
+	return db.lastBaseErr
 }
 
 // publishLocked seals the pending delta into the next-epoch snapshot —
@@ -117,6 +154,19 @@ func (db *DB) publishLocked(compact bool) error {
 		snap = snap.Compacted(epoch)
 		db.pending = delta.New(snap.Graph(), snap.Aux())
 		db.compactions++
+		if db.store != nil {
+			// Persist the rebuilt base and truncate the WAL. Failure does
+			// not fail the publish: every acked batch is still in the WAL
+			// (the protocol only truncates it after the image is durable),
+			// so correctness is intact — but the store is poisoned and
+			// later Applies will surface the outage. Compact() returns
+			// this error; threshold-triggered compactions expose it via
+			// MutationStats.
+			db.lastBaseErr = db.store.WriteBase(snap.Graph(), snap.Aux(), db.seq)
+			if db.lastBaseErr != nil {
+				db.baseWriteErrs++
+			}
+		}
 	}
 	// Alphabet growth stales every cached template at once; compaction
 	// replaces the base that stale entries would otherwise pin in the
@@ -154,6 +204,13 @@ type MutationStats struct {
 	// explicit alike). CompactThreshold is the current trigger.
 	Compactions      uint64
 	CompactThreshold int
+	// Persistent reports whether the DB is backed by a store directory
+	// (OpenDB); Seq is the last batch sequence acked to the WAL, and
+	// BaseWriteErrors counts failed base-image writes (each poisons the
+	// store until the DB is reopened). All zero for in-memory DBs.
+	Persistent      bool
+	Seq             uint64
+	BaseWriteErrors uint64
 }
 
 // MutationStats returns the DB's mutation counters.
@@ -165,5 +222,8 @@ func (db *DB) MutationStats() MutationStats {
 		LiveDeltaOps:     db.pending.Ops(),
 		Compactions:      db.compactions,
 		CompactThreshold: db.compactAt,
+		Persistent:       db.store != nil,
+		Seq:              db.seq,
+		BaseWriteErrors:  db.baseWriteErrs,
 	}
 }

@@ -55,6 +55,7 @@ import (
 	"rbq/internal/pattern"
 	"rbq/internal/rbreach"
 	"rbq/internal/reach"
+	"rbq/internal/store"
 )
 
 // NodeID identifies a node of a Graph.
@@ -129,11 +130,21 @@ type DB struct {
 	plans *planCache
 
 	// mu serializes the mutation side (Apply, Compact, threshold
-	// changes); it is never taken on the query path.
+	// changes, Close); it is never taken on the query path.
 	mu          sync.Mutex
 	pending     *delta.Delta // cumulative live delta over the current base
 	compactAt   int          // live-op threshold that triggers compaction
 	compactions uint64
+
+	// Persistence (nil/zero for in-memory DBs; see persist.go). store is
+	// the open WAL + base-image directory, seq the last batch sequence
+	// acked to it, recovery what OpenDB found on disk.
+	store         *store.Store
+	seq           uint64
+	closed        bool
+	recovery      RecoveryStats
+	lastBaseErr   error // error of the most recent base-image write, nil if it succeeded
+	baseWriteErrs uint64
 }
 
 // NewDB builds the offline auxiliary structure for g and returns a handle.
