@@ -5,6 +5,7 @@ package rbq
 
 import (
 	"context"
+	"runtime"
 	"testing"
 
 	"rbq/internal/gen"
@@ -139,6 +140,91 @@ func TestQueryCacheHitAllocBudget(t *testing.T) {
 	}
 	if queryAvg > 8 {
 		t.Fatalf("cache-hit DB.Query allocates %.1f times per run, want ≤ 8", queryAvg)
+	}
+}
+
+// TestParallelUnanchoredAllocBudget: the speculative-wave path may buy
+// its pool — the wave bookkeeping, the worker goroutines, the per-worker
+// scratch — but the per-query steady-state overhead over the serial path
+// must stay small and fixed; and the Parallelism = 0 serial path must
+// allocate exactly like the legacy unanchored wrapper it always was
+// (provably unchanged: same core, same counts).
+func TestParallelUnanchoredAllocBudget(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	g := gen.Random(gen.GraphConfig{Nodes: 3000, Edges: 9000, Seed: 7, PowerLaw: true})
+	db := NewDB(g)
+	q := gen.PatternAt(g, 101, gen.PatternConfig{Nodes: 4, Edges: 6, Seed: 3})
+	if q == nil {
+		t.Fatal("could not extract a test pattern")
+	}
+	ctx := context.Background()
+	mk := func(p int) func() {
+		req := Request{Mode: Unanchored, Alpha: 0.02, Parallelism: p}
+		return func() {
+			if _, err := db.Query(ctx, q, req); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	serial, parallel := mk(0), mk(4)
+	legacy := func() { db.SimulationUnanchored(q, 0.02) }
+	for i := 0; i < 5; i++ {
+		serial()
+		parallel()
+		legacy()
+	}
+	serialAvg := testing.AllocsPerRun(100, serial)
+	parallelAvg := testing.AllocsPerRun(100, parallel)
+	legacyAvg := testing.AllocsPerRun(100, legacy)
+	if serialAvg > legacyAvg {
+		t.Fatalf("serial unanchored Query allocates %.1f times per run, legacy wrapper %.1f — Parallelism=0 must be the unchanged serial path", serialAvg, legacyAvg)
+	}
+	if parallelAvg > serialAvg+64 {
+		t.Fatalf("parallel unanchored Query allocates %.1f times per run, serial %.1f — per-query pool overhead must stay ≤ 64", parallelAvg, serialAvg)
+	}
+}
+
+// TestQueryBatchShardedAllocBudget: sharding a batch across workers must
+// cost a fixed pool overhead, not per-item allocations.
+func TestQueryBatchShardedAllocBudget(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	g := YoutubeLike(10_000, 1)
+	db := NewDB(g)
+	var q *Pattern
+	var vp NodeID
+	for seed := int64(0); seed < 50 && q == nil; seed++ {
+		cand := NodeID(int(seed*131+17) % g.NumNodes())
+		if g.Degree(cand) < 2 {
+			continue
+		}
+		q = gen.PatternAt(g, graph.NodeID(cand), gen.PatternConfig{Nodes: 4, Edges: 8, Seed: seed})
+		vp = cand
+	}
+	if q == nil {
+		t.Fatal("could not extract a test pattern")
+	}
+	qs := make([]AnchoredQuery, 32)
+	for i := range qs {
+		qs[i] = AnchoredQuery{Q: q, At: vp}
+	}
+	ctx := context.Background()
+	req := Request{Alpha: 0.001}
+	mk := func(workers int) func() {
+		return func() {
+			if _, err := db.QueryBatch(ctx, qs, req, workers); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	serial, sharded := mk(1), mk(4)
+	for i := 0; i < 5; i++ {
+		serial()
+		sharded()
+	}
+	serialAvg := testing.AllocsPerRun(100, serial)
+	shardedAvg := testing.AllocsPerRun(100, sharded)
+	if shardedAvg > serialAvg+32 {
+		t.Fatalf("sharded QueryBatch allocates %.1f times per run, serial %.1f — pool overhead must stay ≤ 32", shardedAvg, serialAvg)
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 	"rbq/internal/landmark"
 	"rbq/internal/pattern"
 	"rbq/internal/plan"
+	"rbq/internal/rbany"
 	"rbq/internal/rbreach"
 	"rbq/internal/rbsim"
 	"rbq/internal/rbsub"
@@ -62,8 +63,15 @@ type microResult struct {
 // GOMAXPROCS (one chunk of buffers per worker), so their alloc gate gets
 // headroom for differing core counts instead of the exact-count gate the
 // serial hot paths use. CompactSwap rebuilds the Aux, whose construction
-// parallelizes the same way.
-var parallelBench = map[string]bool{"BuildAux": true, "CompactSwap": true}
+// parallelizes the same way; the W4 worker-pool entries spawn goroutines
+// and per-worker pooled scratch.
+var parallelBench = map[string]bool{
+	"BuildAux":             true,
+	"CompactSwap":          true,
+	"ParallelExactW4":      true,
+	"ParallelUnanchoredW4": true,
+	"QueryBatchShardedW4":  true,
+}
 
 // loadBaseline reads and parses a baseline report. Callers load it
 // before the fresh report is written, so -out and -compare may name the
@@ -211,6 +219,36 @@ func runMicro(path, comparePath string, tolerance float64, count int, nsGate boo
 	qreq := rbq.Request{Anchor: rbq.Pin(vp), Alpha: 0.001}
 	if _, err := qdb.Query(context.Background(), q, qreq); err != nil {
 		return fmt.Errorf("warm facade query: %w", err)
+	}
+
+	// Parallel fixtures, exercising the three worker-pool fan-out points
+	// with a workers axis (W1 = pool of one, the inline degenerate case;
+	// W4 = four workers — speedup on a multicore host, pure pool overhead
+	// on a single-core one). ParallelExact fans MatchOpt balls over every
+	// node sharing v_p's label (capped at 48 pins); ParallelUnanchored
+	// runs rbany's speculative waves through the plan layer; and
+	// QueryBatchSharded pushes a 128-item pinned batch through the facade
+	// pool. rbany.Options.Workers is used directly (not Request.
+	// Parallelism) so the W4 entries measure 4 goroutines regardless of
+	// the host's GOMAXPROCS cap.
+	var exactPins []graph.NodeID
+	for _, v := range g.NodesWithLabel(g.LabelIDOf(q.Label(q.Personalized()))) {
+		if g.Degree(v) >= 2 {
+			exactPins = append(exactPins, v)
+		}
+		if len(exactPins) == 48 {
+			break
+		}
+	}
+	if len(exactPins) == 0 {
+		return fmt.Errorf("no pins share the benchmark pattern's personalized label")
+	}
+	batchItems := make([]rbq.AnchoredQuery, 128)
+	for i := range batchItems {
+		batchItems[i] = rbq.AnchoredQuery{Q: q, At: exactPins[i%len(exactPins)]}
+	}
+	unanchOpts := func(w int) rbany.Options {
+		return rbany.Options{Alpha: 0.005, Workers: w}
 	}
 
 	// Mutation fixtures: a batch of net-new edges over g (and its exact
@@ -362,6 +400,40 @@ func runMicro(path, comparePath string, tolerance float64, count int, nsGate boo
 		{"MatchOptBall", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				simulation.MatchOpt(g, q, vp)
+			}
+		}},
+		{"ParallelExactW1", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				simulation.MatchOptMany(g, q, exactPins, 1, nil)
+			}
+		}},
+		{"ParallelExactW4", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				simulation.MatchOptMany(g, q, exactPins, 4, nil)
+			}
+		}},
+		{"ParallelUnanchoredW1", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pl.SimulationUnanchored(unanchOpts(1))
+			}
+		}},
+		{"ParallelUnanchoredW4", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pl.SimulationUnanchored(unanchOpts(4))
+			}
+		}},
+		{"QueryBatchShardedW1", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := qdb.QueryBatch(context.Background(), batchItems, rbq.Request{Alpha: 0.001}, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"QueryBatchShardedW4", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := qdb.QueryBatch(context.Background(), batchItems, rbq.Request{Alpha: 0.001}, 4); err != nil {
+					b.Fatal(err)
+				}
 			}
 		}},
 		{"BuildAux", func(b *testing.B) {

@@ -69,6 +69,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		alpha        = fs.Float64("alpha", 0.001, "resource ratio α ∈ (0,1)")
 		exact        = fs.Bool("exact", false, "also run the exact baseline and report accuracy")
 		stats        = fs.Bool("stats", false, "report timing and plan-cache counters (pattern, workload and update modes)")
+		workers      = fs.Int("workers", 0, "intra-query parallelism (Request.Parallelism, GOMAXPROCS-capped) and workload batch sharding; 0 = serial queries, one batch worker per CPU")
 		timeout      = fs.Duration("timeout", 0, "cancel query evaluation after this duration (0 = none; pattern and workload modes)")
 		from         = fs.Int("from", -1, "source node (reach mode)")
 		to           = fs.Int("to", -1, "target node (reach mode)")
@@ -121,11 +122,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	rc := 0
 	switch *mode {
 	case "sim", "sub":
-		rc = runPattern(ctx, db, *mode, *patternPath, *alpha, *exact, *stats, stdout, stderr)
+		rc = runPattern(ctx, db, *mode, *patternPath, *alpha, *exact, *stats, *workers, stdout, stderr)
 	case "reach":
 		rc = runReach(db, *alpha, *from, *to, *exact, *indexPath, stdout, stderr)
 	case "workload":
-		rc = runWorkload(ctx, db, *workloadPath, *alpha, *stats, stdout, stderr)
+		rc = runWorkload(ctx, db, *workloadPath, *alpha, *stats, *workers, stdout, stderr)
 	case "update":
 		rc = runUpdate(ctx, db, *opsPath, *patternPath, *alpha, *compactAt, *stats, stdout, stderr)
 	default:
@@ -192,7 +193,7 @@ func queryErr(err error, stderr io.Writer) int {
 	return 1
 }
 
-func runPattern(ctx context.Context, db *rbq.DB, mode, path string, alpha float64, exact, stats bool, stdout, stderr io.Writer) int {
+func runPattern(ctx context.Context, db *rbq.DB, mode, path string, alpha float64, exact, stats bool, workers int, stdout, stderr io.Writer) int {
 	if path == "" {
 		fmt.Fprintln(stderr, "rbquery: -pattern is required for pattern modes")
 		return 2
@@ -207,7 +208,7 @@ func runPattern(ctx context.Context, db *rbq.DB, mode, path string, alpha float6
 		fmt.Fprintln(stderr, "rbquery:", err)
 		return 1
 	}
-	req := rbq.Request{Alpha: alpha, WantStats: stats}
+	req := rbq.Request{Alpha: alpha, WantStats: stats, Parallelism: workers}
 	if mode == "sub" {
 		req.Semantics = rbq.Subgraph
 	}
@@ -232,7 +233,7 @@ func runPattern(ctx context.Context, db *rbq.DB, mode, path string, alpha float6
 		// The exact baseline is the same Request in Exact mode; its plan
 		// comes from the cache the bounded run just filled.
 		start = time.Now()
-		truth, err := db.Query(ctx, q, rbq.Request{Semantics: req.Semantics, Mode: rbq.Exact})
+		truth, err := db.Query(ctx, q, rbq.Request{Semantics: req.Semantics, Mode: rbq.Exact, Parallelism: workers})
 		if err != nil {
 			return queryErr(err, stderr)
 		}
@@ -387,7 +388,7 @@ func runUpdate(ctx context.Context, db *rbq.DB, opsPath, patternPath string, alp
 	return 0
 }
 
-func runWorkload(ctx context.Context, db *rbq.DB, path string, alpha float64, stats bool, stdout, stderr io.Writer) int {
+func runWorkload(ctx context.Context, db *rbq.DB, path string, alpha float64, stats bool, workers int, stdout, stderr io.Writer) int {
 	if path == "" {
 		fmt.Fprintln(stderr, "rbquery: -workload is required for workload mode")
 		return 2
@@ -418,7 +419,7 @@ func runWorkload(ctx context.Context, db *rbq.DB, path string, alpha float64, st
 			qs[i] = rbq.AnchoredQuery{Q: q.P, At: q.VP}
 		}
 		start := time.Now()
-		results, err := db.QueryBatch(ctx, qs, rbq.Request{Alpha: alpha, WantStats: stats}, 0)
+		results, err := db.QueryBatch(ctx, qs, rbq.Request{Alpha: alpha, WantStats: stats}, workers)
 		if err != nil {
 			return queryErr(err, stderr)
 		}

@@ -171,6 +171,49 @@ func TestRunWorkloadDedupsTemplates(t *testing.T) {
 	}
 }
 
+// TestRunWorkersFlag: -workers threads Request.Parallelism into pattern
+// mode (bounded run and -exact baseline alike) and the batch-shard width
+// into workload mode; answers are pinned bit-for-bit to the serial path,
+// so the output must be identical to a -workers-less run. A negative
+// width is rejected by request validation with a non-zero exit.
+func TestRunWorkersFlag(t *testing.T) {
+	g, p, w := writeFixtures(t)
+	var serial, parallel, errb bytes.Buffer
+	if code := run([]string{"-graph", g, "-pattern", p, "-mode", "sim", "-alpha", "0.9", "-exact"}, &serial, &errb); code != 0 {
+		t.Fatalf("serial exit %d, stderr: %s", code, errb.String())
+	}
+	if code := run([]string{"-graph", g, "-pattern", p, "-mode", "sim", "-alpha", "0.9", "-exact", "-workers", "4"}, &parallel, &errb); code != 0 {
+		t.Fatalf("-workers exit %d, stderr: %s", code, errb.String())
+	}
+	stripTimes := func(s string) string {
+		// Drop the per-run timings; everything else must match exactly.
+		var kept []string
+		for _, line := range strings.Split(s, "\n") {
+			if strings.Contains(line, " in ") {
+				line = line[:strings.Index(line, " in ")]
+			}
+			kept = append(kept, line)
+		}
+		return strings.Join(kept, "\n")
+	}
+	if stripTimes(parallel.String()) != stripTimes(serial.String()) {
+		t.Fatalf("-workers changed the answer:\nserial:\n%s\nparallel:\n%s", serial.String(), parallel.String())
+	}
+	var out bytes.Buffer
+	errb.Reset()
+	if code := run([]string{"-graph", g, "-mode", "workload", "-workload", w, "-alpha", "0.9", "-workers", "2"}, &out, &errb); code != 0 {
+		t.Fatalf("workload -workers exit %d, stderr: %s", code, errb.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-graph", g, "-pattern", p, "-mode", "sim", "-alpha", "0.9", "-workers", "-1"}, &out, &errb); code != 1 {
+		t.Fatalf("negative -workers: exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "Parallelism") {
+		t.Fatalf("negative -workers error does not name the field: %s", errb.String())
+	}
+}
+
 // TestRunPatternStats: -stats in pattern mode reports the compile/execute
 // timing split and the plan-cache hit/miss counters.
 func TestRunPatternStats(t *testing.T) {

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"sync"
 
+	"rbq/internal/exec"
 	"rbq/internal/graph"
 	"rbq/internal/pattern"
 	"rbq/internal/rbany"
@@ -208,7 +209,9 @@ func (pl *Plan) SubgraphExact(vp graph.NodeID, mopts *subiso.Options) ([]graph.N
 // anchor choice and re-rooted pattern. The budget split weighs each
 // anchor candidate's Potential mass, computed during the run's guard
 // pass over the anchor's candidates only — the full per-query-node
-// selectivity table (see Selectivity) is not needed here.
+// selectivity table (see Selectivity) is not needed here. Options pass
+// through verbatim, including Workers: the per-anchor rooted runs then
+// execute in rbany's speculative waves, bit-for-bit equal to serial.
 func (pl *Plan) SimulationUnanchored(opts rbany.Options) rbany.Result {
 	unanch, anchor := pl.unanchored()
 	if unanch == nil {
@@ -286,15 +289,21 @@ func (pl *Plan) buildSelectivityLocked() *Selectivity {
 		Mass:      make([]float64, nq),
 		Sampled:   make([]bool, nq),
 	}
-	for u := 0; u < nq; u++ {
+	// The per-query-node scans are independent (the Semantics Potential
+	// probe is documented concurrency-safe) and each writes only its own
+	// u-indexed slots, so fan them across the worker pool; massEstimate's
+	// stride sampling is deterministic, making the table independent of
+	// scheduling. The closures never touch pl.mu, so running them under
+	// the build lock is fine.
+	exec.Run(nil, nq, exec.Capped(nq), func(u int) {
 		l := pl.labels[u]
 		if l == graph.NoLabel {
-			continue
+			return
 		}
 		cands := g.NodesWithLabel(l)
 		sel.CandCount[u] = len(cands)
 		sel.Mass[u], sel.Sampled[u] = massEstimate(g, &pl.simSem, cands, pattern.NodeID(u))
-	}
+	})
 	sel.Unanchored, sel.Anchor = pl.unanchoredLocked()
 	return sel
 }

@@ -29,6 +29,7 @@ package rbany
 import (
 	"slices"
 
+	"rbq/internal/exec"
 	"rbq/internal/graph"
 	"rbq/internal/interrupt"
 	"rbq/internal/pattern"
@@ -66,6 +67,13 @@ type Options struct {
 	// MaxAnchors caps how many anchor candidates are tried; zero means
 	// all guard-passing candidates.
 	MaxAnchors int
+	// Workers bounds how many per-anchor rooted runs may execute
+	// concurrently. 0 or 1 evaluates anchors serially — the legacy loop,
+	// unchanged. Higher values run speculative waves (see runWaves) whose
+	// accepted results are bit-for-bit identical to the serial path. The
+	// request layer passes Request.Parallelism through here, already
+	// capped at GOMAXPROCS.
+	Workers int
 	// Reduce carries through engine options (weights, bounds, guard).
 	Reduce reduce.Options
 }
@@ -190,12 +198,30 @@ func (pr *Prepared) run(opts Options, kind guardType, mopts *subiso.Options) Res
 	if pr.Rooted == nil {
 		return res
 	}
+	pass, mass := pr.rankAnchors(opts, kind)
+	res.Candidates = len(pass)
+	if len(pass) == 0 {
+		return res
+	}
+	totalBudget := int(opts.Alpha * float64(pr.Aux.Graph().Size()))
+	var matches []graph.NodeID
+	if opts.Workers > 1 {
+		matches = pr.runWaves(&res, opts, kind, mopts, pass, mass, totalBudget)
+	} else {
+		matches = pr.runSerial(&res, opts, kind, mopts, pass, mass, totalBudget)
+	}
+	res.Matches = sortedUnique(matches)
+	return res
+}
+
+// rankAnchors guard-filters the candidates — recording each survivor's
+// Potential mass, the same Sl-histogram estimate the in-reduction
+// frontier ranks by, here reused as the anchor's budget weight — then
+// ranks them by the split's ordering and applies the MaxAnchors trim.
+// Both execution paths start from this identical (pass, mass) state.
+func (pr *Prepared) rankAnchors(opts Options, kind guardType) ([]anchorCand, float64) {
 	g := pr.Aux.Graph()
 	anchor := pr.Anchor
-
-	// Guard-filter the candidates, recording each survivor's Potential
-	// mass — the same Sl-histogram estimate the in-reduction frontier
-	// ranks by, here reused as the anchor's budget weight.
 	var guard func(graph.NodeID, pattern.NodeID) bool
 	var potential func(graph.NodeID, pattern.NodeID) float64
 	switch kind {
@@ -214,9 +240,8 @@ func (pr *Prepared) run(opts Options, kind guardType, mopts *subiso.Options) Res
 		mass += c.pot
 		pass = append(pass, c)
 	}
-	res.Candidates = len(pass)
 	if len(pass) == 0 {
-		return res
+		return nil, 0
 	}
 	if opts.Split == SplitEven {
 		// Legacy ranking: higher degree first (hubs reach more of the
@@ -250,8 +275,48 @@ func (pr *Prepared) run(opts Options, kind guardType, mopts *subiso.Options) Res
 			mass -= c.pot
 		}
 	}
+	return pass, mass
+}
 
-	totalBudget := int(opts.Alpha * float64(g.Size()))
+// splitShare computes anchor i's budget share from the live rollover
+// state: remaining budget, remaining Potential mass, the candidate's own
+// mass, and how many candidates are left (including this one). This is
+// THE split — serial accounting and wave prediction/validation must call
+// the same code so their float operation sequences agree exactly.
+func splitShare(split Split, remaining int, mass, pot float64, left int) int {
+	var share int
+	if split == SplitEven || mass <= 0 {
+		share = remaining / left
+	} else {
+		share = int(float64(remaining) * pot / mass)
+	}
+	if share < 1 {
+		share = 1
+	}
+	return share
+}
+
+// runAnchor runs one rooted reduction from v with the given budget share.
+// The result is a pure function of (Aux, Rooted, v, share, opts, mopts):
+// the engines draw transient state from the Aux scratch pools and touch
+// nothing shared, which is what makes both the concurrent wave execution
+// and the speculative re-use of its results sound.
+func (pr *Prepared) runAnchor(v graph.NodeID, share int, opts Options, kind guardType, mopts *subiso.Options) ([]graph.NodeID, reduce.Stats) {
+	ropts := opts.Reduce
+	ropts.Alpha = float64(share) / float64(pr.Aux.Graph().Size())
+	switch kind {
+	case subSemantics:
+		r := rbsub.RunPrepared(pr.Aux, pr.Rooted, v, pr.SubSem, ropts, mopts)
+		return r.Matches, r.Stats
+	default:
+		r := rbsim.RunPrepared(pr.Aux, pr.Rooted, v, pr.SimSem, ropts)
+		return r.Matches, r.Stats
+	}
+}
+
+// runSerial is the legacy anchor loop: one rooted run at a time, unspent
+// budget rolling over to later candidates.
+func (pr *Prepared) runSerial(res *Result, opts Options, kind guardType, mopts *subiso.Options, pass []anchorCand, mass float64, totalBudget int) []graph.NodeID {
 	var matches []graph.NodeID
 	remaining := totalBudget
 	for i, c := range pass {
@@ -266,27 +331,8 @@ func (pr *Prepared) run(opts Options, kind guardType, mopts *subiso.Options) Res
 			break
 		}
 		// Adaptive split: unspent budget rolls over to later candidates.
-		var share int
-		if opts.Split == SplitEven || mass <= 0 {
-			share = remaining / (len(pass) - i)
-		} else {
-			share = int(float64(remaining) * c.pot / mass)
-		}
-		if share < 1 {
-			share = 1
-		}
-		ropts := opts.Reduce
-		ropts.Alpha = float64(share) / float64(g.Size())
-		var got []graph.NodeID
-		var stats reduce.Stats
-		switch kind {
-		case subSemantics:
-			r := rbsub.RunPrepared(pr.Aux, pr.Rooted, c.v, pr.SubSem, ropts, mopts)
-			got, stats = r.Matches, r.Stats
-		default:
-			r := rbsim.RunPrepared(pr.Aux, pr.Rooted, c.v, pr.SimSem, ropts)
-			got, stats = r.Matches, r.Stats
-		}
+		share := splitShare(opts.Split, remaining, mass, c.pot, len(pass)-i)
+		got, stats := pr.runAnchor(c.v, share, opts, kind, mopts)
 		res.Evaluated++
 		res.Visited += stats.Visited
 		res.FragmentSize += stats.FragmentSize
@@ -294,8 +340,87 @@ func (pr *Prepared) run(opts Options, kind guardType, mopts *subiso.Options) Res
 		mass -= c.pot
 		matches = append(matches, got...)
 	}
-	res.Matches = sortedUnique(matches)
-	return res
+	return matches
+}
+
+// runWaves evaluates the anchor sequence in speculative waves of up to
+// opts.Workers anchors, keeping the answer and every Result counter
+// bit-for-bit identical to runSerial despite the serial path's budget
+// rollover chain (anchor i's share depends on how much anchors 0..i-1
+// actually spent, which is unknown until they run).
+//
+// Each wave predicts shares under the full-spend assumption — as if every
+// earlier wave member spends its entire share (predRemaining -= share;
+// predMass -= pot) — a deterministic computation independent of
+// scheduling. The wave's rooted runs then execute concurrently (each is a
+// pure function of its share; see runAnchor). At the join point the wave
+// is walked in serial order against the TRUE rollover state: the true
+// share is recomputed with the same splitShare float sequence the serial
+// loop uses, and while predictions match, the speculative results are
+// accepted with serial-identical accounting. The first mismatch — an
+// earlier anchor spent less than its full share, so this anchor would
+// have received a different (larger) budget serially — discards the rest
+// of the wave, and the next wave rebuilds from the true state at that
+// anchor. wave[0]'s prediction is always exact (its predicted state IS
+// the true state), so every wave accepts at least one anchor: progress is
+// guaranteed, no run is ever re-executed with the same share, and the
+// worst case degrades to serial wall-clock plus discarded speculative
+// work — never to a wrong or non-deterministic answer.
+//
+// Budget discipline: accepted runs account exactly as serial, so
+// FragmentSize totals obey the same α|G| bound. Discarded speculative
+// runs do touch data (their visits are not part of the answer or the
+// Result counters, mirroring how the serial path never runs them at
+// all); callers trading strict access bounds for latency get the serial
+// path with Workers ≤ 1.
+func (pr *Prepared) runWaves(res *Result, opts Options, kind guardType, mopts *subiso.Options, pass []anchorCand, mass float64, totalBudget int) []graph.NodeID {
+	type anchorRun struct {
+		share   int
+		matches []graph.NodeID
+		stats   reduce.Stats
+	}
+	var matches []graph.NodeID
+	remaining := totalBudget
+	wave := make([]int, 0, opts.Workers)  // indices into pass
+	runs := make([]anchorRun, opts.Workers)
+	i := 0
+	for i < len(pass) && remaining > 0 && !interrupt.Fired(opts.Reduce.Interrupt) {
+		// Build the wave under the full-spend prediction.
+		wave = wave[:0]
+		predRemaining, predMass := remaining, mass
+		for j := i; j < len(pass) && predRemaining > 0 && len(wave) < opts.Workers; j++ {
+			share := splitShare(opts.Split, predRemaining, predMass, pass[j].pot, len(pass)-j)
+			runs[len(wave)] = anchorRun{share: share}
+			wave = append(wave, j)
+			predRemaining -= share
+			predMass -= pass[j].pot
+		}
+		// Run the wave concurrently; slot-indexed results.
+		exec.Run(opts.Reduce.Interrupt, len(wave), opts.Workers, func(k int) {
+			runs[k].matches, runs[k].stats = pr.runAnchor(pass[wave[k]].v, runs[k].share, opts, kind, mopts)
+		})
+		// Join: accept in serial order while the predictions hold.
+		for k, j := range wave {
+			if remaining <= 0 || interrupt.Fired(opts.Reduce.Interrupt) {
+				return matches
+			}
+			trueShare := splitShare(opts.Split, remaining, mass, pass[j].pot, len(pass)-j)
+			if trueShare != runs[k].share {
+				// Misprediction: an earlier anchor under-spent, so j's
+				// serial share differs. Discard j and the rest of the
+				// wave; the next wave restarts here from the true state.
+				break
+			}
+			res.Evaluated++
+			res.Visited += runs[k].stats.Visited
+			res.FragmentSize += runs[k].stats.FragmentSize
+			remaining -= runs[k].stats.FragmentSize
+			mass -= pass[j].pot
+			matches = append(matches, runs[k].matches...)
+			i = j + 1
+		}
+	}
+	return matches
 }
 
 // Simulation evaluates the pattern under strong simulation with no
@@ -354,6 +479,52 @@ func SubgraphExact(g *graph.Graph, p *pattern.Pattern, mopts *subiso.Options) ([
 	for _, vp := range cands {
 		m, ok := subiso.MatchOpt(g, rooted, vp, mopts)
 		complete = complete && ok
+		out = append(out, m...)
+	}
+	return sortedUnique(out), complete
+}
+
+// SimulationExactParallel is SimulationExact with the per-candidate
+// MatchOpt balls fanned across at most `workers` goroutines (≤ 1 runs
+// the serial form). Per-candidate answers land in candidate-order slots
+// and the final sortedUnique canonicalizes the union, so the answer is
+// bit-for-bit SimulationExact's. A fired done channel abandons the
+// evaluation and returns nil with ok=false.
+func SimulationExactParallel(g *graph.Graph, p *pattern.Pattern, workers int, done <-chan struct{}) ([]graph.NodeID, bool) {
+	anchor, cands := PickAnchor(g, p)
+	if len(cands) == 0 {
+		return nil, true
+	}
+	rooted, err := p.WithPersonalized(anchor)
+	if err != nil {
+		return nil, true
+	}
+	per, ok := simulation.MatchOptMany(g, rooted, cands, workers, done)
+	if !ok {
+		return nil, false
+	}
+	var out []graph.NodeID
+	for _, m := range per {
+		out = append(out, m...)
+	}
+	return sortedUnique(out), true
+}
+
+// SubgraphExactParallel is SubgraphExact with the per-candidate VF2 runs
+// fanned across at most `workers` goroutines; complete aggregates the
+// per-run flags exactly as the serial loop does.
+func SubgraphExactParallel(g *graph.Graph, p *pattern.Pattern, workers int, mopts *subiso.Options) ([]graph.NodeID, bool) {
+	anchor, cands := PickAnchor(g, p)
+	if len(cands) == 0 {
+		return nil, true
+	}
+	rooted, err := p.WithPersonalized(anchor)
+	if err != nil {
+		return nil, true
+	}
+	per, complete := subiso.MatchOptMany(g, rooted, cands, workers, mopts)
+	var out []graph.NodeID
+	for _, m := range per {
 		out = append(out, m...)
 	}
 	return sortedUnique(out), complete

@@ -1,0 +1,81 @@
+package simulation
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"rbq/internal/gen"
+	"rbq/internal/graph"
+)
+
+// MatchOptMany must equal a serial loop of MatchOpt calls, slot for
+// slot, at every pool width.
+func TestMatchOptManyEqualsSerial(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	g := gen.Random(gen.GraphConfig{Nodes: 1200, Edges: 3600, Seed: 5, PowerLaw: true})
+	p := gen.PatternAt(g, 77, gen.PatternConfig{Nodes: 4, Edges: 6, Seed: 2})
+	if p == nil {
+		t.Fatal("no pattern")
+	}
+	rooted := p
+	// Pins: every node carrying the personalized label.
+	l := g.LabelIDOf(p.Label(p.Personalized()))
+	pins := g.NodesWithLabel(l)
+	if len(pins) < 8 {
+		t.Fatalf("only %d pins", len(pins))
+	}
+	want := make([][]graph.NodeID, len(pins))
+	for i, vp := range pins {
+		want[i] = MatchOpt(g, rooted, vp)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		got, ok := MatchOptMany(g, rooted, pins, workers, nil)
+		if !ok {
+			t.Fatalf("W=%d: not ok without interrupt", workers)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("W=%d: per-pin answers diverge from serial", workers)
+		}
+	}
+	// A pre-fired channel abandons the batch.
+	done := make(chan struct{})
+	close(done)
+	if _, ok := MatchOptMany(g, rooted, pins, 4, done); ok {
+		t.Fatal("pre-fired done reported ok")
+	}
+}
+
+// StrongSimParallel must equal StrongSim at every pool width, across
+// several centers.
+func TestStrongSimParallelEqualsSerial(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	g := gen.Random(gen.GraphConfig{Nodes: 600, Edges: 1800, Seed: 9})
+	p := gen.PatternAt(g, 33, gen.PatternConfig{Nodes: 4, Edges: 6, Seed: 4})
+	if p == nil {
+		t.Fatal("no pattern")
+	}
+	l := g.LabelIDOf(p.Label(p.Personalized()))
+	pins := g.NodesWithLabel(l)
+	if len(pins) > 6 {
+		pins = pins[:6]
+	}
+	for _, vp := range pins {
+		want := StrongSim(g, p, vp)
+		for _, workers := range []int{1, 2, 4, 8} {
+			got, ok := StrongSimParallel(g, p, vp, workers, nil)
+			if !ok {
+				t.Fatalf("vp=%d W=%d: not ok without interrupt", vp, workers)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("vp=%d W=%d: %v != serial %v", vp, workers, got, want)
+			}
+		}
+	}
+	// Cancellation: pre-fired done abandons the evaluation.
+	done := make(chan struct{})
+	close(done)
+	if _, ok := StrongSimParallel(g, p, pins[0], 4, done); ok {
+		t.Fatal("pre-fired done reported ok")
+	}
+}

@@ -36,7 +36,9 @@ import (
 	"math/bits"
 	"slices"
 	"sync"
+	"sync/atomic"
 
+	"rbq/internal/exec"
 	"rbq/internal/graph"
 	"rbq/internal/interrupt"
 	"rbq/internal/pattern"
@@ -439,6 +441,28 @@ func MatchOptInterruptible(g *graph.Graph, p *pattern.Pattern, vp graph.NodeID, 
 	return m, complete
 }
 
+// MatchOptMany fans the MatchOpt baseline across many candidate centers:
+// out[i] is the answer anchored at vps[i], computed on at most `workers`
+// concurrent goroutines (≤ 1 runs inline, identical to a serial loop of
+// MatchOptInterruptible calls). Each worker draws its own ballScratch
+// from the package pool, so the per-ball state never crosses goroutines;
+// slot-indexed output keeps the result independent of scheduling. When
+// done fires mid-fan, ok is false and the out slots of abandoned runs
+// are nil — callers discard the batch, exactly as the single-center form.
+func MatchOptMany(g *graph.Graph, p *pattern.Pattern, vps []graph.NodeID, workers int, done <-chan struct{}) (out [][]graph.NodeID, ok bool) {
+	out = make([][]graph.NodeID, len(vps))
+	var canceled atomic.Bool
+	exec.Run(done, len(vps), workers, func(i int) {
+		m, complete := MatchOptInterruptible(g, p, vps[i], done)
+		if !complete {
+			canceled.Store(true)
+			return
+		}
+		out[i] = m
+	})
+	return out, !canceled.Load() && !interrupt.Fired(done)
+}
+
 // StrongSim implements the literal Section 2 semantics: the match relation
 // is the union of the maximum dual simulations R_{v0} computed inside every
 // ball G_{d_Q}(v0) that can satisfy the pin (u_p, v_p) — i.e. balls whose
@@ -472,4 +496,60 @@ func StrongSim(g *graph.Graph, p *pattern.Pattern, vp graph.NodeID) []graph.Node
 	}
 	slices.Sort(out)
 	return slices.Compact(out)
+}
+
+// StrongSimParallel is StrongSim with the per-center balls fanned across
+// at most `workers` goroutines. The candidate centers are the nodes of
+// the d_Q-ball of v_p exactly as in StrongSim; each worker then borrows
+// its own ballScratch, re-extracts its center's ball (including center 0,
+// whose re-extraction is the price of uniform per-slot work) and matches
+// inside it. Per-center answers land in center-order slots and the final
+// sort+dedup canonicalizes the union, so the answer is bit-for-bit
+// StrongSim's whatever the scheduling. A fired done channel abandons the
+// evaluation (ok=false, nil answer); nil done never fires.
+func StrongSimParallel(g *graph.Graph, p *pattern.Pattern, vp graph.NodeID, workers int, done <-chan struct{}) ([]graph.NodeID, bool) {
+	bs, _ := ballPool.Get().(*ballScratch)
+	if bs == nil {
+		bs = new(ballScratch)
+	}
+	dQ := p.Diameter()
+	if !g.BallIntoInterruptible(vp, dQ, &bs.csr, done) {
+		ballPool.Put(bs)
+		return nil, false
+	}
+	centers := append([]graph.NodeID(nil), bs.csr.Orig...)
+	ballPool.Put(bs) // workers draw their own; the center list is copied out
+
+	per := make([][]graph.NodeID, len(centers))
+	var canceled atomic.Bool
+	exec.Run(done, len(centers), workers, func(i int) {
+		wbs, _ := ballPool.Get().(*ballScratch)
+		if wbs == nil {
+			wbs = new(ballScratch)
+		}
+		defer ballPool.Put(wbs)
+		if !g.BallIntoInterruptible(centers[i], dQ, &wbs.csr, done) {
+			canceled.Store(true)
+			return
+		}
+		bvp := wbs.csr.PosOf(vp)
+		if bvp < 0 {
+			return
+		}
+		m, complete, _ := MatchFragmentInterruptible(g, &wbs.csr, p, bvp, &wbs.sc, done)
+		if !complete {
+			canceled.Store(true)
+			return
+		}
+		per[i] = m
+	})
+	if canceled.Load() || interrupt.Fired(done) {
+		return nil, false
+	}
+	out := []graph.NodeID{}
+	for _, m := range per {
+		out = append(out, m...)
+	}
+	slices.Sort(out)
+	return slices.Compact(out), true
 }

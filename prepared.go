@@ -4,7 +4,12 @@ package rbq
 // execute it many times through PreparedQuery.Query (or the legacy Run*
 // wrappers, each a one-line Request translation). The one-shot DB methods
 // share compilations through the plan cache instead, so every path runs
-// the same core and returns bit-for-bit identical answers.
+// the same core and returns bit-for-bit identical answers. Request axes
+// apply unchanged here too: Request.Parallelism bounds the intra-query
+// worker pool of an Unanchored execution, and PreparedQuery.QueryBatch
+// shards its pins across the same pool (internal/exec) — a Plan is
+// immutable and every run borrows pooled scratch, so concurrent
+// executions of one PreparedQuery were already safe.
 
 import (
 	"context"

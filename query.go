@@ -18,11 +18,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
-	"sync/atomic"
 	"time"
 
+	"rbq/internal/exec"
 	"rbq/internal/interrupt"
 	"rbq/internal/plan"
 	"rbq/internal/rbany"
@@ -99,6 +97,19 @@ type Request struct {
 	// Split selects the Unanchored budget division; zero is
 	// SplitWeighted. Only valid in Unanchored mode.
 	Split Split
+	// Parallelism bounds the intra-query worker pool: how many of the
+	// query's independent work units — the per-anchor rooted runs of an
+	// Unanchored evaluation — may execute concurrently. The effective
+	// width is capped at GOMAXPROCS. Zero (the default) is the serial
+	// path, byte-for-byte what it always was; negative is invalid.
+	// Parallel answers are deterministic: bit-for-bit identical to
+	// Parallelism == 0 (per-unit results merge in serial order), and
+	// cancellation stays prompt (a fired context stops each worker
+	// within about one interrupt stride, and the pool claims no further
+	// units). Anchored single-pin evaluations have exactly one work
+	// unit, so the knob is a documented no-op there; batch entry points
+	// take their own workers argument for cross-item sharding.
+	Parallelism int
 	// WantStats asks for Result.Stats: reduction telemetry, plan-cache
 	// outcome and the compile/execute timing split. Off by default so the
 	// hot path does not buy telemetry it will not read.
@@ -150,6 +161,9 @@ func (req Request) validate() error {
 		}
 	default:
 		return fmt.Errorf("%w: unknown split %d", ErrBadRequest, req.Split)
+	}
+	if req.Parallelism < 0 {
+		return fmt.Errorf("%w: negative Parallelism %d", ErrBadRequest, req.Parallelism)
 	}
 	return nil
 }
@@ -387,9 +401,10 @@ func runRequest(ctx context.Context, pl *plan.Plan, req Request, cacheHit bool, 
 
 	if req.Mode == Unanchored {
 		opts := rbany.Options{
-			Alpha:  req.Alpha,
-			Split:  rbany.Split(req.Split),
-			Reduce: reduce.Options{Interrupt: done},
+			Alpha:   req.Alpha,
+			Split:   rbany.Split(req.Split),
+			Workers: exec.Capped(req.Parallelism),
+			Reduce:  reduce.Options{Interrupt: done},
 		}
 		var r rbany.Result
 		if req.Semantics == Subgraph {
@@ -543,43 +558,12 @@ func toPatternResults(rs []Result, n int, pin func(int) NodeID) []PatternResult 
 	return out
 }
 
-// parallelFor runs eval(0..n-1) on workers goroutines (≤ 0 = one per
-// CPU); with one worker it degenerates to an inline loop. The DB's
+// parallelFor shards eval(0..n-1) across the exec worker pool (workers
+// ≤ 0 = one per CPU; one worker degenerates to an inline loop). The DB's
 // structures are immutable and every evaluation borrows private scratch,
 // so the iterations are embarrassingly parallel. A canceled ctx stops
 // workers from claiming further items (claimed items still finish, and
 // poll the context inside the engines).
 func parallelFor(ctx context.Context, n, workers int, eval func(i int)) {
-	done := interrupt.Done(ctx)
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if interrupt.Fired(done) {
-				return
-			}
-			eval(i)
-		}
-		return
-	}
-	var next int64 = -1
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(atomic.AddInt64(&next, 1))
-				if i >= n || interrupt.Fired(done) {
-					return
-				}
-				eval(i)
-			}
-		}()
-	}
-	wg.Wait()
+	exec.Run(interrupt.Done(ctx), n, exec.BatchWorkers(workers), eval)
 }

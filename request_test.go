@@ -33,6 +33,8 @@ func TestRequestValidation(t *testing.T) {
 		{Mode: Unanchored, Alpha: 0.1, Split: 3},         // unknown split
 		{Semantics: Subgraph, Mode: Exact, MaxSteps: -3}, // negative cap, Exact
 		{Semantics: -1, Mode: Exact},                     // negative semantics
+		{Alpha: 0.1, Parallelism: -1},                    // negative parallelism
+		{Mode: Unanchored, Alpha: 0.1, Parallelism: -4},  // negative parallelism, Unanchored
 	}
 	for i, req := range bad {
 		if _, err := db.Query(context.Background(), q, req); !errors.Is(err, ErrBadRequest) {
