@@ -262,8 +262,12 @@ func runMicro(path, comparePath string, tolerance float64, count int, nsGate boo
 	// The mutation entries therefore sit LAST in the suite — keep them
 	// there — and exclude the one-time setup via b.ResetTimer.
 	const mutBatch = 64
+	sweepSizes := []int{64, 512, 4096}
 	var mutAdd, mutDel []rbq.Op
-	var adb, odb, cdb *rbq.DB
+	var adb, odb, cdb, idb *rbq.DB
+	sweepAdd := make(map[int][]rbq.Op, len(sweepSizes))
+	sweepDel := make(map[int][]rbq.Op, len(sweepSizes))
+	sweepDB := make(map[int]*rbq.DB, len(sweepSizes))
 	var mutOnce sync.Once
 	var mutErr error
 	mutSetup := func(b *testing.B) {
@@ -296,13 +300,63 @@ func runMicro(path, comparePath string, tolerance float64, count int, nsGate boo
 			}
 			// CompactSwap alternates one-op deltas with forced compactions,
 			// so each iteration measures two full rebuild-and-swap cycles of
-			// CSR + Aux at the 30k-node scale.
+			// CSR + Aux at the 30k-node scale. Splicing is pinned off: this
+			// entry is the full-rebuild reference IncrementalCompact is
+			// judged against.
 			cdb = rbq.NewDB(g)
+			cdb.SetCompactSpliceFraction(0)
+			// IncrementalCompact runs the same cadence over a 64-edge delta
+			// at the default splice fraction (~128 touched of 30k nodes, far
+			// under the fallback threshold, so every compaction splices).
+			idb = rbq.NewDB(g)
+			// CompactSweep measures how splice cost scales with delta size:
+			// nested prefixes of one deterministic net-new edge pool, with
+			// the fraction forced to 1 so even the 4096-edge delta (~8k
+			// touched nodes, past the default 25% fallback) stays on the
+			// splice path.
+			srng := rand.New(rand.NewSource(13))
+			sweepSeen := make(map[[2]int]bool)
+			maxSweep := sweepSizes[len(sweepSizes)-1]
+			var poolAdd, poolDel []rbq.Op
+			for len(poolAdd) < maxSweep {
+				u, v := srng.Intn(g.NumNodes()), srng.Intn(g.NumNodes())
+				if sweepSeen[[2]int{u, v}] || g.HasEdge(graph.NodeID(u), graph.NodeID(v)) {
+					continue
+				}
+				sweepSeen[[2]int{u, v}] = true
+				poolAdd = append(poolAdd, rbq.AddEdge(graph.NodeID(u), graph.NodeID(v)))
+				poolDel = append(poolDel, rbq.DelEdge(graph.NodeID(u), graph.NodeID(v)))
+			}
+			for _, n := range sweepSizes {
+				sweepAdd[n], sweepDel[n] = poolAdd[:n], poolDel[:n]
+				db := rbq.NewDB(g)
+				db.SetCompactSpliceFraction(1)
+				sweepDB[n] = db
+			}
 		})
 		if mutErr != nil {
 			b.Fatalf("mutation fixture: %v", mutErr)
 		}
 		b.ResetTimer()
+	}
+	// compactCycle: one iteration = add batch, compact, inverse batch,
+	// compact — the DB returns to the fixture base, so iterations are
+	// identical and each measures two compact-and-swap cycles.
+	compactCycle := func(b *testing.B, db *rbq.DB, add, del []rbq.Op) {
+		for i := 0; i < b.N; i++ {
+			if err := db.Apply(add); err != nil {
+				b.Fatal(err)
+			}
+			if err := db.Compact(); err != nil {
+				b.Fatal(err)
+			}
+			if err := db.Apply(del); err != nil {
+				b.Fatal(err)
+			}
+			if err := db.Compact(); err != nil {
+				b.Fatal(err)
+			}
+		}
 	}
 
 	// Persistence fixtures, also built lazily and LAST in the suite: a
@@ -466,17 +520,29 @@ func runMicro(path, comparePath string, tolerance float64, count int, nsGate boo
 			}
 		}},
 		{"CompactSwap", func(b *testing.B) {
+			// Full-rebuild reference: splicing pinned off, one-op deltas,
+			// each iteration rebuilding CSR + Aux twice at 30k nodes.
 			mutSetup(b)
-			for i := 0; i < b.N; i++ {
-				if err := cdb.Apply(mutAdd[:1]); err != nil {
-					b.Fatal(err)
-				}
-				cdb.Compact()
-				if err := cdb.Apply(mutDel[:1]); err != nil {
-					b.Fatal(err)
-				}
-				cdb.Compact()
-			}
+			compactCycle(b, cdb, mutAdd[:1], mutDel[:1])
+		}},
+		{"IncrementalCompact", func(b *testing.B) {
+			// CompactSwap's cadence with a 64-edge delta on the splice
+			// path: each compaction copies only the ~128 touched nodes'
+			// CSR segments and histograms and memmoves the untouched runs.
+			mutSetup(b)
+			compactCycle(b, idb, mutAdd, mutDel)
+		}},
+		{"CompactSweep64", func(b *testing.B) {
+			mutSetup(b)
+			compactCycle(b, sweepDB[64], sweepAdd[64], sweepDel[64])
+		}},
+		{"CompactSweep512", func(b *testing.B) {
+			mutSetup(b)
+			compactCycle(b, sweepDB[512], sweepAdd[512], sweepDel[512])
+		}},
+		{"CompactSweep4096", func(b *testing.B) {
+			mutSetup(b)
+			compactCycle(b, sweepDB[4096], sweepAdd[4096], sweepDel[4096])
 		}},
 		{"WALAppend", func(b *testing.B) {
 			// One iteration = framing, checksumming and writing one 64-op

@@ -343,6 +343,7 @@ func runUpdate(ctx context.Context, db *rbq.DB, opsPath, patternPath string, alp
 	}
 	applied, totalOps := 0, 0
 	var applyErr error
+	var compactionsSeen uint64
 	start := time.Now()
 	for i, batch := range batches {
 		if err := db.Apply(batch.Ops); err != nil {
@@ -351,6 +352,12 @@ func runUpdate(ctx context.Context, db *rbq.DB, opsPath, patternPath string, alp
 		}
 		applied++
 		totalOps += len(batch.Ops)
+		if ms := db.MutationStats(); ms.Compactions > compactionsSeen {
+			compactionsSeen = ms.Compactions
+			fmt.Fprintf(stdout, "compaction %d after batch %d: %s, %d touched node(s), %v\n",
+				ms.Compactions, i, ms.Mode, ms.LastCompactTouchedNodes,
+				time.Duration(ms.LastCompactNs).Round(time.Microsecond))
+		}
 		if q != nil {
 			res, err := db.Query(ctx, q, rbq.Request{Alpha: alpha})
 			if err != nil {
@@ -374,8 +381,8 @@ func runUpdate(ctx context.Context, db *rbq.DB, opsPath, patternPath string, alp
 	}
 	if stats {
 		cs := db.PlanCacheStats()
-		fmt.Fprintf(stdout, "stats: plan cache %d hit(s) / %d miss(es) / %d invalidation(s)\n",
-			cs.Hits, cs.Misses, cs.Invalidations)
+		fmt.Fprintf(stdout, "stats: plan cache %d hit(s) / %d miss(es) / %d invalidation(s) / %d warmer recompile(s)\n",
+			cs.Hits, cs.Misses, cs.Invalidations, cs.WarmerRecompiles)
 	}
 	if applyErr != nil {
 		fmt.Fprintf(stderr, "rbquery: %v (the %d batch(es) before it remain applied)\n", applyErr, applied)

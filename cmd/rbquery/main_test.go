@@ -356,8 +356,38 @@ func TestRunUpdateMode(t *testing.T) {
 	if !strings.Contains(s, "applied 2 of 2 batch(es), 2 op(s)") || !strings.Contains(s, "|V|=8 |E|=3") {
 		t.Fatalf("summary missing:\n%s", s)
 	}
-	if !strings.Contains(s, "invalidation(s)") {
+	if !strings.Contains(s, "invalidation(s)") || !strings.Contains(s, "warmer recompile(s)") {
 		t.Fatalf("stats line missing:\n%s", s)
+	}
+}
+
+// TestRunUpdateModeCompactionTelemetry: with a compaction threshold
+// tight enough to fire mid-stream, each compaction prints its mode
+// (full vs incremental), touched-node count and duration.
+func TestRunUpdateModeCompactionTelemetry(t *testing.T) {
+	g, _, _ := writeFixtures(t)
+	dir := t.TempDir()
+	opsPath := filepath.Join(dir, "stream.ops")
+	ops := "node CL\napply\ndeledge 2 3\napply\n"
+	if err := os.WriteFile(opsPath, []byte(ops), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	code := run([]string{"-graph", g, "-mode", "update", "-ops", opsPath,
+		"-compact-threshold", "1"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "compaction 1 after batch 0:") ||
+		!strings.Contains(s, "compaction 2 after batch 1:") {
+		t.Fatalf("per-compaction lines missing:\n%s", s)
+	}
+	if !strings.Contains(s, "touched node(s)") {
+		t.Fatalf("touched-node telemetry missing:\n%s", s)
+	}
+	if !strings.Contains(s, "incremental") && !strings.Contains(s, "full") {
+		t.Fatalf("compaction mode missing:\n%s", s)
 	}
 }
 

@@ -167,6 +167,52 @@ func TestSealMatchesRebuild(t *testing.T) {
 	}
 }
 
+// TestCompactedWithPathsAndInfo: CompactedWith reports which path ran —
+// incremental under a permissive splice fraction, full rebuild when the
+// fraction forbids splicing — and both paths land on equivalent bases.
+func TestCompactedWithPathsAndInfo(t *testing.T) {
+	g, aux := baseGraph()
+	d := New(g, aux)
+	if err := d.Apply([]Op{AddNode("E"), AddEdge(3, 1), DelEdge(1, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := d.Seal(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inc, info := snap.CompactedWith(2, 1)
+	if !info.Incremental || info.TouchedNodes == 0 {
+		t.Fatalf("permissive fraction did not splice: %+v", info)
+	}
+	full, finfo := snap.CompactedWith(2, 0)
+	if finfo.Incremental {
+		t.Fatalf("zero fraction spliced anyway: %+v", finfo)
+	}
+	if finfo.TouchedNodes != info.TouchedNodes {
+		t.Fatalf("touched count diverges across paths: %d vs %d",
+			finfo.TouchedNodes, info.TouchedNodes)
+	}
+	for name, c := range map[string]*Snapshot{"spliced": inc, "rebuilt": full} {
+		if c.Epoch() != 2 || c.LiveOps() != 0 || c.Graph().HasOverlay() {
+			t.Fatalf("%s snapshot still carries a delta", name)
+		}
+		if err := c.Graph().Validate(); err != nil {
+			t.Fatalf("%s base invalid: %v", name, err)
+		}
+	}
+	if inc.Graph().NumNodes() != full.Graph().NumNodes() ||
+		inc.Graph().NumEdges() != full.Graph().NumEdges() {
+		t.Fatal("spliced and rebuilt bases diverge")
+	}
+
+	// A clean snapshot re-stamps without compacting on either path.
+	clean, cinfo := inc.CompactedWith(3, 1)
+	if cinfo.Incremental || cinfo.TouchedNodes != 0 || clean.Graph() != inc.Graph() {
+		t.Fatalf("clean snapshot compacted needlessly: %+v", cinfo)
+	}
+}
+
 func TestSealEmptyDeltaIsBase(t *testing.T) {
 	g, aux := baseGraph()
 	d := New(g, aux)

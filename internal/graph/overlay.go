@@ -372,27 +372,6 @@ func groupByTo(es [][2]NodeID) map[NodeID][]NodeID {
 	return m
 }
 
-// Compact materializes the graph as a standalone base CSR: the merged
-// view of an overlay graph, or a defensive identity for a base graph
-// (returned as-is — base graphs are immutable). This is the rebuild the
-// delta layer's threshold compaction runs off the request path before
-// swapping the result in as the new base.
-func (g *Graph) Compact() *Graph {
-	if g.ov == nil {
-		return g
-	}
-	b := NewBuilder(g.NumNodes(), g.NumEdges())
-	for v := 0; v < g.NumNodes(); v++ {
-		b.AddNode(g.Label(NodeID(v)))
-	}
-	for v := 0; v < g.NumNodes(); v++ {
-		for _, w := range g.Out(NodeID(v)) {
-			b.AddEdge(NodeID(v), w)
-		}
-	}
-	return b.Build()
-}
-
 // --- patched Aux views -------------------------------------------------
 
 // auxOverlay carries the per-touched-node label-histogram overrides of a

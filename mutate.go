@@ -5,9 +5,13 @@ package rbq
 // fresh immutable snapshot; readers pin a snapshot with one atomic
 // pointer load, so queries never block on writers and always see one
 // consistent epoch end to end. When the live delta crosses the
-// compaction threshold, Apply rebuilds the merged base CSR + Aux — off
-// the request path: readers keep the old snapshot until the swap — and
-// starts an empty delta over the new base.
+// compaction threshold, Apply materializes the merged base CSR + Aux —
+// spliced incrementally from the overlay in O(delta) when the touched
+// set is small (see SetCompactSpliceFraction), rebuilt in O(|G|) past
+// that — off the request path: readers keep the old snapshot until the
+// swap — and starts an empty delta over the new base. A background
+// warmer then recompiles the hottest epoch-stale plan-cache templates
+// against the new snapshot, off the first reader's path (see warm.go).
 //
 // Epoch/pinning invariants (the property and race tests in
 // mutation_test.go enforce them):
@@ -30,6 +34,7 @@ package rbq
 
 import (
 	"fmt"
+	"time"
 
 	"rbq/internal/delta"
 )
@@ -68,8 +73,9 @@ const DefaultCompactThreshold = 1 << 15
 // Applies (writers serialize behind a mutex). In-flight queries keep
 // the snapshot they pinned; queries issued after Apply returns see the
 // mutations. Sealing costs O(live delta); when the live delta reaches
-// the compaction threshold, Apply additionally rebuilds the merged base
-// (O(|G|)) before publishing — still without blocking readers.
+// the compaction threshold, Apply additionally materializes the merged
+// base before publishing (O(delta) spliced, or O(|G|) rebuilt past the
+// splice fraction) — still without blocking readers.
 //
 // On a persistent DB (see OpenDB) the batch is validated first, then
 // appended to the WAL (fsync'd per the SyncPolicy), and only then
@@ -109,11 +115,13 @@ func (db *DB) Apply(ops []Op) error {
 }
 
 // Compact forces a compaction: the current snapshot's merged view is
-// rebuilt as a standalone base CSR with a freshly built Aux and swapped
-// in, and the live delta resets to empty. A no-op when there is no live
-// delta. Apply triggers the same rebuild automatically at the
-// compaction threshold; Compact is for callers that want the rebuild at
-// a quiet moment of their own choosing.
+// materialized as a standalone base CSR + Aux — spliced incrementally
+// from the overlay when the touched set is within the splice fraction,
+// rebuilt from scratch otherwise — and swapped in, and the live delta
+// resets to empty. A no-op when there is no live delta. Apply triggers
+// the same materialization automatically at the compaction threshold;
+// Compact is for callers that want it at a quiet moment of their own
+// choosing. MutationStats reports how the last compaction ran.
 //
 // On a persistent DB compaction also writes the rebuilt base as a new
 // snapshot image (temp file, fsync, atomic rename) and truncates the
@@ -140,9 +148,10 @@ func (db *DB) Compact() error {
 
 // publishLocked seals the pending delta into the next-epoch snapshot —
 // compacting it into a fresh base first when compact is set — and
-// publishes it. The plan cache is flushed when the label alphabet grew,
-// and otherwise invalidates lazily via the epoch bump. Callers hold
-// db.mu.
+// publishes it. The plan cache is flushed when the label alphabet grew;
+// a compaction without alphabet growth only raises the cache's epoch
+// floor (the warmer recompiles the hottest templates and evicts the
+// rest); plain epoch bumps invalidate lazily. Callers hold db.mu.
 func (db *DB) publishLocked(compact bool) error {
 	old := db.snap.Load()
 	epoch := old.Epoch() + 1
@@ -151,30 +160,54 @@ func (db *DB) publishLocked(compact bool) error {
 		return fmt.Errorf("rbq: %w", err)
 	}
 	if compact {
-		snap = snap.Compacted(epoch)
+		start := time.Now()
+		var info delta.CompactInfo
+		snap, info = snap.CompactedWith(epoch, db.compactFrac)
+		db.lastCompactNs = time.Since(start).Nanoseconds()
+		db.lastCompactTouched = info.TouchedNodes
+		if info.Incremental {
+			db.lastCompactMode = CompactModeIncremental
+		} else {
+			db.lastCompactMode = CompactModeFull
+		}
 		db.pending = delta.New(snap.Graph(), snap.Aux())
 		db.compactions++
 		if db.store != nil {
-			// Persist the rebuilt base and truncate the WAL. Failure does
-			// not fail the publish: every acked batch is still in the WAL
-			// (the protocol only truncates it after the image is durable),
-			// so correctness is intact — but the store is poisoned and
-			// later Applies will surface the outage. Compact() returns
-			// this error; threshold-triggered compactions expose it via
-			// MutationStats.
+			// Persist the rebuilt base and truncate the WAL. The spliced
+			// arrays of an incremental compaction are bit-for-bit the ones
+			// a full rebuild produces, so they stream into the image writer
+			// directly — no extra materialization, same durability ordering
+			// (temp file, fsync, atomic rename). Failure does not fail the
+			// publish: every acked batch is still in the WAL (the protocol
+			// only truncates it after the image is durable), so correctness
+			// is intact — but the store is poisoned and later Applies will
+			// surface the outage. Compact() returns this error; threshold-
+			// triggered compactions expose it via MutationStats.
 			db.lastBaseErr = db.store.WriteBase(snap.Graph(), snap.Aux(), db.seq)
 			if db.lastBaseErr != nil {
 				db.baseWriteErrs++
 			}
 		}
 	}
-	// Alphabet growth stales every cached template at once; compaction
-	// replaces the base that stale entries would otherwise pin in the
-	// LRU. Both flush (plain epoch bumps invalidate lazily instead).
-	if compact || snap.Graph().NumLabels() > old.Graph().NumLabels() {
+	// Alphabet growth stales every cached template at once — flush. A
+	// compaction without growth leaves plans merely epoch-stale; with the
+	// warmer running it suffices to raise the re-insert floor (the warm
+	// pass recompiles the hottest templates and evicts the rest, so
+	// nothing keeps pinning the replaced base). With the warmer disabled,
+	// keep the wholesale flush: nothing else would unpin the old base.
+	grew := snap.Graph().NumLabels() > old.Graph().NumLabels()
+	switch {
+	case grew:
 		db.plans.flush(epoch)
+	case compact:
+		if db.warm.count() > 0 {
+			db.plans.raiseMinEpoch(epoch)
+		} else {
+			db.plans.flush(epoch)
+		}
 	}
 	db.snap.Store(snap)
+	db.scheduleWarm(snap, compact)
 	return nil
 }
 
@@ -191,6 +224,34 @@ func (db *DB) SetCompactThreshold(n int) {
 	db.compactAt = n
 }
 
+// SetCompactSpliceFraction sets the touched-node fraction of |V| up to
+// which compaction splices the new base incrementally from the overlay
+// (O(|delta| + touched-degree)) instead of rebuilding it from scratch
+// (O(|G|)). The default is graph.DefaultCompactSpliceFraction; 0 forces
+// every compaction down the full-rebuild path, 1 always splices. Both
+// strategies produce bit-for-bit identical bases — the knob trades the
+// splice's bulk array copies against the rebuild's re-sort, and exists
+// mainly for benchmarking and for pinning a path in tests.
+func (db *DB) SetCompactSpliceFraction(f float64) {
+	if f < 0 {
+		f = 0
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.compactFrac = f
+}
+
+// CompactMode says how a compaction materialized the new base.
+type CompactMode string
+
+const (
+	// CompactModeFull is the O(|G|) from-scratch rebuild.
+	CompactModeFull CompactMode = "full"
+	// CompactModeIncremental is the O(delta) splice of the overlay's
+	// merged segments onto the untouched base arrays.
+	CompactModeIncremental CompactMode = "incremental"
+)
+
 // MutationStats is a snapshot of the DB's mutation-side counters.
 type MutationStats struct {
 	// Epoch is the current snapshot's publish epoch; it increments with
@@ -204,6 +265,14 @@ type MutationStats struct {
 	// explicit alike). CompactThreshold is the current trigger.
 	Compactions      uint64
 	CompactThreshold int
+	// LastCompactNs is the wall time of the most recent compaction's
+	// in-memory rebuild (excluding any base-image write);
+	// LastCompactTouchedNodes the size of the touched set it spliced (or
+	// would have spliced — also set when the fallback rebuilt in full);
+	// Mode which strategy ran, empty until the first compaction.
+	LastCompactNs           int64
+	LastCompactTouchedNodes int
+	Mode                    CompactMode
 	// Persistent reports whether the DB is backed by a store directory
 	// (OpenDB); Seq is the last batch sequence acked to the WAL, and
 	// BaseWriteErrors counts failed base-image writes (each poisons the
@@ -218,12 +287,15 @@ func (db *DB) MutationStats() MutationStats {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	return MutationStats{
-		Epoch:            db.snap.Load().Epoch(),
-		LiveDeltaOps:     db.pending.Ops(),
-		Compactions:      db.compactions,
-		CompactThreshold: db.compactAt,
-		Persistent:       db.store != nil,
-		Seq:              db.seq,
-		BaseWriteErrors:  db.baseWriteErrs,
+		Epoch:                   db.snap.Load().Epoch(),
+		LiveDeltaOps:            db.pending.Ops(),
+		Compactions:             db.compactions,
+		CompactThreshold:        db.compactAt,
+		LastCompactNs:           db.lastCompactNs,
+		LastCompactTouchedNodes: db.lastCompactTouched,
+		Mode:                    db.lastCompactMode,
+		Persistent:              db.store != nil,
+		Seq:                     db.seq,
+		BaseWriteErrors:         db.baseWriteErrs,
 	}
 }

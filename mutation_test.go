@@ -220,6 +220,150 @@ func TestSnapshotEquivalentToRebuild(t *testing.T) {
 	}
 }
 
+// TestIncrementalCompactEquivalence is the incremental-compaction
+// property: three DBs walk identical random op batches — one compacting
+// every batch via CSR splicing (fraction 1), one compacting every batch
+// via full rebuild (fraction 0), and a from-scratch NewDB over the
+// shadow's rebuilt graph — and every Semantics × Mode query answer must
+// match bit for bit, every round. Mode telemetry must report the pinned
+// path on both mutable DBs.
+func TestIncrementalCompactEquivalence(t *testing.T) {
+	seeds := 3
+	if testing.Short() {
+		seeds = 1
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed + 31))
+			base := RandomGraph(400, 1000, seed+2, true)
+			inc := NewDB(base)
+			inc.SetCompactThreshold(1)
+			inc.SetCompactSpliceFraction(1) // splice no matter how large the delta
+			full := NewDB(base)
+			full.SetCompactThreshold(1)
+			full.SetCompactSpliceFraction(0) // always the rebuild reference
+			sh := newShadow(base)
+
+			var pats []*Pattern
+			for i := int64(0); i < 40 && len(pats) < 3; i++ {
+				cand := graph.NodeID(rng.Intn(base.NumNodes()))
+				if base.Degree(cand) < 2 {
+					continue
+				}
+				if q := gen.PatternAt(base, cand, gen.PatternConfig{Nodes: 4, Edges: 6, Seed: seed + i}); q != nil {
+					pats = append(pats, q)
+				}
+			}
+			if len(pats) == 0 {
+				t.Fatal("no patterns extracted")
+			}
+
+			rounds := 4
+			if testing.Short() {
+				rounds = 2
+			}
+			for round := 0; round < rounds; round++ {
+				ops := sh.randomBatch(rng, 50)
+				if err := inc.Apply(ops); err != nil {
+					t.Fatalf("round %d: incremental Apply: %v", round, err)
+				}
+				if err := full.Apply(ops); err != nil {
+					t.Fatalf("round %d: full Apply: %v", round, err)
+				}
+				if err := inc.Graph().Validate(); err != nil {
+					t.Fatalf("round %d: spliced graph invalid: %v", round, err)
+				}
+				ref := NewDB(sh.rebuild())
+				for pi, q := range pats {
+					l := ref.Graph().LabelIDOf(q.Label(q.Personalized()))
+					cands := ref.Graph().NodesWithLabel(l)
+					if len(cands) == 0 {
+						continue
+					}
+					pin := cands[rng.Intn(len(cands))]
+					want := queryMatrix(t, ref, q, pin, 0.05)
+					for which, db := range map[string]*DB{"incremental": inc, "full": full} {
+						got := queryMatrix(t, db, q, pin, 0.05)
+						if !reflect.DeepEqual(got, want) {
+							for i := range got {
+								if !reflect.DeepEqual(got[i], want[i]) {
+									t.Errorf("round %d pattern %d req %d: %s %+v\nrebuild %+v",
+										round, pi, i, which, got[i], want[i])
+								}
+							}
+							t.FailNow()
+						}
+					}
+				}
+			}
+			ims, fms := inc.MutationStats(), full.MutationStats()
+			if ims.Compactions == 0 || ims.Mode != CompactModeIncremental {
+				t.Fatalf("incremental DB did not splice: %+v", ims)
+			}
+			if fms.Compactions == 0 || fms.Mode != CompactModeFull {
+				t.Fatalf("full DB did not rebuild: %+v", fms)
+			}
+			if ims.LastCompactTouchedNodes == 0 {
+				t.Fatalf("spliced compaction reported no touched nodes: %+v", ims)
+			}
+		})
+	}
+}
+
+// TestCompactSpliceFractionFallback: at the default fraction, a small
+// delta splices and a delta touching more than that fraction of the
+// node set falls back to a full rebuild — visible in MutationStats.
+func TestCompactSpliceFractionFallback(t *testing.T) {
+	base := RandomGraph(400, 1000, 9, true)
+	db := NewDB(base)
+	sh := newShadow(base)
+
+	// Small delta: one fresh node plus an edge — touches far below 25%.
+	n := NodeID(len(sh.labels))
+	if err := db.Apply([]Op{AddNode(sh.labels[0]), AddEdge(n, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	ms := db.MutationStats()
+	if ms.Mode != CompactModeIncremental {
+		t.Fatalf("small delta did not splice: %+v", ms)
+	}
+	if ms.LastCompactTouchedNodes == 0 || ms.LastCompactNs <= 0 {
+		t.Fatalf("splice telemetry missing: %+v", ms)
+	}
+
+	// Large delta: fan edges out of >25% of the base nodes. The touched
+	// set exceeds the default fraction, so the compactor must refuse to
+	// splice and rebuild instead — and answers must stay right.
+	g := db.Graph()
+	var ops []Op
+	for v := 0; v < 150; v++ {
+		w := NodeID((v + 211) % g.NumNodes())
+		if NodeID(v) == w || g.HasEdge(NodeID(v), w) {
+			continue
+		}
+		ops = append(ops, AddEdge(NodeID(v), w))
+	}
+	if len(ops) < 101 { // 25% of ~401 nodes
+		t.Fatalf("fixture too dense: only %d fresh edges", len(ops))
+	}
+	if err := db.Apply(ops); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	ms = db.MutationStats()
+	if ms.Mode != CompactModeFull {
+		t.Fatalf("oversized delta did not fall back to full rebuild: %+v", ms)
+	}
+	if err := db.Graph().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestApplyAtomicityAndValidation: a batch with an invalid op leaves
 // the DB untouched — snapshot, epoch and stats — and the error wraps
 // ErrBadRequest.
@@ -304,10 +448,14 @@ func TestPreparedQueryPinsItsSnapshot(t *testing.T) {
 // TestPlanCacheInvalidationOnApply: an Apply bumps the epoch, so the
 // next use of a cached template recompiles (counted as an
 // invalidation); an Apply that grows the label alphabet flushes the
-// cache wholesale.
+// cache wholesale. The background warmer is disabled so the lazy
+// reader-side path is what the counters observe (warmed-path behavior
+// has its own tests in warm_test.go); with the warmer off, compaction
+// falls back to the wholesale flush.
 func TestPlanCacheInvalidationOnApply(t *testing.T) {
 	g := RandomGraph(200, 500, 2, false)
 	db := NewDB(g)
+	db.SetPlanWarmCount(0)
 	rng := rand.New(rand.NewSource(9))
 	var q *Pattern
 	for i := int64(0); q == nil && i < 50; i++ {
@@ -384,11 +532,26 @@ func TestPlanCacheInvalidationOnApply(t *testing.T) {
 // QueryBatch / Compact with a tiny compaction threshold, so snapshots
 // churn through overlay and rebuilt bases while readers run. The
 // assertions are weak (no torn results, valid snapshots); the value is
-// under -race, where any unsynchronized snapshot handoff bites.
+// under -race, where any unsynchronized snapshot handoff bites. Runs
+// once per compaction path: splice pins every compaction incremental,
+// rebuild pins every compaction to the full-rebuild reference.
 func TestApplyQueryCompactRace(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		frac float64
+	}{
+		{"splice", 1},
+		{"rebuild", 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) { applyQueryCompactRace(t, tc.frac) })
+	}
+}
+
+func applyQueryCompactRace(t *testing.T, spliceFrac float64) {
 	base := RandomGraph(300, 800, 5, true)
 	db := NewDB(base)
 	db.SetCompactThreshold(64)
+	db.SetCompactSpliceFraction(spliceFrac)
 	rng := rand.New(rand.NewSource(17))
 	var q *Pattern
 	for i := int64(0); q == nil && i < 50; i++ {

@@ -102,7 +102,12 @@ func OpenDB(dir string, opts OpenOptions) (*DB, error) {
 		}
 		aux = graph.BuildAux(g)
 	}
-	db := &DB{plans: newPlanCache(DefaultPlanCacheCapacity), compactAt: DefaultCompactThreshold}
+	db := &DB{
+		plans:       newPlanCache(DefaultPlanCacheCapacity),
+		compactAt:   DefaultCompactThreshold,
+		compactFrac: graph.DefaultCompactSpliceFraction,
+	}
+	db.warm.n = DefaultPlanWarmCount
 	db.snap.Store(delta.NewBase(g, aux, 0))
 	db.pending = delta.New(g, aux)
 	db.store = st

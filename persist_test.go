@@ -1,6 +1,7 @@
 package rbq
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -296,8 +297,22 @@ func TestOpenDBCorruptBaseImageFails(t *testing.T) {
 // while Close lands mid-flight. Shutdown must not tear a WAL append —
 // every batch is either acked (and recovered) or rejected with
 // ErrClosed — and the reopened DB must hold exactly the acked batches.
-// Run under -race.
+// Run under -race. Runs once per compaction path (splice pins every
+// compaction incremental, rebuild pins the full-rebuild reference), so
+// the durability ordering holds for spliced base images too.
 func TestApplyCompactCloseRacePersistent(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		frac float64
+	}{
+		{"splice", 1},
+		{"rebuild", 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) { applyCompactCloseRacePersistent(t, tc.frac) })
+	}
+}
+
+func applyCompactCloseRacePersistent(t *testing.T, spliceFrac float64) {
 	dir := t.TempDir()
 	base := RandomGraph(300, 800, 5, true)
 	db, err := OpenDB(dir, OpenOptions{Bootstrap: base, Sync: SyncNone})
@@ -305,6 +320,7 @@ func TestApplyCompactCloseRacePersistent(t *testing.T) {
 		t.Fatal(err)
 	}
 	db.SetCompactThreshold(64)
+	db.SetCompactSpliceFraction(spliceFrac)
 	q, pin := persistPattern(t, base, 17)
 
 	hammer := 300 * time.Millisecond
@@ -411,5 +427,53 @@ func TestApplyCompactCloseRacePersistent(t *testing.T) {
 	}
 	if got := re.MutationStats().Seq; got != uint64(acked.Load()) {
 		t.Fatalf("recovered seq %d, want %d", got, acked.Load())
+	}
+}
+
+// TestIncrementalCompactBaseImageIdentical: the CSR splicer produces
+// arrays bit-identical to a full Builder rebuild, so the persisted base
+// image — which serializes exactly those arrays — must be byte-for-byte
+// the same file whichever compaction path produced it.
+func TestIncrementalCompactBaseImageIdentical(t *testing.T) {
+	base := RandomGraph(200, 600, 7, true)
+	sh := newShadow(base)
+	ops := sh.randomBatch(rand.New(rand.NewSource(23)), 40)
+
+	images := make(map[string][]byte)
+	for _, tc := range []struct {
+		name string
+		frac float64
+		mode CompactMode
+	}{
+		{"splice", 1, CompactModeIncremental},
+		{"rebuild", 0, CompactModeFull},
+	} {
+		dir := t.TempDir()
+		db, err := OpenDB(dir, OpenOptions{Bootstrap: base})
+		if err != nil {
+			t.Fatal(err)
+		}
+		db.SetCompactSpliceFraction(tc.frac)
+		if err := db.Apply(ops); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Compact(); err != nil {
+			t.Fatal(err)
+		}
+		if ms := db.MutationStats(); ms.Mode != tc.mode {
+			t.Fatalf("%s path took the wrong mode: %+v", tc.name, ms)
+		}
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, "base.img"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		images[tc.name] = data
+	}
+	if !bytes.Equal(images["splice"], images["rebuild"]) {
+		t.Fatalf("base images diverge: spliced %d bytes, rebuilt %d bytes",
+			len(images["splice"]), len(images["rebuild"]))
 	}
 }

@@ -33,6 +33,11 @@ type PlanCacheStats struct {
 	// that shows up as Size dropping to zero and plain Misses as hot
 	// templates refill it.)
 	Invalidations uint64
+	// WarmerRecompiles counts recompilations performed by the background
+	// plan warmer (see DB.SetPlanWarmCount) — epoch-stale entries brought
+	// current off the reader path. They are not Misses: no query paid for
+	// them.
+	WarmerRecompiles uint64
 	// Size is the number of plans currently cached; Capacity the bound.
 	Size, Capacity int
 }
@@ -56,16 +61,19 @@ type planCache struct {
 	m             map[string]*list.Element
 	hits, misses  uint64
 	invalidations uint64
+	warmed        uint64
 
-	// minEpoch is the floor set by flush: entries compiled at older
-	// epochs are never (re)inserted, so a reader that pinned a
-	// pre-compaction snapshot cannot re-pin the replaced base into the
-	// LRU after the flush dropped it.
+	// minEpoch is the floor set by flush (and raised by raiseMinEpoch on
+	// a non-flushing compaction): entries compiled at older epochs are
+	// never (re)inserted, so a reader that pinned a pre-compaction
+	// snapshot cannot re-pin the replaced base into the LRU after it was
+	// dropped.
 	minEpoch uint64
 }
 
 type planEntry struct {
 	key   string
+	q     *Pattern // retained so the warmer can recompile without a reader
 	pl    *plan.Plan
 	epoch uint64
 }
@@ -139,22 +147,22 @@ func (c *planCache) lookup(aux *graph.Aux, epoch uint64, q *Pattern) (pl *plan.P
 		// cache it — caching would re-pin the replaced snapshot.
 		return pl, false, nil
 	}
-	c.m[key] = c.ll.PushFront(&planEntry{key: key, pl: pl, epoch: epoch})
+	c.m[key] = c.ll.PushFront(&planEntry{key: key, q: q, pl: pl, epoch: epoch})
 	c.evictLocked()
 	return pl, false, nil
 }
 
 // flush empties the cache; mutate.go calls it when an Apply grows the
 // label alphabet (compiled plans resolve absent labels to sentinels,
-// which a new label can stale across every template at once) and after
-// a compaction (stale entries are unservable anyway under epoch keying,
-// but each pins its snapshot — after a compaction that is the entire
-// replaced base CSR + Aux, which must not sit in the LRU until
-// eviction). Dropped entries are not counted as invalidations — that
-// counter tracks recompiles actually performed (a subset of Misses),
-// and a flushed template that is never queried again costs nothing.
-// In-flight evaluations of dropped plans run to completion — plans are
-// immutable and self-contained.
+// which a new label can stale across every template at once), and on
+// compaction when the warmer is disabled (stale entries are unservable
+// anyway under epoch keying, but each pins its snapshot — after a
+// compaction that is the entire replaced base CSR + Aux, which must not
+// sit in the LRU until eviction). Dropped entries are not counted as
+// invalidations — that counter tracks recompiles actually performed (a
+// subset of Misses), and a flushed template that is never queried again
+// costs nothing. In-flight evaluations of dropped plans run to
+// completion — plans are immutable and self-contained.
 // minEpoch is the epoch of the snapshot being published with the
 // flush; see planCache.minEpoch.
 func (c *planCache) flush(minEpoch uint64) {
@@ -163,6 +171,70 @@ func (c *planCache) flush(minEpoch uint64) {
 	c.ll.Init()
 	clear(c.m)
 	c.minEpoch = minEpoch
+}
+
+// raiseMinEpoch is a compaction handoff without the wholesale flush:
+// entries stay cached (the warmer brings the hottest current; a reader
+// recompiles the rest on demand), but nothing compiled before the
+// compaction can be (re)inserted. Used when the label alphabet did not
+// change, so stale plans are merely epoch-stale, not semantically wrong.
+func (c *planCache) raiseMinEpoch(minEpoch uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if minEpoch > c.minEpoch {
+		c.minEpoch = minEpoch
+	}
+}
+
+// warm recompiles up to n of the most recently used epoch-stale entries
+// against aux (the snapshot published at epoch), off any reader's path.
+// When evictStale is set — the compaction handoff, where stale plans pin
+// the entire replaced base — the stale entries beyond the hottest n are
+// dropped instead of left to age out. Recompilation happens outside the
+// lock; an entry is only replaced if it is still present, still older
+// than epoch, and epoch has not itself been flushed past. Returns the
+// number of entries brought current.
+func (c *planCache) warm(aux *graph.Aux, epoch uint64, n int, evictStale bool) int {
+	type target struct {
+		key string
+		q   *Pattern
+	}
+	var targets []target
+	c.mu.Lock()
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		if e := el.Value.(*planEntry); e.epoch < epoch {
+			if len(targets) < n {
+				targets = append(targets, target{e.key, e.q})
+			} else if evictStale {
+				c.ll.Remove(el)
+				delete(c.m, e.key)
+			}
+		}
+		el = next
+	}
+	c.mu.Unlock()
+
+	recompiled := 0
+	for _, t := range targets {
+		pl, err := plan.New(aux, t.q)
+		if err != nil {
+			continue // the next reader will surface the error
+		}
+		c.mu.Lock()
+		if el, ok := c.m[t.key]; ok {
+			e := el.Value.(*planEntry)
+			// Do not MoveToFront: a background recompile is not a use and
+			// must not perturb the recency order readers established.
+			if e.epoch < epoch && epoch >= c.minEpoch {
+				e.pl, e.epoch = pl, epoch
+				c.warmed++
+				recompiled++
+			}
+		}
+		c.mu.Unlock()
+	}
+	return recompiled
 }
 
 func (c *planCache) evictLocked() {
@@ -178,8 +250,15 @@ func (c *planCache) stats() PlanCacheStats {
 	defer c.mu.Unlock()
 	return PlanCacheStats{
 		Hits: c.hits, Misses: c.misses, Invalidations: c.invalidations,
-		Size: c.ll.Len(), Capacity: c.capacity,
+		WarmerRecompiles: c.warmed,
+		Size:             c.ll.Len(), Capacity: c.capacity,
 	}
+}
+
+func (c *planCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
 }
 
 func (c *planCache) setCapacity(n int) {

@@ -134,7 +134,17 @@ type DB struct {
 	mu          sync.Mutex
 	pending     *delta.Delta // cumulative live delta over the current base
 	compactAt   int          // live-op threshold that triggers compaction
+	compactFrac float64      // splice ceiling for incremental compaction
 	compactions uint64
+
+	// Telemetry of the most recent compaction (guarded by mu).
+	lastCompactNs      int64
+	lastCompactTouched int
+	lastCompactMode    CompactMode
+
+	// warm is the background plan-cache warmer (see warm.go); it has its
+	// own mutex so warming never contends with mu.
+	warm warmer
 
 	// Persistence (nil/zero for in-memory DBs; see persist.go). store is
 	// the open WAL + base-image directory, seq the last batch sequence
@@ -154,7 +164,12 @@ type DB struct {
 // so any *Graph the library hands out is a valid argument.
 func NewDB(g *Graph) *DB {
 	g = g.Compact() // identity for base graphs
-	db := &DB{plans: newPlanCache(DefaultPlanCacheCapacity), compactAt: DefaultCompactThreshold}
+	db := &DB{
+		plans:       newPlanCache(DefaultPlanCacheCapacity),
+		compactAt:   DefaultCompactThreshold,
+		compactFrac: graph.DefaultCompactSpliceFraction,
+	}
+	db.warm.n = DefaultPlanWarmCount
 	aux := graph.BuildAux(g)
 	db.snap.Store(delta.NewBase(g, aux, 0))
 	db.pending = delta.New(g, aux)

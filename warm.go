@@ -1,0 +1,116 @@
+package rbq
+
+// The background plan-cache warmer: every publish (Apply or compaction)
+// epoch-stales whatever the plan cache holds, and without help the first
+// reader of each hot template pays the recompilation. The warmer moves
+// that cost off the reader path — after a publish it recompiles the most
+// recently used stale templates against the new snapshot in a background
+// goroutine, so steady-state readers keep hitting.
+//
+// One goroutine per DB, started lazily and exiting when idle. Publishes
+// that land while a warm pass is running coalesce into a single pending
+// request (latest snapshot wins; the compact flag sticks): warming is
+// best-effort freshness, not a queue of obligations.
+
+import (
+	"sync"
+
+	"rbq/internal/delta"
+)
+
+// DefaultPlanWarmCount is the number of epoch-stale templates the
+// background warmer recompiles after each publish; see
+// DB.SetPlanWarmCount.
+const DefaultPlanWarmCount = 16
+
+// warmRequest is one coalesced unit of warmer work: bring the hottest
+// stale templates current against snap. compact marks a compaction
+// handoff — stale entries beyond the warmed set are evicted, because
+// each pins the entire replaced base CSR + Aux.
+type warmRequest struct {
+	snap    *delta.Snapshot
+	compact bool
+}
+
+// warmer is the per-DB warmer state, guarded by its own mutex: the
+// publish path (holding db.mu) only enqueues, and the warm goroutine
+// never takes db.mu, so warming can never block or deadlock mutations.
+type warmer struct {
+	mu      sync.Mutex
+	n       int          // templates per pass; <= 0 disables the warmer
+	pending *warmRequest // coalesced next pass, nil when none
+	active  bool         // a warm goroutine is running
+	wg      sync.WaitGroup
+}
+
+// count returns the configured per-pass template count.
+func (w *warmer) count() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.n
+}
+
+// scheduleWarm hands the just-published snapshot to the warmer. Called
+// with db.mu held; cheap and allocation-free when the warmer is disabled
+// or the cache is empty (the Apply hot path must not pay for it).
+func (db *DB) scheduleWarm(snap *delta.Snapshot, compact bool) {
+	w := &db.warm
+	w.mu.Lock()
+	if w.n <= 0 || db.plans.size() == 0 {
+		w.mu.Unlock()
+		return
+	}
+	if w.pending != nil {
+		// Coalesce: the newer snapshot supersedes the queued one, and a
+		// pending compaction handoff must not be forgotten.
+		w.pending.snap = snap
+		w.pending.compact = w.pending.compact || compact
+		w.mu.Unlock()
+		return
+	}
+	w.pending = &warmRequest{snap: snap, compact: compact}
+	if !w.active {
+		w.active = true
+		w.wg.Add(1)
+		go db.warmLoop()
+	}
+	w.mu.Unlock()
+}
+
+// warmLoop drains pending warm requests, then exits. It reads only the
+// snapshot and the plan cache — never db.mu — so it runs concurrently
+// with queries, Applies and Close alike.
+func (db *DB) warmLoop() {
+	w := &db.warm
+	defer w.wg.Done()
+	for {
+		w.mu.Lock()
+		req := w.pending
+		w.pending = nil
+		if req == nil {
+			w.active = false
+			w.mu.Unlock()
+			return
+		}
+		n := w.n
+		w.mu.Unlock()
+		db.plans.warm(req.snap.Aux(), req.snap.Epoch(), n, req.compact)
+	}
+}
+
+// waitWarm blocks until the warmer goes idle (tests use it to observe
+// warmed state deterministically). Callers must ensure no concurrent
+// publishes keep refilling the queue.
+func (db *DB) waitWarm() { db.warm.wg.Wait() }
+
+// SetPlanWarmCount sets how many of the most recently used epoch-stale
+// plan templates the background warmer recompiles after each Apply or
+// compaction (the default is DefaultPlanWarmCount; n <= 0 disables the
+// warmer). With the warmer disabled, compaction falls back to flushing
+// the plan cache wholesale — stale entries pin the replaced base and
+// nothing would refresh them off the reader path.
+func (db *DB) SetPlanWarmCount(n int) {
+	db.warm.mu.Lock()
+	defer db.warm.mu.Unlock()
+	db.warm.n = n
+}

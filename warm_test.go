@@ -1,0 +1,130 @@
+package rbq
+
+import (
+	"context"
+	"testing"
+)
+
+// warmFixture returns a DB over a random graph plus a query helper that
+// runs (and caches) a single-node template for the given label, pinned
+// at the first node carrying it.
+func warmFixture(t *testing.T) (*DB, func(label string)) {
+	t.Helper()
+	g := RandomGraph(300, 800, 3, false)
+	db := NewDB(g)
+	ctx := context.Background()
+	query := func(label string) {
+		t.Helper()
+		l := g.LabelIDOf(label)
+		if l == -1 || len(g.NodesWithLabel(l)) == 0 {
+			t.Skipf("fixture graph has no %s node", label)
+		}
+		pb := NewPatternBuilder()
+		a := pb.AddNode(label)
+		pb.SetPersonalized(a)
+		pb.SetOutput(a)
+		q := pb.MustBuild()
+		if _, err := db.Query(ctx, q, Request{Anchor: Pin(g.NodesWithLabel(l)[0]), Alpha: 0.05}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db, query
+}
+
+// TestPlanWarmerRecompilesAfterApply: a same-alphabet Apply epoch-stales
+// the cached template; the background warmer brings it current, so the
+// next reader hits instead of paying the recompilation.
+func TestPlanWarmerRecompilesAfterApply(t *testing.T) {
+	db, query := warmFixture(t)
+	query("L00") // miss: first compile
+	query("L00") // hit
+	if err := db.Apply([]Op{AddNode("L00")}); err != nil {
+		t.Fatal(err)
+	}
+	db.waitWarm()
+	cs := db.PlanCacheStats()
+	if cs.WarmerRecompiles != 1 || cs.Size != 1 {
+		t.Fatalf("after warm: %+v, want 1 warmer recompile and the entry retained", cs)
+	}
+	query("L00") // must hit the warmed plan at the new epoch
+	cs = db.PlanCacheStats()
+	if cs.Hits != 2 || cs.Misses != 1 || cs.Invalidations != 0 {
+		t.Fatalf("post-warm query was not a hit: %+v", cs)
+	}
+}
+
+// TestPlanWarmerCompactionHandoff: on a compaction that does not grow
+// the label alphabet the cache is no longer flushed wholesale — the
+// warmer recompiles the hottest N templates and evicts the colder stale
+// entries (which would otherwise pin the replaced base), so the hot
+// template's next reader still hits.
+func TestPlanWarmerCompactionHandoff(t *testing.T) {
+	db, query := warmFixture(t)
+	db.SetPlanWarmCount(1)
+	query("L00")
+	query("L01")
+	query("L02") // most recently used — the one warm slot goes here
+	if cs := db.PlanCacheStats(); cs.Size != 3 {
+		t.Fatalf("fixture: %+v, want 3 cached templates", cs)
+	}
+	if err := db.Apply([]Op{AddNode("L00")}); err != nil {
+		t.Fatal(err)
+	}
+	db.waitWarm()
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	db.waitWarm()
+	ms := db.MutationStats()
+	if ms.Compactions != 1 || ms.Mode == "" {
+		t.Fatalf("compaction did not run: %+v", ms)
+	}
+	cs := db.PlanCacheStats()
+	if cs.Size != 1 {
+		t.Fatalf("handoff: %+v, want exactly the warmed entry retained", cs)
+	}
+	if cs.WarmerRecompiles == 0 {
+		t.Fatalf("handoff: %+v, want warmer recompiles counted", cs)
+	}
+	hitsBefore := cs.Hits
+	query("L02") // the warmed hottest template: a hit, off the miss path
+	cs = db.PlanCacheStats()
+	if cs.Hits != hitsBefore+1 {
+		t.Fatalf("hottest template missed after handoff: %+v", cs)
+	}
+	// A colder evicted template recompiles on demand and re-enters at the
+	// current epoch (at or above the minEpoch floor).
+	missesBefore := cs.Misses
+	query("L01")
+	cs = db.PlanCacheStats()
+	if cs.Misses != missesBefore+1 || cs.Size != 2 {
+		t.Fatalf("evicted template did not re-enter as a plain miss: %+v", cs)
+	}
+}
+
+// TestPlanWarmerCoalesces: publishes that land while a warm pass could
+// run coalesce; the warmer is best-effort and must never leave the
+// cache inconsistent. (Counters are not asserted exactly — scheduling
+// is timing-dependent — but the final state must be current.)
+func TestPlanWarmerCoalesces(t *testing.T) {
+	db, query := warmFixture(t)
+	query("L00")
+	for i := 0; i < 20; i++ {
+		if err := db.Apply([]Op{AddNode("L00")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.waitWarm()
+	// However many passes actually ran, a final wait means the cache is
+	// either current (warmed) or stale (skipped passes) — and a query
+	// settles it to a defined state without error.
+	query("L00")
+	query("L00")
+	cs := db.PlanCacheStats()
+	if cs.Size != 1 {
+		t.Fatalf("coalesced warming corrupted the cache: %+v", cs)
+	}
+	if cs.Hits == 0 {
+		t.Fatalf("no hits after settling queries: %+v", cs)
+	}
+}
