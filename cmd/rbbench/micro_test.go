@@ -70,3 +70,17 @@ func TestCompareAllocGateUnchanged(t *testing.T) {
 		t.Fatal("allocs/op increase must fail regardless of timing spreads")
 	}
 }
+
+// TestCompareServeEntriesReportOnly: the closed-loop serving latency
+// percentiles are never gated, no matter how far they move.
+func TestCompareServeEntriesReportOnly(t *testing.T) {
+	base := map[string]microResult{"ServeQueryP99": entry("ServeQueryP99", 1000, 0, 0)}
+	fresh := []microResult{entry("ServeQueryP99", 10000, 0, 5)}
+	var errb bytes.Buffer
+	if err := compareBaseline(fresh, base, "base.json", 0.25, true, &errb); err != nil {
+		t.Fatalf("serve entries must be report-only: %v", err)
+	}
+	if !strings.Contains(errb.String(), "report-only") {
+		t.Fatalf("comparison should still report the movement:\n%s", errb.String())
+	}
+}

@@ -1,0 +1,160 @@
+package main
+
+// Closed-loop serving benchmark: the -json suite's micro entries time
+// engine calls in isolation, but nothing measured latency under
+// contention — concurrent clients, a live mutator, the full HTTP
+// handler stack (decode → admission → α governance → engine → encode).
+// These entries drive the real internal/server handlers over
+// net/http/httptest with a closed loop of clients plus a concurrent
+// /v1/apply mutator, and report latency percentiles.
+//
+// Percentiles of a closed loop on a shared CI host are a trend signal,
+// not a gateable invariant (they move with core count and co-tenants),
+// so serveBench entries are exempt from the -compare regression gate:
+// compareBaseline prints their movement and moves on.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"rbq"
+	"rbq/internal/graph"
+	"rbq/internal/pattern"
+	"rbq/internal/server"
+)
+
+// serveBench marks the closed-loop serving entries compareBaseline
+// reports but never gates.
+var serveBench = map[string]bool{
+	"ServeQueryP50": true,
+	"ServeQueryP99": true,
+}
+
+const (
+	serveClients     = 4   // concurrent closed-loop query clients
+	serveReqsPerConn = 100 // requests each client issues
+	serveWarmup      = 8   // unmeasured warm-up requests (plan compile, pools)
+)
+
+// runServe stands a serving tier over its own DB on g (built fresh so
+// the measured handlers own their plan cache and snapshot chain), runs
+// serveClients closed-loop clients against /v1/query with a concurrent
+// /v1/apply mutator, and returns the latency percentiles as suite
+// entries.
+func runServe(g *graph.Graph, q *pattern.Pattern, vp graph.NodeID, stderr io.Writer) ([]microResult, error) {
+	db := rbq.NewDB(g)
+	ts := httptest.NewServer(server.New(db, server.Config{}).Handler())
+	defer ts.Close()
+
+	body, err := json.Marshal(server.QueryRequest{
+		Pattern: q.String(),
+		Anchor:  ptrInt64(int64(vp)),
+		Alpha:   0.001,
+	})
+	if err != nil {
+		return nil, err
+	}
+	oneQuery := func() (time.Duration, error) {
+		start := time.Now()
+		resp, err := http.Post(ts.URL+server.RouteQuery, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("serve bench query: HTTP %d", resp.StatusCode)
+		}
+		return time.Since(start), nil
+	}
+	for i := 0; i < serveWarmup; i++ {
+		if _, err := oneQuery(); err != nil {
+			return nil, err
+		}
+	}
+
+	// The mutator streams one-node apply batches until the clients are
+	// done, so every measured request contends with snapshot publishes.
+	stop := make(chan struct{})
+	mutDone := make(chan error, 1)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				mutDone <- nil
+				return
+			default:
+			}
+			resp, err := http.Post(ts.URL+server.RouteApply, "text/plain", strings.NewReader("node SERVE-LOAD\napply\n"))
+			if err != nil {
+				mutDone <- err
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				mutDone <- fmt.Errorf("serve bench apply: HTTP %d", resp.StatusCode)
+				return
+			}
+		}
+	}()
+
+	latencies := make([][]time.Duration, serveClients)
+	errs := make([]error, serveClients)
+	var wg sync.WaitGroup
+	for c := 0; c < serveClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lat := make([]time.Duration, 0, serveReqsPerConn)
+			for i := 0; i < serveReqsPerConn; i++ {
+				d, err := oneQuery()
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				lat = append(lat, d)
+			}
+			latencies[c] = lat
+		}(c)
+	}
+	wg.Wait()
+	close(stop)
+	if err := <-mutDone; err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var all []time.Duration
+	for _, lat := range latencies {
+		all = append(all, lat...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(all)-1))
+		return float64(all[i].Nanoseconds())
+	}
+	results := []microResult{
+		{Name: "ServeQueryP50", Iterations: len(all), NsPerOp: pct(0.50)},
+		{Name: "ServeQueryP99", Iterations: len(all), NsPerOp: pct(0.99)},
+	}
+	for _, r := range results {
+		fmt.Fprintf(stderr, "bench %-20s %12.0f ns/op (%d closed-loop requests, %d clients + mutator)\n",
+			r.Name, r.NsPerOp, r.Iterations, serveClients)
+	}
+	return results, nil
+}
+
+func ptrInt64(v int64) *int64 { return &v }

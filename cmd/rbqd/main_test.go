@@ -1,0 +1,186 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rbq"
+	"rbq/internal/server"
+)
+
+// writeGraphFile saves the small social graph (one CL node, id 3,
+// matched by patText) to a temp file.
+func writeGraphFile(t *testing.T) string {
+	t.Helper()
+	gb := rbq.NewGraphBuilder(8, 6)
+	m := gb.AddNode("Michael")
+	cc := gb.AddNode("CC")
+	hg := gb.AddNode("HG")
+	cl := gb.AddNode("CL")
+	gb.AddEdge(m, cc)
+	gb.AddEdge(m, hg)
+	gb.AddEdge(cc, cl)
+	gb.AddEdge(hg, cl)
+	gb.AddNode("X")
+	gb.AddNode("X")
+	gb.AddNode("X")
+	db := rbq.NewDB(gb.Build())
+	path := filepath.Join(t.TempDir(), "g.graph")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	return path
+}
+
+const patText = "node 0 Michael*\nnode 1 CC\nnode 2 HG\nnode 3 CL!\nedge 0 1\nedge 0 2\nedge 1 3\nedge 2 3\n"
+
+// startDaemon runs the daemon body on a loopback port and returns its
+// base URL and a stop function that triggers the graceful shutdown and
+// reports the exit code and captured output.
+func startDaemon(t *testing.T, args []string) (baseURL string, stop func() (int, string)) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	ready := make(chan string, 1)
+	shutdown := make(chan struct{})
+	rc := make(chan int, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rc <- run(append([]string{"-listen", "127.0.0.1:0"}, args...), &out, &errb, ready, shutdown)
+	}()
+	select {
+	case addr := <-ready:
+		baseURL = "http://" + addr
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	stopped := false
+	var code int
+	stop = func() (int, string) {
+		if !stopped {
+			stopped = true
+			close(shutdown)
+			wg.Wait()
+			code = <-rc
+		}
+		return code, out.String() + errb.String()
+	}
+	t.Cleanup(func() { stop() })
+	return baseURL, stop
+}
+
+func TestDaemonRoundTrip(t *testing.T) {
+	g := writeGraphFile(t)
+	base, stop := startDaemon(t, []string{"-graph", g, "-access-log", "-"})
+
+	resp, err := http.Get(base + server.RouteHealth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	body, _ := json.Marshal(server.QueryRequest{Pattern: patText, Alpha: 0.9})
+	resp, err = http.Post(base+server.RouteQuery, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qr server.QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(qr.Matches) != 1 || qr.Matches[0] != 3 {
+		t.Fatalf("query: status %d, %+v", resp.StatusCode, qr)
+	}
+	if qr.Governance.EffectiveAlpha != 0.9 || !qr.Complete {
+		t.Fatalf("governance: %+v complete=%v", qr.Governance, qr.Complete)
+	}
+
+	code, output := stop()
+	if code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, output)
+	}
+	if !strings.Contains(output, "rbqd: stopped") {
+		t.Fatalf("missing shutdown line:\n%s", output)
+	}
+	// The access log recorded the query as a JSON line.
+	if !strings.Contains(output, `"route":"/v1/query"`) {
+		t.Fatalf("missing access log line:\n%s", output)
+	}
+}
+
+// TestDaemonDurableShutdownLosesNothing: every /v1/apply batch acked
+// with 200 before a graceful shutdown must be present after reopening
+// the database directory — the acceptance criterion for the drain path.
+func TestDaemonDurableShutdownLosesNothing(t *testing.T) {
+	g := writeGraphFile(t)
+	dir := filepath.Join(t.TempDir(), "db")
+	base, stop := startDaemon(t, []string{"-db", dir, "-graph", g, "-access-log", ""})
+
+	const acked = 5
+	for i := 0; i < acked; i++ {
+		stream := fmt.Sprintf("node DURABLE-%d\napply\n", i)
+		resp, err := http.Post(base+server.RouteApply, "text/plain", strings.NewReader(stream))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ar server.ApplyResponse
+		if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || ar.Batches != 1 {
+			t.Fatalf("apply %d: status %d, %+v", i, resp.StatusCode, ar)
+		}
+		if ar.DurableSeq == 0 {
+			t.Fatalf("apply %d: ack carries no durable seq: %+v", i, ar)
+		}
+	}
+
+	code, output := stop()
+	if code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, output)
+	}
+
+	db, err := rbq.OpenDB(dir, rbq.OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	gph := db.Graph()
+	if got, want := gph.NumNodes(), 7+acked; got != want {
+		t.Fatalf("reopened nodes = %d, want %d — acked batches lost", got, want)
+	}
+	for i := 0; i < acked; i++ {
+		if lbl := gph.Label(rbq.NodeID(7 + i)); lbl != fmt.Sprintf("DURABLE-%d", i) {
+			t.Fatalf("node %d label = %q", 7+i, lbl)
+		}
+	}
+}
+
+func TestDaemonUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if rc := run(nil, &out, &errb, nil, nil); rc != 2 {
+		t.Fatalf("no -graph/-db: exit %d", rc)
+	}
+	if !strings.Contains(errb.String(), "-graph or -db is required") {
+		t.Fatalf("stderr:\n%s", errb.String())
+	}
+}

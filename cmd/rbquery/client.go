@@ -1,0 +1,215 @@
+package main
+
+// The -server client mode: the same sim/sub/workload/update entry
+// points, sent to a running rbqd daemon over its HTTP/JSON wire codec
+// (rbq/internal/server) instead of evaluated in-process. The daemon
+// governs resources — it may clamp α downward for an over-budget
+// tenant or a saturated server — so every result line here reports the
+// effective α and completeness the response carried, making the
+// degradation visible at the terminal.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"rbq/internal/server"
+	"rbq/internal/workload"
+)
+
+type clientConfig struct {
+	base     string // daemon base URL
+	tenant   string // X-Api-Key value; "" charges the anonymous bucket
+	mode     string
+	pattern  string
+	workload string
+	ops      string
+	alpha    float64
+	timeout  time.Duration
+}
+
+func runClient(ctx context.Context, cfg clientConfig, stdout, stderr io.Writer) int {
+	cfg.base = strings.TrimRight(cfg.base, "/")
+	switch cfg.mode {
+	case "sim", "sub":
+		return clientPattern(ctx, cfg, stdout, stderr)
+	case "workload":
+		return clientWorkload(ctx, cfg, stdout, stderr)
+	case "update":
+		return clientUpdate(ctx, cfg, stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "rbquery: mode %q is not available with -server (want sim, sub, workload or update)\n", cfg.mode)
+		return 2
+	}
+}
+
+// post sends body (JSON-encoded unless raw) and decodes a 2xx into out.
+// A non-2xx decodes the daemon's ErrorResponse into err; the governance
+// it may carry (e.g. the effective α a 504 was degraded to) is printed
+// by the caller via the returned ErrorResponse.
+func post(ctx context.Context, cfg clientConfig, path, contentType string, body []byte, out any) (*server.ErrorResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	if cfg.tenant != "" {
+		req.Header.Set(server.TenantHeader, cfg.tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var er server.ErrorResponse
+		if jerr := json.NewDecoder(resp.Body).Decode(&er); jerr != nil {
+			return nil, fmt.Errorf("%s: HTTP %d", path, resp.StatusCode)
+		}
+		return &er, fmt.Errorf("%s: HTTP %d: %s", path, resp.StatusCode, er.Error)
+	}
+	return nil, json.NewDecoder(resp.Body).Decode(out)
+}
+
+// governanceLine renders the daemon's resource-governance verdict.
+func governanceLine(g server.Governance, complete bool) string {
+	line := fmt.Sprintf("effective α %g of requested %g; complete=%v", g.EffectiveAlpha, g.RequestedAlpha, complete)
+	if g.Clamped {
+		line += fmt.Sprintf(" (clamped: %s)", g.ClampReason)
+	}
+	if g.BudgetRemaining != nil {
+		line += fmt.Sprintf("; tenant %s budget %.0f", g.Tenant, *g.BudgetRemaining)
+	}
+	return line
+}
+
+func clientPattern(ctx context.Context, cfg clientConfig, stdout, stderr io.Writer) int {
+	if cfg.pattern == "" {
+		fmt.Fprintln(stderr, "rbquery: -pattern is required for pattern modes")
+		return 2
+	}
+	text, err := os.ReadFile(cfg.pattern)
+	if err != nil {
+		fmt.Fprintln(stderr, "rbquery:", err)
+		return 1
+	}
+	body, _ := json.Marshal(server.QueryRequest{
+		Pattern:   string(text),
+		Semantics: cfg.mode,
+		Alpha:     cfg.alpha,
+		TimeoutMs: cfg.timeout.Milliseconds(),
+	})
+	var res server.QueryResponse
+	start := time.Now()
+	if er, err := post(ctx, cfg, server.RouteQuery, "application/json", body, &res); err != nil {
+		return clientErr(er, err, stderr)
+	}
+	fmt.Fprintf(stdout, "%d match(es) in %v (server %dµs); |G_Q| = %d of budget %d; visited %d items\n",
+		len(res.Matches), time.Since(start).Round(time.Microsecond), res.ElapsedUs,
+		res.FragmentSize, res.Budget, res.Visited)
+	fmt.Fprintf(stdout, "governance: %s\n", governanceLine(res.Governance, res.Complete))
+	for _, m := range res.Matches {
+		fmt.Fprintf(stdout, "  node %d\n", m)
+	}
+	return 0
+}
+
+func clientWorkload(ctx context.Context, cfg clientConfig, stdout, stderr io.Writer) int {
+	if cfg.workload == "" {
+		fmt.Fprintln(stderr, "rbquery: -workload is required for workload mode")
+		return 2
+	}
+	f, err := os.Open(cfg.workload)
+	if err != nil {
+		fmt.Fprintln(stderr, "rbquery:", err)
+		return 1
+	}
+	wl, err := workload.Read(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(stderr, "rbquery:", err)
+		return 1
+	}
+	if len(wl.Reach) > 0 {
+		fmt.Fprintf(stdout, "note: %d reachability entr(ies) skipped — reach queries are not served over HTTP\n", len(wl.Reach))
+	}
+	if len(wl.Patterns) == 0 {
+		return 0
+	}
+	items := make([]server.BatchItem, len(wl.Patterns))
+	for i, q := range wl.Patterns {
+		items[i] = server.BatchItem{Pattern: q.P.String(), Anchor: int64(q.VP)}
+	}
+	body, _ := json.Marshal(server.BatchRequest{
+		Items:     items,
+		Alpha:     cfg.alpha,
+		TimeoutMs: cfg.timeout.Milliseconds(),
+	})
+	var res server.BatchResponse
+	start := time.Now()
+	if er, err := post(ctx, cfg, server.RouteBatch, "application/json", body, &res); err != nil {
+		return clientErr(er, err, stderr)
+	}
+	complete, matches := 0, 0
+	for _, r := range res.Results {
+		if r.Complete {
+			complete++
+		}
+		matches += len(r.Matches)
+	}
+	fmt.Fprintf(stdout, "patterns: %d queries in %v (server %dµs); %d match(es), %d/%d complete\n",
+		len(res.Results), time.Since(start).Round(time.Millisecond), res.ElapsedUs,
+		matches, complete, len(res.Results))
+	fmt.Fprintf(stdout, "governance: %s\n", governanceLine(res.Governance, complete == len(res.Results)))
+	return 0
+}
+
+func clientUpdate(ctx context.Context, cfg clientConfig, stdout, stderr io.Writer) int {
+	if cfg.ops == "" {
+		fmt.Fprintln(stderr, "rbquery: -ops is required for update mode")
+		return 2
+	}
+	stream, err := os.ReadFile(cfg.ops)
+	if err != nil {
+		fmt.Fprintln(stderr, "rbquery:", err)
+		return 1
+	}
+	var res server.ApplyResponse
+	start := time.Now()
+	if er, err := post(ctx, cfg, server.RouteApply, "text/plain", stream, &res); err != nil {
+		// Partial progress is progress: report what the daemon acked
+		// (durably, on a persistent DB) before the failing batch.
+		if er != nil && (er.Batches > 0 || er.Ops > 0) {
+			fmt.Fprintf(stdout, "applied %d batch(es), %d op(s) before the failure\n", er.Batches, er.Ops)
+		}
+		return clientErr(er, err, stderr)
+	}
+	fmt.Fprintf(stdout, "applied %d batch(es), %d op(s) in %v (server %dµs); epoch %d\n",
+		res.Batches, res.Ops, time.Since(start).Round(time.Microsecond), res.ElapsedUs, res.Epoch)
+	if res.DurableSeq > 0 {
+		fmt.Fprintf(stdout, "durable through seq %d\n", res.DurableSeq)
+	}
+	return 0
+}
+
+// clientErr reports a failed call, including any governance telemetry
+// the error response carried (a 504's partial telemetry, a 429's
+// retry hint).
+func clientErr(er *server.ErrorResponse, err error, stderr io.Writer) int {
+	fmt.Fprintln(stderr, "rbquery:", err)
+	if er != nil {
+		if er.Governance != nil {
+			fmt.Fprintf(stderr, "rbquery: governance at failure: %s\n", governanceLine(*er.Governance, false))
+		}
+		if er.RetryAfterMs > 0 {
+			fmt.Fprintf(stderr, "rbquery: retry after %dms\n", er.RetryAfterMs)
+		}
+	}
+	return 1
+}

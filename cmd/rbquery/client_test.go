@@ -1,0 +1,172 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rbq"
+	"rbq/internal/server"
+)
+
+// startTestDaemon stands a serving-tier handler over the fixture graph
+// and returns its base URL.
+func startTestDaemon(t *testing.T, graphPath string, cfg server.Config) string {
+	t.Helper()
+	f, err := os.Open(graphPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := rbq.Load(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(db, cfg).Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+func TestRunServerSimMode(t *testing.T) {
+	g, p, _ := writeFixtures(t)
+	url := startTestDaemon(t, g, server.Config{})
+	var out, errb bytes.Buffer
+	code := run([]string{"-server", url, "-tenant", "cli", "-mode", "sim", "-pattern", p, "-alpha", "0.9"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "1 match(es)") || !strings.Contains(s, "effective α 0.9 of requested 0.9") {
+		t.Fatalf("unexpected output:\n%s", s)
+	}
+	if !strings.Contains(s, "complete=true") {
+		t.Fatalf("output must report completeness:\n%s", s)
+	}
+}
+
+func TestRunServerUpdateMode(t *testing.T) {
+	g, _, _ := writeFixtures(t)
+	url := startTestDaemon(t, g, server.Config{})
+	opsPath := filepath.Join(t.TempDir(), "s.ops")
+	if err := os.WriteFile(opsPath, []byte("node EXTRA\napply\nnode MORE\napply\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	code := run([]string{"-server", url, "-mode", "update", "-ops", opsPath}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "applied 2 batch(es), 2 op(s)") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+}
+
+func TestRunServerWorkloadMode(t *testing.T) {
+	g, p, _ := writeFixtures(t)
+	url := startTestDaemon(t, g, server.Config{})
+	// Build a workload file repeating the fixture pattern at the anchor.
+	text, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wlBuf bytes.Buffer
+	for i := 0; i < 2; i++ {
+		wlBuf.WriteString("pattern 0\n")
+		for _, line := range strings.Split(strings.TrimRight(string(text), "\n"), "\n") {
+			wlBuf.WriteString("  " + line + "\n")
+		}
+		wlBuf.WriteString("end\n")
+	}
+	wlPath := filepath.Join(t.TempDir(), "w.txt")
+	if err := os.WriteFile(wlPath, wlBuf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	code := run([]string{"-server", url, "-mode", "workload", "-workload", wlPath, "-alpha", "0.9"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "patterns: 2 queries") || !strings.Contains(s, "2/2 complete") {
+		t.Fatalf("unexpected output:\n%s", s)
+	}
+}
+
+func TestRunServerUnsupportedMode(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-server", "http://localhost:0", "-mode", "reach"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d", code)
+	}
+}
+
+// TestRunUpdateRecoveryCheck: -mode update with no -ops against a
+// durable directory is a recovery check — it prints the recovery
+// summary and exits 0 instead of usage-erroring.
+func TestRunUpdateRecoveryCheck(t *testing.T) {
+	g, _, _ := writeFixtures(t)
+	dir := filepath.Join(t.TempDir(), "db")
+	opsPath := filepath.Join(t.TempDir(), "s.ops")
+	if err := os.WriteFile(opsPath, []byte("node EXTRA\napply\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-db", dir, "-graph", g, "-mode", "update", "-ops", opsPath}, &out, &errb); code != 0 {
+		t.Fatalf("populate: exit %d, stderr: %s", code, errb.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-db", dir, "-mode", "update"}, &out, &errb); code != 0 {
+		t.Fatalf("recovery check: exit %d, stderr: %s", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "applied 0 of 0 batch(es)") || !strings.Contains(s, "durable through seq") {
+		t.Fatalf("unexpected output:\n%s", s)
+	}
+
+	// Without -db there is nothing to check: still a usage error.
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-graph", g, "-mode", "update"}, &out, &errb); code != 2 {
+		t.Fatalf("in-memory empty -ops: exit %d", code)
+	}
+}
+
+// TestRunUpdateRecoveryWarnsOnDroppedTail: a recovery-check run over a
+// directory whose WAL tail was damaged must print the dropped-tail
+// warning (and still exit 0 — recovery succeeded, just short).
+func TestRunUpdateRecoveryWarnsOnDroppedTail(t *testing.T) {
+	g, _, _ := writeFixtures(t)
+	dir := filepath.Join(t.TempDir(), "db")
+	opsPath := filepath.Join(t.TempDir(), "s.ops")
+	if err := os.WriteFile(opsPath, []byte("node EXTRA\napply\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-db", dir, "-graph", g, "-mode", "update", "-ops", opsPath}, &out, &errb); code != 0 {
+		t.Fatalf("populate: exit %d, stderr: %s", code, errb.String())
+	}
+
+	// Tear the WAL tail: append garbage that cannot frame-decode.
+	walPath := filepath.Join(dir, "wal.log")
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("garbage tail bytes")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-db", dir, "-mode", "update"}, &out, &errb); code != 0 {
+		t.Fatalf("recovery check: exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "WARNING: dropped WAL tail during recovery") {
+		t.Fatalf("missing dropped-tail warning:\n%s", out.String())
+	}
+}

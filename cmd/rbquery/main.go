@@ -26,10 +26,21 @@
 // memory, open a durable database directory (WAL + base image, see
 // internal/store). A fresh directory is bootstrapped from -graph; a
 // non-fresh one resumes from disk and -graph is ignored. Update-mode
-// batches then survive restarts:
+// batches then survive restarts, and update mode without -ops is a
+// recovery check: open, print the recovery summary, close cleanly:
 //
 //	rbquery -db ./dbdir -graph g.graph -mode update -ops stream.ops
 //	rbquery -db ./dbdir -mode sim -pattern q.pat -alpha 0.001
+//	rbquery -db ./dbdir -mode update
+//
+// Against a running rbqd daemon (-server): sim/sub/update modes (and
+// workload pattern entries) are sent over HTTP instead of evaluated
+// locally; -tenant names the α-budget bucket to charge. The daemon may
+// clamp α downward under load — the output reports the effective α and
+// completeness alongside the matches:
+//
+//	rbquery -server http://localhost:8080 -mode sim -pattern q.pat -alpha 0.001
+//	rbquery -server http://localhost:8080 -mode update -ops stream.ops
 //
 // Pattern files use the format of rbq.ParsePattern:
 //
@@ -61,6 +72,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		graphPath    = fs.String("graph", "", "data graph file (required unless -db resumes an existing directory)")
 		dbPath       = fs.String("db", "", "persistent database directory (WAL + base image); fresh dirs bootstrap from -graph")
+		serverURL    = fs.String("server", "", "rbqd base URL (e.g. http://localhost:8080): run sim/sub/workload/update against a daemon instead of a local DB")
+		tenant       = fs.String("tenant", "", "-server mode: tenant whose α budget the queries charge (the X-Api-Key header)")
 		patternPath  = fs.String("pattern", "", "pattern file (sim/sub/update modes)")
 		workloadPath = fs.String("workload", "", "workload file (workload mode)")
 		opsPath      = fs.String("ops", "", "op-stream file (update mode)")
@@ -89,6 +102,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defer cancel()
 	}
 
+	if *serverURL != "" {
+		return runClient(ctx, clientConfig{
+			base:     *serverURL,
+			tenant:   *tenant,
+			mode:     *mode,
+			pattern:  *patternPath,
+			workload: *workloadPath,
+			ops:      *opsPath,
+			alpha:    *alpha,
+			timeout:  *timeout,
+		}, stdout, stderr)
+	}
 	if *graphPath == "" && *dbPath == "" {
 		fmt.Fprintln(stderr, "rbquery: -graph is required")
 		return 2
@@ -175,8 +200,11 @@ func openPersistent(dir, graphPath string, stdout io.Writer) (*rbq.DB, error) {
 		fmt.Fprintf(stdout, "db %s: base seq %d, replayed %d batch(es) (%d op(s)) from WAL\n",
 			dir, rs.BaseSeq, rs.ReplayedBatches, rs.ReplayedOps)
 	}
-	if rs.Truncated {
-		fmt.Fprintf(stdout, "db %s: WARNING: truncated a torn/corrupt WAL tail (%d byte(s), %d unreplayable batch(es) dropped)\n",
+	// Both tail-drop paths deserve the warning: a torn/corrupt frame
+	// (Truncated) and a decoded batch the replay rejected (DroppedBatches
+	// without Truncated) — the second used to pass silently.
+	if rs.Truncated || rs.DroppedBatches > 0 {
+		fmt.Fprintf(stdout, "db %s: WARNING: dropped WAL tail during recovery (%d byte(s), %d unreplayable batch(es))\n",
 			dir, rs.DroppedBytes, rs.DroppedBatches)
 	}
 	return db, nil
@@ -313,19 +341,28 @@ func obtainOracle(db *rbq.DB, alpha float64, indexPath string) (*rbq.ReachOracle
 // progress, and the error names the batch index and the ops-file line
 // it starts at. Exit is nonzero.
 func runUpdate(ctx context.Context, db *rbq.DB, opsPath, patternPath string, alpha float64, compactAt int, stats bool, stdout, stderr io.Writer) int {
-	if opsPath == "" {
-		fmt.Fprintln(stderr, "rbquery: -ops is required for update mode")
+	var batches []delta.Batch
+	var parseErr error
+	switch {
+	case opsPath != "":
+		f, err := os.Open(opsPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "rbquery:", err)
+			return 1
+		}
+		// ReadBatches hands back the well-formed prefix alongside a parse
+		// error, so a truncated or damaged stream still applies what it can.
+		batches, parseErr = delta.ReadBatches(f)
+		f.Close()
+	case !db.MutationStats().Persistent:
+		fmt.Fprintln(stderr, "rbquery: -ops is required for update mode (without -db there is nothing to check)")
 		return 2
+	default:
+		// No ops against a durable DB is a recovery check: the open above
+		// already printed the recovery summary (including any dropped WAL
+		// tail); fall through with zero batches so the state summary and a
+		// clean close still run.
 	}
-	f, err := os.Open(opsPath)
-	if err != nil {
-		fmt.Fprintln(stderr, "rbquery:", err)
-		return 1
-	}
-	// ReadBatches hands back the well-formed prefix alongside a parse
-	// error, so a truncated or damaged stream still applies what it can.
-	batches, parseErr := delta.ReadBatches(f)
-	f.Close()
 	if compactAt > 0 {
 		db.SetCompactThreshold(compactAt)
 	}

@@ -1,0 +1,170 @@
+package server
+
+// Admission control: a bounded in-flight limit plus a small bounded
+// wait queue, the first of the serving tier's two governance layers
+// (the second, per-tenant α budgets, is tenant.go).
+//
+// The invariant the integration tests enforce is that no request waits
+// unboundedly: a request either (a) takes an execution slot immediately,
+// (b) takes a queue token and waits for a slot — bounded by its own
+// deadline AND the server's MaxQueueWait, whichever fires first — or
+// (c) finds the queue full and is rejected right away with 429 +
+// Retry-After. The queue is deliberately small: its job is absorbing
+// scheduling jitter between a finishing query and the next waiter, not
+// buffering a backlog — backlog is what α degradation and 429s are for.
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// ErrOverflow is returned by acquire when both the in-flight slots and
+// the wait queue are full; the handler answers 429 with Retry-After.
+var ErrOverflow = errors.New("server: admission queue full")
+
+// ErrQueueWait is returned when a queued request exhausted MaxQueueWait
+// without getting a slot; also answered 429 (the server is saturated,
+// and unlike a fired client deadline the client's budget is intact).
+var ErrQueueWait = errors.New("server: queue wait limit exceeded")
+
+// admission is the controller. Slots and queue tokens are buffered
+// channels — the channel capacity IS the bound, and a blocked receive
+// on slots composes with the request context in one select.
+type admission struct {
+	slots chan struct{} // execution permits; capacity = in-flight limit
+	queue chan struct{} // wait permits; capacity = queue limit
+	wait  time.Duration // MaxQueueWait
+
+	inflight atomic.Int64 // current holders of a slot
+	waiting  atomic.Int64 // current holders of a queue token
+
+	admitted  atomic.Uint64 // total requests granted a slot
+	queued    atomic.Uint64 // subset of admitted that waited first
+	rejected  atomic.Uint64 // 429s: queue full
+	waitedOut atomic.Uint64 // 429s: MaxQueueWait exhausted while queued
+	deadlined atomic.Uint64 // ctx fired while queued (client deadline)
+}
+
+// AdmissionStats is the controller's counter snapshot, surfaced in
+// /v1/stats and /metrics.
+type AdmissionStats struct {
+	// InFlight/Capacity are the current and maximum concurrently
+	// executing requests; Waiting/QueueCapacity the same for the queue.
+	InFlight      int `json:"in_flight"`
+	Capacity      int `json:"capacity"`
+	Waiting       int `json:"waiting"`
+	QueueCapacity int `json:"queue_capacity"`
+	// Admitted counts requests granted a slot; Queued the subset that
+	// waited for one first (the serving tier's saturation signal —
+	// queued requests run with clamped α).
+	Admitted uint64 `json:"admitted"`
+	Queued   uint64 `json:"queued"`
+	// Rejected counts immediate 429s (queue full), WaitTimeouts 429s
+	// after MaxQueueWait expired in the queue, and Deadlined queued
+	// requests whose own deadline fired first (answered 504).
+	Rejected     uint64 `json:"rejected"`
+	WaitTimeouts uint64 `json:"wait_timeouts"`
+	Deadlined    uint64 `json:"deadlined"`
+}
+
+func newAdmission(inFlight, queueLen int, maxWait time.Duration) *admission {
+	if inFlight < 1 {
+		inFlight = 1
+	}
+	if queueLen < 0 {
+		queueLen = 0
+	}
+	if maxWait <= 0 {
+		maxWait = time.Second
+	}
+	a := &admission{
+		slots: make(chan struct{}, inFlight),
+		queue: make(chan struct{}, queueLen),
+		wait:  maxWait,
+	}
+	for i := 0; i < inFlight; i++ {
+		a.slots <- struct{}{}
+	}
+	for i := 0; i < queueLen; i++ {
+		a.queue <- struct{}{}
+	}
+	return a
+}
+
+// acquire obtains an execution slot. queued reports whether the request
+// had to wait (the saturation signal α clamping keys on). On error the
+// request holds nothing: ErrOverflow and ErrQueueWait are answered 429,
+// a ctx error 504/499. Callers must release() after the evaluation.
+func (a *admission) acquire(ctx context.Context) (queued bool, err error) {
+	select {
+	case <-a.slots:
+		a.inflight.Add(1)
+		a.admitted.Add(1)
+		return false, nil
+	default:
+	}
+	// Saturated: take a wait position or reject immediately.
+	select {
+	case <-a.queue:
+	default:
+		a.rejected.Add(1)
+		return false, ErrOverflow
+	}
+	a.waiting.Add(1)
+	timer := time.NewTimer(a.wait)
+	defer func() {
+		timer.Stop()
+		a.waiting.Add(-1)
+		a.queue <- struct{}{} // return the wait position
+	}()
+	select {
+	case <-a.slots:
+		a.inflight.Add(1)
+		a.admitted.Add(1)
+		a.queued.Add(1)
+		return true, nil
+	case <-timer.C:
+		a.waitedOut.Add(1)
+		return true, ErrQueueWait
+	case <-ctx.Done():
+		a.deadlined.Add(1)
+		return true, ctx.Err()
+	}
+}
+
+// release returns the execution slot taken by a successful acquire.
+func (a *admission) release() {
+	a.inflight.Add(-1)
+	a.slots <- struct{}{}
+}
+
+// saturated reports whether every execution slot is taken right now —
+// the cheap load probe /healthz and retry hints use.
+func (a *admission) saturated() bool { return len(a.slots) == 0 }
+
+// retryAfter is the hint attached to 429s: half the queue-wait bound,
+// floored at one second — long enough for the in-flight population to
+// turn over, short enough that a drained server refills quickly.
+func (a *admission) retryAfter() time.Duration {
+	if d := a.wait / 2; d > time.Second {
+		return d
+	}
+	return time.Second
+}
+
+// stats snapshots the counters.
+func (a *admission) stats() AdmissionStats {
+	return AdmissionStats{
+		InFlight:      int(a.inflight.Load()),
+		Capacity:      cap(a.slots),
+		Waiting:       int(a.waiting.Load()),
+		QueueCapacity: cap(a.queue),
+		Admitted:      a.admitted.Load(),
+		Queued:        a.queued.Load(),
+		Rejected:      a.rejected.Load(),
+		WaitTimeouts:  a.waitedOut.Load(),
+		Deadlined:     a.deadlined.Load(),
+	}
+}

@@ -1,0 +1,133 @@
+package server
+
+// The serving tier's race hammer: concurrent HTTP clients (query,
+// batch, stats, metrics scrapes) against concurrent Apply batches and
+// explicit Compactions on the shared DB. It asserts no torn responses —
+// every query answer is well-formed and every apply is acked in order —
+// while the race detector (this test is in the CI -race job's short
+// suite) watches the snapshot handoff under real handler traffic.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"rbq"
+)
+
+func TestServeRaceHammer(t *testing.T) {
+	db := socialDB(t)
+	s := New(db, Config{TenantRate: 1e6, MaxInFlight: 8})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const (
+		clients = 4
+		rounds  = 25
+	)
+	var wg sync.WaitGroup
+
+	// Query clients, each its own tenant so bucket state churns too.
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("hammer-%d", c)
+			for i := 0; i < rounds; i++ {
+				body, _ := json.Marshal(QueryRequest{Pattern: patText, Alpha: 0.9})
+				req, _ := http.NewRequest(http.MethodPost, ts.URL+RouteQuery, bytes.NewReader(body))
+				req.Header.Set(TenantHeader, tenant)
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var qr QueryResponse
+				err = json.NewDecoder(resp.Body).Decode(&qr)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK {
+					t.Errorf("query: status %d err %v", resp.StatusCode, err)
+					return
+				}
+				// The motif's original match must survive every mutation
+				// below (they only ever add disconnected nodes).
+				found := false
+				for _, m := range qr.Matches {
+					if m == 3 {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("round %d: match 3 missing from %v", i, qr.Matches)
+					return
+				}
+			}
+		}(c)
+	}
+
+	// One mutator streaming applies over HTTP.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			resp, err := http.Post(ts.URL+RouteApply, "text/plain", strings.NewReader("node RACE\napply\n"))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			var ar ApplyResponse
+			err = json.NewDecoder(resp.Body).Decode(&ar)
+			resp.Body.Close()
+			if err != nil || resp.StatusCode != http.StatusOK || ar.Batches != 1 {
+				t.Errorf("apply: status %d resp %+v err %v", resp.StatusCode, ar, err)
+				return
+			}
+		}
+	}()
+
+	// One compactor forcing base rebuilds under the readers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds/5; i++ {
+			if err := db.Compact(); err != nil {
+				t.Errorf("compact: %v", err)
+				return
+			}
+		}
+	}()
+
+	// One scraper keeping the operational surface hot.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			for _, route := range []string{RouteStats, RouteMetrics, RouteHealth} {
+				resp, err := http.Get(ts.URL + route)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("%s: status %d", route, resp.StatusCode)
+					return
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+
+	// The DB absorbed every acked batch exactly once.
+	g := db.Graph()
+	if got, want := g.NumNodes(), 7+rounds; got != want {
+		t.Fatalf("nodes = %d, want %d", got, want)
+	}
+	var _ rbq.MutationStats = db.MutationStats()
+}

@@ -1,0 +1,615 @@
+package server
+
+// The HTTP tier: one Server wraps one rbq.DB behind /v1/query,
+// /v1/query_batch, /v1/apply, /v1/stats, /healthz and /metrics. Every
+// query-bearing request flows admission → tenant budget → context
+// deadline → engine:
+//
+//	acquire slot (or queue, bounded; or 429 + Retry-After)
+//	   └─ clamp α: tenant bucket factor × saturation halving, ≥ floor
+//	        └─ ctx with deadline → DB.Query (cooperative cancellation)
+//	             └─ charge tenant bucket with Result.Visited actuals
+//
+// The operational routes (/v1/stats, /healthz, /metrics) bypass
+// admission: the observability surface must keep answering exactly when
+// the serving surface is saturated.
+//
+// Graceful shutdown is a two-phase contract with the daemon (cmd/rbqd):
+// BeginShutdown flips the server to draining — new requests are
+// answered 503 + Connection: close while in-flight evaluations finish —
+// and http.Server.Shutdown performs the actual drain; the caller then
+// Close()s the DB. Acked /v1/apply batches were fsync'd to the WAL
+// before their response was written, so a drain loses nothing.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rbq"
+	"rbq/internal/delta"
+)
+
+// Config tunes a Server. The zero value serves with the documented
+// defaults; New never mutates it.
+type Config struct {
+	// MaxInFlight bounds concurrently executing requests (default
+	// 4×GOMAXPROCS, minimum 1). MaxQueue bounds requests waiting for a
+	// slot (default = MaxInFlight; 0 disables queueing — saturation
+	// rejects immediately). MaxQueueWait caps how long a queued request
+	// may wait (default 2s); with the per-request deadline, it is why no
+	// request ever waits unboundedly.
+	MaxInFlight  int
+	MaxQueue     int
+	MaxQueueWait time.Duration
+
+	// DefaultTimeout is the evaluation deadline applied when the request
+	// carries none (default 30s); MaxTimeout caps client-supplied
+	// deadlines (default 2m). Both thread into the engines' cooperative
+	// interrupt probes via context.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+
+	// TenantRate is each tenant's α budget in visits/second; 0 disables
+	// tenant budgeting. TenantBurst is the bucket capacity (default
+	// 4×rate): the burst a quiet tenant may spend at once, and the unit
+	// debt is measured in once overdrawn.
+	TenantRate  float64
+	TenantBurst float64
+
+	// AlphaFloor is the lower bound clamping may push α to (default
+	// 1e-5): degraded answers stay answers.
+	AlphaFloor float64
+
+	// BatchWorkers shards /v1/query_batch items (0 = one per CPU). A
+	// batch holds one admission slot and fans out internally.
+	BatchWorkers int
+
+	// MaxBodyBytes bounds request bodies (default 16 MiB).
+	MaxBodyBytes int64
+
+	// AccessLog receives one JSON line per request (nil = no log).
+	AccessLog io.Writer
+
+	// beforeEval, when set, runs after admission + clamping and before
+	// the evaluation; integration tests use it to hold requests in
+	// flight deterministically.
+	beforeEval func(route, tenant string)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight < 1 {
+		c.MaxInFlight = 4 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	} else if c.MaxQueue == 0 {
+		c.MaxQueue = c.MaxInFlight
+	}
+	if c.MaxQueueWait <= 0 {
+		c.MaxQueueWait = 2 * time.Second
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.AlphaFloor <= 0 {
+		c.AlphaFloor = 1e-5
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 16 << 20
+	}
+	return c
+}
+
+// Server serves one DB. Construct with New, mount Handler on an
+// http.Server, and on shutdown call BeginShutdown before
+// http.Server.Shutdown.
+type Server struct {
+	db    *rbq.DB
+	cfg   Config
+	adm   *admission
+	ten   *tenantBuckets
+	met   *metrics
+	mux   *http.ServeMux
+	start time.Time
+
+	closing atomic.Bool
+	logMu   sync.Mutex
+}
+
+// New builds a Server over db. The DB may be in-memory (NewDB) or
+// durable (OpenDB); the server does not own it until the daemon's
+// shutdown sequence closes it.
+func New(db *rbq.DB, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		db:    db,
+		cfg:   cfg,
+		adm:   newAdmission(cfg.MaxInFlight, cfg.MaxQueue, cfg.MaxQueueWait),
+		ten:   newTenantBuckets(cfg.TenantRate, cfg.TenantBurst),
+		met:   newMetrics(),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc(RouteQuery, s.handleQuery)
+	s.mux.HandleFunc(RouteBatch, s.handleBatch)
+	s.mux.HandleFunc(RouteApply, s.handleApply)
+	s.mux.HandleFunc(RouteStats, s.handleStats)
+	s.mux.HandleFunc(RouteHealth, s.handleHealth)
+	s.mux.HandleFunc(RouteMetrics, s.handleMetrics)
+	return s
+}
+
+// Handler returns the server's root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// BeginShutdown flips the server to draining: subsequent serving-route
+// requests are answered 503 + Connection: close (so keep-alive clients
+// move on) while in-flight evaluations run to completion under
+// http.Server.Shutdown. Idempotent. The operational routes keep
+// answering; /healthz turns 503 so load balancers stop routing here.
+func (s *Server) BeginShutdown() { s.closing.Store(true) }
+
+// Draining reports whether BeginShutdown was called.
+func (s *Server) Draining() bool { return s.closing.Load() }
+
+// AdmissionStats returns the admission controller's counters.
+func (s *Server) AdmissionStats() AdmissionStats { return s.adm.stats() }
+
+// TenantStats returns every tracked tenant's budget snapshot.
+func (s *Server) TenantStats() []TenantStats { return s.ten.stats() }
+
+// tenantOf extracts the request's budget bucket.
+func tenantOf(r *http.Request) string {
+	if t := r.Header.Get(TenantHeader); t != "" {
+		return t
+	}
+	return DefaultTenant
+}
+
+// writeJSON writes v with status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// accessLog emits one structured line per request.
+func (s *Server) accessLog(route, method, tenant, remote string, code int, elapsed time.Duration, gov *Governance) {
+	if s.cfg.AccessLog == nil {
+		return
+	}
+	line := struct {
+		TS      string      `json:"ts"`
+		Route   string      `json:"route"`
+		Method  string      `json:"method"`
+		Tenant  string      `json:"tenant"`
+		Remote  string      `json:"remote,omitempty"`
+		Code    int         `json:"code"`
+		Micros  int64       `json:"elapsed_us"`
+		Governd *Governance `json:"governance,omitempty"`
+	}{
+		TS: time.Now().UTC().Format(time.RFC3339Nano), Route: route, Method: method,
+		Tenant: tenant, Remote: remote, Code: code, Micros: elapsed.Microseconds(),
+		Governd: gov,
+	}
+	buf, err := json.Marshal(line)
+	if err != nil {
+		return
+	}
+	buf = append(buf, '\n')
+	s.logMu.Lock()
+	s.cfg.AccessLog.Write(buf)
+	s.logMu.Unlock()
+}
+
+// finish records metrics + access log for one request.
+func (s *Server) finish(route string, r *http.Request, tenant string, code int, started time.Time, gov *Governance) {
+	elapsed := time.Since(started)
+	s.met.observe(route, tenant, code, elapsed.Seconds())
+	s.accessLog(route, r.Method, tenant, r.RemoteAddr, code, elapsed, gov)
+}
+
+// fail writes an ErrorResponse and records the request.
+func (s *Server) fail(w http.ResponseWriter, r *http.Request, route, tenant string, started time.Time, code int, resp ErrorResponse) {
+	resp.Code = code
+	resp.ElapsedUs = time.Since(started).Microseconds()
+	if resp.RetryAfterMs > 0 {
+		w.Header().Set("Retry-After", strconv.FormatInt((resp.RetryAfterMs+999)/1000, 10))
+	}
+	writeJSON(w, code, resp)
+	s.finish(route, r, tenant, code, started, resp.Governance)
+}
+
+// drainCheck answers draining servers' serving-route requests with 503.
+func (s *Server) drainCheck(w http.ResponseWriter, r *http.Request, route, tenant string, started time.Time) bool {
+	if !s.closing.Load() {
+		return false
+	}
+	w.Header().Set("Connection", "close")
+	s.fail(w, r, route, tenant, started, http.StatusServiceUnavailable, ErrorResponse{
+		Error: "server is shutting down", RetryAfterMs: 1000,
+	})
+	return true
+}
+
+// evalDeadline derives the request's evaluation context: the client's
+// timeout_ms capped at MaxTimeout, or DefaultTimeout when absent; the
+// base is r.Context(), so a disconnecting client cancels its own work.
+func (s *Server) evalDeadline(r *http.Request, timeoutMs int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMs > 0 {
+		d = time.Duration(timeoutMs) * time.Millisecond
+		if d > s.cfg.MaxTimeout {
+			d = s.cfg.MaxTimeout
+		}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// admit runs the admission + α-governance prologue shared by query and
+// batch. On success the caller owns an execution slot (release via
+// s.adm.release()) and gov is filled through the clamp decision; on
+// failure the response has been written.
+func (s *Server) admit(ctx context.Context, w http.ResponseWriter, r *http.Request, route, tenant string, started time.Time, alpha float64) (gov Governance, ok bool) {
+	queued, err := s.adm.acquire(ctx)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrOverflow), errors.Is(err, ErrQueueWait):
+			s.fail(w, r, route, tenant, started, http.StatusTooManyRequests, ErrorResponse{
+				Error:        fmt.Sprintf("admission: %v", err),
+				RetryAfterMs: s.adm.retryAfter().Milliseconds(),
+			})
+		case errors.Is(err, context.DeadlineExceeded):
+			s.fail(w, r, route, tenant, started, http.StatusGatewayTimeout, ErrorResponse{
+				Error:      "deadline exceeded while queued for admission",
+				Governance: &Governance{Tenant: tenant, RequestedAlpha: alpha, Queued: true},
+			})
+		default: // client went away while queued
+			s.finish(route, r, tenant, 499, started, nil)
+		}
+		return Governance{}, false
+	}
+	eff, clamped, reason := clampAlpha(alpha, s.ten.factor(tenant), queued, s.cfg.AlphaFloor)
+	if clamped {
+		s.met.clamp(reason)
+	}
+	return Governance{
+		Tenant:         tenant,
+		RequestedAlpha: alpha,
+		EffectiveAlpha: eff,
+		Clamped:        clamped,
+		ClampReason:    reason,
+		Queued:         queued,
+	}, true
+}
+
+// chargeTenant debits the bucket and attaches the balance to gov.
+func (s *Server) chargeTenant(gov *Governance, visits int) {
+	gov.VisitsCharged = visits
+	if visits <= 0 {
+		gov.VisitsCharged = exactModeCharge
+	}
+	if !s.ten.enabled() {
+		gov.VisitsCharged = 0
+		return
+	}
+	bal := s.ten.charge(gov.Tenant, visits, gov.Clamped)
+	gov.BudgetRemaining = &bal
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
+	tenant := tenantOf(r)
+	if r.Method != http.MethodPost {
+		s.fail(w, r, RouteQuery, tenant, started, http.StatusMethodNotAllowed, ErrorResponse{Error: "POST required"})
+		return
+	}
+	if s.drainCheck(w, r, RouteQuery, tenant, started) {
+		return
+	}
+	var qr QueryRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, s.cfg.MaxBodyBytes)).Decode(&qr); err != nil {
+		s.fail(w, r, RouteQuery, tenant, started, http.StatusBadRequest, ErrorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	q, err := rbq.ParsePattern(qr.Pattern)
+	if err != nil {
+		s.fail(w, r, RouteQuery, tenant, started, http.StatusBadRequest, ErrorResponse{Error: "bad pattern: " + err.Error()})
+		return
+	}
+	req, errMsg := buildRequest(qr)
+	if errMsg != "" {
+		s.fail(w, r, RouteQuery, tenant, started, http.StatusBadRequest, ErrorResponse{Error: errMsg})
+		return
+	}
+	ctx, cancel := s.evalDeadline(r, qr.TimeoutMs)
+	defer cancel()
+
+	gov, ok := s.admit(ctx, w, r, RouteQuery, tenant, started, req.Alpha)
+	if !ok {
+		return
+	}
+	req.Alpha = gov.EffectiveAlpha
+	if s.cfg.beforeEval != nil {
+		s.cfg.beforeEval(RouteQuery, tenant)
+	}
+	res, err := s.db.Query(ctx, q, req)
+	s.adm.release()
+	s.chargeTenant(&gov, res.Visited)
+	if err != nil {
+		s.queryError(w, r, RouteQuery, tenant, started, err, &gov)
+		return
+	}
+	writeJSON(w, http.StatusOK, QueryResponse{
+		Matches:      toWireMatches(res.Matches),
+		Personalized: int64(res.Personalized),
+		Complete:     res.Complete,
+		FragmentSize: res.FragmentSize,
+		Budget:       res.Budget,
+		Visited:      res.Visited,
+		Candidates:   res.Candidates,
+		Evaluated:    res.Evaluated,
+		Epoch:        s.db.MutationStats().Epoch,
+		ElapsedUs:    time.Since(started).Microseconds(),
+		Governance:   gov,
+	})
+	s.finish(RouteQuery, r, tenant, http.StatusOK, started, &gov)
+}
+
+// buildRequest maps the wire form onto rbq.Request; a non-empty second
+// return is the 400 message.
+func buildRequest(qr QueryRequest) (rbq.Request, string) {
+	var req rbq.Request
+	var ok bool
+	if req.Semantics, ok = parseSemantics(qr.Semantics); !ok {
+		return req, fmt.Sprintf("unknown semantics %q (want sim or sub)", qr.Semantics)
+	}
+	if req.Mode, ok = parseMode(qr.Mode); !ok {
+		return req, fmt.Sprintf("unknown mode %q (want bounded, exact or unanchored)", qr.Mode)
+	}
+	req.Alpha = qr.Alpha
+	req.MaxSteps = qr.MaxSteps
+	if qr.Anchor != nil {
+		req.Anchor = rbq.Pin(rbq.NodeID(*qr.Anchor))
+	}
+	return req, ""
+}
+
+// queryError maps an evaluation error to its status: deadline → 504
+// with the partial telemetry the governance carries (the client learns
+// the α its evaluation was degraded to before the deadline fired),
+// client disconnect → 499 log-only, anything else → 400 (the request
+// layer validates; evaluation itself does not fail).
+func (s *Server) queryError(w http.ResponseWriter, r *http.Request, route, tenant string, started time.Time, err error, gov *Governance) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.fail(w, r, route, tenant, started, http.StatusGatewayTimeout, ErrorResponse{
+			Error: "evaluation deadline exceeded", Governance: gov,
+		})
+	case errors.Is(err, context.Canceled):
+		s.finish(route, r, tenant, 499, started, gov)
+	default:
+		s.fail(w, r, route, tenant, started, http.StatusBadRequest, ErrorResponse{
+			Error: err.Error(), Governance: gov,
+		})
+	}
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
+	tenant := tenantOf(r)
+	if r.Method != http.MethodPost {
+		s.fail(w, r, RouteBatch, tenant, started, http.StatusMethodNotAllowed, ErrorResponse{Error: "POST required"})
+		return
+	}
+	if s.drainCheck(w, r, RouteBatch, tenant, started) {
+		return
+	}
+	var br BatchRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, s.cfg.MaxBodyBytes)).Decode(&br); err != nil {
+		s.fail(w, r, RouteBatch, tenant, started, http.StatusBadRequest, ErrorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if len(br.Items) == 0 {
+		s.fail(w, r, RouteBatch, tenant, started, http.StatusBadRequest, ErrorResponse{Error: "empty batch"})
+		return
+	}
+	req, errMsg := buildRequest(QueryRequest{Semantics: br.Semantics, Mode: br.Mode, Alpha: br.Alpha, MaxSteps: br.MaxSteps})
+	if errMsg != "" {
+		s.fail(w, r, RouteBatch, tenant, started, http.StatusBadRequest, ErrorResponse{Error: errMsg})
+		return
+	}
+	if req.Mode == rbq.Unanchored {
+		s.fail(w, r, RouteBatch, tenant, started, http.StatusBadRequest, ErrorResponse{Error: "batch items are anchored; unanchored mode is /v1/query"})
+		return
+	}
+	// Parse per-item patterns; a bad one fails only its own item.
+	qs := make([]rbq.AnchoredQuery, len(br.Items))
+	itemErr := make([]string, len(br.Items))
+	for i, it := range br.Items {
+		q, err := rbq.ParsePattern(it.Pattern)
+		if err != nil {
+			itemErr[i] = "bad pattern: " + err.Error()
+			continue
+		}
+		qs[i] = rbq.AnchoredQuery{Q: q, At: rbq.NodeID(it.Anchor)}
+	}
+	ctx, cancel := s.evalDeadline(r, br.TimeoutMs)
+	defer cancel()
+
+	gov, ok := s.admit(ctx, w, r, RouteBatch, tenant, started, req.Alpha)
+	if !ok {
+		return
+	}
+	req.Alpha = gov.EffectiveAlpha
+	if s.cfg.beforeEval != nil {
+		s.cfg.beforeEval(RouteBatch, tenant)
+	}
+	// Items whose pattern failed to parse carry a nil Q; QueryBatch
+	// zeroes them (nil-pattern compile failure) without touching the
+	// rest, which is exactly the per-item contract.
+	results, err := s.db.QueryBatch(ctx, qs, req, s.cfg.BatchWorkers)
+	s.adm.release()
+	visits := 0
+	for _, res := range results {
+		visits += res.Visited
+	}
+	s.chargeTenant(&gov, visits)
+	if err != nil {
+		s.queryError(w, r, RouteBatch, tenant, started, err, &gov)
+		return
+	}
+	out := BatchResponse{
+		Results:    make([]BatchResult, len(results)),
+		Epoch:      s.db.MutationStats().Epoch,
+		ElapsedUs:  time.Since(started).Microseconds(),
+		Governance: gov,
+	}
+	for i, res := range results {
+		out.Results[i] = BatchResult{
+			Matches:      toWireMatches(res.Matches),
+			Personalized: int64(res.Personalized),
+			Complete:     res.Complete,
+			FragmentSize: res.FragmentSize,
+			Budget:       res.Budget,
+			Visited:      res.Visited,
+			Error:        itemErr[i],
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+	s.finish(RouteBatch, r, tenant, http.StatusOK, started, &gov)
+}
+
+func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
+	tenant := tenantOf(r)
+	if r.Method != http.MethodPost {
+		s.fail(w, r, RouteApply, tenant, started, http.StatusMethodNotAllowed, ErrorResponse{Error: "POST required"})
+		return
+	}
+	if s.drainCheck(w, r, RouteApply, tenant, started) {
+		return
+	}
+	// The body is the op-stream text format (internal/delta), the same
+	// language the WAL and the CLI tooling speak. ReadBatches returns
+	// the well-formed prefix alongside a parse error, so a damaged
+	// stream still lands what it can — mirroring rbquery -mode update.
+	batches, parseErr := delta.ReadBatches(io.LimitReader(r.Body, s.cfg.MaxBodyBytes))
+	ctx, cancel := s.evalDeadline(r, 0)
+	defer cancel()
+	if _, err := s.adm.acquire(ctx); err != nil {
+		// Reuse the admission error mapping; mutations are not α-clamped
+		// (there is no α), only admitted or not.
+		if errors.Is(err, ErrOverflow) || errors.Is(err, ErrQueueWait) {
+			s.fail(w, r, RouteApply, tenant, started, http.StatusTooManyRequests, ErrorResponse{
+				Error:        fmt.Sprintf("admission: %v", err),
+				RetryAfterMs: s.adm.retryAfter().Milliseconds(),
+			})
+		} else if errors.Is(err, context.DeadlineExceeded) {
+			s.fail(w, r, RouteApply, tenant, started, http.StatusGatewayTimeout, ErrorResponse{
+				Error: "deadline exceeded while queued for admission",
+			})
+		} else {
+			s.finish(RouteApply, r, tenant, 499, started, nil)
+		}
+		return
+	}
+	applied, ops := 0, 0
+	var applyErr error
+	for i, b := range batches {
+		if err := ctx.Err(); err != nil {
+			applyErr = fmt.Errorf("batch %d: %w", i, err)
+			break
+		}
+		if err := s.db.Apply(b.Ops); err != nil {
+			applyErr = fmt.Errorf("batch %d (ops line %d): %w", i, b.Line, err)
+			break
+		}
+		applied++
+		ops += len(b.Ops)
+	}
+	s.adm.release()
+	ms := s.db.MutationStats()
+	if applyErr != nil || parseErr != nil {
+		code := http.StatusBadRequest
+		msg := ""
+		switch {
+		case applyErr != nil && errors.Is(applyErr, rbq.ErrClosed):
+			code = http.StatusServiceUnavailable
+			msg = applyErr.Error()
+		case applyErr != nil && errors.Is(applyErr, context.DeadlineExceeded):
+			code = http.StatusGatewayTimeout
+			msg = applyErr.Error()
+		case applyErr != nil:
+			msg = applyErr.Error()
+		default:
+			msg = "parse: " + parseErr.Error()
+		}
+		// Partial progress is progress: the response reports how many
+		// batches landed (durably, on a persistent DB) before the failure.
+		s.fail(w, r, RouteApply, tenant, started, code, ErrorResponse{
+			Error: msg, Batches: applied, Ops: ops,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, ApplyResponse{
+		Batches:    applied,
+		Ops:        ops,
+		Epoch:      ms.Epoch,
+		DurableSeq: ms.Seq,
+		ElapsedUs:  time.Since(started).Microseconds(),
+	})
+	s.finish(RouteApply, r, tenant, http.StatusOK, started, nil)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
+	tenant := tenantOf(r)
+	g := s.db.Graph()
+	ms := s.db.MutationStats()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Nodes: g.NumNodes(), Edges: g.NumEdges(), Size: g.Size(), Labels: g.NumLabels(),
+		Epoch:         ms.Epoch,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Admission:     s.adm.stats(),
+		Tenants:       s.ten.stats(),
+		PlanCache:     s.db.PlanCacheStats(),
+		Mutation:      ms,
+		Recovery:      s.db.RecoveryStats(),
+	})
+	s.finish(RouteStats, r, tenant, http.StatusOK, started, nil)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.closing.Load() {
+		w.Header().Set("Connection", "close")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n")
+		return
+	}
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.render(w, opSnapshot{
+		admission: s.adm.stats(),
+		tenants:   s.ten.stats(),
+		plans:     s.db.PlanCacheStats(),
+		mutation:  s.db.MutationStats(),
+	})
+}

@@ -1,0 +1,198 @@
+package server
+
+// Per-tenant α budgets: the second governance layer. The paper's
+// abstraction makes this natural — α is literally a resource budget
+// (the evaluation visits at most α|G| items), so a visits-per-second
+// token bucket per tenant, charged from Result.Visited *actuals* after
+// each query, turns "this tenant is over budget" into "run this
+// tenant's next queries with a smaller α" instead of rejecting them.
+// Degradation is graded, bounded below by a configurable floor, and
+// always reported (Governance in every response, clamp counters in
+// /metrics) — never silent.
+//
+// Charging actuals rather than the requested budget matters: a query
+// whose fragment extraction stops early (dense stop conditions, small
+// balls) costs its tenant only what it actually touched, and an exact-
+// mode query — which bypasses the reduction — charges its fragment-free
+// visited count of zero plus a flat per-request charge so exact traffic
+// cannot ride entirely free.
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// exactModeCharge is the flat visit charge for queries that report zero
+// Visited (exact mode bypasses the bounded reduction): one bucket touch
+// per request, so a tenant cannot starve others with free exact traffic
+// while still being charged far less than any bounded evaluation.
+const exactModeCharge = 1
+
+// tenantBuckets tracks one token bucket per tenant. rate <= 0 disables
+// budget enforcement entirely (every tenant sees factor 1).
+type tenantBuckets struct {
+	rate  float64 // tokens (visits) per second
+	burst float64 // bucket capacity; also the overdraft floor's magnitude
+
+	mu sync.Mutex
+	m  map[string]*bucket
+
+	now func() time.Time // injectable clock for tests
+}
+
+// bucket is one tenant's budget state, guarded by the registry mutex
+// (charges are two float ops; contention is not a concern next to the
+// query they account for).
+type bucket struct {
+	tokens  float64
+	last    time.Time
+	charged uint64 // lifetime visits charged
+	clamps  uint64 // lifetime queries answered with a clamped α
+}
+
+// TenantStats is one tenant's budget snapshot, surfaced in /v1/stats.
+type TenantStats struct {
+	Tenant string `json:"tenant"`
+	// Tokens is the current balance (negative = overdrawn); Burst the
+	// capacity it refills toward at Rate visits/second.
+	Tokens float64 `json:"tokens"`
+	Burst  float64 `json:"burst"`
+	Rate   float64 `json:"rate"`
+	// VisitsCharged is the lifetime total debited; Clamps how many of
+	// the tenant's queries ran with a degraded α.
+	VisitsCharged uint64 `json:"visits_charged"`
+	Clamps        uint64 `json:"clamps"`
+}
+
+func newTenantBuckets(rate, burst float64) *tenantBuckets {
+	if burst <= 0 {
+		burst = 4 * rate
+	}
+	return &tenantBuckets{rate: rate, burst: burst, m: make(map[string]*bucket), now: time.Now}
+}
+
+// enabled reports whether budget enforcement is on.
+func (t *tenantBuckets) enabled() bool { return t != nil && t.rate > 0 }
+
+// refillLocked advances b's balance to now.
+func (t *tenantBuckets) refillLocked(b *bucket, now time.Time) {
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * t.rate
+		if b.tokens > t.burst {
+			b.tokens = t.burst
+		}
+	}
+	b.last = now
+}
+
+func (t *tenantBuckets) get(name string) *bucket {
+	b, ok := t.m[name]
+	if !ok {
+		b = &bucket{tokens: t.burst, last: t.now()}
+		t.m[name] = b
+	}
+	return b
+}
+
+// factor returns the α multiplier the tenant's balance warrants, in
+// [0, 1]: 1 while the bucket holds tokens, and a hyperbolic decay
+// 1/(1+debt/burst) once overdrawn — one burst of debt halves α, three
+// bursts quarter it — so a tenant that keeps spending keeps degrading
+// instead of hitting a cliff. The caller floors the resulting α.
+func (t *tenantBuckets) factor(name string) float64 {
+	if !t.enabled() {
+		return 1
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := t.get(name)
+	t.refillLocked(b, t.now())
+	if b.tokens >= 0 {
+		return 1
+	}
+	return 1 / (1 - b.tokens/t.burst)
+}
+
+// charge debits the tenant for a query's actual visits (exact-mode
+// zero-visit queries pay the flat exactModeCharge) and records whether
+// its α was clamped. The balance floors at -burst: debt deeper than one
+// full bucket buys no further degradation (factor already ~halved) and
+// would only delay recovery unboundedly. Returns the balance after the
+// charge for the response's budget telemetry.
+func (t *tenantBuckets) charge(name string, visits int, clamped bool) float64 {
+	if !t.enabled() {
+		return 0
+	}
+	if visits <= 0 {
+		visits = exactModeCharge
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := t.get(name)
+	t.refillLocked(b, t.now())
+	b.tokens -= float64(visits)
+	if b.tokens < -t.burst {
+		b.tokens = -t.burst
+	}
+	b.charged += uint64(visits)
+	if clamped {
+		b.clamps++
+	}
+	return b.tokens
+}
+
+// stats snapshots every tracked tenant, sorted by name for stable
+// output.
+func (t *tenantBuckets) stats() []TenantStats {
+	if !t.enabled() {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	out := make([]TenantStats, 0, len(t.m))
+	for name, b := range t.m {
+		t.refillLocked(b, now)
+		out = append(out, TenantStats{
+			Tenant: name, Tokens: b.tokens, Burst: t.burst, Rate: t.rate,
+			VisitsCharged: b.charged, Clamps: b.clamps,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}
+
+// clampAlpha folds the two degradation signals into the effective α for
+// one request: the tenant's budget factor and the saturation signal
+// (the request had to queue for a slot, in which case α is halved).
+// The result is floored at floor — degradation has a bottom — and never
+// raised above the requested α. Exact and zero-α requests pass through
+// untouched: there is no α to clamp.
+func clampAlpha(requested, factor float64, queued bool, floor float64) (eff float64, clamped bool, reason string) {
+	if requested <= 0 {
+		return requested, false, ""
+	}
+	eff = requested
+	if factor < 1 {
+		eff = requested * factor
+		clamped = true
+		reason = "tenant_budget"
+	}
+	if queued {
+		eff /= 2
+		clamped = true
+		if reason == "" {
+			reason = "saturation"
+		} else {
+			reason = "tenant_budget+saturation"
+		}
+	}
+	if clamped && eff < floor {
+		eff = floor
+		if eff > requested {
+			eff = requested
+		}
+	}
+	return eff, clamped, reason
+}
