@@ -228,6 +228,58 @@ func TestQueryBatchShardedAllocBudget(t *testing.T) {
 	}
 }
 
+// TestQueryTraceAllocBudget: the observability layer must be free when
+// off and bounded when on. WantTrace=false must add zero allocations
+// over the legacy path (every engine touch point is a nil check, like
+// the interrupt probes), and WantTrace=true buys its span tree within a
+// fixed budget — the tree is per-phase aggregates, not per-item events.
+func TestQueryTraceAllocBudget(t *testing.T) {
+	g := YoutubeLike(10_000, 1)
+	db := NewDB(g)
+	var q *Pattern
+	var vp NodeID
+	for seed := int64(0); seed < 50 && q == nil; seed++ {
+		cand := NodeID(int(seed*131+17) % g.NumNodes())
+		if g.Degree(cand) < 2 {
+			continue
+		}
+		q = gen.PatternAt(g, graph.NodeID(cand), gen.PatternConfig{Nodes: 4, Edges: 8, Seed: seed})
+		vp = cand
+	}
+	if q == nil {
+		t.Fatal("could not extract a test pattern")
+	}
+	ctx := context.Background()
+	mk := func(trace bool) func() {
+		req := Request{Anchor: &vp, Alpha: 0.001, WantTrace: trace}
+		return func() {
+			if _, err := db.Query(ctx, q, req); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	off, on := mk(false), mk(true)
+	legacy := func() {
+		if _, err := db.SimulationAt(q, vp, 0.001); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		off()
+		on()
+		legacy()
+	}
+	offAvg := testing.AllocsPerRun(200, off)
+	legacyAvg := testing.AllocsPerRun(200, legacy)
+	onAvg := testing.AllocsPerRun(200, on)
+	if offAvg > legacyAvg {
+		t.Fatalf("WantTrace=false Query allocates %.1f times per run, legacy %.1f — trace-off must add zero allocations", offAvg, legacyAvg)
+	}
+	if onAvg > offAvg+128 {
+		t.Fatalf("WantTrace=true Query allocates %.1f times per run, trace-off %.1f — the span tree must stay within a fixed budget", onAvg, offAvg)
+	}
+}
+
 // TestSubgraphAtAllocBudget is the RBSub counterpart.
 func TestSubgraphAtAllocBudget(t *testing.T) {
 	g := YoutubeLike(10_000, 1)

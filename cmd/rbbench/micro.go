@@ -227,6 +227,11 @@ func runMicro(path, comparePath string, tolerance float64, count int, nsGate boo
 	if _, err := qdb.Query(context.Background(), q, qreq); err != nil {
 		return fmt.Errorf("warm facade query: %w", err)
 	}
+	// QueryCacheHit's request with tracing opted in: TraceOverhead
+	// records what the span tree costs on the same cache-hit path, so
+	// the trace-off path's alloc gate has an explicit counterpart.
+	treq := qreq
+	treq.WantTrace = true
 
 	// Parallel fixtures, exercising the three worker-pool fan-out points
 	// with a workers axis (W1 = pool of one, the inline degenerate case;
@@ -445,6 +450,11 @@ func runMicro(path, comparePath string, tolerance float64, count int, nsGate boo
 		{"QueryCacheHit", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				qdb.Query(context.Background(), q, qreq)
+			}
+		}},
+		{"TraceOverhead", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				qdb.Query(context.Background(), q, treq)
 			}
 		}},
 		{"RBReach", func(b *testing.B) {

@@ -34,6 +34,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -71,6 +72,10 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, shutdown 
 		batchWorkers = fs.Int("batch-workers", 0, "workers sharding /v1/query_batch items (0 = one per CPU)")
 		accessLog    = fs.String("access-log", "-", `access log destination: "-" = stdout, "" = off, else a file path`)
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "shutdown: longest to wait for in-flight requests to finish")
+
+		slowQuery    = fs.Duration("slow-query", 0, "capture queries running at least this long (also clamped or deadlined ones) with their trace; 0 = off")
+		slowQueryLog = fs.String("slow-query-log", "-", `slow-query log destination: "-" = stdout, "" = ring only (/v1/debug/slow), else a file path`)
+		debugAddr    = fs.String("debug-addr", "", "serve net/http/pprof on this address (own listener, no admission control); empty = off")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -101,8 +106,9 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, shutdown 
 		TenantBurst:    *tenantBurst,
 		AlphaFloor:     *alphaFloor,
 		BatchWorkers:   *batchWorkers,
+		SlowQuery:      *slowQuery,
 	}
-	var logFile *os.File
+	var logFile, slowFile *os.File
 	switch *accessLog {
 	case "":
 	case "-":
@@ -115,6 +121,21 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, shutdown 
 			return 1
 		}
 		cfg.AccessLog = logFile
+	}
+	if *slowQuery > 0 {
+		switch *slowQueryLog {
+		case "":
+		case "-":
+			cfg.SlowLog = stdout
+		default:
+			slowFile, err = os.OpenFile(*slowQueryLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fmt.Fprintln(stderr, "rbqd:", err)
+				db.Close()
+				return 1
+			}
+			cfg.SlowLog = slowFile
+		}
 	}
 
 	srv := server.New(db, cfg)
@@ -130,6 +151,31 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, shutdown 
 		ErrorLog:          log.New(stderr, "rbqd: http: ", 0),
 	}
 	fmt.Fprintf(stdout, "rbqd: listening on %s\n", ln.Addr())
+
+	// The pprof surface gets its own listener and mux: runtime profiling
+	// must stay reachable when the serving port is saturated, and must
+	// never be exposed on the serving port by accident (importing
+	// net/http/pprof for its side effect would register on the default
+	// mux; registering by hand keeps the exposure explicit and bound to
+	// -debug-addr).
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(stderr, "rbqd:", err)
+			db.Close()
+			return 1
+		}
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugSrv = &http.Server{Handler: dmux}
+		fmt.Fprintf(stdout, "rbqd: debug (pprof) listening on %s\n", dln.Addr())
+		go debugSrv.Serve(dln)
+	}
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
@@ -164,12 +210,18 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, shutdown 
 		rc = 1
 	}
 	cancel()
+	if debugSrv != nil {
+		debugSrv.Close()
+	}
 	if err := db.Close(); err != nil {
 		fmt.Fprintln(stderr, "rbqd: close:", err)
 		rc = 1
 	}
 	if logFile != nil {
 		logFile.Close()
+	}
+	if slowFile != nil {
+		slowFile.Close()
 	}
 	fmt.Fprintln(stdout, "rbqd: stopped")
 	return rc

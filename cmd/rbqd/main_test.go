@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -47,12 +48,39 @@ func writeGraphFile(t *testing.T) string {
 
 const patText = "node 0 Michael*\nnode 1 CC\nnode 2 HG\nnode 3 CL!\nedge 0 1\nedge 0 2\nedge 1 3\nedge 2 3\n"
 
+// syncBuf is a bytes.Buffer safe to read while the daemon goroutine is
+// still writing — tests that need live output (the pprof listener
+// address) poll String() mid-run.
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
 // startDaemon runs the daemon body on a loopback port and returns its
 // base URL and a stop function that triggers the graceful shutdown and
 // reports the exit code and captured output.
 func startDaemon(t *testing.T, args []string) (baseURL string, stop func() (int, string)) {
+	base, stop, _ := startDaemonBuf(t, args)
+	return base, stop
+}
+
+// startDaemonBuf is startDaemon exposing the live stdout buffer.
+func startDaemonBuf(t *testing.T, args []string) (baseURL string, stop func() (int, string), out *syncBuf) {
 	t.Helper()
-	var out, errb bytes.Buffer
+	out = &syncBuf{}
+	var errb syncBuf
 	ready := make(chan string, 1)
 	shutdown := make(chan struct{})
 	rc := make(chan int, 1)
@@ -60,7 +88,7 @@ func startDaemon(t *testing.T, args []string) (baseURL string, stop func() (int,
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		rc <- run(append([]string{"-listen", "127.0.0.1:0"}, args...), &out, &errb, ready, shutdown)
+		rc <- run(append([]string{"-listen", "127.0.0.1:0"}, args...), out, &errb, ready, shutdown)
 	}()
 	select {
 	case addr := <-ready:
@@ -80,7 +108,7 @@ func startDaemon(t *testing.T, args []string) (baseURL string, stop func() (int,
 		return code, out.String() + errb.String()
 	}
 	t.Cleanup(func() { stop() })
-	return baseURL, stop
+	return baseURL, stop, out
 }
 
 func TestDaemonRoundTrip(t *testing.T) {
@@ -172,6 +200,96 @@ func TestDaemonDurableShutdownLosesNothing(t *testing.T) {
 		if lbl := gph.Label(rbq.NodeID(7 + i)); lbl != fmt.Sprintf("DURABLE-%d", i) {
 			t.Fatalf("node %d label = %q", 7+i, lbl)
 		}
+	}
+}
+
+// TestDaemonPprof: -debug-addr stands a live pprof surface on its own
+// listener — the smoke test fetches the index and a goroutine profile
+// from the running daemon.
+func TestDaemonPprof(t *testing.T) {
+	g := writeGraphFile(t)
+	_, stop, out := startDaemonBuf(t, []string{"-graph", g, "-access-log", "", "-debug-addr", "127.0.0.1:0"})
+
+	// The debug line is printed before the ready signal, so it is
+	// already in the buffer.
+	const marker = "rbqd: debug (pprof) listening on "
+	stdout := out.String()
+	i := strings.Index(stdout, marker)
+	if i < 0 {
+		t.Fatalf("no debug listener line in:\n%s", stdout)
+	}
+	addr := strings.TrimSpace(strings.SplitN(stdout[i+len(marker):], "\n", 2)[0])
+	debugURL := "http://" + addr
+
+	resp, err := http.Get(debugURL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	index, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(index), "goroutine") {
+		t.Fatalf("pprof index: %d\n%s", resp.StatusCode, index)
+	}
+	resp, err = http.Get(debugURL + "/debug/pprof/goroutine?debug=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(prof), "goroutine profile") {
+		t.Fatalf("goroutine profile: %d\n%s", resp.StatusCode, prof)
+	}
+
+	if code, output := stop(); code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, output)
+	}
+}
+
+// TestDaemonSlowQuery: -slow-query wires capture end to end — the log
+// line lands on stdout and the ring serves it at /v1/debug/slow, joined
+// to the response by the request id.
+func TestDaemonSlowQuery(t *testing.T) {
+	g := writeGraphFile(t)
+	base, stop := startDaemon(t, []string{"-graph", g, "-access-log", "", "-slow-query", "1ns"})
+
+	body, _ := json.Marshal(server.QueryRequest{Pattern: patText, Alpha: 0.9})
+	req, _ := http.NewRequest(http.MethodPost, base+server.RouteQuery, bytes.NewReader(body))
+	req.Header.Set(server.RequestIDHeader, "it-slow-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qr server.QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || qr.RequestID != "it-slow-1" {
+		t.Fatalf("status %d, id %q", resp.StatusCode, qr.RequestID)
+	}
+	if got := resp.Header.Get(server.RequestIDHeader); got != "it-slow-1" {
+		t.Fatalf("response header id %q", got)
+	}
+
+	resp, err = http.Get(base + server.RouteDebugSlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr server.SlowResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(sr.Entries) != 1 || sr.Entries[0].RequestID != "it-slow-1" || sr.Entries[0].Trace == nil {
+		t.Fatalf("slow entries: %+v", sr.Entries)
+	}
+
+	code, output := stop()
+	if code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, output)
+	}
+	if !strings.Contains(output, `"request_id":"it-slow-1"`) || !strings.Contains(output, `"reason":"threshold"`) {
+		t.Fatalf("slow-query log line missing:\n%s", output)
 	}
 }
 

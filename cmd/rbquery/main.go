@@ -61,6 +61,7 @@ import (
 	"rbq"
 	"rbq/internal/accuracy"
 	"rbq/internal/delta"
+	"rbq/internal/reduce"
 	"rbq/internal/workload"
 )
 
@@ -82,6 +83,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		alpha        = fs.Float64("alpha", 0.001, "resource ratio α ∈ (0,1)")
 		exact        = fs.Bool("exact", false, "also run the exact baseline and report accuracy")
 		stats        = fs.Bool("stats", false, "report timing and plan-cache counters (pattern, workload and update modes)")
+		explain      = fs.Bool("explain", false, "pattern modes: print the compiled plan (selectivity table, anchor choice, budget split) before the query and the phase breakdown after it")
+		trace        = fs.Bool("trace", false, "pattern modes: stream the raw reduction events (rounds, refinements, stops) to stderr; serial queries only")
 		workers      = fs.Int("workers", 0, "intra-query parallelism (Request.Parallelism, GOMAXPROCS-capped) and workload batch sharding; 0 = serial queries, one batch worker per CPU")
 		timeout      = fs.Duration("timeout", 0, "cancel query evaluation after this duration (0 = none; pattern and workload modes)")
 		from         = fs.Int("from", -1, "source node (reach mode)")
@@ -147,7 +150,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	rc := 0
 	switch *mode {
 	case "sim", "sub":
-		rc = runPattern(ctx, db, *mode, *patternPath, *alpha, *exact, *stats, *workers, stdout, stderr)
+		rc = runPattern(ctx, db, *mode, *patternPath, *alpha, patternFlags{
+			exact: *exact, stats: *stats, explain: *explain, trace: *trace, workers: *workers,
+		}, stdout, stderr)
 	case "reach":
 		rc = runReach(db, *alpha, *from, *to, *exact, *indexPath, stdout, stderr)
 	case "workload":
@@ -221,9 +226,24 @@ func queryErr(err error, stderr io.Writer) int {
 	return 1
 }
 
-func runPattern(ctx context.Context, db *rbq.DB, mode, path string, alpha float64, exact, stats bool, workers int, stdout, stderr io.Writer) int {
+// patternFlags bundles runPattern's option flags.
+type patternFlags struct {
+	exact   bool
+	stats   bool
+	explain bool
+	trace   bool
+	workers int
+}
+
+func runPattern(ctx context.Context, db *rbq.DB, mode, path string, alpha float64, opt patternFlags, stdout, stderr io.Writer) int {
 	if path == "" {
 		fmt.Fprintln(stderr, "rbquery: -pattern is required for pattern modes")
+		return 2
+	}
+	if opt.trace && opt.workers > 1 {
+		// The event stream is strictly serial; the request layer would
+		// reject the combination anyway, but the CLI can say why up front.
+		fmt.Fprintln(stderr, "rbquery: -trace streams serial reduction events; drop -workers")
 		return 2
 	}
 	text, err := os.ReadFile(path)
@@ -236,9 +256,25 @@ func runPattern(ctx context.Context, db *rbq.DB, mode, path string, alpha float6
 		fmt.Fprintln(stderr, "rbquery:", err)
 		return 1
 	}
-	req := rbq.Request{Alpha: alpha, WantStats: stats, Parallelism: workers}
+	req := rbq.Request{Alpha: alpha, WantStats: opt.stats, Parallelism: opt.workers}
 	if mode == "sub" {
 		req.Semantics = rbq.Subgraph
+	}
+	if opt.explain {
+		// EXPLAIN first: what the request would execute — then run it and
+		// close with the measured phase breakdown.
+		ex, err := db.Explain(q, req)
+		if err != nil {
+			fmt.Fprintln(stderr, "rbquery:", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, "--- explain ---")
+		ex.WriteText(stdout)
+		fmt.Fprintln(stdout, "---------------")
+		req.WantTrace = true
+	}
+	if opt.trace {
+		req.Tracer = reduce.WriteTracer(stderr)
 	}
 	start := time.Now()
 	res, err := db.Query(ctx, q, req)
@@ -248,7 +284,7 @@ func runPattern(ctx context.Context, db *rbq.DB, mode, path string, alpha float6
 	elapsed := time.Since(start)
 	fmt.Fprintf(stdout, "%d match(es) in %v; |G_Q| = %d of budget %d; visited %d items\n",
 		len(res.Matches), elapsed.Round(time.Microsecond), res.FragmentSize, res.Budget, res.Visited)
-	if stats {
+	if opt.stats {
 		cs := db.PlanCacheStats()
 		fmt.Fprintf(stdout, "stats: prepare %v, execute %v; plan cache %d hit(s) / %d miss(es)\n",
 			res.Stats.PlanTime.Round(time.Microsecond), res.Stats.ExecTime.Round(time.Microsecond),
@@ -257,11 +293,15 @@ func runPattern(ctx context.Context, db *rbq.DB, mode, path string, alpha float6
 	for _, m := range res.Matches {
 		fmt.Fprintf(stdout, "  node %d (%s)\n", m, db.Graph().Label(m))
 	}
-	if exact {
+	if res.Trace != nil {
+		fmt.Fprintln(stdout, "--- phases ---")
+		res.Trace.WriteText(stdout)
+	}
+	if opt.exact {
 		// The exact baseline is the same Request in Exact mode; its plan
 		// comes from the cache the bounded run just filled.
 		start = time.Now()
-		truth, err := db.Query(ctx, q, rbq.Request{Semantics: req.Semantics, Mode: rbq.Exact, Parallelism: workers})
+		truth, err := db.Query(ctx, q, rbq.Request{Semantics: req.Semantics, Mode: rbq.Exact, Parallelism: opt.workers})
 		if err != nil {
 			return queryErr(err, stderr)
 		}

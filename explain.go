@@ -1,0 +1,245 @@
+package rbq
+
+// EXPLAIN: render what a Request would execute — the compiled plan's
+// interned labels, selectivity table, anchor choice, α·|G| budget and
+// (in Unanchored mode) the predicted budget split — without running the
+// evaluation. The CLI (`rbquery -explain`) prints this before the query
+// and the trace's phase breakdown after it.
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"rbq/internal/graph"
+	"rbq/internal/pattern"
+	"rbq/internal/rbany"
+)
+
+// ExplainNode is one query node's row of the selectivity table.
+type ExplainNode struct {
+	// Node is the query node id; Label its label text.
+	Node  int
+	Label string
+	// LabelID is the graph's interned id of the label (-1 when the label
+	// is absent from the graph, which empties the answer).
+	LabelID int
+	// Candidates is how many data nodes carry the label; Mass the summed
+	// Potential mass over them (Sampled reports a sample-and-scale
+	// estimate rather than an exact scan).
+	Candidates int
+	Mass       float64
+	Sampled    bool
+	// Personalized marks the pattern's personalized node u_p; Anchor
+	// marks the unanchored evaluation's chosen traversal root.
+	Personalized bool
+	Anchor       bool
+}
+
+// ExplainShare is one anchor candidate's predicted slice of the α·|G|
+// budget under the full-spend assumption (the prediction the parallel
+// wave scheduler speculates with; serial rollover can only enlarge
+// later shares).
+type ExplainShare struct {
+	V     NodeID
+	Pot   float64
+	Share int
+}
+
+// Explain describes what executing a Request would do.
+type Explain struct {
+	// Pattern is the pattern's canonical text (the plan-cache key).
+	Pattern string
+	// Semantics/Mode echo the request.
+	Semantics Semantics
+	Mode      Mode
+	// GraphSize is |G| = nodes + edges; Budget is ⌊α·|G|⌋ (zero in
+	// Exact mode).
+	GraphSize int
+	Alpha     float64
+	Budget    int
+	// CacheHit reports whether the compiled plan came from the plan
+	// cache (the probe this Explain performed counts in PlanCacheStats).
+	CacheHit bool
+	// Nodes is the per-query-node selectivity table.
+	Nodes []ExplainNode
+	// Personalized is the pin the evaluation would run from (explicit
+	// Request.Anchor or the compile-time unique match); NoNode when the
+	// request is Unanchored or no unique match exists.
+	Personalized NodeID
+	// AnchorNode is the query node unanchored evaluation re-roots at
+	// (-1 for anchored requests).
+	AnchorNode int
+	// Shares is the predicted Unanchored budget split, in evaluation
+	// order, truncated to MaxExplainShares rows; nil for anchored
+	// requests or when the pattern cannot be anchored.
+	Shares []ExplainShare
+	// ShareTotal is how many guard-passing anchors the split covers
+	// (Shares may be a truncation of it).
+	ShareTotal int
+}
+
+// MaxExplainShares bounds the predicted-split rows Explain computes: a
+// common label can have thousands of guard-passing anchors, and the
+// table is for human consumption.
+const MaxExplainShares = 8
+
+// Explain compiles q (through the plan cache, like Query) and reports
+// what executing req would do — selectivity table, anchor choice,
+// budget, predicted split — without running the evaluation. The
+// selectivity scan probes every query node's candidate list, so Explain
+// is a diagnostic call, not a hot-path one.
+func (db *DB) Explain(q *Pattern, req Request) (*Explain, error) {
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	snap := db.snapshot()
+	pl, hit, err := db.plans.lookup(snap.Aux(), snap.Epoch(), q)
+	if err != nil {
+		return nil, err
+	}
+	g := pl.Aux().Graph()
+	ex := &Explain{
+		Pattern:      q.String(),
+		Semantics:    req.Semantics,
+		Mode:         req.Mode,
+		GraphSize:    g.Size(),
+		Alpha:        req.Alpha,
+		CacheHit:     hit,
+		Personalized: NoNode,
+		AnchorNode:   -1,
+	}
+	if req.Mode != Exact {
+		ex.Budget = int(req.Alpha * float64(g.Size()))
+	}
+	sel := pl.Selectivity()
+	labels := pl.Labels()
+	for u := 0; u < q.NumNodes(); u++ {
+		n := ExplainNode{
+			Node:         u,
+			Label:        q.Label(pattern.NodeID(u)),
+			LabelID:      int(labels[u]),
+			Candidates:   sel.CandCount[u],
+			Mass:         sel.Mass[u],
+			Sampled:      sel.Sampled[u],
+			Personalized: pattern.NodeID(u) == q.Personalized(),
+		}
+		if labels[u] == graph.NoLabel {
+			n.LabelID = -1
+		}
+		ex.Nodes = append(ex.Nodes, n)
+	}
+	if req.Mode == Unanchored {
+		ex.AnchorNode = int(sel.Anchor)
+		if ex.AnchorNode >= 0 && ex.AnchorNode < len(ex.Nodes) {
+			ex.Nodes[ex.AnchorNode].Anchor = true
+		}
+		if sel.Unanchored != nil {
+			opts := rbany.Options{Alpha: req.Alpha, Split: rbany.Split(req.Split)}
+			ex.Shares = toExplainShares(sel.Unanchored.PredictShares(opts, req.Semantics == Subgraph, MaxExplainShares))
+			ex.ShareTotal = countPassingAnchors(sel.Unanchored, opts, req.Semantics == Subgraph)
+		}
+	} else if req.Anchor != nil {
+		ex.Personalized = *req.Anchor
+	} else if vp, ok := pl.Personalized(); ok {
+		ex.Personalized = vp
+	}
+	return ex, nil
+}
+
+func toExplainShares(shares []rbany.Share) []ExplainShare {
+	out := make([]ExplainShare, len(shares))
+	for i, s := range shares {
+		out[i] = ExplainShare{V: s.V, Pot: s.Pot, Share: s.Share}
+	}
+	return out
+}
+
+// countPassingAnchors reports how many anchors the split would cover:
+// PredictShares truncated to one row per candidate tells us, cheaply
+// enough for a diagnostic (one guard probe per candidate).
+func countPassingAnchors(pr *rbany.Prepared, opts rbany.Options, sub bool) int {
+	return len(pr.PredictShares(opts, sub, int(^uint(0)>>1)))
+}
+
+// WriteText renders the explanation as the CLI prints it.
+func (e *Explain) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "pattern: %s\n", e.Pattern)
+	fmt.Fprintf(w, "semantics: %s  mode: %s\n", semanticsName(e.Semantics), modeName(e.Mode))
+	if e.Mode == Exact {
+		fmt.Fprintf(w, "budget: unbounded (exact)\n")
+	} else {
+		fmt.Fprintf(w, "budget: alpha=%g x |G|=%d -> %d items\n", e.Alpha, e.GraphSize, e.Budget)
+	}
+	fmt.Fprintf(w, "plan cache: %s\n", hitName(e.CacheHit))
+	fmt.Fprintf(w, "query nodes:\n")
+	fmt.Fprintf(w, "  %-4s %-12s %-8s %10s %14s %s\n", "node", "label", "labelid", "candidates", "mass", "flags")
+	for _, n := range e.Nodes {
+		flags := ""
+		if n.Personalized {
+			flags += " personalized"
+		}
+		if n.Anchor {
+			flags += " anchor"
+		}
+		if n.Sampled {
+			flags += " sampled"
+		}
+		if n.LabelID < 0 {
+			flags += " absent"
+		}
+		fmt.Fprintf(w, "  %-4d %-12s %-8d %10d %14.1f%s\n", n.Node, n.Label, n.LabelID, n.Candidates, n.Mass, flags)
+	}
+	if e.Mode == Unanchored {
+		if len(e.Shares) == 0 {
+			fmt.Fprintf(w, "anchors: none pass the guard; answer is empty\n")
+			return
+		}
+		fmt.Fprintf(w, "predicted split over %d anchor(s):\n", e.ShareTotal)
+		fmt.Fprintf(w, "  %-10s %14s %10s\n", "anchor", "potential", "share")
+		for _, s := range e.Shares {
+			fmt.Fprintf(w, "  %-10d %14.1f %10d\n", s.V, s.Pot, s.Share)
+		}
+		if e.ShareTotal > len(e.Shares) {
+			fmt.Fprintf(w, "  ... %d more\n", e.ShareTotal-len(e.Shares))
+		}
+	} else if e.Personalized != NoNode {
+		fmt.Fprintf(w, "personalized pin: node %d\n", e.Personalized)
+	} else {
+		fmt.Fprintf(w, "personalized pin: unresolved (no unique match)\n")
+	}
+}
+
+func semanticsName(s Semantics) string {
+	if s == Subgraph {
+		return "subgraph"
+	}
+	return "simulation"
+}
+
+func modeName(m Mode) string {
+	switch m {
+	case Exact:
+		return "exact"
+	case Unanchored:
+		return "unanchored"
+	}
+	return "bounded"
+}
+
+func hitName(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+// ExplainContext is Explain honoring ctx for symmetry with Query; the
+// compile path has no engine loops to interrupt, so ctx only gates
+// entry.
+func (db *DB) ExplainContext(ctx context.Context, q *Pattern, req Request) (*Explain, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return db.Explain(q, req)
+}

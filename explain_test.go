@@ -1,0 +1,130 @@
+package rbq
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"rbq/internal/gen"
+)
+
+func TestExplainAnchored(t *testing.T) {
+	db, q, vp := traceFixture(t)
+	ex, err := db.Explain(q, Request{Anchor: &vp, Alpha: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Pattern != q.String() {
+		t.Errorf("pattern text %q, want %q", ex.Pattern, q.String())
+	}
+	if ex.Budget != int(0.01*float64(ex.GraphSize)) {
+		t.Errorf("budget %d, |G| %d", ex.Budget, ex.GraphSize)
+	}
+	if len(ex.Nodes) != q.NumNodes() {
+		t.Fatalf("%d selectivity rows for %d query nodes", len(ex.Nodes), q.NumNodes())
+	}
+	var personalized int
+	for _, n := range ex.Nodes {
+		if n.Label == "" || n.Candidates <= 0 {
+			t.Errorf("node %d: empty row %+v", n.Node, n)
+		}
+		if n.Personalized {
+			personalized++
+		}
+		if n.Anchor {
+			t.Errorf("anchored explain marked an anchor node")
+		}
+	}
+	if personalized != 1 {
+		t.Errorf("%d personalized rows, want 1", personalized)
+	}
+	if ex.Personalized != vp {
+		t.Errorf("pin %d, want %d", ex.Personalized, vp)
+	}
+	var sb strings.Builder
+	ex.WriteText(&sb)
+	for _, want := range []string{"pattern:", "budget:", "plan cache:", "query nodes:", "personalized pin:"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("WriteText missing %q:\n%s", want, sb.String())
+		}
+	}
+	// A second explain hits the cache the first one warmed.
+	ex2, err := db.Explain(q, Request{Anchor: &vp, Alpha: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex2.CacheHit {
+		t.Error("second Explain missed the plan cache")
+	}
+}
+
+func TestExplainUnanchoredShares(t *testing.T) {
+	g := gen.Random(gen.GraphConfig{Nodes: 3000, Edges: 9000, Seed: 7, PowerLaw: true})
+	db := NewDB(g)
+	q := gen.PatternAt(g, 101, gen.PatternConfig{Nodes: 4, Edges: 6, Seed: 3})
+	if q == nil {
+		t.Fatal("could not extract a test pattern")
+	}
+	req := Request{Mode: Unanchored, Alpha: 0.02}
+	ex, err := db.Explain(q, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.AnchorNode < 0 {
+		t.Fatal("no anchor chosen")
+	}
+	if !ex.Nodes[ex.AnchorNode].Anchor {
+		t.Error("anchor row not flagged")
+	}
+	if len(ex.Shares) == 0 {
+		t.Fatal("no predicted shares")
+	}
+	if len(ex.Shares) > MaxExplainShares {
+		t.Fatalf("%d share rows, cap is %d", len(ex.Shares), MaxExplainShares)
+	}
+	for _, s := range ex.Shares {
+		if s.Share < 1 {
+			t.Errorf("anchor %d share %d, floor is 1", s.V, s.Share)
+		}
+	}
+	// The predicted shares must match what the evaluation actually
+	// grants: run serially and compare the trace's per-anchor spans.
+	res, err := db.Query(context.Background(), q, Request{Mode: Unanchored, Alpha: 0.02, WantTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := res.Trace.Find("anchor-wave")
+	if ws == nil {
+		t.Fatal("no anchor-wave span")
+	}
+	checked := 0
+	for i, c := range ws.Children {
+		if c.Name != "anchor" || i >= len(ex.Shares) {
+			break
+		}
+		v, _ := c.Counter("v")
+		share, _ := c.Counter("share")
+		if NodeID(v) != ex.Shares[i].V {
+			t.Errorf("anchor %d: ran %d, explain predicted %d", i, v, ex.Shares[i].V)
+		}
+		// The serial rollover can only enlarge later shares relative to
+		// the full-spend prediction; the first anchor must agree exactly.
+		if i == 0 && int(share) != ex.Shares[0].Share {
+			t.Errorf("first anchor share %d, explain predicted %d", share, ex.Shares[0].Share)
+		}
+		if int(share) < ex.Shares[i].Share {
+			t.Errorf("anchor %d: actual share %d below prediction %d", i, share, ex.Shares[i].Share)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no anchor spans to check predictions against")
+	}
+}
+
+func TestExplainValidates(t *testing.T) {
+	db, q, _ := traceFixture(t)
+	if _, err := db.Explain(q, Request{Alpha: -1}); err == nil {
+		t.Fatal("invalid request accepted")
+	}
+}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Every method must be a no-op on a nil receiver: the engines call
+// them unconditionally on possibly-nil spans.
+func TestNilSafety(t *testing.T) {
+	var s *Span
+	if c := s.Child("x"); c != nil {
+		t.Fatalf("nil.Child = %v, want nil", c)
+	}
+	s.Add("n", 1)
+	s.End()
+	s.SetDur(time.Second)
+	if v, ok := s.Counter("n"); ok || v != 0 {
+		t.Fatalf("nil.Counter = %d,%v", v, ok)
+	}
+	if s.Find("x") != nil {
+		t.Fatal("nil.Find != nil")
+	}
+	var tr *Trace
+	tr.Finish()
+	if tr.Find("x") != nil {
+		t.Fatal("nil trace Find != nil")
+	}
+	tr.WriteText(&strings.Builder{}) // must not panic
+}
+
+// The untraced path must not allocate: one nil test per touch point.
+func TestNilPathAllocs(t *testing.T) {
+	var s *Span
+	avg := testing.AllocsPerRun(100, func() {
+		c := s.Child("x")
+		c.Add("n", 1)
+		c.End()
+	})
+	if avg != 0 {
+		t.Fatalf("nil span path allocates %.1f/op, want 0", avg)
+	}
+}
+
+func TestTreeAndCounters(t *testing.T) {
+	tr := NewTrace(PhaseQuery)
+	p := tr.Root.Child(PhasePlan)
+	p.SetDur(42 * time.Microsecond)
+	p.Add("cache_hit", 1)
+	e := tr.Root.Child(PhaseExec)
+	r := e.Child(PhaseReduce)
+	r.Add("visited", 10)
+	r.Add("visited", 5)
+	r.End()
+	e.End()
+	tr.Finish()
+
+	if tr.Root.Dur <= 0 {
+		t.Fatal("root Dur not set by Finish")
+	}
+	if got := tr.Find(PhaseReduce); got != r {
+		t.Fatalf("Find(reduce) = %p, want %p", got, r)
+	}
+	if v, ok := r.Counter("visited"); !ok || v != 15 {
+		t.Fatalf("visited = %d,%v, want 15,true", v, ok)
+	}
+	if d := tr.Find(PhasePlan).Dur; d != 42*time.Microsecond {
+		t.Fatalf("plan Dur = %v", d)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := NewTrace(PhaseQuery)
+	tr.RequestID = "abc123"
+	tr.Root.Child(PhasePlan).Add("cache_hit", 1)
+	tr.Finish()
+	b, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Trace
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.RequestID != "abc123" {
+		t.Fatalf("request id lost: %q", back.RequestID)
+	}
+	if v, ok := back.Find(PhasePlan).Counter("cache_hit"); !ok || v != 1 {
+		t.Fatalf("cache_hit lost: %d,%v", v, ok)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	tr := NewTrace(PhaseQuery)
+	p := tr.Root.Child(PhasePlan)
+	p.Add("cache_hit", 1)
+	p.Add("a_first", 2)
+	p.End()
+	tr.Finish()
+	var sb strings.Builder
+	tr.WriteText(&sb)
+	out := sb.String()
+	if !strings.Contains(out, PhaseQuery) || !strings.Contains(out, "  plan") {
+		t.Fatalf("missing spans:\n%s", out)
+	}
+	// counters render sorted by name
+	if strings.Index(out, "a_first=2") > strings.Index(out, "cache_hit=1") {
+		t.Fatalf("counters not sorted:\n%s", out)
+	}
+}

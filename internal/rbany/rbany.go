@@ -32,6 +32,7 @@ import (
 	"rbq/internal/exec"
 	"rbq/internal/graph"
 	"rbq/internal/interrupt"
+	"rbq/internal/obs"
 	"rbq/internal/pattern"
 	"rbq/internal/rbsim"
 	"rbq/internal/rbsub"
@@ -198,20 +199,56 @@ func (pr *Prepared) run(opts Options, kind guardType, mopts *subiso.Options) Res
 	if pr.Rooted == nil {
 		return res
 	}
+	// The span tree is not safe for concurrent mutation and the rooted
+	// runs may execute in parallel waves, so the tree is built only in
+	// the serial sections here: detach it from the reduce options the
+	// anchors execute with and summarize accepted runs at the join.
+	sp := opts.Reduce.Obs
+	opts.Reduce.Obs = nil
+	ss := sp.Child(obs.PhaseSelectivity)
 	pass, mass := pr.rankAnchors(opts, kind)
+	ss.Add("candidates", int64(len(pr.Cands)))
+	ss.Add("passed", int64(len(pass)))
+	ss.Add("mass", int64(mass))
+	ss.End()
 	res.Candidates = len(pass)
 	if len(pass) == 0 {
 		return res
 	}
 	totalBudget := int(opts.Alpha * float64(pr.Aux.Graph().Size()))
+	ws := sp.Child(obs.PhaseAnchorWave)
+	ws.Add("total_budget", int64(totalBudget))
+	ws.Add("workers", int64(max(1, opts.Workers)))
 	var matches []graph.NodeID
 	if opts.Workers > 1 {
-		matches = pr.runWaves(&res, opts, kind, mopts, pass, mass, totalBudget)
+		matches = pr.runWaves(&res, opts, kind, mopts, pass, mass, totalBudget, ws)
 	} else {
-		matches = pr.runSerial(&res, opts, kind, mopts, pass, mass, totalBudget)
+		matches = pr.runSerial(&res, opts, kind, mopts, pass, mass, totalBudget, ws)
 	}
+	ws.Add("evaluated", int64(res.Evaluated))
+	ws.End()
 	res.Matches = sortedUnique(matches)
 	return res
+}
+
+// maxAnchorSpans caps per-anchor span detail: beyond this many accepted
+// anchors only the aggregate counters on the parent span grow, so a
+// pattern with thousands of anchor candidates cannot balloon a trace.
+const maxAnchorSpans = 32
+
+// anchorSpan records one accepted anchor run as a child span (serial
+// sections only; see run). Past the cap it is a no-op.
+func anchorSpan(parent *obs.Span, n int, v graph.NodeID, share int, stats reduce.Stats, nmatches int) {
+	if parent == nil || n >= maxAnchorSpans {
+		return
+	}
+	as := parent.Child(obs.PhaseAnchor)
+	as.Add("v", int64(v))
+	as.Add("share", int64(share))
+	as.Add("visited", int64(stats.Visited))
+	as.Add("fragment_size", int64(stats.FragmentSize))
+	as.Add("matches", int64(nmatches))
+	as.End()
 }
 
 // rankAnchors guard-filters the candidates — recording each survivor's
@@ -296,6 +333,42 @@ func splitShare(split Split, remaining int, mass, pot float64, left int) int {
 	return share
 }
 
+// Share is one anchor candidate's predicted budget share, as EXPLAIN
+// reports it: the node, its Potential mass, and the α|G| slice the
+// evaluation would grant it under the full-spend assumption (the same
+// prediction the wave scheduler builds, so what EXPLAIN prints is what
+// a parallel run speculates with; the serial rollover can only enlarge
+// later shares).
+type Share struct {
+	V     graph.NodeID
+	Pot   float64
+	Share int
+}
+
+// PredictShares guard-ranks the anchor candidates exactly as an
+// evaluation would (same rankAnchors, same splitShare float sequence)
+// and returns up to limit predicted shares in evaluation order. sub
+// selects the isomorphism semantics. Read-only: no reduction runs.
+func (pr *Prepared) PredictShares(opts Options, sub bool, limit int) []Share {
+	if pr.Rooted == nil {
+		return nil
+	}
+	kind := simSemantics
+	if sub {
+		kind = subSemantics
+	}
+	pass, mass := pr.rankAnchors(opts, kind)
+	remaining := int(opts.Alpha * float64(pr.Aux.Graph().Size()))
+	out := make([]Share, 0, min(limit, len(pass)))
+	for j := 0; j < len(pass) && remaining > 0 && len(out) < limit; j++ {
+		share := splitShare(opts.Split, remaining, mass, pass[j].pot, len(pass)-j)
+		out = append(out, Share{V: pass[j].v, Pot: pass[j].pot, Share: share})
+		remaining -= share
+		mass -= pass[j].pot
+	}
+	return out
+}
+
 // runAnchor runs one rooted reduction from v with the given budget share.
 // The result is a pure function of (Aux, Rooted, v, share, opts, mopts):
 // the engines draw transient state from the Aux scratch pools and touch
@@ -316,7 +389,7 @@ func (pr *Prepared) runAnchor(v graph.NodeID, share int, opts Options, kind guar
 
 // runSerial is the legacy anchor loop: one rooted run at a time, unspent
 // budget rolling over to later candidates.
-func (pr *Prepared) runSerial(res *Result, opts Options, kind guardType, mopts *subiso.Options, pass []anchorCand, mass float64, totalBudget int) []graph.NodeID {
+func (pr *Prepared) runSerial(res *Result, opts Options, kind guardType, mopts *subiso.Options, pass []anchorCand, mass float64, totalBudget int, ws *obs.Span) []graph.NodeID {
 	var matches []graph.NodeID
 	remaining := totalBudget
 	for i, c := range pass {
@@ -333,6 +406,7 @@ func (pr *Prepared) runSerial(res *Result, opts Options, kind guardType, mopts *
 		// Adaptive split: unspent budget rolls over to later candidates.
 		share := splitShare(opts.Split, remaining, mass, c.pot, len(pass)-i)
 		got, stats := pr.runAnchor(c.v, share, opts, kind, mopts)
+		anchorSpan(ws, res.Evaluated, c.v, share, stats, len(got))
 		res.Evaluated++
 		res.Visited += stats.Visited
 		res.FragmentSize += stats.FragmentSize
@@ -373,7 +447,7 @@ func (pr *Prepared) runSerial(res *Result, opts Options, kind guardType, mopts *
 // Result counters, mirroring how the serial path never runs them at
 // all); callers trading strict access bounds for latency get the serial
 // path with Workers ≤ 1.
-func (pr *Prepared) runWaves(res *Result, opts Options, kind guardType, mopts *subiso.Options, pass []anchorCand, mass float64, totalBudget int) []graph.NodeID {
+func (pr *Prepared) runWaves(res *Result, opts Options, kind guardType, mopts *subiso.Options, pass []anchorCand, mass float64, totalBudget int, ws *obs.Span) []graph.NodeID {
 	type anchorRun struct {
 		share   int
 		matches []graph.NodeID
@@ -385,8 +459,11 @@ func (pr *Prepared) runWaves(res *Result, opts Options, kind guardType, mopts *s
 	runs := make([]anchorRun, opts.Workers)
 	i := 0
 	for i < len(pass) && remaining > 0 && !interrupt.Fired(opts.Reduce.Interrupt) {
-		// Build the wave under the full-spend prediction.
+		// Build the wave under the full-spend prediction. The wave span
+		// is created and finalized only in these serial sections — the
+		// concurrent runs below never touch the tree.
 		wave = wave[:0]
+		wspan := ws.Child(obs.PhaseWave)
 		predRemaining, predMass := remaining, mass
 		for j := i; j < len(pass) && predRemaining > 0 && len(wave) < opts.Workers; j++ {
 			share := splitShare(opts.Split, predRemaining, predMass, pass[j].pot, len(pass)-j)
@@ -395,13 +472,18 @@ func (pr *Prepared) runWaves(res *Result, opts Options, kind guardType, mopts *s
 			predRemaining -= share
 			predMass -= pass[j].pot
 		}
+		wspan.Add("width", int64(len(wave)))
 		// Run the wave concurrently; slot-indexed results.
 		exec.Run(opts.Reduce.Interrupt, len(wave), opts.Workers, func(k int) {
 			runs[k].matches, runs[k].stats = pr.runAnchor(pass[wave[k]].v, runs[k].share, opts, kind, mopts)
 		})
 		// Join: accept in serial order while the predictions hold.
+		accepted := 0
 		for k, j := range wave {
 			if remaining <= 0 || interrupt.Fired(opts.Reduce.Interrupt) {
+				wspan.Add("accepted", int64(accepted))
+				wspan.Add("discarded", int64(len(wave)-accepted))
+				wspan.End()
 				return matches
 			}
 			trueShare := splitShare(opts.Split, remaining, mass, pass[j].pot, len(pass)-j)
@@ -411,6 +493,8 @@ func (pr *Prepared) runWaves(res *Result, opts Options, kind guardType, mopts *s
 				// wave; the next wave restarts here from the true state.
 				break
 			}
+			anchorSpan(wspan, res.Evaluated, pass[j].v, runs[k].share, runs[k].stats, len(runs[k].matches))
+			accepted++
 			res.Evaluated++
 			res.Visited += runs[k].stats.Visited
 			res.FragmentSize += runs[k].stats.FragmentSize
@@ -419,6 +503,9 @@ func (pr *Prepared) runWaves(res *Result, opts Options, kind guardType, mopts *s
 			matches = append(matches, runs[k].matches...)
 			i = j + 1
 		}
+		wspan.Add("accepted", int64(accepted))
+		wspan.Add("discarded", int64(len(wave)-accepted))
+		wspan.End()
 	}
 	return matches
 }

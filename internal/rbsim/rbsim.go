@@ -17,6 +17,7 @@ package rbsim
 
 import (
 	"rbq/internal/graph"
+	"rbq/internal/obs"
 	"rbq/internal/pattern"
 	"rbq/internal/reduce"
 	"rbq/internal/simulation"
@@ -171,11 +172,18 @@ func borrow(aux *graph.Aux) *scratch {
 func run(aux *graph.Aux, p *pattern.Pattern, vp graph.NodeID, sem *Semantics, opts reduce.Options, sc *scratch) Result {
 	stats := reduce.SearchInto(aux, p, sem.Labels(), vp, sem, opts, sc.frag, &sc.red)
 	res := Result{Stats: stats}
+	ext := opts.Obs.Child(obs.PhaseExtract)
 	sc.frag.CSRInto(&sc.csr)
+	ext.Add("fragment_nodes", int64(stats.FragmentNodes))
+	ext.Add("fragment_edges", int64(stats.FragmentEdges))
+	ext.End()
 	pinPos := sc.csr.PosOf(vp)
 	if pinPos < 0 {
 		return res
 	}
+	m := opts.Obs.Child(obs.PhaseMatch)
 	res.Matches = simulation.MatchFragment(aux.Graph(), &sc.csr, p, pinPos, &sc.sim)
+	m.Add("matches", int64(len(res.Matches)))
+	m.End()
 	return res
 }

@@ -18,6 +18,7 @@ package rbsub
 
 import (
 	"rbq/internal/graph"
+	"rbq/internal/obs"
 	"rbq/internal/pattern"
 	"rbq/internal/reduce"
 	"rbq/internal/subiso"
@@ -209,11 +210,21 @@ func borrow(aux *graph.Aux) *scratch {
 func run(aux *graph.Aux, p *pattern.Pattern, vp graph.NodeID, sem *Semantics, opts reduce.Options, mopts *MatchOpts, sc *scratch) Result {
 	stats := reduce.SearchInto(aux, p, sem.Labels(), vp, sem, opts, sc.frag, &sc.red)
 	res := Result{Stats: stats, Complete: true}
+	ext := opts.Obs.Child(obs.PhaseExtract)
 	sc.frag.CSRInto(&sc.csr)
+	ext.Add("fragment_nodes", int64(stats.FragmentNodes))
+	ext.Add("fragment_edges", int64(stats.FragmentEdges))
+	ext.End()
 	pinPos := sc.csr.PosOf(vp)
 	if pinPos < 0 {
 		return res
 	}
+	m := opts.Obs.Child(obs.PhaseMatch)
 	res.Matches, res.Complete = subiso.MatchFragment(aux.Graph(), &sc.csr, p, pinPos, mopts, &sc.sub)
+	m.Add("matches", int64(len(res.Matches)))
+	if !res.Complete {
+		m.Add("incomplete", 1)
+	}
+	m.End()
 	return res
 }

@@ -1,0 +1,71 @@
+package reduce
+
+import "rbq/internal/obs"
+
+// spanTracer bridges the raw reduction event stream into the span
+// layer: one "round" child span per bound-escalation round, carrying
+// the bound in force plus aggregate pop/add/push/guard-reject tallies
+// instead of raw per-item events. Events tee to user when the caller
+// also installed its own Tracer. Only constructed when Options.Obs is
+// set, so the trace-off path never sees it.
+type spanTracer struct {
+	parent *obs.Span
+	user   Tracer
+
+	round                       *obs.Span
+	pops, adds, pushes, rejects int64
+}
+
+func (t *spanTracer) event(e Event) {
+	if t.user != nil {
+		t.user(e)
+	}
+	switch e.Kind {
+	case EventRound:
+		t.closeRound()
+		t.round = t.parent.Child(obs.PhaseRound)
+		t.round.Add("bound", int64(e.Bound))
+	case EventPop:
+		t.pops++
+	case EventAdd:
+		t.adds++
+	case EventPush:
+		t.pushes++
+	case EventGuardReject:
+		t.rejects++
+	}
+}
+
+func (t *spanTracer) closeRound() {
+	if t.round == nil {
+		return
+	}
+	t.round.Add("pops", t.pops)
+	t.round.Add("adds", t.adds)
+	t.round.Add("pushes", t.pushes)
+	t.round.Add("guard_rejects", t.rejects)
+	t.round.End()
+	t.round = nil
+	t.pops, t.adds, t.pushes, t.rejects = 0, 0, 0, 0
+}
+
+// finish closes the open round, stamps the run summary onto the
+// "reduce" span and ends it.
+func (t *spanTracer) finish(stats Stats) {
+	t.closeRound()
+	t.parent.Add("rounds", int64(stats.Rounds))
+	t.parent.Add("visited", int64(stats.Visited))
+	t.parent.Add("budget", int64(stats.Budget))
+	t.parent.Add("fragment_size", int64(stats.FragmentSize))
+	t.parent.Add("final_bound", int64(stats.FinalBound))
+	if stats.BudgetExhausted {
+		t.parent.Add("budget_exhausted", 1)
+	}
+	if stats.VisitsExhausted {
+		t.parent.Add("visits_exhausted", 1)
+	}
+	if stats.Canceled {
+		t.parent.Add("canceled", 1)
+	}
+	t.parent.End()
+}

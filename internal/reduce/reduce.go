@@ -39,6 +39,7 @@ import (
 
 	"rbq/internal/graph"
 	"rbq/internal/interrupt"
+	"rbq/internal/obs"
 	"rbq/internal/pattern"
 )
 
@@ -93,6 +94,11 @@ type Options struct {
 	DisableGuard bool
 	// Trace, when non-nil, receives every reduction step (see Event).
 	Trace Tracer
+	// Obs, when non-nil, is the parent span for this run's observability
+	// tree: SearchInto hangs a "reduce" child with per-round aggregate
+	// spans (bridged from the event stream, not raw events) plus summary
+	// counters off it. Nil keeps the hot path span-free.
+	Obs *obs.Span
 	// Interrupt, when non-nil, is polled every interrupt.Stride visited
 	// items; once it is closed the search stops cooperatively and Stats
 	// reports Canceled. The facade passes a context's Done channel here —
@@ -414,6 +420,15 @@ func Search(aux *graph.Aux, p *pattern.Pattern, vp graph.NodeID, sem Semantics, 
 func SearchInto(aux *graph.Aux, p *pattern.Pattern, labels []graph.LabelID, vp graph.NodeID, sem Semantics, opts Options, frag *graph.Fragment, sc *Scratch) Stats {
 	g := aux.Graph()
 	frag.Reset()
+	// Observability bridge: when a parent span is attached, aggregate the
+	// event stream into per-round child spans under a "reduce" span,
+	// teeing raw events to any user Tracer. One nil test on the trace-off
+	// path; everything below allocates only when tracing is on.
+	var br *spanTracer
+	if opts.Obs != nil {
+		br = &spanTracer{parent: opts.Obs.Child(obs.PhaseReduce), user: opts.Trace}
+		opts.Trace = br.event
+	}
 	e := &engine{
 		g:    g,
 		aux:  aux,
@@ -460,6 +475,9 @@ func SearchInto(aux *graph.Aux, p *pattern.Pattern, labels []graph.LabelID, vp g
 	e.stats.BudgetExhausted = e.exhausted
 	e.stats.VisitsExhausted = e.visitsDone
 	e.stats.Canceled = e.canceled
+	if br != nil {
+		br.finish(e.stats)
+	}
 	return e.stats
 }
 

@@ -78,7 +78,8 @@ func WriteTracer(w io.Writer) Tracer {
 		switch e.Kind {
 		case EventRound:
 			fmt.Fprintf(w, "-- round with b=%d\n", e.Bound)
-		case EventBudgetStop, EventVisitStop:
+		case EventBudgetStop, EventVisitStop, EventCanceled:
+			// Stop events carry no meaningful pair; render the bare kind.
 			fmt.Fprintf(w, "%s\n", e.Kind)
 		case EventAdd:
 			fmt.Fprintf(w, "add v=%d (+%d items)\n", e.V, int(e.Weight))

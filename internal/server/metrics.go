@@ -16,6 +16,7 @@ package server
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strconv"
 	"sync"
@@ -68,6 +69,7 @@ type metrics struct {
 	requests map[reqKey]uint64
 	hists    map[[2]string]*histogram // route, tenant
 	clamps   map[string]uint64        // by reason
+	slow     map[string]uint64        // slow-query captures, by reason
 	tenants  map[string]bool          // label alphabet, bounded
 }
 
@@ -76,6 +78,7 @@ func newMetrics() *metrics {
 		requests: make(map[reqKey]uint64),
 		hists:    make(map[[2]string]*histogram),
 		clamps:   make(map[string]uint64),
+		slow:     make(map[string]uint64),
 		tenants:  make(map[string]bool),
 	}
 }
@@ -114,12 +117,20 @@ func (m *metrics) clamp(reason string) {
 	m.mu.Unlock()
 }
 
+// slowQuery records one slow-query capture by reason.
+func (m *metrics) slowQuery(reason string) {
+	m.mu.Lock()
+	m.slow[reason]++
+	m.mu.Unlock()
+}
+
 // opSnapshot carries the pull-side state render attaches at scrape.
 type opSnapshot struct {
 	admission AdmissionStats
 	tenants   []TenantStats
 	plans     rbq.PlanCacheStats
 	mutation  rbq.MutationStats
+	uptime    float64
 }
 
 // render writes the whole exposition in Prometheus text format, series
@@ -155,6 +166,11 @@ func (m *metrics) render(w io.Writer, snap opSnapshot) {
 		clampReasons = append(clampReasons, r)
 	}
 	sort.Strings(clampReasons)
+	slowReasons := make([]string, 0, len(m.slow))
+	for r := range m.slow {
+		slowReasons = append(slowReasons, r)
+	}
+	sort.Strings(slowReasons)
 
 	fmt.Fprintln(w, "# HELP rbqd_requests_total Requests served, by route, tenant and status code.")
 	fmt.Fprintln(w, "# TYPE rbqd_requests_total counter")
@@ -181,6 +197,11 @@ func (m *metrics) render(w io.Writer, snap opSnapshot) {
 	fmt.Fprintln(w, "# TYPE rbqd_alpha_clamped_total counter")
 	for _, r := range clampReasons {
 		fmt.Fprintf(w, "rbqd_alpha_clamped_total{reason=%q} %d\n", r, m.clamps[r])
+	}
+	fmt.Fprintln(w, "# HELP rbqd_slow_queries_total Requests captured by the slow-query log, by reason.")
+	fmt.Fprintln(w, "# TYPE rbqd_slow_queries_total counter")
+	for _, r := range slowReasons {
+		fmt.Fprintf(w, "rbqd_slow_queries_total{reason=%q} %d\n", r, m.slow[r])
 	}
 	m.mu.Unlock()
 
@@ -236,6 +257,17 @@ func (m *metrics) render(w io.Writer, snap opSnapshot) {
 	fmt.Fprintln(w, "# HELP rbqd_compactions_total Base compactions since start.")
 	fmt.Fprintln(w, "# TYPE rbqd_compactions_total counter")
 	fmt.Fprintf(w, "rbqd_compactions_total %d\n", mu.Compactions)
+	fmt.Fprintln(w, "# HELP rbqd_last_compact_seconds Wall time of the most recent compaction's in-memory rebuild.")
+	fmt.Fprintln(w, "# TYPE rbqd_last_compact_seconds gauge")
+	fmt.Fprintf(w, "rbqd_last_compact_seconds %g\n", float64(mu.LastCompactNs)/1e9)
+	fmt.Fprintln(w, "# HELP rbqd_last_compact_touched_nodes Size of the touched set the most recent compaction spliced.")
+	fmt.Fprintln(w, "# TYPE rbqd_last_compact_touched_nodes gauge")
+	fmt.Fprintf(w, "rbqd_last_compact_touched_nodes %d\n", mu.LastCompactTouchedNodes)
+	if mu.Mode != "" {
+		fmt.Fprintln(w, "# HELP rbqd_compact_mode Strategy of the most recent compaction (constant 1, mode in the label).")
+		fmt.Fprintln(w, "# TYPE rbqd_compact_mode gauge")
+		fmt.Fprintf(w, "rbqd_compact_mode{mode=%q} 1\n", string(mu.Mode))
+	}
 	if mu.Persistent {
 		fmt.Fprintln(w, "# HELP rbqd_wal_seq Last batch sequence acked durable to the WAL.")
 		fmt.Fprintln(w, "# TYPE rbqd_wal_seq gauge")
@@ -244,4 +276,30 @@ func (m *metrics) render(w io.Writer, snap opSnapshot) {
 		fmt.Fprintln(w, "# TYPE rbqd_base_write_errors_total counter")
 		fmt.Fprintf(w, "rbqd_base_write_errors_total %d\n", mu.BaseWriteErrors)
 	}
+
+	// Go runtime health: enough to spot a leak, a heap ramp or GC
+	// pressure from the scrape alone, with no pprof round trip.
+	var rt runtime.MemStats
+	runtime.ReadMemStats(&rt)
+	fmt.Fprintln(w, "# HELP rbqd_go_goroutines Live goroutines.")
+	fmt.Fprintln(w, "# TYPE rbqd_go_goroutines gauge")
+	fmt.Fprintf(w, "rbqd_go_goroutines %d\n", runtime.NumGoroutine())
+	fmt.Fprintln(w, "# HELP rbqd_go_heap_alloc_bytes Heap bytes allocated and in use.")
+	fmt.Fprintln(w, "# TYPE rbqd_go_heap_alloc_bytes gauge")
+	fmt.Fprintf(w, "rbqd_go_heap_alloc_bytes %d\n", rt.HeapAlloc)
+	fmt.Fprintln(w, "# HELP rbqd_go_heap_sys_bytes Heap bytes obtained from the OS.")
+	fmt.Fprintln(w, "# TYPE rbqd_go_heap_sys_bytes gauge")
+	fmt.Fprintf(w, "rbqd_go_heap_sys_bytes %d\n", rt.HeapSys)
+	fmt.Fprintln(w, "# HELP rbqd_go_gc_pause_seconds_total Cumulative GC stop-the-world pause time.")
+	fmt.Fprintln(w, "# TYPE rbqd_go_gc_pause_seconds_total counter")
+	fmt.Fprintf(w, "rbqd_go_gc_pause_seconds_total %g\n", float64(rt.PauseTotalNs)/1e9)
+	fmt.Fprintln(w, "# HELP rbqd_go_gc_cycles_total Completed GC cycles.")
+	fmt.Fprintln(w, "# TYPE rbqd_go_gc_cycles_total counter")
+	fmt.Fprintf(w, "rbqd_go_gc_cycles_total %d\n", rt.NumGC)
+	fmt.Fprintln(w, "# HELP rbqd_uptime_seconds Seconds since the server started.")
+	fmt.Fprintln(w, "# TYPE rbqd_uptime_seconds gauge")
+	fmt.Fprintf(w, "rbqd_uptime_seconds %g\n", snap.uptime)
+	fmt.Fprintln(w, "# HELP rbqd_build_info Build metadata (constant 1, values in the labels).")
+	fmt.Fprintln(w, "# TYPE rbqd_build_info gauge")
+	fmt.Fprintf(w, "rbqd_build_info{go_version=%q} 1\n", runtime.Version())
 }

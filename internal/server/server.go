@@ -36,6 +36,7 @@ import (
 
 	"rbq"
 	"rbq/internal/delta"
+	"rbq/internal/obs"
 )
 
 // Config tunes a Server. The zero value serves with the documented
@@ -79,6 +80,18 @@ type Config struct {
 	// AccessLog receives one JSON line per request (nil = no log).
 	AccessLog io.Writer
 
+	// SlowQuery enables slow-query capture: a /v1/query or
+	// /v1/query_batch request that runs at least this long, gets its α
+	// clamped, or hits its deadline (504) is recorded — one JSON line to
+	// SlowLog and one entry in a bounded ring served at /v1/debug/slow.
+	// While enabled, /v1/query runs with tracing forced on so every
+	// captured entry carries the full phase breakdown. 0 disables.
+	SlowQuery time.Duration
+	// SlowLog receives the slow-query lines (nil = ring only).
+	SlowLog io.Writer
+	// SlowRingSize bounds the /v1/debug/slow ring (default 128).
+	SlowRingSize int
+
 	// beforeEval, when set, runs after admission + clamping and before
 	// the evaluation; integration tests use it to hold requests in
 	// flight deterministically.
@@ -109,6 +122,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 16 << 20
 	}
+	if c.SlowRingSize <= 0 {
+		c.SlowRingSize = 128
+	}
 	return c
 }
 
@@ -116,13 +132,15 @@ func (c Config) withDefaults() Config {
 // http.Server, and on shutdown call BeginShutdown before
 // http.Server.Shutdown.
 type Server struct {
-	db    *rbq.DB
-	cfg   Config
-	adm   *admission
-	ten   *tenantBuckets
-	met   *metrics
-	mux   *http.ServeMux
-	start time.Time
+	db      *rbq.DB
+	cfg     Config
+	adm     *admission
+	ten     *tenantBuckets
+	met     *metrics
+	mux     *http.ServeMux
+	handler http.Handler
+	slow    *slowRing
+	start   time.Time
 
 	closing atomic.Bool
 	logMu   sync.Mutex
@@ -142,17 +160,21 @@ func New(db *rbq.DB, cfg Config) *Server {
 		mux:   http.NewServeMux(),
 		start: time.Now(),
 	}
+	s.slow = newSlowRing(cfg.SlowRingSize)
 	s.mux.HandleFunc(RouteQuery, s.handleQuery)
 	s.mux.HandleFunc(RouteBatch, s.handleBatch)
 	s.mux.HandleFunc(RouteApply, s.handleApply)
 	s.mux.HandleFunc(RouteStats, s.handleStats)
 	s.mux.HandleFunc(RouteHealth, s.handleHealth)
 	s.mux.HandleFunc(RouteMetrics, s.handleMetrics)
+	s.mux.HandleFunc(RouteDebugSlow, s.handleDebugSlow)
+	s.handler = s.withRequestID(s.mux)
 	return s
 }
 
-// Handler returns the server's root handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the server's root handler: the route mux behind the
+// request-ID middleware.
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // BeginShutdown flips the server to draining: subsequent serving-route
 // requests are answered 503 + Connection: close (so keep-alive clients
@@ -188,12 +210,13 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 // accessLog emits one structured line per request.
-func (s *Server) accessLog(route, method, tenant, remote string, code int, elapsed time.Duration, gov *Governance) {
+func (s *Server) accessLog(route, method, tenant, remote, reqID string, code int, elapsed time.Duration, gov *Governance) {
 	if s.cfg.AccessLog == nil {
 		return
 	}
 	line := struct {
 		TS      string      `json:"ts"`
+		ReqID   string      `json:"request_id,omitempty"`
 		Route   string      `json:"route"`
 		Method  string      `json:"method"`
 		Tenant  string      `json:"tenant"`
@@ -202,7 +225,7 @@ func (s *Server) accessLog(route, method, tenant, remote string, code int, elaps
 		Micros  int64       `json:"elapsed_us"`
 		Governd *Governance `json:"governance,omitempty"`
 	}{
-		TS: time.Now().UTC().Format(time.RFC3339Nano), Route: route, Method: method,
+		TS: time.Now().UTC().Format(time.RFC3339Nano), ReqID: reqID, Route: route, Method: method,
 		Tenant: tenant, Remote: remote, Code: code, Micros: elapsed.Microseconds(),
 		Governd: gov,
 	}
@@ -220,13 +243,14 @@ func (s *Server) accessLog(route, method, tenant, remote string, code int, elaps
 func (s *Server) finish(route string, r *http.Request, tenant string, code int, started time.Time, gov *Governance) {
 	elapsed := time.Since(started)
 	s.met.observe(route, tenant, code, elapsed.Seconds())
-	s.accessLog(route, r.Method, tenant, r.RemoteAddr, code, elapsed, gov)
+	s.accessLog(route, r.Method, tenant, r.RemoteAddr, requestIDFrom(r.Context()), code, elapsed, gov)
 }
 
 // fail writes an ErrorResponse and records the request.
 func (s *Server) fail(w http.ResponseWriter, r *http.Request, route, tenant string, started time.Time, code int, resp ErrorResponse) {
 	resp.Code = code
 	resp.ElapsedUs = time.Since(started).Microseconds()
+	resp.RequestID = requestIDFrom(r.Context())
 	if resp.RetryAfterMs > 0 {
 		w.Header().Set("Retry-After", strconv.FormatInt((resp.RetryAfterMs+999)/1000, 10))
 	}
@@ -336,13 +360,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, r, RouteQuery, tenant, started, http.StatusBadRequest, ErrorResponse{Error: errMsg})
 		return
 	}
+	// Trace when the client asks — or when slow-query capture is armed,
+	// so a request that turns out slow has its phase breakdown on record.
+	clientTrace := traceRequested(r)
+	req.WantTrace = clientTrace || s.cfg.SlowQuery > 0
 	ctx, cancel := s.evalDeadline(r, qr.TimeoutMs)
 	defer cancel()
 
+	preAdmit := time.Now()
 	gov, ok := s.admit(ctx, w, r, RouteQuery, tenant, started, req.Alpha)
 	if !ok {
 		return
 	}
+	admitWait := time.Since(preAdmit)
 	req.Alpha = gov.EffectiveAlpha
 	if s.cfg.beforeEval != nil {
 		s.cfg.beforeEval(RouteQuery, tenant)
@@ -350,11 +380,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	res, err := s.db.Query(ctx, q, req)
 	s.adm.release()
 	s.chargeTenant(&gov, res.Visited)
+	s.decorateTrace(r, res.Trace, admitWait, &gov)
 	if err != nil {
+		s.slowQuery(r, RouteQuery, tenant, qr.Pattern, errCode(err), started, &gov, res.Trace)
 		s.queryError(w, r, RouteQuery, tenant, started, err, &gov)
 		return
 	}
-	writeJSON(w, http.StatusOK, QueryResponse{
+	s.slowQuery(r, RouteQuery, tenant, qr.Pattern, http.StatusOK, started, &gov, res.Trace)
+	resp := QueryResponse{
 		Matches:      toWireMatches(res.Matches),
 		Personalized: int64(res.Personalized),
 		Complete:     res.Complete,
@@ -366,8 +399,43 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Epoch:        s.db.MutationStats().Epoch,
 		ElapsedUs:    time.Since(started).Microseconds(),
 		Governance:   gov,
-	})
+		RequestID:    requestIDFrom(r.Context()),
+	}
+	if clientTrace {
+		resp.Trace = res.Trace
+	}
+	writeJSON(w, http.StatusOK, resp)
 	s.finish(RouteQuery, r, tenant, http.StatusOK, started, &gov)
+}
+
+// decorateTrace stamps the serving tier's view onto an engine trace:
+// the correlation id and an admission span covering the slot wait (the
+// engine cannot see either). The admission span is prepended so the
+// tree reads in wall-clock order.
+func (s *Server) decorateTrace(r *http.Request, tr *rbq.Trace, wait time.Duration, gov *Governance) {
+	if tr == nil || tr.Root == nil {
+		return
+	}
+	tr.RequestID = requestIDFrom(r.Context())
+	adm := &obs.Span{Name: obs.PhaseAdmission, Dur: wait}
+	if gov.Queued {
+		adm.Add("queued", 1)
+	}
+	if gov.Clamped {
+		adm.Add("clamped", 1)
+	}
+	tr.Root.Children = append([]*obs.Span{adm}, tr.Root.Children...)
+}
+
+// errCode maps an evaluation error to the status queryError will write.
+func errCode(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499
+	}
+	return http.StatusBadRequest
 }
 
 // buildRequest maps the wire form onto rbq.Request; a non-empty second
@@ -448,13 +516,21 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		qs[i] = rbq.AnchoredQuery{Q: q, At: rbq.NodeID(it.Anchor)}
 	}
+	// Batch tracing is per item (each item owns its span tree, stamped
+	// with its shard identity), so it is client-opt-in only — slow-query
+	// capture still records the batch, governance included, without the
+	// per-item trees.
+	clientTrace := traceRequested(r)
+	req.WantTrace = clientTrace
 	ctx, cancel := s.evalDeadline(r, br.TimeoutMs)
 	defer cancel()
 
+	preAdmit := time.Now()
 	gov, ok := s.admit(ctx, w, r, RouteBatch, tenant, started, req.Alpha)
 	if !ok {
 		return
 	}
+	admitWait := time.Since(preAdmit)
 	req.Alpha = gov.EffectiveAlpha
 	if s.cfg.beforeEval != nil {
 		s.cfg.beforeEval(RouteBatch, tenant)
@@ -469,15 +545,19 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		visits += res.Visited
 	}
 	s.chargeTenant(&gov, visits)
+	batchDesc := fmt.Sprintf("batch: %d item(s)", len(br.Items))
 	if err != nil {
+		s.slowQuery(r, RouteBatch, tenant, batchDesc, errCode(err), started, &gov, nil)
 		s.queryError(w, r, RouteBatch, tenant, started, err, &gov)
 		return
 	}
+	s.slowQuery(r, RouteBatch, tenant, batchDesc, http.StatusOK, started, &gov, nil)
 	out := BatchResponse{
 		Results:    make([]BatchResult, len(results)),
 		Epoch:      s.db.MutationStats().Epoch,
 		ElapsedUs:  time.Since(started).Microseconds(),
 		Governance: gov,
+		RequestID:  requestIDFrom(r.Context()),
 	}
 	for i, res := range results {
 		out.Results[i] = BatchResult{
@@ -488,6 +568,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			Budget:       res.Budget,
 			Visited:      res.Visited,
 			Error:        itemErr[i],
+		}
+		if clientTrace {
+			s.decorateTrace(r, res.Trace, admitWait, &gov)
+			out.Results[i].Trace = res.Trace
 		}
 	}
 	writeJSON(w, http.StatusOK, out)
@@ -572,6 +656,7 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 		Epoch:      ms.Epoch,
 		DurableSeq: ms.Seq,
 		ElapsedUs:  time.Since(started).Microseconds(),
+		RequestID:  requestIDFrom(r.Context()),
 	})
 	s.finish(RouteApply, r, tenant, http.StatusOK, started, nil)
 }
@@ -611,5 +696,6 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		tenants:   s.ten.stats(),
 		plans:     s.db.PlanCacheStats(),
 		mutation:  s.db.MutationStats(),
+		uptime:    time.Since(s.start).Seconds(),
 	})
 }

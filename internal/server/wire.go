@@ -30,13 +30,24 @@ import "rbq"
 // pinned ones, RouteApply a mutation op stream; RouteStats, RouteHealth
 // and RouteMetrics are the operational surface.
 const (
-	RouteQuery   = "/v1/query"
-	RouteBatch   = "/v1/query_batch"
-	RouteApply   = "/v1/apply"
-	RouteStats   = "/v1/stats"
-	RouteHealth  = "/healthz"
-	RouteMetrics = "/metrics"
+	RouteQuery     = "/v1/query"
+	RouteBatch     = "/v1/query_batch"
+	RouteApply     = "/v1/apply"
+	RouteStats     = "/v1/stats"
+	RouteHealth    = "/healthz"
+	RouteMetrics   = "/metrics"
+	RouteDebugSlow = "/v1/debug/slow"
 )
+
+// RequestIDHeader carries the request's correlation id: propagated from
+// the client when present, generated otherwise, echoed on every
+// response, and stamped into the access log, the slow-query log and the
+// trace — one key joins all four.
+const RequestIDHeader = "X-Request-ID"
+
+// TraceHeader opts a query into span tracing ("1"/"true"); the query
+// parameter form is ?trace=1. The response then carries the trace tree.
+const TraceHeader = "X-Rbq-Trace"
 
 // TenantHeader is the request header naming the tenant whose α budget
 // the query charges. Absent or empty means DefaultTenant.
@@ -135,6 +146,13 @@ type QueryResponse struct {
 	ElapsedUs int64 `json:"elapsed_us"`
 	// Governance reports the admission/budget decisions for the request.
 	Governance Governance `json:"governance"`
+	// RequestID is the correlation id (RequestIDHeader) this request ran
+	// under; the same id appears in the access log and any slow-query
+	// entry.
+	RequestID string `json:"request_id,omitempty"`
+	// Trace is the per-phase span tree, present only when the request
+	// opted in via TraceHeader or ?trace=1.
+	Trace *rbq.Trace `json:"trace,omitempty"`
 }
 
 // BatchResponse is the body of a successful /v1/query_batch. Items
@@ -148,6 +166,7 @@ type BatchResponse struct {
 	Epoch      uint64     `json:"epoch"`
 	ElapsedUs  int64      `json:"elapsed_us"`
 	Governance Governance `json:"governance"`
+	RequestID  string     `json:"request_id,omitempty"`
 }
 
 // BatchResult is one item of a BatchResponse.
@@ -159,6 +178,10 @@ type BatchResult struct {
 	Budget       int     `json:"budget"`
 	Visited      int     `json:"visited"`
 	Error        string  `json:"error,omitempty"`
+	// Trace is the item's span tree when the batch opted in via
+	// TraceHeader or ?trace=1; each item owns its own tree, stamped with
+	// its shard identity (batch_index, batch_workers).
+	Trace *rbq.Trace `json:"trace,omitempty"`
 }
 
 // ApplyResponse is the body of POST /v1/apply. The request body is the
@@ -176,6 +199,7 @@ type ApplyResponse struct {
 	// DurableSeq is the WAL sequence acked through (0 on in-memory DBs).
 	DurableSeq uint64 `json:"durable_seq,omitempty"`
 	ElapsedUs  int64  `json:"elapsed_us"`
+	RequestID  string `json:"request_id,omitempty"`
 }
 
 // StatsResponse is the body of GET /v1/stats: one consistent
@@ -210,8 +234,41 @@ type ErrorResponse struct {
 	ElapsedUs    int64       `json:"elapsed_us,omitempty"`
 	// Batches/Ops report partial /v1/apply progress: how much of the
 	// stream landed (and is durable) before the failing batch.
-	Batches int `json:"batches,omitempty"`
-	Ops     int `json:"ops,omitempty"`
+	Batches   int    `json:"batches,omitempty"`
+	Ops       int    `json:"ops,omitempty"`
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// SlowEntry is one slow-query record: a request that ran past the
+// configured threshold, was α-clamped, or hit its deadline. Entries go
+// to the slow-query log (one JSON line each) and a bounded in-memory
+// ring served at RouteDebugSlow.
+type SlowEntry struct {
+	TS        string `json:"ts"`
+	RequestID string `json:"request_id"`
+	Route     string `json:"route"`
+	Tenant    string `json:"tenant"`
+	// Pattern is the query's textual pattern (batches report a summary).
+	Pattern string `json:"pattern,omitempty"`
+	Code    int    `json:"code"`
+	// Reason is why the entry exists: "threshold" (elapsed ≥ SlowQuery),
+	// "deadline" (504) or "clamped" (α degraded).
+	Reason     string      `json:"reason"`
+	ElapsedUs  int64       `json:"elapsed_us"`
+	Governance *Governance `json:"governance,omitempty"`
+	// Trace is the request's span tree; slow-query capture forces tracing
+	// on /v1/query so the phase breakdown is always available here even
+	// when the client did not ask for it.
+	Trace *rbq.Trace `json:"trace,omitempty"`
+}
+
+// SlowResponse is the body of GET /v1/debug/slow: the retained slow
+// queries, most recent first.
+type SlowResponse struct {
+	// Threshold echoes the configured slow-query threshold in
+	// milliseconds (0 = capture disabled).
+	ThresholdMs int64       `json:"threshold_ms"`
+	Entries     []SlowEntry `json:"entries"`
 }
 
 // parseSemantics maps the wire form to the Request axis.

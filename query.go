@@ -22,6 +22,7 @@ import (
 
 	"rbq/internal/exec"
 	"rbq/internal/interrupt"
+	"rbq/internal/obs"
 	"rbq/internal/plan"
 	"rbq/internal/rbany"
 	"rbq/internal/reduce"
@@ -114,6 +115,22 @@ type Request struct {
 	// outcome and the compile/execute timing split. Off by default so the
 	// hot path does not buy telemetry it will not read.
 	WantStats bool
+	// WantTrace asks for Result.Trace: a structured span tree covering
+	// the plan probe, selectivity scan, reduction rounds, ball
+	// extraction, exact matching and (in Unanchored mode) the anchor
+	// waves with their accepted/discarded speculation. Off by default;
+	// when off the execution path is bit-for-bit and allocation-identical
+	// to a traceless build (every engine touch point is a nil check, the
+	// same discipline as the interrupt probes).
+	WantTrace bool
+	// Tracer, when non-nil, receives the dynamic reduction's raw event
+	// stream (every pop, guarded rejection, ranked push and fragment
+	// insertion, in order — the paper's Example 4 made observable; see
+	// reduce.WriteTracer for a textual renderer). The tracer runs inline
+	// with the search, so it requires a serial evaluation: Bounded or
+	// Unanchored mode with Parallelism ≤ 1, and no batch entry points.
+	// Independent of WantTrace, which aggregates instead of streaming.
+	Tracer ReduceTracer
 }
 
 // Pin returns Request.Anchor pinning the personalized node to v.
@@ -165,12 +182,29 @@ func (req Request) validate() error {
 	if req.Parallelism < 0 {
 		return fmt.Errorf("%w: negative Parallelism %d", ErrBadRequest, req.Parallelism)
 	}
+	if req.Tracer != nil {
+		if req.Mode == Exact {
+			return fmt.Errorf("%w: Tracer observes the dynamic reduction, which Exact mode does not run", ErrBadRequest)
+		}
+		if req.Parallelism > 1 {
+			return fmt.Errorf("%w: Tracer requires a serial evaluation (Parallelism ≤ 1, got %d)", ErrBadRequest, req.Parallelism)
+		}
+	}
 	return nil
 }
 
 // ReduceStats is the dynamic reduction's telemetry (rounds, budgets,
 // visit counts; see the fields' docs).
 type ReduceStats = reduce.Stats
+
+// ReduceTracer receives the dynamic reduction's raw event stream (see
+// Request.Tracer); an alias of the reduce engine's Tracer.
+type ReduceTracer = reduce.Tracer
+
+// Trace is the structured span tree attached to a Result when
+// Request.WantTrace is set: phases with wall time and counters (see
+// the obs package for the span model and phase names).
+type Trace = obs.Trace
 
 // QueryStats is the opt-in telemetry of a Request with WantStats set.
 type QueryStats struct {
@@ -213,6 +247,9 @@ type Result struct {
 	// Stats carries the extended telemetry; non-nil only when
 	// Request.WantStats was set.
 	Stats *QueryStats
+	// Trace is the per-query span tree; non-nil only when
+	// Request.WantTrace was set.
+	Trace *Trace
 }
 
 // Query evaluates req for pattern q. It is the single execution core
@@ -239,7 +276,7 @@ func (db *DB) Query(ctx context.Context, q *Pattern, req Request) (Result, error
 		return Result{}, err
 	}
 	var t0 time.Time
-	if req.WantStats {
+	if req.WantStats || req.WantTrace {
 		t0 = time.Now()
 	}
 	snap := db.snapshot()
@@ -248,7 +285,7 @@ func (db *DB) Query(ctx context.Context, q *Pattern, req Request) (Result, error
 		return Result{}, err
 	}
 	var planTime time.Duration
-	if req.WantStats {
+	if req.WantStats || req.WantTrace {
 		planTime = time.Since(t0)
 	}
 	return runRequest(ctx, pl, req, hit, planTime)
@@ -273,6 +310,9 @@ func (db *DB) QueryBatch(ctx context.Context, qs []AnchoredQuery, req Request, w
 	}
 	if req.Anchor != nil {
 		return nil, fmt.Errorf("%w: QueryBatch items carry their own anchors", ErrBadRequest)
+	}
+	if req.Tracer != nil {
+		return nil, fmt.Errorf("%w: Tracer is a serial stream; batch items run concurrently", ErrBadRequest)
 	}
 	// Resolve every distinct template to its cached plan up front: one
 	// serialized cache probe per template (batches repeat a handful of
@@ -305,7 +345,7 @@ func (db *DB) QueryBatch(ctx context.Context, qs []AnchoredQuery, req Request, w
 		j, ok := seen[item.Q]
 		if !ok {
 			var t0 time.Time
-			if req.WantStats {
+			if req.WantStats || req.WantTrace {
 				t0 = time.Now()
 			}
 			pl, hit, err := db.plans.lookup(snap.Aux(), snap.Epoch(), item.Q)
@@ -313,7 +353,7 @@ func (db *DB) QueryBatch(ctx context.Context, qs []AnchoredQuery, req Request, w
 				pl = nil // compile failure: this template's items zero out
 			}
 			info := planInfo{pl: pl, hit: hit, first: i}
-			if req.WantStats {
+			if req.WantStats || req.WantTrace {
 				info.planTime = time.Since(t0)
 			}
 			j = len(infos)
@@ -323,6 +363,7 @@ func (db *DB) QueryBatch(ctx context.Context, qs []AnchoredQuery, req Request, w
 		idx[i] = j
 	}
 	out := make([]Result, len(qs))
+	shardWorkers := exec.BatchWorkers(workers)
 	parallelFor(ctx, len(qs), workers, func(i int) {
 		info := infos[idx[i]]
 		if info.pl == nil {
@@ -338,6 +379,13 @@ func (db *DB) QueryBatch(ctx context.Context, qs []AnchoredQuery, req Request, w
 		res, err := runRequest(ctx, info.pl, r, info.hit, planTime)
 		if err != nil {
 			res = Result{Personalized: qs[i].At}
+		}
+		// Each item owns its trace, so stamping the shard identity here
+		// is race-free: which slot this item ran in and how wide the
+		// batch pool fanned out.
+		if res.Trace != nil {
+			res.Trace.Root.Add("batch_index", int64(i))
+			res.Trace.Root.Add("batch_workers", int64(shardWorkers))
 		}
 		out[i] = res
 	})
@@ -370,13 +418,21 @@ func (pq *PreparedQuery) QueryBatch(ctx context.Context, pins []NodeID, req Requ
 	if req.Anchor != nil {
 		return nil, fmt.Errorf("%w: QueryBatch items carry their own anchors", ErrBadRequest)
 	}
+	if req.Tracer != nil {
+		return nil, fmt.Errorf("%w: Tracer is a serial stream; batch items run concurrently", ErrBadRequest)
+	}
 	out := make([]Result, len(pins))
+	shardWorkers := exec.BatchWorkers(workers)
 	parallelFor(ctx, len(pins), workers, func(i int) {
 		r := req
 		r.Anchor = &pins[i]
 		res, err := runRequest(ctx, pq.pl, r, true, 0)
 		if err != nil {
 			res = Result{Personalized: pins[i]}
+		}
+		if res.Trace != nil {
+			res.Trace.Root.Add("batch_index", int64(i))
+			res.Trace.Root.Add("batch_workers", int64(shardWorkers))
 		}
 		out[i] = res
 	})
@@ -393,8 +449,23 @@ func (pq *PreparedQuery) QueryBatch(ctx context.Context, pins []NodeID, req Requ
 func runRequest(ctx context.Context, pl *plan.Plan, req Request, cacheHit bool, planTime time.Duration) (Result, error) {
 	done := interrupt.Done(ctx)
 	var t0 time.Time
-	if req.WantStats {
+	if req.WantStats || req.WantTrace {
 		t0 = time.Now()
+	}
+	// The span tree exists only when asked for: execSpan stays nil
+	// otherwise, and every engine touch point below it is a nil check
+	// (obs methods no-op on nil receivers), keeping the trace-off path
+	// bit-for-bit and allocation-identical to a traceless build.
+	var tr *obs.Trace
+	var execSpan *obs.Span
+	if req.WantTrace {
+		tr = obs.NewTrace(obs.PhaseQuery)
+		ps := tr.Root.Child(obs.PhasePlan)
+		ps.SetDur(planTime)
+		if cacheHit {
+			ps.Add("cache_hit", 1)
+		}
+		execSpan = tr.Root.Child(obs.PhaseExec)
 	}
 	var res Result
 	var rstats reduce.Stats
@@ -404,7 +475,7 @@ func runRequest(ctx context.Context, pl *plan.Plan, req Request, cacheHit bool, 
 			Alpha:   req.Alpha,
 			Split:   rbany.Split(req.Split),
 			Workers: exec.Capped(req.Parallelism),
-			Reduce:  reduce.Options{Interrupt: done},
+			Reduce:  reduce.Options{Interrupt: done, Trace: req.Tracer, Obs: execSpan},
 		}
 		var r rbany.Result
 		if req.Semantics == Subgraph {
@@ -437,19 +508,26 @@ func runRequest(ctx context.Context, pl *plan.Plan, req Request, cacheHit bool, 
 		}
 		switch {
 		case req.Mode == Exact && req.Semantics == Simulation:
-			res = Result{Matches: pl.SimulationExact(vp, done), Personalized: vp, Complete: true}
+			es := execSpan.Child(obs.PhaseExact)
+			m := pl.SimulationExact(vp, done)
+			es.Add("matches", int64(len(m)))
+			es.End()
+			res = Result{Matches: m, Personalized: vp, Complete: true}
 		case req.Mode == Exact:
+			es := execSpan.Child(obs.PhaseExact)
 			m, complete := pl.SubgraphExact(vp, subOpts(req.MaxSteps, done))
+			es.Add("matches", int64(len(m)))
+			es.End()
 			res = Result{Matches: m, Personalized: vp, Complete: complete}
 		case req.Semantics == Simulation:
-			r := pl.Simulation(vp, reduce.Options{Alpha: req.Alpha, Interrupt: done})
+			r := pl.Simulation(vp, reduce.Options{Alpha: req.Alpha, Interrupt: done, Trace: req.Tracer, Obs: execSpan})
 			rstats = r.Stats
 			res = Result{
 				Matches: r.Matches, Personalized: vp, Complete: true,
 				FragmentSize: r.Stats.FragmentSize, Budget: r.Stats.Budget, Visited: r.Stats.Visited,
 			}
 		default:
-			r := pl.Subgraph(vp, reduce.Options{Alpha: req.Alpha, Interrupt: done}, subOpts(req.MaxSteps, done))
+			r := pl.Subgraph(vp, reduce.Options{Alpha: req.Alpha, Interrupt: done, Trace: req.Tracer, Obs: execSpan}, subOpts(req.MaxSteps, done))
 			rstats = r.Stats
 			res = Result{
 				Matches: r.Matches, Personalized: vp, Complete: r.Complete,
@@ -467,6 +545,12 @@ func runRequest(ctx context.Context, pl *plan.Plan, req Request, cacheHit bool, 
 			PlanTime:     planTime,
 			ExecTime:     time.Since(t0),
 		}
+	}
+	if req.WantTrace {
+		execSpan.Add("matches", int64(len(res.Matches)))
+		execSpan.End()
+		tr.Finish()
+		res.Trace = tr
 	}
 	return res, nil
 }
